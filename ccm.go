@@ -1,0 +1,329 @@
+// Package ccm is the public facade of the Compiler-Controlled Memory
+// reproduction (Cooper & Harvey, ASPLOS 1998). It wraps the full pipeline:
+//
+//	parse / build ILOC → scalar optimization → Chaitin-Briggs register
+//	allocation → CCM spill promotion → spill-memory compaction →
+//	instrumented execution on the paper's abstract machine.
+//
+// Quick start:
+//
+//	prog, _ := ccm.ParseProgram(src)
+//	report, _ := prog.Compile(ccm.Config{Strategy: ccm.PostPassInterproc, CCMBytes: 512})
+//	stats, _ := prog.Run("main")
+//	fmt.Println(stats.Cycles, stats.MemOpCycles)
+//
+// The four strategies mirror the paper: NoCCM is the plain allocator with
+// heavyweight spills; PostPass and PostPassInterproc are the stand-alone
+// CCM allocator of §3.1 (without and with call-graph information); and
+// Integrated folds CCM allocation into the register allocator's spill-code
+// insertion (§3.2).
+package ccm
+
+import (
+	"fmt"
+	"io"
+
+	"ccmem/internal/core"
+	"ccmem/internal/ir"
+	"ccmem/internal/memsys"
+	"ccmem/internal/opt"
+	"ccmem/internal/regalloc"
+	"ccmem/internal/sim"
+)
+
+// Strategy selects how register spills are placed.
+type Strategy int
+
+const (
+	// NoCCM spills to the activation record only (the baseline).
+	NoCCM Strategy = iota
+	// PostPass promotes spills with the stand-alone intraprocedural CCM
+	// allocator: only values not live across calls may use the CCM.
+	PostPass
+	// PostPassInterproc adds the bottom-up call-graph walk: values live
+	// across calls may use CCM above the callee's high-water mark, and
+	// recursion cycles conservatively count as using the full CCM.
+	PostPassInterproc
+	// Integrated assigns CCM locations during spill-code insertion inside
+	// the Chaitin-Briggs allocator.
+	Integrated
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case NoCCM:
+		return "none"
+	case PostPass:
+		return "postpass"
+	case PostPassInterproc:
+		return "postpass-ipa"
+	case Integrated:
+		return "integrated"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a command-line name into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "none":
+		return NoCCM, nil
+	case "postpass":
+		return PostPass, nil
+	case "postpass-ipa", "ipa":
+		return PostPassInterproc, nil
+	case "integrated":
+		return Integrated, nil
+	}
+	return NoCCM, fmt.Errorf("unknown strategy %q (want none, postpass, postpass-ipa, integrated)", s)
+}
+
+// Config parameterizes compilation. The zero value compiles like the
+// paper's baseline: 32+32 registers, optimizer on, no CCM.
+type Config struct {
+	Strategy Strategy
+	CCMBytes int64 // capacity of the CCM; required unless Strategy is NoCCM
+
+	IntRegs   int // default 32
+	FloatRegs int // default 32
+
+	// DisableOptimizer skips the scalar optimizer (the paper's inputs were
+	// heavily pre-optimized, so the default is on).
+	DisableOptimizer bool
+	// DisableCompaction skips spill-memory compaction (footnote 3).
+	DisableCompaction bool
+
+	// CleanupSpills enables the post-allocation spill-code peephole
+	// (restore-after-spill forwarding). Off by default: the paper's
+	// pipeline does not include it, and the experiment harness measures
+	// the paper-faithful configuration.
+	CleanupSpills bool
+}
+
+// CompileReport summarizes one compilation.
+type CompileReport struct {
+	// PerFunc maps function name to its spill/promotion summary.
+	PerFunc map[string]FuncReport
+}
+
+// FuncReport is the per-function compilation summary.
+type FuncReport struct {
+	SpillBytesNaive     int64 // one frame slot per spilled live range
+	SpillBytesCompacted int64 // after coloring-based compaction
+	CCMBytes            int64 // CCM high-water of the function's own code
+	SpilledRanges       int
+	PromotedWebs        int // spill live ranges redirected to the CCM
+}
+
+// Program is a compilation unit (an opaque wrapper around the internal
+// ILOC representation).
+type Program struct {
+	p        *ir.Program
+	compiled bool
+	ccmBytes int64
+}
+
+// ParseProgram reads the textual ILOC form (see the README for the
+// grammar) and verifies it.
+func ParseProgram(src string) (*Program, error) {
+	p, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// FromIR wraps an internally built program (used by the workload suite and
+// the command-line tools; library users normally use ParseProgram).
+func FromIR(p *ir.Program) *Program { return &Program{p: p} }
+
+// IR exposes the underlying representation for in-module tooling.
+func (pr *Program) IR() *ir.Program { return pr.p }
+
+// Clone deep-copies the program (including compiled state).
+func (pr *Program) Clone() *Program {
+	return &Program{p: pr.p.Clone(), compiled: pr.compiled, ccmBytes: pr.ccmBytes}
+}
+
+// Text renders the program in parseable ILOC text.
+func (pr *Program) Text() string { return pr.p.String() }
+
+// Compile runs the full pipeline in place.
+func (pr *Program) Compile(cfg Config) (*CompileReport, error) {
+	if pr.compiled {
+		return nil, fmt.Errorf("ccm: program is already compiled")
+	}
+	if cfg.IntRegs == 0 {
+		cfg.IntRegs = 32
+	}
+	if cfg.FloatRegs == 0 {
+		cfg.FloatRegs = 32
+	}
+	if cfg.Strategy != NoCCM && cfg.CCMBytes <= 0 {
+		return nil, fmt.Errorf("ccm: strategy %v requires CCMBytes > 0", cfg.Strategy)
+	}
+
+	if !cfg.DisableOptimizer {
+		if _, err := opt.OptimizeProgram(pr.p); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &CompileReport{PerFunc: map[string]FuncReport{}}
+	ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
+	if cfg.Strategy == Integrated {
+		ra.CCMBytes = cfg.CCMBytes
+	}
+	for _, f := range pr.p.Funcs {
+		res, err := regalloc.Allocate(f, ra)
+		if err != nil {
+			return nil, fmt.Errorf("ccm: %w", err)
+		}
+		fr := rep.PerFunc[f.Name]
+		fr.SpillBytesNaive = res.FrameBytes
+		fr.SpilledRanges = res.SpilledRanges
+		fr.CCMBytes = res.CCMBytesUsed
+		fr.PromotedWebs = res.CCMRanges
+		rep.PerFunc[f.Name] = fr
+	}
+
+	switch cfg.Strategy {
+	case PostPass, PostPassInterproc:
+		res, err := core.PostPass(pr.p, core.PostPassOptions{
+			CCMBytes:        cfg.CCMBytes,
+			Interprocedural: cfg.Strategy == PostPassInterproc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for name, fp := range res.PerFunc {
+			fr := rep.PerFunc[name]
+			fr.PromotedWebs = fp.Promoted
+			fr.CCMBytes = fp.CCMBytes
+			rep.PerFunc[name] = fr
+		}
+	}
+
+	if cfg.CleanupSpills {
+		regalloc.CleanupProgram(pr.p)
+	}
+
+	if !cfg.DisableCompaction {
+		compacted, err := core.CompactProgram(pr.p)
+		if err != nil {
+			return nil, err
+		}
+		for name, c := range compacted {
+			fr := rep.PerFunc[name]
+			fr.SpillBytesCompacted = c.AfterBytes
+			rep.PerFunc[name] = fr
+		}
+	}
+
+	if err := ir.VerifyProgram(pr.p, ir.VerifyOptions{}); err != nil {
+		return nil, fmt.Errorf("ccm: post-compile verification failed: %w", err)
+	}
+	pr.compiled = true
+	pr.ccmBytes = cfg.CCMBytes
+	return rep, nil
+}
+
+// RunOption adjusts execution.
+type RunOption func(*sim.Config)
+
+// WithMemCost overrides the main-memory operation cost (paper default: 2).
+func WithMemCost(c int) RunOption { return func(s *sim.Config) { s.MemCost = c } }
+
+// WithCCMBytes overrides the CCM capacity at run time (defaults to the
+// size the program was compiled for).
+func WithCCMBytes(n int64) RunOption { return func(s *sim.Config) { s.CCMBytes = n } }
+
+// WithCCMBase sets the per-process CCM base register (paper §2.1).
+func WithCCMBase(n int64) RunOption { return func(s *sim.Config) { s.CCMBase = n } }
+
+// WithMaxSteps bounds the dynamic instruction count.
+func WithMaxSteps(n int64) RunOption { return func(s *sim.Config) { s.MaxSteps = n } }
+
+// WithTrace streams one line per executed instruction to w (at most limit
+// lines; 0 means the default cap), a debugging aid.
+func WithTrace(w io.Writer, limit int64) RunOption {
+	return func(s *sim.Config) { s.Trace = w; s.TraceLimit = limit }
+}
+
+// WithCache attaches a freshly built set-associative data cache to main
+// memory. To inspect hit/miss statistics afterwards, build the model
+// yourself and pass it via WithMemory.
+func WithCache(cfg memsys.CacheConfig) RunOption {
+	return func(s *sim.Config) {
+		c, err := memsys.NewCache(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s.Memory = c
+	}
+}
+
+// WithMemory attaches a caller-supplied memory-hierarchy model (cache,
+// write buffer, victim cache — see internal/memsys) so its statistics can
+// be read after the run. The model is Reset at run start.
+func WithMemory(m memsys.Model) RunOption {
+	return func(s *sim.Config) { s.Memory = m }
+}
+
+// RunStats is the instrumented result of executing a program.
+type RunStats struct {
+	Instrs      int64
+	Cycles      int64
+	MemOpCycles int64
+	MainMemOps  int64
+	CCMOps      int64
+	SpillStores int64
+	SpillLoads  int64
+	CCMSpills   int64
+	CCMRestores int64
+
+	// Output is the observable emit trace.
+	Output []sim.Value
+	// PerFunc gives exclusive per-function attribution.
+	PerFunc map[string]FuncStats
+}
+
+// FuncStats is the per-function execution summary.
+type FuncStats struct {
+	Calls       int64
+	Instrs      int64
+	Cycles      int64
+	MemOpCycles int64
+}
+
+// Run executes entry() on the abstract machine.
+func (pr *Program) Run(entry string, opts ...RunOption) (*RunStats, error) {
+	cfg := sim.Config{CCMBytes: pr.ccmBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	st, err := sim.Run(pr.p, entry, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunStats{
+		Instrs:      st.Instrs,
+		Cycles:      st.Cycles,
+		MemOpCycles: st.MemOpCycles,
+		MainMemOps:  st.MainMemOps,
+		CCMOps:      st.CCMOps,
+		SpillStores: st.SpillStores,
+		SpillLoads:  st.SpillLoads,
+		CCMSpills:   st.CCMSpills,
+		CCMRestores: st.CCMRestores,
+		Output:      st.Output,
+		PerFunc:     map[string]FuncStats{},
+	}
+	for name, fs := range st.PerFunc {
+		out.PerFunc[name] = FuncStats{Calls: fs.Calls, Instrs: fs.Instrs, Cycles: fs.Cycles, MemOpCycles: fs.MemOpCycles}
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package ccm
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/memsys"
+	"ccmem/internal/workload"
+)
+
+const apiSrc = `
+func main() {
+entry:
+	r0 = loadi 2
+	r1 = call square(r0)
+	emit r1
+	ret
+}
+func square(r0) int {
+entry:
+	r1 = mul r0, r0
+	ret r1
+}
+`
+
+func TestParseAndRun(t *testing.T) {
+	p, err := ParseProgram(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Compile(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Output) != 1 || st.Output[0].Int() != 4 {
+		t.Fatalf("output = %v", st.Output)
+	}
+	if st.Cycles == 0 || st.Instrs == 0 {
+		t.Fatal("no accounting")
+	}
+	if st.PerFunc["square"].Calls != 1 {
+		t.Fatal("per-func attribution missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseProgram("garbage"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Parses but fails verification (bad call target).
+	if _, err := ParseProgram("func main() {\nentry:\n\tcall nope()\n\tret\n}"); err == nil {
+		t.Fatal("unverifiable program accepted")
+	}
+}
+
+func TestCompileTwiceRejected(t *testing.T) {
+	p, _ := ParseProgram(apiSrc)
+	if _, err := p.Compile(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Compile(Config{}); err == nil {
+		t.Fatal("double compile accepted")
+	}
+}
+
+func TestStrategyRequiresCapacity(t *testing.T) {
+	p, _ := ParseProgram(apiSrc)
+	if _, err := p.Compile(Config{Strategy: PostPass}); err == nil ||
+		!strings.Contains(err.Error(), "CCMBytes") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"none": NoCCM, "postpass": PostPass, "postpass-ipa": PostPassInterproc,
+		"ipa": PostPassInterproc, "integrated": Integrated,
+	}
+	for s, want := range cases {
+		got, err := ParseStrategy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	for _, s := range []Strategy{NoCCM, PostPass, PostPassInterproc, Integrated} {
+		rt, err := ParseStrategy(s.String())
+		if err != nil || rt != s {
+			t.Errorf("round trip of %v failed", s)
+		}
+	}
+}
+
+func TestAllStrategiesPreserveSemantics(t *testing.T) {
+	r, ok := workload.Lookup("radb4X")
+	if !ok {
+		t.Fatal("routine missing")
+	}
+	var want []string
+	for _, strat := range []Strategy{NoCCM, PostPass, PostPassInterproc, Integrated} {
+		irp, err := r.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := FromIR(irp)
+		cfg := Config{Strategy: strat}
+		if strat != NoCCM {
+			cfg.CCMBytes = 512
+		}
+		rep, err := p.Compile(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		st, err := p.Run("main")
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		var trace []string
+		for _, v := range st.Output {
+			trace = append(trace, v.String())
+		}
+		if want == nil {
+			want = trace
+		} else if strings.Join(trace, ",") != strings.Join(want, ",") {
+			t.Fatalf("%v diverged: %v vs %v", strat, trace, want)
+		}
+		if strat != NoCCM {
+			promoted := 0
+			for _, fr := range rep.PerFunc {
+				promoted += fr.PromotedWebs
+			}
+			if promoted == 0 {
+				t.Errorf("%v promoted nothing", strat)
+			}
+			if st.CCMOps == 0 {
+				t.Errorf("%v executed no CCM ops", strat)
+			}
+		}
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	p, _ := ParseProgram(apiSrc)
+	if _, err := p.Compile(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := p.Run("main", WithMemCost(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := p.Run("main", WithMemCost(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cycles < st1.Cycles {
+		t.Fatal("higher memory cost produced fewer cycles")
+	}
+	if _, err := p.Run("main", WithMaxSteps(1)); err == nil {
+		t.Fatal("step budget ignored")
+	}
+	cache, err := memsys.NewCache(memsys.CacheConfig{LineBytes: 32, Sets: 8, Ways: 1, HitCost: 1, MissCost: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run("main", WithMemory(cache)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run("main", WithCache(memsys.CacheConfig{LineBytes: 32, Sets: 8, Ways: 1, HitCost: 1, MissCost: 9})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneAndText(t *testing.T) {
+	p, _ := ParseProgram(apiSrc)
+	q := p.Clone()
+	if _, err := p.Compile(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// The clone is still uncompiled and parseable.
+	if _, err := q.Compile(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseProgram(q.Text()); err != nil {
+		t.Fatalf("Text not parseable: %v", err)
+	}
+}
+
+func TestCompileReportShapes(t *testing.T) {
+	r, _ := workload.Lookup("saturr")
+	irp, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromIR(irp)
+	rep, err := p.Compile(Config{Strategy: PostPassInterproc, CCMBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := rep.PerFunc["saturr"]
+	if fr.SpillBytesNaive == 0 || fr.PromotedWebs == 0 {
+		t.Fatalf("report = %+v", fr)
+	}
+	if fr.SpillBytesCompacted > fr.SpillBytesNaive {
+		t.Fatal("compaction grew spill memory")
+	}
+	if fr.CCMBytes == 0 || fr.CCMBytes > 1024 {
+		t.Fatalf("ccm bytes = %d", fr.CCMBytes)
+	}
+}

@@ -1,0 +1,97 @@
+// Command ccmbench regenerates the paper's evaluation: Tables 1-4,
+// Figures 3-4, and the §4.3 memory-hierarchy ablation, over the synthetic
+// workload suite.
+//
+// Usage:
+//
+//	ccmbench [-table N] [-figure N] [-ablation] [-memcost N]
+//
+// Without flags it prints everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccmem/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only table N (1-4)")
+	figure := flag.Int("figure", 0, "print only figure N (3 or 4)")
+	ablation := flag.Bool("ablation", false, "print only the §4.3 ablation")
+	multiproc := flag.Bool("multiproc", false, "print only the §2.1 multi-process comparison")
+	markdown := flag.Bool("markdown", false, "emit the full evaluation as a markdown report")
+	memCost := flag.Int("memcost", 2, "cycles per main-memory operation")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.MemCost = *memCost
+
+	if *markdown {
+		if err := experiments.WriteReport(os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	all := *table == 0 && *figure == 0 && !*ablation && !*multiproc
+
+	if *multiproc || all {
+		m, err := experiments.MultiProcess(cfg, nil, 1024)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatMultiProc(m))
+		if *multiproc {
+			return
+		}
+	}
+
+	if *ablation || all {
+		rows, err := experiments.Ablation43(cfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatAblation(rows))
+		if *ablation {
+			return
+		}
+	}
+
+	res, err := experiments.RunSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *table == 1:
+		fmt.Println(res.FormatTable1())
+	case *table == 2:
+		fmt.Println(res.FormatTable2(512))
+	case *table == 3:
+		fmt.Println(res.FormatTable3(512, 1024))
+	case *table == 4:
+		fmt.Println(res.FormatTable4())
+	case *table != 0:
+		fatal(fmt.Errorf("no table %d", *table))
+	case *figure == 3:
+		fmt.Println(res.FormatFigure(3, 512))
+	case *figure == 4:
+		fmt.Println(res.FormatFigure(4, 1024))
+	case *figure != 0:
+		fatal(fmt.Errorf("no figure %d", *figure))
+	default:
+		fmt.Println(res.FormatTable1())
+		fmt.Println(res.FormatTable2(512))
+		fmt.Println(res.FormatTable3(512, 1024))
+		fmt.Println(res.FormatTable4())
+		fmt.Println(res.FormatFigure(3, 512))
+		fmt.Println(res.FormatFigure(4, 1024))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccmbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command ccmc compiles textual ILOC through the reproduction's pipeline:
+// scalar optimization, Chaitin-Briggs register allocation, CCM spill
+// promotion (per the chosen strategy), and spill-memory compaction.
+//
+// Usage:
+//
+//	ccmc [-strategy none|postpass|postpass-ipa|integrated] [-ccm BYTES]
+//	     [-regs N] [-no-opt] [-no-compact] [-stats] [-o out.iloc] in.iloc
+//
+// The output is allocated ILOC, runnable with ccmsim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	ccm "ccmem"
+)
+
+func main() {
+	strategy := flag.String("strategy", "none", "spill placement: none, postpass, postpass-ipa, integrated")
+	ccmBytes := flag.Int64("ccm", 512, "CCM capacity in bytes (used unless -strategy none)")
+	regs := flag.Int("regs", 32, "physical registers per class")
+	noOpt := flag.Bool("no-opt", false, "skip the scalar optimizer")
+	noCompact := flag.Bool("no-compact", false, "skip spill-memory compaction")
+	cleanup := flag.Bool("cleanup", false, "run the post-allocation spill-code peephole")
+	stats := flag.Bool("stats", false, "print per-function spill statistics to stderr")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccmc [flags] input.iloc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ccm.ParseProgram(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := ccm.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := ccm.Config{
+		Strategy:          strat,
+		IntRegs:           *regs,
+		FloatRegs:         *regs,
+		DisableOptimizer:  *noOpt,
+		DisableCompaction: *noCompact,
+		CleanupSpills:     *cleanup,
+	}
+	if strat != ccm.NoCCM {
+		cfg.CCMBytes = *ccmBytes
+	}
+	report, err := prog.Compile(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		names := make([]string, 0, len(report.PerFunc))
+		for n := range report.PerFunc {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fr := report.PerFunc[n]
+			fmt.Fprintf(os.Stderr,
+				"%-20s spilled=%-3d frame=%4dB compacted=%4dB ccm=%4dB promoted=%d\n",
+				n, fr.SpilledRanges, fr.SpillBytesNaive, fr.SpillBytesCompacted,
+				fr.CCMBytes, fr.PromotedWebs)
+		}
+	}
+	text := prog.Text()
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccmc:", err)
+	os.Exit(1)
+}

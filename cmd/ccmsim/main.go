@@ -1,0 +1,96 @@
+// Command ccmsim executes ILOC programs on the paper's abstract machine
+// (32+32 registers, single issue, 2-cycle main-memory operations, 1-cycle
+// CCM accesses) and prints the instrumented dynamic costs.
+//
+// Usage:
+//
+//	ccmsim [-entry main] [-ccm BYTES] [-memcost N] [-trace] [-perfunc]
+//	       [-cache SETSxWAYSxLINE] prog.iloc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	ccm "ccmem"
+	"ccmem/internal/memsys"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry function")
+	ccmBytes := flag.Int64("ccm", 1024, "CCM capacity in bytes available at run time")
+	memCost := flag.Int("memcost", 2, "cycles per main-memory operation")
+	trace := flag.Bool("trace", false, "print the emit trace")
+	perFunc := flag.Bool("perfunc", false, "print per-function cycle attribution")
+	cacheSpec := flag.String("cache", "", "attach a data cache, e.g. 32x1x32 (sets x ways x line bytes)")
+	debug := flag.Int64("debug", 0, "trace the first N executed instructions to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccmsim [flags] prog.iloc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ccm.ParseProgram(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := []ccm.RunOption{ccm.WithMemCost(*memCost), ccm.WithCCMBytes(*ccmBytes)}
+	if *debug > 0 {
+		opts = append(opts, ccm.WithTrace(os.Stderr, *debug))
+	}
+	if *cacheSpec != "" {
+		var sets, ways, line int
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*cacheSpec, "x", " "), "%d %d %d", &sets, &ways, &line); err != nil {
+			fatal(fmt.Errorf("bad -cache %q: %w", *cacheSpec, err))
+		}
+		opts = append(opts, ccm.WithCache(memsys.CacheConfig{
+			Sets: sets, Ways: ways, LineBytes: line, HitCost: 1, MissCost: 8,
+		}))
+	}
+
+	st, err := prog.Run(*entry, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instructions:     %d\n", st.Instrs)
+	fmt.Printf("cycles:           %d\n", st.Cycles)
+	fmt.Printf("memory-op cycles: %d\n", st.MemOpCycles)
+	fmt.Printf("main-memory ops:  %d\n", st.MainMemOps)
+	fmt.Printf("ccm ops:          %d (spills %d, restores %d)\n", st.CCMOps, st.CCMSpills, st.CCMRestores)
+	fmt.Printf("heavyweight:      spills %d, restores %d\n", st.SpillStores, st.SpillLoads)
+	if *perFunc {
+		names := make([]string, 0, len(st.PerFunc))
+		for n := range st.PerFunc {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return st.PerFunc[names[i]].Cycles > st.PerFunc[names[j]].Cycles
+		})
+		for _, n := range names {
+			fs := st.PerFunc[n]
+			if fs.Calls == 0 {
+				continue
+			}
+			fmt.Printf("  %-20s calls=%-6d cycles=%-10d mem-cycles=%d\n", n, fs.Calls, fs.Cycles, fs.MemOpCycles)
+		}
+	}
+	if *trace {
+		for _, v := range st.Output {
+			fmt.Println(v)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+package ccm
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTestdataThroughAPI drives the checked-in ILOC files through the full
+// public pipeline at every strategy and confirms identical traces.
+func TestTestdataThroughAPI(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.iloc")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []string
+			for _, strat := range []Strategy{NoCCM, PostPass, PostPassInterproc, Integrated} {
+				p, err := ParseProgram(string(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := Config{Strategy: strat, IntRegs: 8, FloatRegs: 6}
+				if strat != NoCCM {
+					cfg.CCMBytes = 512
+				}
+				if _, err := p.Compile(cfg); err != nil {
+					t.Fatalf("%v: %v", strat, err)
+				}
+				st, err := p.Run("main")
+				if err != nil {
+					t.Fatalf("%v: %v", strat, err)
+				}
+				var trace []string
+				for _, v := range st.Output {
+					trace = append(trace, v.String())
+				}
+				if want == nil {
+					want = trace
+				} else if strings.Join(want, ",") != strings.Join(trace, ",") {
+					t.Fatalf("%v diverged", strat)
+				}
+			}
+		})
+	}
+}
+
+// TestCLIRoundTrip builds and runs the actual command-line tools: ccmc
+// compiles the testdata kernel with CCM promotion, ccmsim executes the
+// result, and the emitted checksum matches the uncompiled run.
+func TestCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI round trip in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"ccmc", "ccmsim", "ccmbench"} {
+		cmd := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	// Reference trace: run the source directly.
+	ref := exec.Command(bin("ccmsim"), "-trace", "testdata/dotprod.iloc")
+	refOut, err := ref.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ccmsim reference: %v\n%s", err, refOut)
+	}
+
+	compiled := filepath.Join(dir, "dotprod.ccm.iloc")
+	cc := exec.Command(bin("ccmc"),
+		"-strategy", "postpass-ipa", "-ccm", "512", "-regs", "6", "-stats",
+		"-o", compiled, "testdata/dotprod.iloc")
+	if out, err := cc.CombinedOutput(); err != nil {
+		t.Fatalf("ccmc: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "promoted") {
+		t.Fatalf("ccmc -stats output missing promotion info:\n%s", out)
+	}
+
+	text, err := os.ReadFile(compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "ccmspill") && !strings.Contains(string(text), "ccmfspill") {
+		t.Fatalf("compiled output has no CCM spills:\n%s", text)
+	}
+
+	run := exec.Command(bin("ccmsim"), "-trace", "-perfunc", compiled)
+	runOut, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ccmsim compiled: %v\n%s", err, runOut)
+	}
+	lastLine := func(b []byte) string {
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		return lines[len(lines)-1]
+	}
+	if lastLine(refOut) != lastLine(runOut) {
+		t.Fatalf("traces differ:\nref: %s\nccm: %s", lastLine(refOut), lastLine(runOut))
+	}
+	if !strings.Contains(string(runOut), "ccm ops:") {
+		t.Fatalf("ccmsim output format changed:\n%s", runOut)
+	}
+}
+
+// TestExamplesRun builds and executes every example program end to end.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example runs in -short mode")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil || len(examples) < 4 {
+		t.Fatalf("examples missing: %v (%d)", err, len(examples))
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			text := strings.ToLower(string(out))
+			if strings.Contains(text, "diverged") || strings.Contains(text, "broken") {
+				t.Fatalf("example reported failure:\n%s", out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

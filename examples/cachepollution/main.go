@@ -1,0 +1,81 @@
+// Cache pollution (paper §2.3: "the cache is the wrong place to spill").
+// A spilling kernel runs against a small data cache. With heavyweight
+// spills, the spill traffic occupies cache lines and evicts the array data
+// the loop planned to reuse; promoting the spills into the CCM removes
+// that traffic from the path to main memory, and the data-cache miss rate
+// drops with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ccm "ccmem"
+	"ccmem/internal/memsys"
+	"ccmem/internal/workload"
+)
+
+func main() {
+	r, ok := workload.Lookup("twldrv")
+	if !ok {
+		log.Fatal("twldrv not in suite")
+	}
+	cacheCfg := memsys.CacheConfig{LineBytes: 32, Sets: 32, Ways: 1, HitCost: 1, MissCost: 8}
+
+	measure := func(strategy ccm.Strategy) (*ccm.RunStats, memsys.Stats) {
+		irProg, err := r.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := ccm.FromIR(irProg)
+		cfg := ccm.Config{Strategy: strategy}
+		if strategy != ccm.NoCCM {
+			cfg.CCMBytes = 1024
+		}
+		if _, err := prog.Compile(cfg); err != nil {
+			log.Fatal(err)
+		}
+		cache, err := memsys.NewCache(cacheCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := prog.Run("main", ccm.WithCCMBytes(1024), ccm.WithMemory(cache))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st, cache.Stats()
+	}
+
+	heavy, heavyCache := measure(ccm.NoCCM)
+	promoted, promotedCache := measure(ccm.PostPassInterproc)
+
+	missRate := func(s memsys.Stats) float64 {
+		if s.Accesses == 0 {
+			return 0
+		}
+		return 100 * float64(s.Misses) / float64(s.Accesses)
+	}
+
+	fmt.Printf("twldrv through a %d-byte direct-mapped cache (%d-cycle miss):\n\n",
+		cacheCfg.TotalBytes(), cacheCfg.MissCost)
+	fmt.Printf("%-26s %14s %14s\n", "", "spills in cache", "spills in CCM")
+	fmt.Printf("%-26s %14d %14d\n", "total cycles", heavy.Cycles, promoted.Cycles)
+	fmt.Printf("%-26s %14d %14d\n", "cache accesses", heavyCache.Accesses, promotedCache.Accesses)
+	fmt.Printf("%-26s %14d %14d\n", "cache misses", heavyCache.Misses, promotedCache.Misses)
+	fmt.Printf("%-26s %13.1f%% %13.1f%%\n", "miss rate", missRate(heavyCache), missRate(promotedCache))
+	fmt.Printf("%-26s %14d %14d\n", "heavyweight spill ops", heavy.SpillStores+heavy.SpillLoads,
+		promoted.SpillStores+promoted.SpillLoads)
+	fmt.Printf("%-26s %14d %14d\n", "CCM ops", heavy.CCMOps, promoted.CCMOps)
+	fmt.Printf("\nrelative running time with CCM: %.3f\n",
+		float64(promoted.Cycles)/float64(heavy.Cycles))
+
+	if len(heavy.Output) != len(promoted.Output) {
+		log.Fatal("outputs diverged")
+	}
+	for i := range heavy.Output {
+		if heavy.Output[i] != promoted.Output[i] {
+			log.Fatal("outputs diverged")
+		}
+	}
+	fmt.Println("outputs identical.")
+}

@@ -1,0 +1,3 @@
+module ccmem
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package callgraph constructs the program call graph, finds its strongly
+// connected components (recursion cycles), and produces the bottom-up
+// (post-order) processing order the paper's interprocedural post-pass CCM
+// allocator requires: "it processes all routines reachable from procedure
+// p before considering p", with call-graph cycles handled conservatively.
+package callgraph
+
+import (
+	"ccmem/internal/ir"
+)
+
+// Graph is the call graph of a program.
+type Graph struct {
+	Prog *ir.Program
+
+	// Callees maps a function to its distinct callees (order of first
+	// appearance, deterministic).
+	Callees map[string][]string
+
+	// Callers is the reverse adjacency.
+	Callers map[string][]string
+
+	scc     map[string]int // function -> SCC id
+	sccSize map[int]int
+	selfRec map[string]bool
+}
+
+// New builds the call graph. Calls to unknown functions are ignored here;
+// ir.VerifyProgram reports them.
+func New(p *ir.Program) *Graph {
+	g := &Graph{
+		Prog:    p,
+		Callees: map[string][]string{},
+		Callers: map[string][]string{},
+		selfRec: map[string]bool{},
+	}
+	for _, f := range p.Funcs {
+		seen := map[string]bool{}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpCall || p.Func(in.Sym) == nil {
+					continue
+				}
+				if in.Sym == f.Name {
+					g.selfRec[f.Name] = true
+				}
+				if !seen[in.Sym] {
+					seen[in.Sym] = true
+					g.Callees[f.Name] = append(g.Callees[f.Name], in.Sym)
+					g.Callers[in.Sym] = append(g.Callers[in.Sym], f.Name)
+				}
+			}
+		}
+	}
+	g.computeSCCs()
+	return g
+}
+
+// computeSCCs runs Tarjan's algorithm over the call graph.
+func (g *Graph) computeSCCs() {
+	g.scc = map[string]int{}
+	g.sccSize = map[int]int{}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	comp := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			size := 0
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				g.scc[w] = comp
+				size++
+				if w == v {
+					break
+				}
+			}
+			g.sccSize[comp] = size
+			comp++
+		}
+	}
+	for _, f := range g.Prog.Funcs {
+		if _, seen := index[f.Name]; !seen {
+			strongconnect(f.Name)
+		}
+	}
+}
+
+// InCycle reports whether f participates in recursion: its SCC has more
+// than one member, or it calls itself.
+func (g *Graph) InCycle(f string) bool {
+	return g.sccSize[g.scc[f]] > 1 || g.selfRec[f]
+}
+
+// SameSCC reports whether two functions share a strongly connected
+// component.
+func (g *Graph) SameSCC(a, b string) bool { return g.scc[a] == g.scc[b] }
+
+// PostOrder returns every function so that (outside of cycles) all callees
+// of f appear before f — the bottom-up walk of the paper's Figure 1.
+func (g *Graph) PostOrder() []string {
+	visited := map[string]bool{}
+	var order []string
+	var visit func(v string)
+	visit = func(v string) {
+		if visited[v] {
+			return
+		}
+		visited[v] = true
+		for _, w := range g.Callees[v] {
+			visit(w)
+		}
+		order = append(order, v)
+	}
+	for _, f := range g.Prog.Funcs {
+		visit(f.Name)
+	}
+	return order
+}

@@ -1,0 +1,172 @@
+package callgraph
+
+import (
+	"testing"
+
+	"ccmem/internal/ir"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(p)
+}
+
+const towerSrc = `
+func main() {
+entry:
+	call a()
+	call b()
+	ret
+}
+func a() {
+entry:
+	call c()
+	ret
+}
+func b() {
+entry:
+	call c()
+	ret
+}
+func c() {
+entry:
+	ret
+}
+`
+
+func TestCalleesAndCallers(t *testing.T) {
+	g := build(t, towerSrc)
+	if len(g.Callees["main"]) != 2 {
+		t.Fatalf("main callees = %v", g.Callees["main"])
+	}
+	if len(g.Callers["c"]) != 2 {
+		t.Fatalf("c callers = %v", g.Callers["c"])
+	}
+	if len(g.Callees["c"]) != 0 {
+		t.Fatal("leaf has callees")
+	}
+}
+
+func TestCalleesDeduplicated(t *testing.T) {
+	g := build(t, `
+func main() {
+entry:
+	call f()
+	call f()
+	call f()
+	ret
+}
+func f() {
+entry:
+	ret
+}
+`)
+	if len(g.Callees["main"]) != 1 {
+		t.Fatalf("callees = %v", g.Callees["main"])
+	}
+}
+
+func TestPostOrderBottomUp(t *testing.T) {
+	g := build(t, towerSrc)
+	order := g.PostOrder()
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	for caller, callees := range g.Callees {
+		for _, callee := range callees {
+			if pos[callee] >= pos[caller] {
+				t.Fatalf("callee %s after caller %s in %v", callee, caller, order)
+			}
+		}
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	g := build(t, `
+func main() {
+entry:
+	call f()
+	ret
+}
+func f() {
+entry:
+	call f()
+	ret
+}
+`)
+	if !g.InCycle("f") {
+		t.Fatal("self-recursive f not in cycle")
+	}
+	if g.InCycle("main") {
+		t.Fatal("main wrongly in cycle")
+	}
+}
+
+func TestMutualRecursionSCC(t *testing.T) {
+	g := build(t, `
+func main() {
+entry:
+	call even()
+	ret
+}
+func even() {
+entry:
+	call odd()
+	ret
+}
+func odd() {
+entry:
+	call even()
+	ret
+}
+func leaf() {
+entry:
+	ret
+}
+`)
+	if !g.InCycle("even") || !g.InCycle("odd") {
+		t.Fatal("mutual recursion not detected")
+	}
+	if !g.SameSCC("even", "odd") {
+		t.Fatal("even/odd not in one SCC")
+	}
+	if g.SameSCC("even", "main") || g.InCycle("leaf") {
+		t.Fatal("SCC leaked")
+	}
+	// PostOrder still covers everything exactly once.
+	order := g.PostOrder()
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[string]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatalf("duplicate %s in order", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestUnreachableFunctionStillOrdered(t *testing.T) {
+	g := build(t, `
+func main() {
+entry:
+	ret
+}
+func orphan() {
+entry:
+	ret
+}
+`)
+	if len(g.PostOrder()) != 2 {
+		t.Fatal("orphan missing from post order")
+	}
+}

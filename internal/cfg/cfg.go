@@ -1,0 +1,324 @@
+// Package cfg builds the control-flow graph of an ir.Func and the derived
+// structures the compiler needs: reverse postorder, dominators, dominance
+// frontiers, and natural-loop nesting depth (used to weight spill costs by
+// 10^depth, as in the Chaitin-Briggs allocator the paper builds on).
+//
+// Dominators use the iterative algorithm of Cooper, Harvey & Kennedy,
+// "A Simple, Fast Dominance Algorithm" — by the same Harvey as the paper
+// under reproduction.
+package cfg
+
+import (
+	"fmt"
+
+	"ccmem/internal/ir"
+)
+
+// Graph is the control-flow graph of one function. Node indices are block
+// indices into F.Blocks.
+type Graph struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+
+	rpo      []int // reverse postorder of reachable blocks
+	rpoIndex []int // block -> position in rpo, or -1 if unreachable
+	idom     []int // immediate dominator, -1 for entry and unreachable
+	frontier [][]int
+	depth    []int // natural-loop nesting depth
+}
+
+// New builds the CFG. It fails if a branch target does not exist.
+func New(f *ir.Func) (*Graph, error) {
+	f.Renumber()
+	n := len(f.Blocks)
+	g := &Graph{
+		F:     f,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+	}
+	index := make(map[string]int, n)
+	for i, b := range f.Blocks {
+		index[b.Name] = i
+	}
+	for i, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			return nil, fmt.Errorf("cfg: %s: block %s lacks a terminator", f.Name, b.Name)
+		}
+		for _, label := range t.Targets() {
+			j, ok := index[label]
+			if !ok {
+				return nil, fmt.Errorf("cfg: %s: block %s branches to unknown label %q", f.Name, b.Name, label)
+			}
+			g.Succs[i] = append(g.Succs[i], j)
+			g.Preds[j] = append(g.Preds[j], i)
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	g.computeFrontiers()
+	g.computeLoopDepth()
+	return g, nil
+}
+
+// NumBlocks returns the number of blocks in the function.
+func (g *Graph) NumBlocks() int { return len(g.Succs) }
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.rpoIndex[b] >= 0 }
+
+// ReversePostorder returns the reachable blocks in reverse postorder
+// (entry first). The returned slice must not be modified.
+func (g *Graph) ReversePostorder() []int { return g.rpo }
+
+// Postorder returns the reachable blocks in postorder.
+func (g *Graph) Postorder() []int {
+	po := make([]int, len(g.rpo))
+	for i, b := range g.rpo {
+		po[len(g.rpo)-1-i] = b
+	}
+	return po
+}
+
+func (g *Graph) computeRPO() {
+	n := g.NumBlocks()
+	g.rpoIndex = make([]int, n)
+	for i := range g.rpoIndex {
+		g.rpoIndex[i] = -1
+	}
+	visited := make([]bool, n)
+	var po []int
+	// Iterative DFS to avoid deep recursion on generated programs.
+	type frame struct{ b, next int }
+	stack := []frame{{0, 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(g.Succs[top.b]) {
+			s := g.Succs[top.b][top.next]
+			top.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		po = append(po, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.rpo = make([]int, len(po))
+	for i, b := range po {
+		r := len(po) - 1 - i
+		g.rpo[r] = b
+		g.rpoIndex[b] = r
+	}
+}
+
+// Idom returns the immediate dominator of block b, or -1 for the entry
+// block and unreachable blocks.
+func (g *Graph) Idom(b int) int { return g.idom[b] }
+
+// Dominates reports whether block a dominates block b (reflexive).
+// Unreachable blocks dominate nothing and are dominated by nothing.
+func (g *Graph) Dominates(a, b int) bool {
+	if !g.Reachable(a) || !g.Reachable(b) {
+		return false
+	}
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = g.idom[b]
+	}
+	return false
+}
+
+func (g *Graph) computeDominators() {
+	n := g.NumBlocks()
+	g.idom = make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	if len(g.rpo) == 0 {
+		return
+	}
+	entry := g.rpo[0]
+	g.idom[entry] = entry // temporary self-loop per CHK
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.rpo[1:] {
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if g.idom[p] == -1 && p != entry {
+					continue // unprocessed or unreachable
+				}
+				if !g.Reachable(p) {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom[entry] = -1
+}
+
+func (g *Graph) intersect(a, b int) int {
+	for a != b {
+		for g.rpoIndex[a] > g.rpoIndex[b] {
+			a = g.idomOrEntry(a)
+		}
+		for g.rpoIndex[b] > g.rpoIndex[a] {
+			b = g.idomOrEntry(b)
+		}
+	}
+	return a
+}
+
+func (g *Graph) idomOrEntry(b int) int {
+	d := g.idom[b]
+	if d == -1 {
+		return b
+	}
+	return d
+}
+
+// DomFrontier returns the dominance frontier of block b.
+func (g *Graph) DomFrontier(b int) []int { return g.frontier[b] }
+
+func (g *Graph) computeFrontiers() {
+	n := g.NumBlocks()
+	g.frontier = make([][]int, n)
+	inFrontier := make([]map[int]bool, n)
+	entry := -1
+	if len(g.rpo) > 0 {
+		entry = g.rpo[0]
+	}
+	for _, b := range g.rpo {
+		// Join nodes, plus the entry block when a back edge targets it
+		// (the entry has no idom, so the standard ≥2-predecessors filter
+		// would miss its frontier contributions).
+		if len(g.Preds[b]) < 2 && !(b == entry && len(g.Preds[b]) >= 1) {
+			continue
+		}
+		for _, p := range g.Preds[b] {
+			if !g.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != g.idom[b] && runner != -1 {
+				if inFrontier[runner] == nil {
+					inFrontier[runner] = map[int]bool{}
+				}
+				if !inFrontier[runner][b] {
+					inFrontier[runner][b] = true
+					g.frontier[runner] = append(g.frontier[runner], b)
+				}
+				runner = g.idom[runner]
+			}
+		}
+	}
+}
+
+// LoopDepth returns the natural-loop nesting depth of block b (0 when the
+// block is in no loop, or unreachable).
+func (g *Graph) LoopDepth(b int) int { return g.depth[b] }
+
+func (g *Graph) computeLoopDepth() {
+	n := g.NumBlocks()
+	g.depth = make([]int, n)
+	// Back edge t -> h where h dominates t; the natural loop is h plus all
+	// nodes that reach t without passing through h.
+	for t := 0; t < n; t++ {
+		if !g.Reachable(t) {
+			continue
+		}
+		for _, h := range g.Succs[t] {
+			if !g.Dominates(h, t) {
+				continue
+			}
+			inLoop := make([]bool, n)
+			inLoop[h] = true
+			stack := []int{t}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inLoop[x] {
+					continue
+				}
+				inLoop[x] = true
+				for _, p := range g.Preds[x] {
+					if g.Reachable(p) && !inLoop[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+			for b := 0; b < n; b++ {
+				if inLoop[b] {
+					g.depth[b]++
+				}
+			}
+		}
+	}
+}
+
+// SplitEntry ensures the entry block has no predecessors by prepending a
+// fresh block that jumps to the old entry when some branch targets it.
+// SSA construction requires this: a phi in the entry block would have no
+// argument slot for the function-entry path. Returns true if it changed f.
+func SplitEntry(f *ir.Func) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	entry := f.Blocks[0].Name
+	targeted := false
+	for _, b := range f.Blocks {
+		for _, t := range b.Term().Targets() {
+			if t == entry {
+				targeted = true
+			}
+		}
+	}
+	if !targeted {
+		return false
+	}
+	name := entry + ".pre"
+	for f.BlockNamed(name) != nil {
+		name += "'"
+	}
+	pre := &ir.Block{Name: name, Instrs: []ir.Instr{{Op: ir.OpJmp, Dst: ir.NoReg, Then: entry}}}
+	f.Blocks = append([]*ir.Block{pre}, f.Blocks...)
+	f.Renumber()
+	return true
+}
+
+// RemoveUnreachable deletes unreachable blocks from the function and
+// reports whether anything was removed. The caller must rebuild the CFG
+// afterwards if it is still needed.
+func RemoveUnreachable(f *ir.Func) (bool, error) {
+	g, err := New(f)
+	if err != nil {
+		return false, err
+	}
+	kept := f.Blocks[:0]
+	removed := false
+	for i, b := range f.Blocks {
+		if g.Reachable(i) {
+			kept = append(kept, b)
+		} else {
+			removed = true
+		}
+	}
+	f.Blocks = kept
+	f.Renumber()
+	return removed, nil
+}

@@ -1,0 +1,329 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccmem/internal/ir"
+)
+
+// buildFromEdges constructs a function whose CFG has the given shape:
+// block i jumps to edges[i] (1 target → jmp, 2 → cbr, 0 → ret).
+func buildFromEdges(t testing.TB, edges [][]int) *ir.Func {
+	t.Helper()
+	f := &ir.Func{Name: "g"}
+	cond := f.NewReg(ir.ClassInt, "c")
+	name := func(i int) string { return fmt.Sprintf("b%d", i) }
+	for i, succ := range edges {
+		blk := &ir.Block{Name: name(i), Index: i}
+		switch len(succ) {
+		case 0:
+			blk.Instrs = []ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg}}
+		case 1:
+			blk.Instrs = []ir.Instr{{Op: ir.OpJmp, Dst: ir.NoReg, Then: name(succ[0])}}
+		case 2:
+			blk.Instrs = []ir.Instr{
+				{Op: ir.OpLoadI, Dst: cond, Imm: 1},
+				{Op: ir.OpCBr, Dst: ir.NoReg, Args: []ir.Reg{cond}, Then: name(succ[0]), Else: name(succ[1])},
+			}
+		default:
+			t.Fatalf("block %d has %d succs", i, len(succ))
+		}
+		f.Blocks = append(f.Blocks, blk)
+	}
+	return f
+}
+
+func TestSuccsPreds(t *testing.T) {
+	f := buildFromEdges(t, [][]int{{1, 2}, {3}, {3}, {}})
+	g, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Succs[0]) != 2 || g.Succs[0][0] != 1 || g.Succs[0][1] != 2 {
+		t.Fatalf("succs[0] = %v", g.Succs[0])
+	}
+	if len(g.Preds[3]) != 2 {
+		t.Fatalf("preds[3] = %v", g.Preds[3])
+	}
+	if len(g.Preds[0]) != 0 {
+		t.Fatal("entry has preds")
+	}
+}
+
+func TestUnknownLabel(t *testing.T) {
+	f := &ir.Func{Name: "g"}
+	f.Blocks = []*ir.Block{{Name: "a", Instrs: []ir.Instr{{Op: ir.OpJmp, Dst: ir.NoReg, Then: "zzz"}}}}
+	if _, err := New(f); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	f := buildFromEdges(t, [][]int{{1, 2}, {3}, {3}, {}})
+	g, _ := New(f)
+	rpo := g.ReversePostorder()
+	if rpo[0] != 0 {
+		t.Fatal("rpo does not start at entry")
+	}
+	pos := map[int]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	// In an acyclic graph every edge goes forward in RPO.
+	for b, succ := range g.Succs {
+		for _, s := range succ {
+			if pos[b] >= pos[s] {
+				t.Fatalf("edge %d->%d backwards in RPO %v", b, s, rpo)
+			}
+		}
+	}
+	po := g.Postorder()
+	for i := range po {
+		if po[i] != rpo[len(rpo)-1-i] {
+			t.Fatal("postorder is not reversed RPO")
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := buildFromEdges(t, [][]int{{1, 2}, {3}, {3}, {}})
+	g, _ := New(f)
+	if g.Idom(0) != -1 {
+		t.Fatal("entry has an idom")
+	}
+	for _, b := range []int{1, 2, 3} {
+		if g.Idom(b) != 0 {
+			t.Fatalf("idom(%d) = %d, want 0", b, g.Idom(b))
+		}
+	}
+	if !g.Dominates(0, 3) || g.Dominates(1, 3) || g.Dominates(2, 1) {
+		t.Fatal("Dominates wrong on diamond")
+	}
+	if !g.Dominates(2, 2) {
+		t.Fatal("Dominates not reflexive")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1 (back edge), 1 -> 3 (exit)
+	f := buildFromEdges(t, [][]int{{1}, {2, 3}, {1}, {}})
+	g, _ := New(f)
+	if g.Idom(1) != 0 || g.Idom(2) != 1 || g.Idom(3) != 1 {
+		t.Fatalf("idoms: %d %d %d", g.Idom(1), g.Idom(2), g.Idom(3))
+	}
+	if g.LoopDepth(1) != 1 || g.LoopDepth(2) != 1 {
+		t.Fatalf("loop depth: %d %d", g.LoopDepth(1), g.LoopDepth(2))
+	}
+	if g.LoopDepth(0) != 0 || g.LoopDepth(3) != 0 {
+		t.Fatal("non-loop blocks have depth")
+	}
+}
+
+func TestNestedLoopDepth(t *testing.T) {
+	// 0 -> 1(h1) -> 2(h2) -> 3 -> 2 | 2 -> 1... shape:
+	// 1: outer header; 2: inner header; 3: inner body; 4: exit
+	f := buildFromEdges(t, [][]int{
+		{1},    // 0 -> 1
+		{2, 4}, // 1 -> 2 (enter inner) or exit
+		{3, 1}, // 2 -> 3 (inner body) or back to outer header
+		{2},    // 3 -> 2 inner back edge
+		{},     // 4 exit
+	})
+	g, _ := New(f)
+	if g.LoopDepth(2) != 2 || g.LoopDepth(3) != 2 {
+		t.Fatalf("inner depth = %d/%d, want 2", g.LoopDepth(2), g.LoopDepth(3))
+	}
+	if g.LoopDepth(1) != 1 {
+		t.Fatalf("outer header depth = %d, want 1", g.LoopDepth(1))
+	}
+}
+
+func TestDomFrontierDiamond(t *testing.T) {
+	f := buildFromEdges(t, [][]int{{1, 2}, {3}, {3}, {}})
+	g, _ := New(f)
+	for _, b := range []int{1, 2} {
+		df := g.DomFrontier(b)
+		if len(df) != 1 || df[0] != 3 {
+			t.Fatalf("DF(%d) = %v, want [3]", b, df)
+		}
+	}
+	if len(g.DomFrontier(0)) != 0 {
+		t.Fatalf("DF(0) = %v", g.DomFrontier(0))
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	f := buildFromEdges(t, [][]int{{1}, {}, {1}}) // block 2 unreachable
+	g, _ := New(f)
+	if !g.Reachable(0) || !g.Reachable(1) || g.Reachable(2) {
+		t.Fatal("reachability wrong")
+	}
+	if g.Dominates(2, 1) || g.Dominates(0, 2) {
+		t.Fatal("unreachable blocks participate in dominance")
+	}
+	removed, err := RemoveUnreachable(f)
+	if err != nil || !removed {
+		t.Fatalf("removed=%v err=%v", removed, err)
+	}
+	if len(f.Blocks) != 2 {
+		t.Fatalf("blocks after removal = %d", len(f.Blocks))
+	}
+	removed, _ = RemoveUnreachable(f)
+	if removed {
+		t.Fatal("second removal found something")
+	}
+}
+
+// bruteDominates computes dominance by path enumeration: a dominates b if
+// removing a disconnects b from the entry.
+func bruteDominates(g *Graph, a, b int) bool {
+	if !g.Reachable(a) || !g.Reachable(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	// BFS from entry avoiding a.
+	n := g.NumBlocks()
+	seen := make([]bool, n)
+	queue := []int{0}
+	if a != 0 {
+		seen[0] = true
+	} else {
+		return b != 0 // entry dominates everything
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, s := range g.Succs[x] {
+			if s == a || seen[s] {
+				continue
+			}
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	return !seen[b]
+}
+
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		edges := make([][]int, n)
+		for i := range edges {
+			switch rng.Intn(3) {
+			case 0:
+				if i < n-1 { // keep at least block n-1 as exit candidate
+					edges[i] = []int{rng.Intn(n)}
+				}
+			case 1:
+				edges[i] = []int{rng.Intn(n), rng.Intn(n)}
+			case 2:
+				// ret
+			}
+		}
+		f := buildFromEdges(t, edges)
+		g, err := New(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := bruteDominates(g, a, b)
+				if got := g.Dominates(a, b); got != want {
+					t.Fatalf("trial %d (edges %v): Dominates(%d,%d)=%v, brute=%v",
+						trial, edges, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Dominance frontier property: y ∈ DF(x) iff x dominates a predecessor of
+// y but does not strictly dominate y.
+func TestDomFrontierAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		edges := make([][]int, n)
+		for i := range edges {
+			if rng.Intn(4) != 0 {
+				edges[i] = []int{rng.Intn(n), rng.Intn(n)}
+			}
+		}
+		f := buildFromEdges(t, edges)
+		g, err := New(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < n; x++ {
+			inDF := map[int]bool{}
+			for _, y := range g.DomFrontier(x) {
+				inDF[y] = true
+			}
+			for y := 0; y < n; y++ {
+				want := false
+				if g.Reachable(x) && g.Reachable(y) {
+					for _, p := range g.Preds[y] {
+						if g.Reachable(p) && g.Dominates(x, p) && !(g.Dominates(x, y) && x != y) {
+							want = true
+							break
+						}
+					}
+				}
+				if inDF[y] != want {
+					t.Fatalf("trial %d edges %v: DF(%d) contains %d = %v, want %v",
+						trial, edges, x, y, inDF[y], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitEntry(t *testing.T) {
+	// Branch back to entry: SplitEntry must prepend a preheader.
+	f := buildFromEdges(t, [][]int{{0, 1}, {}})
+	if !SplitEntry(f) {
+		t.Fatal("entry with back edge not split")
+	}
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	g, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Preds[0]) != 0 {
+		t.Fatal("new entry still has predecessors")
+	}
+	// Idempotent-ish: no further split needed.
+	if SplitEntry(f) {
+		t.Fatal("split happened twice")
+	}
+
+	// No back edge: untouched.
+	f2 := buildFromEdges(t, [][]int{{1}, {}})
+	if SplitEntry(f2) {
+		t.Fatal("split without need")
+	}
+}
+
+func TestSplitEntryNameCollision(t *testing.T) {
+	f := buildFromEdges(t, [][]int{{0, 1}, {}})
+	// Pre-occupy the would-be preheader name.
+	f.Blocks[1].Name = "b0.pre"
+	f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1].Else = "b0.pre"
+	if !SplitEntry(f) {
+		t.Fatal("no split")
+	}
+	seen := map[string]bool{}
+	for _, b := range f.Blocks {
+		if seen[b.Name] {
+			t.Fatalf("duplicate block name %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}

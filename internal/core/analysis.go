@@ -1,0 +1,397 @@
+// Package core implements the paper's primary contribution: spill
+// promotion into a compiler-controlled memory, plus coloring-based spill
+// memory compaction.
+//
+// Three tools operate over already-allocated code containing heavyweight
+// spill instructions:
+//
+//   - PostPass: the stand-alone CCM allocator of paper §3.1 (Figure 1), in
+//     intraprocedural and interprocedural (call-graph directed) variants;
+//   - CompactSpills: the coloring-based memory compaction used for Table 1
+//     and for footnote 3's packing of residual heavyweight spills;
+//   - the integrated Chaitin-Briggs scheme of §3.2 lives in
+//     internal/regalloc (Options.CCMBytes) because it is part of the
+//     allocator itself; this package provides the shared analysis.
+//
+// The shared analysis mirrors the paper: spill instructions are rewritten
+// with symbolic names (frame offsets become location ids), liveness is
+// computed over spill locations ("m is live at p if some path from p
+// reaches a load of m" with stores as kills), an SSA-equivalent web
+// construction splits each location into independent live ranges, and an
+// interference graph over those ranges drives coloring.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ccmem/internal/bitset"
+	"ccmem/internal/cfg"
+	"ccmem/internal/intgraph"
+	"ccmem/internal/ir"
+	"ccmem/internal/liveness"
+	"ccmem/internal/uf"
+)
+
+// site is one spill or restore instruction.
+type site struct {
+	block, index int
+	loc          int // location id
+	isDef        bool
+}
+
+// web is a live range of a spill location: a maximal set of stores and
+// loads connected by reaching definitions (the paper builds these via SSA
+// over spill locations and live-range naming).
+type web struct {
+	id    int
+	class ir.Class
+	loc   int
+	cost  float64 // Σ 10^loop-depth over the web's operations
+	sites []int
+
+	liveAcrossCall bool
+	acrossCallees  map[string]bool // callees of calls this web is live across
+
+	// unsafe marks webs that may read an uninitialized location (never
+	// produced by the register allocator, but possible in hand-written
+	// code); they are never relocated.
+	unsafe bool
+}
+
+// analysis is the per-function spill-location dataflow package shared by
+// promotion and compaction.
+type analysis struct {
+	f *ir.Func
+	g *cfg.Graph
+
+	offs  []int64 // location id -> frame byte offset
+	sites []site
+
+	webOf []int // site id -> web id
+	webs  []*web
+
+	adj    [][]int32
+	matrix *intgraph.Matrix
+}
+
+// analyzeSpills builds webs, interference, costs and call-liveness for the
+// heavyweight spill code in f.
+func analyzeSpills(f *ir.Func) (*analysis, error) {
+	g, err := cfg.New(f)
+	if err != nil {
+		return nil, err
+	}
+	a := &analysis{f: f, g: g}
+
+	// Rewrite spill offsets as symbolic names: collect sites and locations.
+	locOf := map[int64]int{}
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			var isDef bool
+			switch {
+			case in.Op.IsSpill():
+				isDef = true
+			case in.Op.IsRestore():
+				isDef = false
+			default:
+				continue
+			}
+			loc, ok := locOf[in.Imm]
+			if !ok {
+				loc = len(a.offs)
+				locOf[in.Imm] = loc
+				a.offs = append(a.offs, in.Imm)
+			}
+			a.sites = append(a.sites, site{block: bi, index: ii, loc: loc, isDef: isDef})
+		}
+	}
+	if len(a.sites) == 0 {
+		a.matrix = intgraph.NewMatrix(0)
+		return a, nil
+	}
+
+	a.buildWebs()
+	a.buildInterference()
+	a.computeCosts()
+	return a, nil
+}
+
+// buildWebs unions each restore with every store that reaches it
+// (reaching-definitions over spill locations), splitting each location
+// into its independent live ranges. Restores reachable with no store mark
+// their web unsafe.
+func (a *analysis) buildWebs() {
+	f, g := a.f, a.g
+	nSites := len(a.sites)
+
+	// Def sites per location, and site ids per (block, index).
+	defsOfLoc := make([][]int, len(a.offs))
+	siteAt := map[[2]int]int{}
+	for sid := range a.sites {
+		s := &a.sites[sid]
+		siteAt[[2]int{s.block, s.index}] = sid
+		if s.isDef {
+			defsOfLoc[s.loc] = append(defsOfLoc[s.loc], sid)
+		}
+	}
+
+	// gen/kill per block over def-site ids.
+	nb := g.NumBlocks()
+	gen := make([]bitset.Set, nb)
+	kill := make([]bitset.Set, nb)
+	for i := 0; i < nb; i++ {
+		gen[i] = bitset.New(nSites)
+		kill[i] = bitset.New(nSites)
+	}
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			sid, ok := siteAt[[2]int{bi, ii}]
+			if !ok || !a.sites[sid].isDef {
+				continue
+			}
+			loc := a.sites[sid].loc
+			for _, d := range defsOfLoc[loc] {
+				gen[bi].Clear(d)
+				kill[bi].Set(d)
+			}
+			gen[bi].Set(sid)
+		}
+	}
+
+	// Forward may-reach fixpoint over reachable blocks.
+	in := make([]bitset.Set, nb)
+	out := make([]bitset.Set, nb)
+	for i := 0; i < nb; i++ {
+		in[i] = bitset.New(nSites)
+		out[i] = bitset.New(nSites)
+	}
+	rpo := g.ReversePostorder()
+	changed := true
+	tmp := bitset.New(nSites)
+	for changed {
+		changed = false
+		for _, bi := range rpo {
+			in[bi].Reset()
+			for _, p := range g.Preds[bi] {
+				if g.Reachable(p) {
+					in[bi].UnionWith(out[p])
+				}
+			}
+			tmp.CopyFrom(in[bi])
+			tmp.DifferenceWith(kill[bi])
+			tmp.UnionWith(gen[bi])
+			if !tmp.Equal(out[bi]) {
+				out[bi].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+
+	// Union pass: connect each use with its reaching defs.
+	u := uf.New(nSites)
+	unsafeSite := make([]bool, nSites)
+	cur := bitset.New(nSites)
+	for _, bi := range rpo {
+		cur.CopyFrom(in[bi])
+		b := f.Blocks[bi]
+		for ii := range b.Instrs {
+			sid, ok := siteAt[[2]int{bi, ii}]
+			if !ok {
+				continue
+			}
+			s := &a.sites[sid]
+			if s.isDef {
+				for _, d := range defsOfLoc[s.loc] {
+					cur.Clear(d)
+				}
+				cur.Set(sid)
+				continue
+			}
+			reached := false
+			for _, d := range defsOfLoc[s.loc] {
+				if cur.Has(d) {
+					u.Union(sid, d)
+					reached = true
+				}
+			}
+			if !reached {
+				unsafeSite[sid] = true
+			}
+		}
+	}
+	// Sites in unreachable blocks were never visited; never relocate them.
+	for sid := range a.sites {
+		if !g.Reachable(a.sites[sid].block) {
+			unsafeSite[sid] = true
+		}
+	}
+
+	// Materialize webs.
+	a.webOf = make([]int, nSites)
+	webIdx := map[int]int{}
+	for sid := range a.sites {
+		root := u.Find(sid)
+		wid, ok := webIdx[root]
+		if !ok {
+			wid = len(a.webs)
+			webIdx[root] = wid
+			class := ir.ClassInt
+			switch a.f.Blocks[a.sites[sid].block].Instrs[a.sites[sid].index].Op {
+			case ir.OpFSpill, ir.OpFRestore:
+				class = ir.ClassFloat
+			}
+			a.webs = append(a.webs, &web{
+				id:            wid,
+				class:         class,
+				loc:           a.sites[sid].loc,
+				acrossCallees: map[string]bool{},
+			})
+		}
+		a.webOf[sid] = wid
+		w := a.webs[wid]
+		w.sites = append(w.sites, sid)
+		if unsafeSite[sid] {
+			w.unsafe = true
+		}
+	}
+}
+
+// buildInterference computes web liveness ("live until the last load") and
+// the interference graph, recording for every web the calls it is live
+// across — the input to both the intraprocedural exclusion rule and the
+// interprocedural high-water bases.
+func (a *analysis) buildInterference() {
+	f, g := a.f, a.g
+	nw := len(a.webs)
+	a.adj = make([][]int32, nw)
+	a.matrix = intgraph.NewMatrix(nw)
+
+	websOfLoc := make([][]int, len(a.offs))
+	for _, w := range a.webs {
+		websOfLoc[w.loc] = append(websOfLoc[w.loc], w.id)
+	}
+	siteAt := map[[2]int]int{}
+	for sid := range a.sites {
+		s := &a.sites[sid]
+		siteAt[[2]int{s.block, s.index}] = sid
+	}
+
+	nb := g.NumBlocks()
+	use := make([]bitset.Set, nb)
+	def := make([]bitset.Set, nb)
+	for i := 0; i < nb; i++ {
+		use[i] = bitset.New(nw)
+		def[i] = bitset.New(nw)
+	}
+	for bi, b := range f.Blocks {
+		killed := map[int]bool{} // locations stored earlier in the block
+		for ii := range b.Instrs {
+			sid, ok := siteAt[[2]int{bi, ii}]
+			if !ok {
+				continue
+			}
+			s := &a.sites[sid]
+			if s.isDef {
+				killed[s.loc] = true
+				for _, w := range websOfLoc[s.loc] {
+					def[bi].Set(w)
+				}
+				continue
+			}
+			if !killed[s.loc] {
+				use[bi].Set(a.webOf[sid])
+			}
+		}
+	}
+	live := liveness.Backward(g, use, def, nil)
+
+	addEdge := func(x, y int) {
+		if x == y || a.matrix.Has(x, y) {
+			return
+		}
+		a.matrix.Set(x, y)
+		a.adj[x] = append(a.adj[x], int32(y))
+		a.adj[y] = append(a.adj[y], int32(x))
+	}
+
+	liveNow := bitset.New(nw)
+	for bi := nb - 1; bi >= 0; bi-- {
+		if !g.Reachable(bi) {
+			continue
+		}
+		b := f.Blocks[bi]
+		liveNow.CopyFrom(live.Out[bi])
+		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+			in := &b.Instrs[ii]
+			if in.Op == ir.OpCall {
+				liveNow.ForEach(func(w int) {
+					a.webs[w].liveAcrossCall = true
+					a.webs[w].acrossCallees[in.Sym] = true
+				})
+				continue
+			}
+			sid, ok := siteAt[[2]int{bi, ii}]
+			if !ok {
+				continue
+			}
+			s := &a.sites[sid]
+			if s.isDef {
+				w := a.webOf[sid]
+				liveNow.ForEach(func(x int) { addEdge(w, x) })
+				for _, cw := range websOfLoc[s.loc] {
+					liveNow.Clear(cw)
+				}
+			} else {
+				liveNow.Set(a.webOf[sid])
+			}
+		}
+	}
+}
+
+// computeCosts weights each web by Σ 10^loop-depth over its operations,
+// the same estimate the register allocator uses for spill decisions. The
+// cost is the dynamic benefit of promoting the web: each executed
+// operation saves MemCost − CCMCost cycles.
+func (a *analysis) computeCosts() {
+	for _, w := range a.webs {
+		for _, sid := range w.sites {
+			d := a.g.LoopDepth(a.sites[sid].block)
+			if d > 9 {
+				d = 9
+			}
+			w.cost += math.Pow(10, float64(d))
+		}
+	}
+}
+
+// rewriteWeb redirects every operation of web w: promote=true turns
+// heavyweight spills into CCM operations at the given byte offset;
+// promote=false changes the frame offset (compaction).
+func (a *analysis) rewriteWeb(w *web, promote bool, newOff int64) error {
+	for _, sid := range w.sites {
+		s := &a.sites[sid]
+		in := &a.f.Blocks[s.block].Instrs[s.index]
+		switch {
+		case promote && in.Op.IsSpill():
+			op, _ := ir.CCMOpFor(opClass(in.Op))
+			in.Op = op
+		case promote && in.Op.IsRestore():
+			_, op := ir.CCMOpFor(opClass(in.Op))
+			in.Op = op
+		case promote:
+			return fmt.Errorf("core: site is not a heavyweight spill op: %s", in.Op)
+		}
+		in.Imm = newOff
+	}
+	return nil
+}
+
+func opClass(op ir.Op) ir.Class {
+	switch op {
+	case ir.OpFSpill, ir.OpFRestore, ir.OpCCMFSpill, ir.OpCCMFRestore:
+		return ir.ClassFloat
+	}
+	return ir.ClassInt
+}

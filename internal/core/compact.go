@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ccmem/internal/ir"
+)
+
+// CompactionResult reports what compaction did to one function.
+type CompactionResult struct {
+	BeforeBytes int64 // spill memory before compaction
+	AfterBytes  int64 // spill memory after coloring
+	Webs        int
+}
+
+// Ratio returns After/Before (1.0 when nothing could be compacted).
+func (r CompactionResult) Ratio() float64 {
+	if r.BeforeBytes == 0 {
+		return 1
+	}
+	return float64(r.AfterBytes) / float64(r.BeforeBytes)
+}
+
+// CompactSpills colors the heavyweight spill memory of an allocated
+// function so that non-interfering spilled values occupy the same
+// location (the paper's "memory compaction routine", Table 1; also
+// footnote 3's packing of residual heavyweight spills after promotion).
+// The transformation only renumbers frame offsets: dynamic behaviour and
+// cycle counts are unchanged.
+func CompactSpills(f *ir.Func) (CompactionResult, error) {
+	if !f.Allocated {
+		return CompactionResult{}, fmt.Errorf("core: CompactSpills requires allocated code; %s is not", f.Name)
+	}
+	a, err := analyzeSpills(f)
+	if err != nil {
+		return CompactionResult{}, err
+	}
+	res := CompactionResult{Webs: len(a.webs)}
+
+	// "Before" is the function's naive frame allocation: one slot per
+	// spilled live range, as the register allocator left it.
+	res.BeforeBytes = f.FrameBytes
+	if res.BeforeBytes == 0 {
+		for _, off := range a.offs {
+			if off+ir.WordBytes > res.BeforeBytes {
+				res.BeforeBytes = off + ir.WordBytes
+			}
+		}
+	}
+	if len(a.webs) == 0 {
+		res.AfterBytes = 0
+		f.FrameBytes = 0
+		return res, nil
+	}
+
+	// Unsafe webs keep their original offsets; those slots are reserved
+	// exclusively for them.
+	reserved := map[int64]bool{}
+	for _, w := range a.webs {
+		if w.unsafe {
+			reserved[a.offs[w.loc]] = true
+		}
+	}
+
+	// Greedy coloring in decreasing-degree order: the most constrained
+	// webs pick slots first, which keeps the packing tight.
+	order := make([]int, 0, len(a.webs))
+	for _, w := range a.webs {
+		if !w.unsafe {
+			order = append(order, w.id)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := len(a.adj[order[i]]), len(a.adj[order[j]])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+
+	offOf := make(map[int]int64, len(order))
+	maxEnd := int64(0)
+	for _, v := range order {
+		usedOffs := map[int64]bool{}
+		for _, n := range a.adj[v] {
+			if o, ok := offOf[int(n)]; ok {
+				usedOffs[o] = true
+			}
+			if a.webs[n].unsafe {
+				usedOffs[a.offs[a.webs[n].loc]] = true
+			}
+		}
+		var off int64
+		for ; ; off += ir.WordBytes {
+			if !usedOffs[off] && !reserved[off] {
+				break
+			}
+		}
+		offOf[v] = off
+		if off+ir.WordBytes > maxEnd {
+			maxEnd = off + ir.WordBytes
+		}
+		if err := a.rewriteWeb(a.webs[v], false, off); err != nil {
+			return res, err
+		}
+	}
+	for _, w := range a.webs {
+		if w.unsafe {
+			if end := a.offs[w.loc] + ir.WordBytes; end > maxEnd {
+				maxEnd = end
+			}
+		}
+	}
+	res.AfterBytes = maxEnd
+	f.FrameBytes = maxEnd
+	return res, nil
+}
+
+// CompactProgram compacts every allocated function with spill code and
+// returns per-function results keyed by name.
+func CompactProgram(p *ir.Program) (map[string]CompactionResult, error) {
+	out := map[string]CompactionResult{}
+	for _, f := range p.Funcs {
+		if !f.Allocated {
+			continue
+		}
+		r, err := CompactSpills(f)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = r
+	}
+	return out, nil
+}

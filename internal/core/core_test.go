@@ -1,0 +1,554 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/regalloc"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+func allocForTest(f *ir.Func) (*regalloc.Result, error) {
+	return regalloc.Allocate(f, regalloc.Options{IntRegs: 4, FloatRegs: 4})
+}
+
+// parseAllocated parses hand-written, already-"allocated" code: the test
+// marks functions Allocated with the right register layout so the
+// post-pass tools accept them.
+func parseAllocated(t *testing.T, src string, numInt, numFloat int) *ir.Program {
+	t.Helper()
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Funcs {
+		// Grow the register table to the declared layout.
+		regs := make([]ir.RegInfo, numInt+numFloat)
+		for i := 0; i < numInt; i++ {
+			regs[i] = ir.RegInfo{Class: ir.ClassInt}
+		}
+		for i := 0; i < numFloat; i++ {
+			regs[numInt+i] = ir.RegInfo{Class: ir.ClassFloat}
+		}
+		for i, ri := range f.Regs {
+			if ri.Class != ir.ClassNone && i < len(regs) && regs[i].Class != ri.Class {
+				t.Fatalf("register %d class %v clashes with layout", i, ri.Class)
+			}
+		}
+		f.Regs = regs
+		f.Allocated = true
+		f.NumInt = numInt
+		f.NumFloat = numFloat
+		max := int64(0)
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op.IsSpill() || in.Op.IsRestore() {
+					if in.Imm+ir.WordBytes > max {
+						max = in.Imm + ir.WordBytes
+					}
+				}
+			}
+		}
+		f.FrameBytes = max
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestWebSplitting: the same frame offset reused by two disjoint lifetimes
+// must become two webs that can be promoted to different CCM slots — the
+// point of building SSA over spill locations (paper §3.1).
+func TestWebSplitting(t *testing.T) {
+	src := `
+func main() {
+entry:
+	r0 = loadi 11
+	spill r0, 0
+	r1 = restore 0
+	emit r1
+	r0 = loadi 22
+	spill r0, 0
+	r2 = restore 0
+	emit r2
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	a, err := analyzeSpills(p.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.offs) != 1 {
+		t.Fatalf("locations = %d, want 1", len(a.offs))
+	}
+	if len(a.webs) != 2 {
+		t.Fatalf("webs = %d, want 2 (location not split)", len(a.webs))
+	}
+	if a.matrix.Has(0, 1) {
+		t.Fatal("disjoint webs interfere")
+	}
+}
+
+func TestWebJoinAcrossBranches(t *testing.T) {
+	// Two stores on different arms reaching one restore form ONE web.
+	src := `
+func main() {
+entry:
+	r0 = loadi 1
+	cbr r0, a, b
+a:
+	r1 = loadi 10
+	spill r1, 0
+	jmp done
+b:
+	r1 = loadi 20
+	spill r1, 0
+	jmp done
+done:
+	r2 = restore 0
+	emit r2
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	a, err := analyzeSpills(p.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.webs) != 1 {
+		t.Fatalf("webs = %d, want 1 (stores on both arms feed one load)", len(a.webs))
+	}
+}
+
+func TestUnsafeWebNotPromoted(t *testing.T) {
+	// A restore with no reaching spill must stay heavyweight.
+	src := `
+func main() {
+entry:
+	r0 = restore 0
+	emit r0
+	r1 = loadi 5
+	spill r1, 8
+	r2 = restore 8
+	emit r2
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Funcs[0].String()
+	if !strings.Contains(text, "r0 = restore 0") {
+		t.Fatalf("uninitialized restore was relocated:\n%s", text)
+	}
+	if !strings.Contains(text, "ccmrestore") {
+		t.Fatalf("safe web not promoted:\n%s", text)
+	}
+	if res.PerFunc["main"].Promoted != 1 {
+		t.Fatalf("promoted = %d, want 1", res.PerFunc["main"].Promoted)
+	}
+}
+
+func TestCapacityLeavesCheapestHeavyweight(t *testing.T) {
+	// Three simultaneously-live spilled values, CCM with one slot: exactly
+	// one web fits; the rest remain heavyweight; the survivor should be a
+	// most-expensive one (the cheapest are dropped first when stuck).
+	src := `
+func main() {
+entry:
+	r0 = loadi 1
+	spill r0, 0
+	r0 = loadi 2
+	spill r0, 8
+	r0 = loadi 3
+	spill r0, 16
+	r1 = restore 0
+	r2 = restore 8
+	r3 = add r1, r2
+	r2 = restore 16
+	r3 = add r3, r2
+	emit r3
+	r1 = restore 0
+	emit r1
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := res.PerFunc["main"]
+	if fp.Webs != 3 {
+		t.Fatalf("webs = %d", fp.Webs)
+	}
+	if fp.Promoted != 1 || fp.Heavyweight != 2 {
+		t.Fatalf("promoted=%d heavyweight=%d, want 1/2", fp.Promoted, fp.Heavyweight)
+	}
+	if fp.CCMBytes != 8 {
+		t.Fatalf("ccm bytes = %d", fp.CCMBytes)
+	}
+	// The promoted web must be the 0-offset one (two restores = highest
+	// cost; ties broken deterministically).
+	text := p.Funcs[0].String()
+	if !strings.Contains(text, "ccmspill r0, 0") {
+		t.Fatalf("wrong web promoted:\n%s", text)
+	}
+	st, err := sim.Run(p, "main", sim.Config{CCMBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output[0].Int() != 6 || st.Output[1].Int() != 1 {
+		t.Fatalf("trace %v", st.Output)
+	}
+}
+
+func TestPostPassErrors(t *testing.T) {
+	p, err := ir.Parse("func main() {\nentry:\n\tret\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PostPass(p, PostPassOptions{CCMBytes: 512}); err == nil ||
+		!strings.Contains(err.Error(), "requires allocated code") {
+		t.Fatalf("unallocated accepted: %v", err)
+	}
+	if _, err := PostPass(p, PostPassOptions{CCMBytes: 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := PostPass(p, PostPassOptions{CCMBytes: 13}); err == nil {
+		t.Fatal("unaligned capacity accepted")
+	}
+
+	q := parseAllocated(t, `
+func main() {
+entry:
+	r0 = loadi 1
+	ccmspill r0, 0
+	ret
+}
+`, 2, 0)
+	if _, err := PostPass(q, PostPassOptions{CCMBytes: 512}); err == nil ||
+		!strings.Contains(err.Error(), "already contains CCM") {
+		t.Fatalf("pre-existing CCM ops accepted: %v", err)
+	}
+
+	if _, err := CompactSpills(p.Funcs[0]); err == nil {
+		t.Fatal("compaction of unallocated code accepted")
+	}
+}
+
+func TestHighWaterChain(t *testing.T) {
+	// c uses 1 slot; b's across-call web must land at ≥ slot 1; a's
+	// across-call web at ≥ b's effective high water.
+	src := `
+func main() {
+entry:
+	call a()
+	ret
+}
+func a() {
+entry:
+	r0 = loadi 1
+	spill r0, 0
+	call b()
+	r1 = restore 0
+	emit r1
+	ret
+}
+func b() {
+entry:
+	r0 = loadi 2
+	spill r0, 0
+	call c()
+	r1 = restore 0
+	emit r1
+	ret
+}
+func c() {
+entry:
+	r0 = loadi 3
+	spill r0, 0
+	r1 = restore 0
+	emit r1
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 512, Interprocedural: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerFunc["c"].CCMBytes != 8 {
+		t.Fatalf("c uses %d bytes", res.PerFunc["c"].CCMBytes)
+	}
+	if res.PerFunc["b"].EffectiveHW != 16 {
+		t.Fatalf("b effective high water = %d, want 16", res.PerFunc["b"].EffectiveHW)
+	}
+	if res.PerFunc["a"].EffectiveHW != 24 {
+		t.Fatalf("a effective high water = %d, want 24", res.PerFunc["a"].EffectiveHW)
+	}
+	// Verify actual offsets: b spills at 8, a at 16.
+	if !strings.Contains(p.Func("b").String(), "ccmspill r0, 8") {
+		t.Fatalf("b not stacked above c:\n%s", p.Func("b"))
+	}
+	if !strings.Contains(p.Func("a").String(), "ccmspill r0, 16") {
+		t.Fatalf("a not stacked above b:\n%s", p.Func("a"))
+	}
+	st, err := sim.Run(p, "main", sim.Config{CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Value{sim.IntValue(3), sim.IntValue(2), sim.IntValue(1)}
+	if !sim.TracesEqual(st.Output, want) {
+		t.Fatalf("trace %v", st.Output)
+	}
+}
+
+func TestIntraLeavesAcrossCallAlone(t *testing.T) {
+	src := `
+func main() {
+entry:
+	r0 = loadi 1
+	spill r0, 0
+	call leaf()
+	r1 = restore 0
+	emit r1
+	r0 = loadi 2
+	spill r0, 8
+	r1 = restore 8
+	emit r1
+	ret
+}
+func leaf() {
+entry:
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := res.PerFunc["main"]
+	if fp.Promoted != 1 || fp.Heavyweight != 1 {
+		t.Fatalf("intra: promoted=%d heavyweight=%d, want 1/1", fp.Promoted, fp.Heavyweight)
+	}
+	text := p.Func("main").String()
+	if !strings.Contains(text, "spill r0, 0") {
+		t.Fatalf("across-call web relocated in intra mode:\n%s", text)
+	}
+}
+
+func TestDiamondCallGraphHighWater(t *testing.T) {
+	// main calls x and y; both call shared. x and y can use the same slots
+	// above shared's high water (their activations never overlap).
+	src := `
+func main() {
+entry:
+	call x()
+	call y()
+	ret
+}
+func x() {
+entry:
+	r0 = loadi 1
+	spill r0, 0
+	call shared()
+	r1 = restore 0
+	emit r1
+	ret
+}
+func y() {
+entry:
+	r0 = loadi 2
+	spill r0, 0
+	call shared()
+	r1 = restore 0
+	emit r1
+	ret
+}
+func shared() {
+entry:
+	r0 = loadi 9
+	spill r0, 0
+	r1 = restore 0
+	emit r1
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 512, Interprocedural: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"x", "y"} {
+		if !strings.Contains(p.Func(fn).String(), "ccmspill r0, 8") {
+			t.Fatalf("%s not at slot 1:\n%s", fn, p.Func(fn))
+		}
+		if res.PerFunc[fn].EffectiveHW != 16 {
+			t.Fatalf("%s effective HW = %d", fn, res.PerFunc[fn].EffectiveHW)
+		}
+	}
+	st, err := sim.Run(p, "main", sim.Config{CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Value{sim.IntValue(9), sim.IntValue(1), sim.IntValue(9), sim.IntValue(2)}
+	if !sim.TracesEqual(st.Output, want) {
+		t.Fatalf("trace %v", st.Output)
+	}
+}
+
+func TestCompactionSequentialPhases(t *testing.T) {
+	// Two phases with disjoint spill lifetimes at distinct offsets must
+	// compact into the same slot.
+	src := `
+func main() {
+entry:
+	r0 = loadi 1
+	spill r0, 0
+	r1 = restore 0
+	emit r1
+	r0 = loadi 2
+	spill r0, 8
+	r1 = restore 8
+	emit r1
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	r, err := CompactSpills(p.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BeforeBytes != 16 || r.AfterBytes != 8 {
+		t.Fatalf("compaction %d -> %d, want 16 -> 8", r.BeforeBytes, r.AfterBytes)
+	}
+	if r.Ratio() != 0.5 {
+		t.Fatalf("ratio %v", r.Ratio())
+	}
+	st, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Value{sim.IntValue(1), sim.IntValue(2)}
+	if !sim.TracesEqual(st.Output, want) {
+		t.Fatalf("trace %v", st.Output)
+	}
+}
+
+func TestCompactionKeepsUnsafeWebsInPlace(t *testing.T) {
+	src := `
+func main() {
+entry:
+	r0 = restore 24
+	emit r0
+	r1 = loadi 5
+	spill r1, 0
+	r2 = restore 0
+	emit r2
+	ret
+}
+`
+	p := parseAllocated(t, src, 4, 0)
+	r, err := CompactSpills(p.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Funcs[0].String()
+	if !strings.Contains(text, "restore 24") {
+		t.Fatalf("unsafe web moved:\n%s", text)
+	}
+	if r.AfterBytes != 32 { // unsafe slot at 24 keeps the frame at 32 bytes
+		t.Fatalf("after = %d", r.AfterBytes)
+	}
+	// The safe web must not have been packed into the reserved offset.
+	if strings.Contains(text, "spill r1, 24") {
+		t.Fatal("safe web placed on reserved slot")
+	}
+}
+
+func TestCompactionNoSpills(t *testing.T) {
+	p := parseAllocated(t, "func main() {\nentry:\n\tret\n}", 1, 0)
+	r, err := CompactSpills(p.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Webs != 0 || r.AfterBytes != 0 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestFloatWebsPromoted(t *testing.T) {
+	src := `
+func main() {
+entry:
+	f2 = loadf 1.25
+	fspill f2, 0
+	f3 = frestore 0
+	femit f3
+	ret
+}
+`
+	p := parseAllocated(t, src, 2, 2)
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerFunc["main"].Promoted != 1 {
+		t.Fatal("float web not promoted")
+	}
+	text := p.Funcs[0].String()
+	if !strings.Contains(text, "ccmfspill") || !strings.Contains(text, "ccmfrestore") {
+		t.Fatalf("float CCM ops missing:\n%s", text)
+	}
+	st, err := sim.Run(p, "main", sim.Config{CCMBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output[0].Float() != 1.25 {
+		t.Fatalf("trace %v", st.Output)
+	}
+}
+
+// TestPostPassNeverGeneratesNewSpills: static op counts must not grow.
+func TestPostPassNeverGeneratesNewSpills(t *testing.T) {
+	for seed := int64(400); seed < 415; seed++ {
+		p := workload.RandomProgram(seed)
+		for _, f := range p.Funcs {
+			if _, err := allocForTest(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := countMemOps(p)
+		if _, err := PostPass(p, PostPassOptions{CCMBytes: 256, Interprocedural: true}); err != nil {
+			t.Fatal(err)
+		}
+		after := countMemOps(p)
+		if after != before {
+			t.Fatalf("seed %d: op count changed %d -> %d", seed, before, after)
+		}
+	}
+}
+
+func countMemOps(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				op := b.Instrs[i].Op
+				if op.IsSpill() || op.IsRestore() || op.IsCCMOp() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/regalloc"
+	"ccmem/internal/sim"
+)
+
+// pressureFunc emits a loop with `liveVals` simultaneously-live integers,
+// optionally calling callee in the loop body while some values are live.
+func pressureFunc(name string, liveVals int, callee string) *ir.Func {
+	b := ir.NewBuilder(name, ir.ClassNone)
+	b.Label("entry")
+	n := b.ConstI(8)
+	one := b.ConstI(1)
+	i := b.Copy(b.ConstI(0))
+	acc := b.Copy(b.ConstI(0))
+	b.Jmp("loop")
+	b.Label("loop")
+	b.CBr(b.CmpLT(i, n), "body", "done")
+	b.Label("body")
+	vals := make([]ir.Reg, liveVals)
+	for j := range vals {
+		vals[j] = b.Add(i, b.ConstI(int64(j*13+1)))
+	}
+	if callee != "" {
+		// All vals are live across this call (used below).
+		b.Call(callee, ir.ClassNone)
+	}
+	sum := vals[0]
+	for j := 1; j < len(vals); j++ {
+		sum = b.Add(sum, vals[j])
+	}
+	prod := vals[0]
+	for j := 1; j < len(vals); j++ {
+		prod = b.Xor(prod, vals[j])
+	}
+	b.CopyTo(acc, b.Add(acc, b.Add(sum, prod)))
+	b.CopyTo(i, b.Add(i, one))
+	b.Jmp("loop")
+	b.Label("done")
+	b.Emit(acc)
+	b.Ret()
+	return b.MustFinish()
+}
+
+func mustProgram(t *testing.T, funcs ...*ir.Func) *ir.Program {
+	t.Helper()
+	p := &ir.Program{}
+	for _, f := range funcs {
+		if err := p.AddFunc(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func allocAll(t *testing.T, p *ir.Program, k int) {
+	t.Helper()
+	for _, f := range p.Funcs {
+		if _, err := regalloc.Allocate(f, regalloc.Options{IntRegs: k, FloatRegs: k}); err != nil {
+			t.Fatalf("allocate %s: %v", f.Name, err)
+		}
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostPassIntra(t *testing.T) {
+	p := mustProgram(t, pressureFunc("main", 24, ""))
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocAll(t, p, 8)
+	base, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(p, "main", sim.Config{CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatalf("post-pass changed output: %v vs %v", got.Output, want.Output)
+	}
+	fp := res.PerFunc["main"]
+	if fp.Promoted == 0 {
+		t.Fatal("nothing promoted")
+	}
+	if got.Cycles >= base.Cycles {
+		t.Fatalf("promotion did not speed up: %d vs %d", got.Cycles, base.Cycles)
+	}
+	t.Logf("webs=%d promoted=%d heavyweight=%d ccmBytes=%d speedup=%.3f",
+		fp.Webs, fp.Promoted, fp.Heavyweight, fp.CCMBytes,
+		float64(got.Cycles)/float64(base.Cycles))
+}
+
+func TestPostPassInterprocHighWater(t *testing.T) {
+	// leaf spills heavily; caller keeps values live across the call. In
+	// intra mode the caller promotes nothing live across the call; in
+	// interprocedural mode it may use slots above leaf's high water.
+	leaf := pressureFunc("leaf", 20, "")
+	caller := pressureFunc("main", 20, "leaf")
+	p := mustProgram(t, caller, leaf)
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocAll(t, p, 8)
+
+	intra := p.Clone()
+	resIntra, err := PostPass(intra, PostPassOptions{CCMBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := p.Clone()
+	resInter, err := PostPass(inter, PostPassOptions{CCMBytes: 1024, Interprocedural: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, q := range map[string]*ir.Program{"intra": intra, "inter": inter} {
+		if err := ir.VerifyProgram(q, ir.VerifyOptions{}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := sim.Run(q, "main", sim.Config{CCMBytes: 1024})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sim.TracesEqual(got.Output, want.Output) {
+			t.Fatalf("%s changed output", name)
+		}
+	}
+
+	if resInter.TotalPromoted() < resIntra.TotalPromoted() {
+		t.Errorf("interprocedural promoted fewer webs (%d) than intra (%d)",
+			resInter.TotalPromoted(), resIntra.TotalPromoted())
+	}
+	mi := resInter.PerFunc["main"]
+	if mi.EffectiveHW < resInter.PerFunc["leaf"].CCMBytes {
+		t.Errorf("main effective high water %d below leaf usage %d",
+			mi.EffectiveHW, resInter.PerFunc["leaf"].CCMBytes)
+	}
+	t.Logf("intra: main=%+v leaf=%+v", resIntra.PerFunc["main"], resIntra.PerFunc["leaf"])
+	t.Logf("inter: main=%+v leaf=%+v", resInter.PerFunc["main"], resInter.PerFunc["leaf"])
+}
+
+func TestPostPassRecursionConservative(t *testing.T) {
+	// A self-recursive function must be treated as using the full CCM;
+	// its own values live across the recursive call stay heavyweight.
+	b := ir.NewBuilder("fib", ir.ClassInt)
+	n := b.Param(ir.ClassInt, "n")
+	b.Label("entry")
+	two := b.ConstI(2)
+	b.CBr(b.CmpLT(n, two), "base", "rec")
+	b.Label("base")
+	b.RetVal(n)
+	b.Label("rec")
+	one := b.ConstI(1)
+	a1 := b.Call("fib", ir.ClassInt, b.Sub(n, one))
+	a2 := b.Call("fib", ir.ClassInt, b.Sub(n, two))
+	b.RetVal(b.Add(a1, a2))
+	fib := b.MustFinish()
+
+	m := ir.NewBuilder("main", ir.ClassNone)
+	m.Label("entry")
+	r := m.Call("fib", ir.ClassInt, m.ConstI(12))
+	m.Emit(r)
+	m.Ret()
+
+	p := mustProgram(t, m.MustFinish(), fib)
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocAll(t, p, 4) // force spills in fib (a1 live across second call)
+	res, err := PostPass(p, PostPassOptions{CCMBytes: 512, Interprocedural: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(p, "main", sim.Config{CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatalf("recursion output changed: %v vs %v", got.Output, want.Output)
+	}
+	fp := res.PerFunc["fib"]
+	if !fp.InCycle {
+		t.Fatal("fib not marked in cycle")
+	}
+	if fp.EffectiveHW != 512 {
+		t.Fatalf("cycle member effective high water = %d, want full CCM 512", fp.EffectiveHW)
+	}
+	t.Logf("fib: %+v", fp)
+}
+
+func TestCompactSpills(t *testing.T) {
+	p := mustProgram(t, pressureFunc("main", 24, ""))
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocAll(t, p, 8)
+	base, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := CompactSpills(p.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatal("compaction changed output")
+	}
+	if got.Cycles != base.Cycles {
+		t.Fatalf("compaction changed cycles: %d vs %d", got.Cycles, base.Cycles)
+	}
+	if r.AfterBytes > r.BeforeBytes {
+		t.Fatalf("compaction grew spill memory: %d > %d", r.AfterBytes, r.BeforeBytes)
+	}
+	if r.AfterBytes == 0 {
+		t.Fatal("expected some spill memory to remain")
+	}
+	t.Logf("compaction: before=%d after=%d ratio=%.2f webs=%d",
+		r.BeforeBytes, r.AfterBytes, r.Ratio(), r.Webs)
+}

@@ -1,0 +1,350 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) over the synthetic suite in internal/workload:
+//
+//	Table 1  — spill memory before/after coloring-based compaction
+//	Table 2  — per-routine dynamic cycles, 512-byte CCM, three algorithms
+//	Table 3  — routines whose speedup changes with a 1024-byte CCM
+//	Table 4  — weighted-average reduction in cycles / memory-op cycles
+//	Figure 3 — whole-program running times, 512-byte CCM
+//	Figure 4 — whole-program running times, 1024-byte CCM
+//	§4.3     — ablation: cache, write buffer, victim cache vs the CCM
+//
+// The machine model matches §4: 64 registers (32 GPR + 32 FPR), single
+// issue, 2-cycle main-memory operations, 1-cycle everything else
+// (CCM included).
+package experiments
+
+import (
+	"fmt"
+
+	"ccmem/internal/core"
+	"ccmem/internal/ir"
+	"ccmem/internal/opt"
+	"ccmem/internal/regalloc"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+// Strategy selects a CCM allocation algorithm (paper §3).
+type Strategy int
+
+const (
+	// StrategyNone is the plain Chaitin-Briggs allocator: all spills go to
+	// the activation record ("Without CCM").
+	StrategyNone Strategy = iota
+	// StrategyPostPass is the stand-alone post-pass CCM allocator without
+	// interprocedural information.
+	StrategyPostPass
+	// StrategyPostPassIPA is the post-pass allocator driven by the call
+	// graph ("Post-Pass w/ Call Graph").
+	StrategyPostPassIPA
+	// StrategyIntegrated folds CCM allocation into spill-code insertion
+	// inside the register allocator (paper §3.2).
+	StrategyIntegrated
+
+	numStrategies
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "Without CCM"
+	case StrategyPostPass:
+		return "Post-Pass"
+	case StrategyPostPassIPA:
+		return "Post-Pass w/ Call Graph"
+	case StrategyIntegrated:
+		return "Integrated"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists the three CCM algorithms compared in Tables 2-4.
+var Strategies = []Strategy{StrategyPostPass, StrategyPostPassIPA, StrategyIntegrated}
+
+// Config parameterizes a suite run.
+type Config struct {
+	MemCost   int     // main-memory op cost; paper: 2
+	CCMSizes  []int64 // paper: 512 and 1024 bytes
+	IntRegs   int     // paper: 32
+	FloatRegs int     // paper: 32
+}
+
+// Default returns the paper's configuration.
+func Default() Config {
+	return Config{MemCost: 2, CCMSizes: []int64{512, 1024}, IntRegs: 32, FloatRegs: 32}
+}
+
+// CycPair is a (total cycles, memory-operation cycles) measurement.
+type CycPair struct {
+	Cycles int64
+	Mem    int64
+}
+
+// Ratio returns p relative to base, per the paper's table format.
+func (p CycPair) Ratio(base CycPair) (cyc, mem float64) {
+	cyc, mem = 1, 1
+	if base.Cycles > 0 {
+		cyc = float64(p.Cycles) / float64(base.Cycles)
+	}
+	if base.Mem > 0 {
+		mem = float64(p.Mem) / float64(base.Mem)
+	}
+	return cyc, mem
+}
+
+// Key identifies one compiled variant.
+type Key struct {
+	Strategy Strategy
+	CCMBytes int64
+}
+
+// RoutineResult holds all measurements for one suite routine.
+type RoutineResult struct {
+	Name   string
+	Family string
+
+	SpillBefore int64 // naive spill bytes (one slot per spilled range)
+	SpillAfter  int64 // after coloring-based compaction
+	Webs        int   // spill-location live ranges
+
+	Base  CycPair         // plain allocator, no CCM
+	Strat map[Key]CycPair // per strategy and CCM size
+	Promo map[Key]int     // webs promoted (post-pass strategies)
+}
+
+// Spills reports whether the routine needed spill code at all; the paper's
+// tables include only such routines.
+func (r *RoutineResult) Spills() bool { return r.SpillBefore > 0 }
+
+// ProgramResult holds whole-program totals (Figures 3 and 4).
+type ProgramResult struct {
+	Name  string
+	Base  CycPair
+	Strat map[Key]CycPair
+}
+
+// Improved reports whether any strategy at the given size beats the
+// baseline by more than 0.5% (the paper shows "the six programs (out of
+// 13) which showed improvement").
+func (p *ProgramResult) Improved(size int64) bool {
+	for _, s := range Strategies {
+		if c, ok := p.Strat[Key{s, size}]; ok {
+			cyc, _ := c.Ratio(p.Base)
+			if cyc < 0.995 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SuiteResults is everything needed to print all tables and figures.
+type SuiteResults struct {
+	Config   Config
+	Routines []*RoutineResult
+	Programs []*ProgramResult
+}
+
+// compile runs the full pipeline on p for one strategy/size and returns
+// the naive per-function frame bytes recorded before compaction.
+func compile(p *ir.Program, strat Strategy, ccmBytes int64, cfg Config) (map[string]int64, error) {
+	if _, err := opt.OptimizeProgram(p); err != nil {
+		return nil, err
+	}
+	ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
+	if strat == StrategyIntegrated {
+		ra.CCMBytes = ccmBytes
+	}
+	naive := map[string]int64{}
+	for _, f := range p.Funcs {
+		if _, err := regalloc.Allocate(f, ra); err != nil {
+			return nil, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		naive[f.Name] = f.FrameBytes
+	}
+	switch strat {
+	case StrategyPostPass:
+		if _, err := core.PostPass(p, core.PostPassOptions{CCMBytes: ccmBytes}); err != nil {
+			return nil, err
+		}
+	case StrategyPostPassIPA:
+		if _, err := core.PostPass(p, core.PostPassOptions{CCMBytes: ccmBytes, Interprocedural: true}); err != nil {
+			return nil, err
+		}
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		return nil, err
+	}
+	return naive, nil
+}
+
+// runProgram executes a compiled program and returns whole-program and
+// per-function measurements.
+func runProgram(p *ir.Program, ccmBytes int64, cfg Config) (*sim.Stats, error) {
+	return sim.Run(p, "main", sim.Config{MemCost: cfg.MemCost, CCMBytes: ccmBytes})
+}
+
+// measureRoutine compiles and runs one routine under one variant,
+// returning the measured function's exclusive costs and promotion count.
+func measureRoutine(r workload.Routine, strat Strategy, ccmBytes int64, cfg Config) (CycPair, int, error) {
+	p, err := r.Build()
+	if err != nil {
+		return CycPair{}, 0, err
+	}
+	if _, err := compile(p, strat, ccmBytes, cfg); err != nil {
+		return CycPair{}, 0, err
+	}
+	promoted := 0
+	if strat == StrategyPostPass || strat == StrategyPostPassIPA {
+		promoted = countCCMOps(p.Func(r.Name))
+	}
+	// Residual heavyweight spills are packed (paper footnote 3); this is
+	// cycle-neutral but keeps frame sizes honest.
+	if _, err := core.CompactProgram(p); err != nil {
+		return CycPair{}, 0, err
+	}
+	st, err := runProgram(p, ccmBytes, cfg)
+	if err != nil {
+		return CycPair{}, 0, err
+	}
+	fs := st.PerFunc[r.Name]
+	if fs == nil {
+		return CycPair{}, 0, fmt.Errorf("routine %s not executed", r.Name)
+	}
+	return CycPair{Cycles: fs.Cycles, Mem: fs.MemOpCycles}, promoted, nil
+}
+
+func countCCMOps(f *ir.Func) int {
+	n := 0
+	if f == nil {
+		return 0
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op.IsCCMOp() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RunSuite performs every compile+run combination needed by the tables
+// and figures: per routine and per program, the baseline plus each
+// strategy at each CCM size.
+func RunSuite(cfg Config) (*SuiteResults, error) {
+	res, err := RunRoutineSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	progs, err := RunProgramSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Programs = progs.Programs
+	return res, nil
+}
+
+// RunRoutineSuite measures every routine (Tables 1-4).
+func RunRoutineSuite(cfg Config) (*SuiteResults, error) {
+	res := &SuiteResults{Config: cfg}
+
+	for _, r := range workload.All() {
+		rr := &RoutineResult{
+			Name:   r.Name,
+			Family: r.Family,
+			Strat:  map[Key]CycPair{},
+			Promo:  map[Key]int{},
+		}
+
+		// Baseline (and Table 1 compaction measurements).
+		p, err := r.Build()
+		if err != nil {
+			return nil, err
+		}
+		naive, err := compile(p, StrategyNone, 0, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("routine %s: %w", r.Name, err)
+		}
+		rr.SpillBefore = naive[r.Name]
+		cres, err := core.CompactSpills(p.Func(r.Name))
+		if err != nil {
+			return nil, err
+		}
+		rr.SpillAfter = cres.AfterBytes
+		rr.Webs = cres.Webs
+		for _, f := range p.Funcs {
+			if f.Name != r.Name && f.FrameBytes > 0 {
+				if _, err := core.CompactSpills(f); err != nil {
+					return nil, err
+				}
+			}
+		}
+		st, err := runProgram(p, 0, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("routine %s baseline: %w", r.Name, err)
+		}
+		fs := st.PerFunc[r.Name]
+		rr.Base = CycPair{Cycles: fs.Cycles, Mem: fs.MemOpCycles}
+
+		for _, size := range cfg.CCMSizes {
+			for _, strat := range Strategies {
+				pair, promo, err := measureRoutine(r, strat, size, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("routine %s %v/%d: %w", r.Name, strat, size, err)
+				}
+				k := Key{strat, size}
+				rr.Strat[k] = pair
+				rr.Promo[k] = promo
+			}
+		}
+		res.Routines = append(res.Routines, rr)
+	}
+	return res, nil
+}
+
+// RunProgramSuite measures the whole-program workloads (Figures 3-4).
+func RunProgramSuite(cfg Config) (*SuiteResults, error) {
+	res := &SuiteResults{Config: cfg}
+	for _, bp := range workload.Programs() {
+		pr := &ProgramResult{Name: bp.Name, Strat: map[Key]CycPair{}}
+		p, err := bp.Build()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := compile(p, StrategyNone, 0, cfg); err != nil {
+			return nil, fmt.Errorf("program %s: %w", bp.Name, err)
+		}
+		if _, err := core.CompactProgram(p); err != nil {
+			return nil, err
+		}
+		st, err := runProgram(p, 0, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("program %s baseline: %w", bp.Name, err)
+		}
+		pr.Base = CycPair{Cycles: st.Cycles, Mem: st.MemOpCycles}
+
+		for _, size := range cfg.CCMSizes {
+			for _, strat := range Strategies {
+				q, err := bp.Build()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := compile(q, strat, size, cfg); err != nil {
+					return nil, fmt.Errorf("program %s %v/%d: %w", bp.Name, strat, size, err)
+				}
+				if _, err := core.CompactProgram(q); err != nil {
+					return nil, err
+				}
+				st, err := runProgram(q, size, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("program %s %v/%d: %w", bp.Name, strat, size, err)
+				}
+				pr.Strat[Key{strat, size}] = CycPair{Cycles: st.Cycles, Mem: st.MemOpCycles}
+			}
+		}
+		res.Programs = append(res.Programs, pr)
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// FamilyRow aggregates Table-2 style results over one kernel family
+// (fft, block, applu, linalg, stencil, dsp) — an analysis view the paper
+// implies when it discusses which kinds of routines benefit.
+type FamilyRow struct {
+	Family   string
+	Routines int // spilling routines in the family
+	BaseCyc  int64
+	Ratio    map[Strategy]float64 // weighted total-cycle ratio
+	MemRatio map[Strategy]float64 // weighted memory-cycle ratio
+}
+
+// ByFamily aggregates the suite per kernel family at the given CCM size.
+func (s *SuiteResults) ByFamily(size int64) []FamilyRow {
+	type acc struct {
+		n              int
+		baseC, baseM   int64
+		afterC, afterM map[Strategy]int64
+	}
+	groups := map[string]*acc{}
+	for _, r := range s.Routines {
+		if !r.Spills() {
+			continue
+		}
+		g := groups[r.Family]
+		if g == nil {
+			g = &acc{afterC: map[Strategy]int64{}, afterM: map[Strategy]int64{}}
+			groups[r.Family] = g
+		}
+		g.n++
+		g.baseC += r.Base.Cycles
+		g.baseM += r.Base.Mem
+		for _, st := range Strategies {
+			p := r.Strat[Key{st, size}]
+			g.afterC[st] += p.Cycles
+			g.afterM[st] += p.Mem
+		}
+	}
+	var rows []FamilyRow
+	for fam, g := range groups {
+		row := FamilyRow{
+			Family:   fam,
+			Routines: g.n,
+			BaseCyc:  g.baseC,
+			Ratio:    map[Strategy]float64{},
+			MemRatio: map[Strategy]float64{},
+		}
+		for _, st := range Strategies {
+			if g.baseC > 0 {
+				row.Ratio[st] = float64(g.afterC[st]) / float64(g.baseC)
+			}
+			if g.baseM > 0 {
+				row.MemRatio[st] = float64(g.afterM[st]) / float64(g.baseM)
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].BaseCyc > rows[j].BaseCyc })
+	return rows
+}
+
+// FormatByFamily renders the family aggregation.
+func (s *SuiteResults) FormatByFamily(size int64) string {
+	rows := s.ByFamily(size)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-family weighted cycle ratios with a %d-byte CCM\n", size)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "Family\tSpillers\tBase cycles\tPost-Pass\tw/ Call Graph\tIntegrated\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f(%.2f)\t%.2f(%.2f)\t%.2f(%.2f)\n",
+			r.Family, r.Routines, r.BaseCyc,
+			r.Ratio[StrategyPostPass], r.MemRatio[StrategyPostPass],
+			r.Ratio[StrategyPostPassIPA], r.MemRatio[StrategyPostPassIPA],
+			r.Ratio[StrategyIntegrated], r.MemRatio[StrategyIntegrated])
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport emits a complete, self-contained markdown report of the
+// reproduction: every table and figure, the family aggregation, the §4.3
+// ablation, and the §2.1 multi-process comparison, each inside a fenced
+// code block. `ccmbench -markdown` uses it to regenerate the raw section
+// of EXPERIMENTS.md from scratch.
+func WriteReport(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "# Compiler-Controlled Memory — regenerated evaluation\n\n")
+	fmt.Fprintf(w, "Machine model: %d+%d registers, single issue, %d-cycle main-memory\n",
+		cfg.IntRegs, cfg.FloatRegs, cfg.MemCost)
+	fmt.Fprintf(w, "operations, 1-cycle CCM operations. CCM sizes:")
+	for _, s := range cfg.CCMSizes {
+		fmt.Fprintf(w, " %dB", s)
+	}
+	fmt.Fprintf(w, ".\n\n")
+
+	res, err := RunSuite(cfg)
+	if err != nil {
+		return err
+	}
+	section := func(title, body string) {
+		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", title, body)
+	}
+	section("Table 1 — spill-memory compaction", res.FormatTable1())
+	section("Table 2 — per-routine speedups, 512-byte CCM", res.FormatTable2(512))
+	section("Table 3 — 1024-byte CCM vs 512", res.FormatTable3(512, 1024))
+	section("Table 4 — weighted-average reductions", res.FormatTable4())
+	section("Figure 3 — program performance, 512-byte CCM", res.FormatFigure(3, 512))
+	section("Figure 4 — program performance, 1024-byte CCM", res.FormatFigure(4, 1024))
+	section("Per-family aggregation (512-byte CCM)", res.FormatByFamily(512))
+
+	abl, err := Ablation43(cfg, nil)
+	if err != nil {
+		return err
+	}
+	section("§4.3 — memory-hierarchy ablation", FormatAblation(abl))
+
+	mp, err := MultiProcess(cfg, nil, 1024)
+	if err != nil {
+		return err
+	}
+	section("§2.1 — multi-process CCM", FormatMultiProc(mp))
+	return nil
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table1Row is one line of the spill-memory compaction table.
+type Table1Row struct {
+	Name   string
+	Before int64
+	After  int64
+}
+
+// Ratio is After/Before.
+func (r Table1Row) Ratio() float64 {
+	if r.Before == 0 {
+		return 1
+	}
+	return float64(r.After) / float64(r.Before)
+}
+
+// Table1 returns the routines whose spill memory the coloring compactor
+// reduced (the paper shows exactly those), sorted by descending Before,
+// plus the TOTAL row over them.
+func (s *SuiteResults) Table1() (rows []Table1Row, total Table1Row) {
+	for _, r := range s.Routines {
+		if !r.Spills() || r.SpillAfter >= r.SpillBefore {
+			continue
+		}
+		rows = append(rows, Table1Row{Name: r.Name, Before: r.SpillBefore, After: r.SpillAfter})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Before != rows[j].Before {
+			return rows[i].Before > rows[j].Before
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	total.Name = "TOTAL"
+	for _, r := range rows {
+		total.Before += r.Before
+		total.After += r.After
+	}
+	return rows, total
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func (s *SuiteResults) FormatTable1() string {
+	rows, total := s.Table1()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Spill Memory Requirements and Compaction\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "Routine\tBytes Before\tBytes After\tAfter/Before\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\n", r.Name, r.Before, r.After, r.Ratio())
+	}
+	fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\n", total.Name, total.Before, total.After, total.Ratio())
+	w.Flush()
+	nSpill := 0
+	for _, r := range s.Routines {
+		if r.Spills() {
+			nSpill++
+		}
+	}
+	fmt.Fprintf(&b, "(%d of %d suite routines required spill code; compaction helped %d)\n",
+		nSpill, len(s.Routines), len(rows))
+	return b.String()
+}
+
+// Table2Row is one line of the per-routine speedup table.
+type Table2Row struct {
+	Name   string
+	Base   CycPair
+	Ratios map[Strategy][2]float64 // [cycles ratio, memory-cycles ratio]
+}
+
+// Table2 returns per-routine relative cycle counts for the given CCM size
+// over every routine that required spill code.
+func (s *SuiteResults) Table2(size int64) []Table2Row {
+	var rows []Table2Row
+	for _, r := range s.Routines {
+		if !r.Spills() {
+			continue
+		}
+		row := Table2Row{Name: r.Name, Base: r.Base, Ratios: map[Strategy][2]float64{}}
+		for _, st := range Strategies {
+			p := r.Strat[Key{st, size}]
+			cyc, mem := p.Ratio(r.Base)
+			row.Ratios[st] = [2]float64{cyc, mem}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Base.Cycles > rows[j].Base.Cycles })
+	return rows
+}
+
+// FormatTable2 renders Table 2 (or its 1024-byte analogue).
+func (s *SuiteResults) FormatTable2(size int64) string {
+	rows := s.Table2(size)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Speedups in dynamic cycle counts with %d-byte CCM\n", size)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "Routine\tWithout CCM\tPost-Pass\tPost-Pass w/ CG\tIntegrated\n")
+	for _, r := range rows {
+		pp := r.Ratios[StrategyPostPass]
+		cg := r.Ratios[StrategyPostPassIPA]
+		in := r.Ratios[StrategyIntegrated]
+		fmt.Fprintf(w, "%s\t%d(%d)\t%.2f(%.2f)\t%.2f(%.2f)\t%.2f(%.2f)\n",
+			r.Name, r.Base.Cycles, r.Base.Mem,
+			pp[0], pp[1], cg[0], cg[1], in[0], in[1])
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table3Row reports a routine whose relative cycles changed when the CCM
+// grew from sizeA to sizeB.
+type Table3Row struct {
+	Name  string
+	Base  CycPair
+	Small map[Strategy][2]float64
+	Large map[Strategy][2]float64
+}
+
+// Table3 lists routines that sped up with the larger CCM ("Table 3 only
+// reports on routines which sped up as a result of using a larger CCM").
+func (s *SuiteResults) Table3(small, large int64) []Table3Row {
+	const eps = 5e-4
+	var rows []Table3Row
+	for _, r := range s.Routines {
+		if !r.Spills() {
+			continue
+		}
+		row := Table3Row{Name: r.Name, Base: r.Base,
+			Small: map[Strategy][2]float64{}, Large: map[Strategy][2]float64{}}
+		improved := false
+		for _, st := range Strategies {
+			sc, sm := r.Strat[Key{st, small}].Ratio(r.Base)
+			lc, lm := r.Strat[Key{st, large}].Ratio(r.Base)
+			row.Small[st] = [2]float64{sc, sm}
+			row.Large[st] = [2]float64{lc, lm}
+			if lc < sc-eps {
+				improved = true
+			}
+		}
+		if improved {
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Base.Cycles > rows[j].Base.Cycles })
+	return rows
+}
+
+// FormatTable3 renders the size-sensitivity table.
+func (s *SuiteResults) FormatTable3(small, large int64) string {
+	rows := s.Table3(small, large)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Changes in speedups with %d-byte CCM compared to a %d-byte CCM\n", large, small)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "Routine\tWithout CCM\tPost-Pass\tPost-Pass w/ CG\tIntegrated\n")
+	for _, r := range rows {
+		pp := r.Large[StrategyPostPass]
+		cg := r.Large[StrategyPostPassIPA]
+		in := r.Large[StrategyIntegrated]
+		fmt.Fprintf(w, "%s\t%d(%d)\t%.2f(%.2f)\t%.2f(%.2f)\t%.2f(%.2f)\n",
+			r.Name, r.Base.Cycles, r.Base.Mem,
+			pp[0], pp[1], cg[0], cg[1], in[0], in[1])
+	}
+	w.Flush()
+	if len(rows) == 0 {
+		b.WriteString("(no routine sped up further with the larger CCM)\n")
+	}
+	return b.String()
+}
+
+// Table4Cell is a weighted-average percentage reduction.
+type Table4Cell struct {
+	TotalPct float64 // reduction in total cycles executed
+	MemPct   float64 // reduction in cycles spent in memory operations
+}
+
+// Table4 computes the weighted-average reduction per algorithm and CCM
+// size over the spilling routines, weighting by baseline cycles (so big
+// routines dominate, as in the paper).
+func (s *SuiteResults) Table4() map[Key]Table4Cell {
+	out := map[Key]Table4Cell{}
+	for _, size := range s.Config.CCMSizes {
+		for _, st := range Strategies {
+			var baseC, baseM, afterC, afterM int64
+			for _, r := range s.Routines {
+				if !r.Spills() {
+					continue
+				}
+				p := r.Strat[Key{st, size}]
+				baseC += r.Base.Cycles
+				baseM += r.Base.Mem
+				afterC += p.Cycles
+				afterM += p.Mem
+			}
+			cell := Table4Cell{}
+			if baseC > 0 {
+				cell.TotalPct = 100 * (1 - float64(afterC)/float64(baseC))
+			}
+			if baseM > 0 {
+				cell.MemPct = 100 * (1 - float64(afterM)/float64(baseM))
+			}
+			out[Key{st, size}] = cell
+		}
+	}
+	return out
+}
+
+// FormatTable4 renders the weighted-average table.
+func (s *SuiteResults) FormatTable4() string {
+	t := s.Table4()
+	var b strings.Builder
+	b.WriteString("Table 4: Weighted-average reduction in cycles executed for each algorithm\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "Algorithm")
+	for _, size := range s.Config.CCMSizes {
+		fmt.Fprintf(w, "\t%dB total%%\t%dB mem%%", size, size)
+	}
+	fmt.Fprintf(w, "\n")
+	for _, st := range Strategies {
+		fmt.Fprintf(w, "%s", st)
+		for _, size := range s.Config.CCMSizes {
+			c := t[Key{st, size}]
+			fmt.Fprintf(w, "\t%.1f\t%.1f", c.TotalPct, c.MemPct)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FigureRow is one program's bars in Figures 3/4.
+type FigureRow struct {
+	Name   string
+	Base   CycPair
+	Ratios map[Strategy][2]float64
+}
+
+// Figure returns the whole-program relative running times at the given
+// CCM size, for the programs that improved (as the paper's figures show).
+func (s *SuiteResults) Figure(size int64) []FigureRow {
+	var rows []FigureRow
+	for _, p := range s.Programs {
+		if !p.Improved(size) {
+			continue
+		}
+		row := FigureRow{Name: p.Name, Base: p.Base, Ratios: map[Strategy][2]float64{}}
+		for _, st := range Strategies {
+			cyc, mem := p.Strat[Key{st, size}].Ratio(p.Base)
+			row.Ratios[st] = [2]float64{cyc, mem}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// FormatFigure renders Figure 3 (size=512) or Figure 4 (size=1024) as a
+// text bar table: relative running time and relative memory-op time per
+// strategy.
+func (s *SuiteResults) FormatFigure(num int, size int64) string {
+	rows := s.Figure(size)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: Program performance with a %d-byte CCM (relative to no CCM)\n", num, size)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "Program\tRun(PP)\tRun(PP+CG)\tRun(Int)\tMem(PP)\tMem(PP+CG)\tMem(Int)\n")
+	for _, r := range rows {
+		pp := r.Ratios[StrategyPostPass]
+		cg := r.Ratios[StrategyPostPassIPA]
+		in := r.Ratios[StrategyIntegrated]
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Name, pp[0], cg[0], in[0], pp[1], cg[1], in[1])
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "(%d of %d programs improved)\n", len(rows), len(s.Programs))
+	return b.String()
+}

@@ -1,0 +1,40 @@
+// Package intgraph provides the symmetric bit-matrix used as the
+// membership half of Chaitin-style interference graphs (adjacency lists
+// provide the iteration half). It is shared by the register allocator and
+// by the CCM allocators in internal/core.
+package intgraph
+
+// Matrix is a symmetric boolean matrix over n nodes, stored as a packed
+// lower triangle.
+type Matrix struct {
+	n    int
+	bits []uint64
+}
+
+// NewMatrix returns an empty n×n symmetric matrix.
+func NewMatrix(n int) *Matrix {
+	total := n * (n + 1) / 2
+	return &Matrix{n: n, bits: make([]uint64, (total+63)/64)}
+}
+
+// Len returns the node count.
+func (m *Matrix) Len() int { return m.n }
+
+func (m *Matrix) index(a, b int) int {
+	if a < b {
+		a, b = b, a
+	}
+	return a*(a+1)/2 + b
+}
+
+// Set marks (a, b) as adjacent.
+func (m *Matrix) Set(a, b int) {
+	i := m.index(a, b)
+	m.bits[i/64] |= 1 << uint(i%64)
+}
+
+// Has reports whether (a, b) are adjacent.
+func (m *Matrix) Has(a, b int) bool {
+	i := m.index(a, b)
+	return m.bits[i/64]&(1<<uint(i%64)) != 0
+}

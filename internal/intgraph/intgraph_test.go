@@ -1,0 +1,62 @@
+package intgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	m := NewMatrix(0)
+	if m.Len() != 0 {
+		t.Fatal("len of empty matrix")
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	m := NewMatrix(10)
+	m.Set(2, 7)
+	if !m.Has(2, 7) || !m.Has(7, 2) {
+		t.Fatal("edge not symmetric")
+	}
+	if m.Has(2, 6) || m.Has(7, 7) {
+		t.Fatal("phantom edges")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	m := NewMatrix(4)
+	m.Set(3, 3)
+	if !m.Has(3, 3) {
+		t.Fatal("self edge lost")
+	}
+	if m.Has(2, 2) {
+		t.Fatal("wrong self edge")
+	}
+}
+
+// Property: the packed triangle agrees with a reference map under random
+// insertions.
+func TestAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 73
+	m := NewMatrix(n)
+	ref := map[[2]int]bool{}
+	key := func(a, b int) [2]int {
+		if a < b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for k := 0; k < 2000; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		m.Set(a, b)
+		ref[key(a, b)] = true
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if m.Has(a, b) != ref[key(a, b)] {
+				t.Fatalf("mismatch at (%d,%d)", a, b)
+			}
+		}
+	}
+}

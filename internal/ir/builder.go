@@ -1,0 +1,236 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Func incrementally. It is the API the synthetic
+// workload kernels are written against, so its helpers are deliberately
+// terse: value-producing methods allocate a fresh virtual register for the
+// result and return it.
+//
+// Blocks are created with Label and selected with At; instructions append
+// to the current block. Finish checks structural invariants and returns
+// the function.
+type Builder struct {
+	f   *Func
+	cur *Block
+	err error
+}
+
+// NewBuilder starts a function with the given name and return class.
+func NewBuilder(name string, ret Class) *Builder {
+	return &Builder{f: &Func{Name: name, RetClass: ret}}
+}
+
+// Func returns the function under construction.
+func (b *Builder) Func() *Func { return b.f }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("builder %s: %s", b.f.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Param declares the next parameter, of class c.
+func (b *Builder) Param(c Class, name string) Reg {
+	r := b.f.NewReg(c, name)
+	b.f.Params = append(b.f.Params, r)
+	return r
+}
+
+// Reg allocates a fresh virtual register without defining it.
+func (b *Builder) Reg(c Class, name string) Reg { return b.f.NewReg(c, name) }
+
+// Label creates (or returns) the block with the given name and makes it
+// current. The first Label call creates the entry block.
+func (b *Builder) Label(name string) *Block {
+	if blk := b.f.BlockNamed(name); blk != nil {
+		b.cur = blk
+		return blk
+	}
+	blk := &Block{Name: name, Index: len(b.f.Blocks)}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	b.cur = blk
+	return blk
+}
+
+// At switches the current block to an existing label.
+func (b *Builder) At(name string) {
+	blk := b.f.BlockNamed(name)
+	if blk == nil {
+		b.fail("At(%q): no such block", name)
+		return
+	}
+	b.cur = blk
+}
+
+// Append adds a raw instruction to the current block.
+func (b *Builder) Append(in Instr) {
+	if b.cur == nil {
+		b.fail("instruction %s before any Label", in.Op)
+		return
+	}
+	if t := b.cur.Term(); t != nil {
+		b.fail("instruction %s after terminator in block %s", in.Op, b.cur.Name)
+		return
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+}
+
+func (b *Builder) def(op Op, args ...Reg) Reg {
+	dst := b.f.NewReg(op.DstClass(), "")
+	b.Append(Instr{Op: op, Dst: dst, Args: args})
+	return dst
+}
+
+// ConstI materializes an integer constant.
+func (b *Builder) ConstI(v int64) Reg {
+	dst := b.f.NewReg(ClassInt, "")
+	b.Append(Instr{Op: OpLoadI, Dst: dst, Imm: v})
+	return dst
+}
+
+// ConstF materializes a floating-point constant.
+func (b *Builder) ConstF(v float64) Reg {
+	dst := b.f.NewReg(ClassFloat, "")
+	b.Append(Instr{Op: OpLoadF, Dst: dst, FImm: v})
+	return dst
+}
+
+// Integer arithmetic helpers.
+func (b *Builder) Add(x, y Reg) Reg { return b.def(OpAdd, x, y) }
+func (b *Builder) Sub(x, y Reg) Reg { return b.def(OpSub, x, y) }
+func (b *Builder) Mul(x, y Reg) Reg { return b.def(OpMul, x, y) }
+func (b *Builder) Div(x, y Reg) Reg { return b.def(OpDiv, x, y) }
+func (b *Builder) Rem(x, y Reg) Reg { return b.def(OpRem, x, y) }
+func (b *Builder) And(x, y Reg) Reg { return b.def(OpAnd, x, y) }
+func (b *Builder) Or(x, y Reg) Reg  { return b.def(OpOr, x, y) }
+func (b *Builder) Xor(x, y Reg) Reg { return b.def(OpXor, x, y) }
+func (b *Builder) Shl(x, y Reg) Reg { return b.def(OpShl, x, y) }
+func (b *Builder) Shr(x, y Reg) Reg { return b.def(OpShr, x, y) }
+func (b *Builder) Neg(x Reg) Reg    { return b.def(OpNeg, x) }
+func (b *Builder) Not(x Reg) Reg    { return b.def(OpNot, x) }
+
+// Integer comparisons.
+func (b *Builder) CmpLT(x, y Reg) Reg { return b.def(OpCmpLT, x, y) }
+func (b *Builder) CmpLE(x, y Reg) Reg { return b.def(OpCmpLE, x, y) }
+func (b *Builder) CmpGT(x, y Reg) Reg { return b.def(OpCmpGT, x, y) }
+func (b *Builder) CmpGE(x, y Reg) Reg { return b.def(OpCmpGE, x, y) }
+func (b *Builder) CmpEQ(x, y Reg) Reg { return b.def(OpCmpEQ, x, y) }
+func (b *Builder) CmpNE(x, y Reg) Reg { return b.def(OpCmpNE, x, y) }
+
+// Floating-point helpers.
+func (b *Builder) FAdd(x, y Reg) Reg   { return b.def(OpFAdd, x, y) }
+func (b *Builder) FSub(x, y Reg) Reg   { return b.def(OpFSub, x, y) }
+func (b *Builder) FMul(x, y Reg) Reg   { return b.def(OpFMul, x, y) }
+func (b *Builder) FDiv(x, y Reg) Reg   { return b.def(OpFDiv, x, y) }
+func (b *Builder) FNeg(x Reg) Reg      { return b.def(OpFNeg, x) }
+func (b *Builder) FAbs(x Reg) Reg      { return b.def(OpFAbs, x) }
+func (b *Builder) FSqrt(x Reg) Reg     { return b.def(OpFSqrt, x) }
+func (b *Builder) FCmpLT(x, y Reg) Reg { return b.def(OpFCmpLT, x, y) }
+func (b *Builder) FCmpLE(x, y Reg) Reg { return b.def(OpFCmpLE, x, y) }
+func (b *Builder) FCmpGT(x, y Reg) Reg { return b.def(OpFCmpGT, x, y) }
+func (b *Builder) FCmpGE(x, y Reg) Reg { return b.def(OpFCmpGE, x, y) }
+func (b *Builder) FCmpEQ(x, y Reg) Reg { return b.def(OpFCmpEQ, x, y) }
+func (b *Builder) FCmpNE(x, y Reg) Reg { return b.def(OpFCmpNE, x, y) }
+func (b *Builder) I2F(x Reg) Reg       { return b.def(OpI2F, x) }
+func (b *Builder) F2I(x Reg) Reg       { return b.def(OpF2I, x) }
+
+// Copy copies x into a fresh register of the same class.
+func (b *Builder) Copy(x Reg) Reg {
+	return b.def(CopyOpFor(b.f.RegClass(x)), x)
+}
+
+// CopyTo copies src into an existing register dst (for loop-carried values).
+func (b *Builder) CopyTo(dst, src Reg) {
+	b.Append(Instr{Op: CopyOpFor(b.f.RegClass(dst)), Dst: dst, Args: []Reg{src}})
+}
+
+// Addr materializes the address of global sym plus off bytes.
+func (b *Builder) Addr(sym string, off int64) Reg {
+	dst := b.f.NewReg(ClassInt, "")
+	b.Append(Instr{Op: OpAddr, Dst: dst, Sym: sym, Imm: off})
+	return dst
+}
+
+// Memory access helpers. addr is a byte address; off a byte offset.
+func (b *Builder) Load(addr Reg) Reg { return b.def(OpLoad, addr) }
+func (b *Builder) LoadAI(addr Reg, off int64) Reg {
+	dst := b.f.NewReg(ClassInt, "")
+	b.Append(Instr{Op: OpLoadAI, Dst: dst, Args: []Reg{addr}, Imm: off})
+	return dst
+}
+func (b *Builder) Store(val, addr Reg) {
+	b.Append(Instr{Op: OpStore, Dst: NoReg, Args: []Reg{val, addr}})
+}
+func (b *Builder) StoreAI(val, addr Reg, off int64) {
+	b.Append(Instr{Op: OpStoreAI, Dst: NoReg, Args: []Reg{val, addr}, Imm: off})
+}
+func (b *Builder) FLoad(addr Reg) Reg { return b.def(OpFLoad, addr) }
+func (b *Builder) FLoadAI(addr Reg, off int64) Reg {
+	dst := b.f.NewReg(ClassFloat, "")
+	b.Append(Instr{Op: OpFLoadAI, Dst: dst, Args: []Reg{addr}, Imm: off})
+	return dst
+}
+func (b *Builder) FStore(val, addr Reg) {
+	b.Append(Instr{Op: OpFStore, Dst: NoReg, Args: []Reg{val, addr}})
+}
+func (b *Builder) FStoreAI(val, addr Reg, off int64) {
+	b.Append(Instr{Op: OpFStoreAI, Dst: NoReg, Args: []Reg{val, addr}, Imm: off})
+}
+
+// Control flow.
+func (b *Builder) Jmp(label string) { b.Append(Instr{Op: OpJmp, Dst: NoReg, Then: label}) }
+func (b *Builder) CBr(cond Reg, then, els string) {
+	b.Append(Instr{Op: OpCBr, Dst: NoReg, Args: []Reg{cond}, Then: then, Else: els})
+}
+func (b *Builder) Ret() { b.Append(Instr{Op: OpRet, Dst: NoReg}) }
+func (b *Builder) RetVal(r Reg) {
+	b.Append(Instr{Op: OpRet, Dst: NoReg, Args: []Reg{r}})
+}
+
+// Call invokes callee with args; ret is the callee's return class. The
+// result register is returned (NoReg when ret is ClassNone).
+func (b *Builder) Call(callee string, ret Class, args ...Reg) Reg {
+	dst := NoReg
+	if ret != ClassNone {
+		dst = b.f.NewReg(ret, "")
+	}
+	b.Append(Instr{Op: OpCall, Dst: dst, Sym: callee, Args: args})
+	return dst
+}
+
+// Emit records x in the observable output trace.
+func (b *Builder) Emit(x Reg) {
+	if b.f.RegClass(x) == ClassFloat {
+		b.Append(Instr{Op: OpFEmit, Dst: NoReg, Args: []Reg{x}})
+		return
+	}
+	b.Append(Instr{Op: OpEmit, Dst: NoReg, Args: []Reg{x}})
+}
+
+// Finish returns the constructed function after checking builder-level
+// invariants (every block terminated, no deferred errors).
+func (b *Builder) Finish() (*Func, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.f.Blocks) == 0 {
+		return nil, fmt.Errorf("builder %s: no blocks", b.f.Name)
+	}
+	for _, blk := range b.f.Blocks {
+		if blk.Term() == nil {
+			return nil, fmt.Errorf("builder %s: block %s lacks a terminator", b.f.Name, blk.Name)
+		}
+	}
+	b.f.Renumber()
+	return b.f, nil
+}
+
+// MustFinish is Finish for construction code where a failure is a bug.
+func (b *Builder) MustFinish() *Func {
+	f, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,44 @@
+package ir
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the textual front end: no input may panic the parser,
+// and anything that parses and verifies must survive a print/parse round
+// trip to an identical rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"garbage",
+		"global G 4 = i 1 2 3 4\nfunc main() {\nentry:\n\tret\n}\n",
+		"func f(r0, f1) int {\nentry:\n\tr2 = add r0, r0\n\tret r2\n}\n",
+		"func f() {\nentry:\n\tr0 = loadi 1\n\tcbr r0, a, b\na:\n\tjmp c\nb:\n\tjmp c\nc:\n\tret\n}\n",
+		"func f() {\nentry:\n\tr0 = loadi 9223372036854775807\n\temit r0\n\tret\n}\n",
+		"func f() {\nentry:\n\tf0 = loadf -1.5e-300\n\tfemit f0\n\tret\n}\n",
+		"global X 1 = x ffffffffffffffff\nfunc f() {\nentry:\n\tr0 = addr X, 0\n\tspill r0, 0\n\tr1 = restore 0\n\temit r1\n\tret\n}\n",
+		"func f() {\nentry:\n\tr1 = phi r0, r1\n\tret\n}\n",
+		"# only a comment\n",
+		"func f() {\nentry:\n\tr0 = call f()\n\tret\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := VerifyProgram(p, VerifyOptions{AllowPhi: true}); err != nil {
+			return
+		}
+		text := p.String()
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n%s", err, text)
+		}
+		if q.String() != text {
+			t.Fatalf("print → parse → print not a fixed point:\n%q\n%q", text, q.String())
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package ir defines the ILOC-style intermediate representation used
+// throughout the reproduction: a low-level, three-address code over two
+// register classes (integer and floating-point), with explicit spill and
+// CCM-spill opcodes, organized into basic blocks and functions.
+//
+// The representation mirrors the ILOC of the Rice Massively Scalar Compiler
+// Project that the paper's experiments were run on (Briggs, "The massively
+// scalar compiler project", 1994): virtual registers are unbounded before
+// allocation, memory is byte-addressed with 8-byte words, and spill code is
+// visible as distinct opcodes so that post-pass tools can find and rewrite
+// it — exactly what the paper's post-pass CCM allocator requires.
+package ir
+
+import "fmt"
+
+// Reg names a register within a Func. Before allocation a Func may use any
+// number of virtual registers; after allocation registers are the physical
+// names 0..NumInt-1 (integer) and the following NumFloat names (float).
+type Reg int32
+
+// NoReg marks the absence of a register (e.g. a call with no result).
+const NoReg Reg = -1
+
+// WordBytes is the size of the machine word; every register and memory
+// slot holds one word.
+const WordBytes = 8
+
+// RegInfo describes one register of a Func.
+type RegInfo struct {
+	Class Class
+	Name  string // diagnostic name; not required to be unique
+}
+
+// Instr is one ILOC instruction. The meaning of the fields depends on Op:
+//
+//   - Dst: result register, or NoReg.
+//   - Args: operand registers (fixed arity for most ops; variable for
+//     call/ret/phi).
+//   - Imm: integer immediate — the constant of loadi, the byte offset of
+//     loadai/storeai/addr, the frame offset of spill/restore, the CCM
+//     offset of ccmspill/ccmrestore.
+//   - FImm: the constant of loadf.
+//   - Sym: callee name (call) or global name (addr).
+//   - Then, Else: branch target labels (jmp uses Then; cbr uses both).
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	Args []Reg
+	Imm  int64
+	FImm float64
+	Sym  string
+	Then string
+	Else string
+}
+
+// Targets returns the labels this instruction may branch to.
+func (in *Instr) Targets() []string {
+	switch in.Op {
+	case OpJmp:
+		return []string{in.Then}
+	case OpCBr:
+		return []string{in.Then, in.Else}
+	}
+	return nil
+}
+
+// Uses returns the registers read by the instruction.
+func (in *Instr) Uses() []Reg { return in.Args }
+
+// Def returns the register written by the instruction, or NoReg.
+func (in *Instr) Def() Reg { return in.Dst }
+
+// Block is a basic block: a label and a non-empty instruction sequence
+// whose final instruction is the unique terminator.
+type Block struct {
+	Name   string
+	Index  int // position within Func.Blocks; maintained by Func.Renumber
+	Instrs []Instr
+}
+
+// Term returns the block's terminator instruction.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Func is a procedure.
+type Func struct {
+	Name     string
+	Params   []Reg // parameter registers, bound by the caller in order
+	RetClass Class // ClassNone for subroutines without a result
+	Regs     []RegInfo
+	Blocks   []*Block // Blocks[0] is the entry block
+
+	// Post-allocation metadata.
+	Allocated  bool  // true once physical registers are assigned
+	NumInt     int   // physical integer registers (when Allocated)
+	NumFloat   int   // physical float registers (when Allocated)
+	FrameBytes int64 // activation-record size for heavyweight spills
+	CCMBytes   int64 // bytes of CCM this function's own code touches
+}
+
+// NewReg appends a fresh register of class c and returns its name.
+func (f *Func) NewReg(c Class, name string) Reg {
+	f.Regs = append(f.Regs, RegInfo{Class: c, Name: name})
+	return Reg(len(f.Regs) - 1)
+}
+
+// RegClass returns the class of r.
+func (f *Func) RegClass(r Reg) Class {
+	if r < 0 || int(r) >= len(f.Regs) {
+		return ClassNone
+	}
+	return f.Regs[r].Class
+}
+
+// BlockNamed returns the block with the given label, or nil.
+func (f *Func) BlockNamed(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// Renumber refreshes Block.Index after blocks are added or removed.
+func (f *Func) Renumber() {
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+}
+
+// NumInstrs returns the static instruction count of the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// ForEachInstr calls fn for every instruction in block layout order.
+func (f *Func) ForEachInstr(fn func(b *Block, i int, in *Instr)) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			fn(b, i, &b.Instrs[i])
+		}
+	}
+}
+
+// Global is a statically allocated region of main memory.
+type Global struct {
+	Name  string
+	Words int      // size in 8-byte words
+	Init  []uint64 // raw word initializers; len(Init) <= Words
+}
+
+// Bytes returns the global's size in bytes.
+func (g *Global) Bytes() int64 { return int64(g.Words) * WordBytes }
+
+// Program is a whole compilation unit: functions plus global data.
+type Program struct {
+	Funcs   []*Func
+	Globals []*Global
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (p *Program) Global(name string) *Global {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// AddFunc appends f, rejecting duplicate names.
+func (p *Program) AddFunc(f *Func) error {
+	if p.Func(f.Name) != nil {
+		return fmt.Errorf("ir: duplicate function %q", f.Name)
+	}
+	p.Funcs = append(p.Funcs, f)
+	return nil
+}
+
+// AddGlobal appends g, rejecting duplicate names.
+func (p *Program) AddGlobal(g *Global) error {
+	if p.Global(g.Name) != nil {
+		return fmt.Errorf("ir: duplicate global %q", g.Name)
+	}
+	p.Globals = append(p.Globals, g)
+	return nil
+}
+
+// Clone deep-copies the program so that transformations can be compared
+// against the original (the semantic-equality oracle relies on this).
+func (p *Program) Clone() *Program {
+	q := &Program{}
+	for _, g := range p.Globals {
+		ng := &Global{Name: g.Name, Words: g.Words, Init: append([]uint64(nil), g.Init...)}
+		q.Globals = append(q.Globals, ng)
+	}
+	for _, f := range p.Funcs {
+		q.Funcs = append(q.Funcs, f.Clone())
+	}
+	return q
+}
+
+// Clone deep-copies the function.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:       f.Name,
+		Params:     append([]Reg(nil), f.Params...),
+		RetClass:   f.RetClass,
+		Regs:       append([]RegInfo(nil), f.Regs...),
+		Allocated:  f.Allocated,
+		NumInt:     f.NumInt,
+		NumFloat:   f.NumFloat,
+		FrameBytes: f.FrameBytes,
+		CCMBytes:   f.CCMBytes,
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Index: b.Index, Instrs: make([]Instr, len(b.Instrs))}
+		for i, in := range b.Instrs {
+			in.Args = append([]Reg(nil), in.Args...)
+			nb.Instrs[i] = in
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}

@@ -1,0 +1,329 @@
+package ir
+
+import "fmt"
+
+// Class identifies a register class of the abstract machine. The target has
+// two real classes (paper §4: 32 general-purpose and 32 floating-point
+// registers); ClassNone marks the absence of a result.
+type Class uint8
+
+const (
+	ClassNone Class = iota
+	ClassInt
+	ClassFloat
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassInt:
+		return "int"
+	case ClassFloat:
+		return "float"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Op is an ILOC-style opcode.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// Constants.
+	OpLoadI // dst(int) = Imm
+	OpLoadF // dst(float) = FImm
+
+	// Integer arithmetic, dst = a ⊕ b.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // traps on divide by zero
+	OpRem // traps on divide by zero
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Integer unary.
+	OpNeg
+	OpNot
+
+	// Integer comparisons, dst(int) = a ⊲ b ? 1 : 0.
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpCmpEQ
+	OpCmpNE
+
+	// Floating-point arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+	OpFAbs
+	OpFSqrt
+
+	// Floating-point comparisons, dst(int).
+	OpFCmpLT
+	OpFCmpLE
+	OpFCmpGT
+	OpFCmpGE
+	OpFCmpEQ
+	OpFCmpNE
+
+	// Conversions.
+	OpI2F // dst(float) = float(a)
+	OpF2I // dst(int) = trunc(a)
+
+	// Register copies (coalescing candidates).
+	OpCopy  // dst(int) = a
+	OpFCopy // dst(float) = a
+
+	// Main-memory access. Addresses are byte addresses, 8-aligned.
+	OpLoad     // dst(int) = M[a]
+	OpLoadAI   // dst(int) = M[a+Imm]
+	OpStore    // M[b] = a          (a = value, b = address)
+	OpStoreAI  // M[b+Imm] = a
+	OpFLoad    // dst(float) = M[a]
+	OpFLoadAI  // dst(float) = M[a+Imm]
+	OpFStore   // M[b] = a
+	OpFStoreAI // M[b+Imm] = a
+
+	// OpAddr materializes the address of global Sym plus Imm bytes.
+	OpAddr // dst(int) = &Sym + Imm
+
+	// Heavyweight spill code (inserted by the register allocator).
+	// Offsets (Imm) are byte offsets into the current activation record.
+	OpSpill    // frame[Imm] = a   (int)
+	OpRestore  // dst(int) = frame[Imm]
+	OpFSpill   // frame[Imm] = a   (float)
+	OpFRestore // dst(float) = frame[Imm]
+
+	// CCM spill code (paper §2.1: "spill rX, (offset)" / "restore").
+	// Offsets are byte offsets into the global compiler-controlled memory.
+	OpCCMSpill    // CCM[Imm] = a   (int)
+	OpCCMRestore  // dst(int) = CCM[Imm]
+	OpCCMFSpill   // CCM[Imm] = a   (float)
+	OpCCMFRestore // dst(float) = CCM[Imm]
+
+	// Control flow. Every block ends with exactly one of these.
+	OpJmp  // goto Then
+	OpCBr  // if a != 0 goto Then else goto Else
+	OpCall // dst? = Sym(Args...)  — not a terminator
+	OpRet  // return Args[0]?
+
+	// Observable output, used to compare program behaviour across
+	// pipeline stages (the reproduction's semantic oracle).
+	OpEmit  // emit int a
+	OpFEmit // emit float a
+
+	// SSA-only; never survives to allocation or simulation.
+	OpPhi // dst = φ(Args...), Args aligned with block predecessors
+
+	numOps
+)
+
+type opFlags uint16
+
+const (
+	flagTerm    opFlags = 1 << iota // block terminator
+	flagMemMain                     // accesses main memory
+	flagMemCCM                      // accesses the CCM address space
+	flagStore                       // writes memory (main or CCM)
+	flagLoad                        // reads memory (main or CCM)
+	flagSideEff                     // must not be dead-code eliminated
+	flagCommut                      // commutative binary op
+	flagVarArgs                     // variable argument count (call, ret, phi)
+)
+
+type opInfo struct {
+	name  string
+	nargs int
+	dst   Class
+	arg0  Class
+	arg1  Class
+	flags opFlags
+}
+
+var opTable = [numOps]opInfo{
+	OpNop:   {name: "nop", nargs: 0, dst: ClassNone},
+	OpLoadI: {name: "loadi", nargs: 0, dst: ClassInt},
+	OpLoadF: {name: "loadf", nargs: 0, dst: ClassFloat},
+
+	OpAdd: {name: "add", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagCommut},
+	OpSub: {name: "sub", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt},
+	OpMul: {name: "mul", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagCommut},
+	OpDiv: {name: "div", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagSideEff},
+	OpRem: {name: "rem", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagSideEff},
+	OpAnd: {name: "and", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagCommut},
+	OpOr:  {name: "or", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagCommut},
+	OpXor: {name: "xor", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagCommut},
+	OpShl: {name: "shl", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt},
+	OpShr: {name: "shr", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt},
+
+	OpNeg: {name: "neg", nargs: 1, dst: ClassInt, arg0: ClassInt},
+	OpNot: {name: "not", nargs: 1, dst: ClassInt, arg0: ClassInt},
+
+	OpCmpLT: {name: "cmplt", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt},
+	OpCmpLE: {name: "cmple", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt},
+	OpCmpGT: {name: "cmpgt", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt},
+	OpCmpGE: {name: "cmpge", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt},
+	OpCmpEQ: {name: "cmpeq", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagCommut},
+	OpCmpNE: {name: "cmpne", nargs: 2, dst: ClassInt, arg0: ClassInt, arg1: ClassInt, flags: flagCommut},
+
+	OpFAdd:  {name: "fadd", nargs: 2, dst: ClassFloat, arg0: ClassFloat, arg1: ClassFloat, flags: flagCommut},
+	OpFSub:  {name: "fsub", nargs: 2, dst: ClassFloat, arg0: ClassFloat, arg1: ClassFloat},
+	OpFMul:  {name: "fmul", nargs: 2, dst: ClassFloat, arg0: ClassFloat, arg1: ClassFloat, flags: flagCommut},
+	OpFDiv:  {name: "fdiv", nargs: 2, dst: ClassFloat, arg0: ClassFloat, arg1: ClassFloat},
+	OpFNeg:  {name: "fneg", nargs: 1, dst: ClassFloat, arg0: ClassFloat},
+	OpFAbs:  {name: "fabs", nargs: 1, dst: ClassFloat, arg0: ClassFloat},
+	OpFSqrt: {name: "fsqrt", nargs: 1, dst: ClassFloat, arg0: ClassFloat},
+
+	OpFCmpLT: {name: "fcmplt", nargs: 2, dst: ClassInt, arg0: ClassFloat, arg1: ClassFloat},
+	OpFCmpLE: {name: "fcmple", nargs: 2, dst: ClassInt, arg0: ClassFloat, arg1: ClassFloat},
+	OpFCmpGT: {name: "fcmpgt", nargs: 2, dst: ClassInt, arg0: ClassFloat, arg1: ClassFloat},
+	OpFCmpGE: {name: "fcmpge", nargs: 2, dst: ClassInt, arg0: ClassFloat, arg1: ClassFloat},
+	OpFCmpEQ: {name: "fcmpeq", nargs: 2, dst: ClassInt, arg0: ClassFloat, arg1: ClassFloat, flags: flagCommut},
+	OpFCmpNE: {name: "fcmpne", nargs: 2, dst: ClassInt, arg0: ClassFloat, arg1: ClassFloat, flags: flagCommut},
+
+	OpI2F: {name: "i2f", nargs: 1, dst: ClassFloat, arg0: ClassInt},
+	OpF2I: {name: "f2i", nargs: 1, dst: ClassInt, arg0: ClassFloat},
+
+	OpCopy:  {name: "copy", nargs: 1, dst: ClassInt, arg0: ClassInt},
+	OpFCopy: {name: "fcopy", nargs: 1, dst: ClassFloat, arg0: ClassFloat},
+
+	OpLoad:     {name: "load", nargs: 1, dst: ClassInt, arg0: ClassInt, flags: flagMemMain | flagLoad | flagSideEff},
+	OpLoadAI:   {name: "loadai", nargs: 1, dst: ClassInt, arg0: ClassInt, flags: flagMemMain | flagLoad | flagSideEff},
+	OpStore:    {name: "store", nargs: 2, dst: ClassNone, arg0: ClassInt, arg1: ClassInt, flags: flagMemMain | flagStore | flagSideEff},
+	OpStoreAI:  {name: "storeai", nargs: 2, dst: ClassNone, arg0: ClassInt, arg1: ClassInt, flags: flagMemMain | flagStore | flagSideEff},
+	OpFLoad:    {name: "fload", nargs: 1, dst: ClassFloat, arg0: ClassInt, flags: flagMemMain | flagLoad | flagSideEff},
+	OpFLoadAI:  {name: "floadai", nargs: 1, dst: ClassFloat, arg0: ClassInt, flags: flagMemMain | flagLoad | flagSideEff},
+	OpFStore:   {name: "fstore", nargs: 2, dst: ClassNone, arg0: ClassFloat, arg1: ClassInt, flags: flagMemMain | flagStore | flagSideEff},
+	OpFStoreAI: {name: "fstoreai", nargs: 2, dst: ClassNone, arg0: ClassFloat, arg1: ClassInt, flags: flagMemMain | flagStore | flagSideEff},
+
+	OpAddr: {name: "addr", nargs: 0, dst: ClassInt},
+
+	OpSpill:    {name: "spill", nargs: 1, dst: ClassNone, arg0: ClassInt, flags: flagMemMain | flagStore | flagSideEff},
+	OpRestore:  {name: "restore", nargs: 0, dst: ClassInt, flags: flagMemMain | flagLoad | flagSideEff},
+	OpFSpill:   {name: "fspill", nargs: 1, dst: ClassNone, arg0: ClassFloat, flags: flagMemMain | flagStore | flagSideEff},
+	OpFRestore: {name: "frestore", nargs: 0, dst: ClassFloat, flags: flagMemMain | flagLoad | flagSideEff},
+
+	OpCCMSpill:    {name: "ccmspill", nargs: 1, dst: ClassNone, arg0: ClassInt, flags: flagMemCCM | flagStore | flagSideEff},
+	OpCCMRestore:  {name: "ccmrestore", nargs: 0, dst: ClassInt, flags: flagMemCCM | flagLoad | flagSideEff},
+	OpCCMFSpill:   {name: "ccmfspill", nargs: 1, dst: ClassNone, arg0: ClassFloat, flags: flagMemCCM | flagStore | flagSideEff},
+	OpCCMFRestore: {name: "ccmfrestore", nargs: 0, dst: ClassFloat, flags: flagMemCCM | flagLoad | flagSideEff},
+
+	OpJmp:  {name: "jmp", nargs: 0, dst: ClassNone, flags: flagTerm | flagSideEff},
+	OpCBr:  {name: "cbr", nargs: 1, dst: ClassNone, arg0: ClassInt, flags: flagTerm | flagSideEff},
+	OpCall: {name: "call", nargs: -1, dst: ClassNone, flags: flagVarArgs | flagSideEff},
+	OpRet:  {name: "ret", nargs: -1, dst: ClassNone, flags: flagTerm | flagVarArgs | flagSideEff},
+
+	OpEmit:  {name: "emit", nargs: 1, dst: ClassNone, arg0: ClassInt, flags: flagSideEff},
+	OpFEmit: {name: "femit", nargs: 1, dst: ClassNone, arg0: ClassFloat, flags: flagSideEff},
+
+	OpPhi: {name: "phi", nargs: -1, dst: ClassNone, flags: flagVarArgs},
+}
+
+func (op Op) info() opInfo {
+	if op >= numOps {
+		return opInfo{name: fmt.Sprintf("Op(%d)", uint8(op))}
+	}
+	return opTable[op]
+}
+
+func (op Op) String() string { return op.info().name }
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool { return op.info().flags&flagTerm != 0 }
+
+// IsMainMemOp reports whether op accesses main memory (and therefore costs
+// MemCost cycles on the abstract machine and goes through the cache model).
+func (op Op) IsMainMemOp() bool { return op.info().flags&flagMemMain != 0 }
+
+// IsCCMOp reports whether op accesses the compiler-controlled memory.
+func (op Op) IsCCMOp() bool { return op.info().flags&flagMemCCM != 0 }
+
+// IsMemOp reports whether op is a load/store of either address space.
+func (op Op) IsMemOp() bool { return op.info().flags&(flagMemMain|flagMemCCM) != 0 }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.info().flags&flagLoad != 0 }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.info().flags&flagStore != 0 }
+
+// HasSideEffects reports whether op must be preserved even when its result
+// is unused.
+func (op Op) HasSideEffects() bool { return op.info().flags&flagSideEff != 0 }
+
+// IsCommutative reports whether op is a commutative binary operation.
+func (op Op) IsCommutative() bool { return op.info().flags&flagCommut != 0 }
+
+// IsSpill reports whether op is a heavyweight (main-memory) spill store.
+func (op Op) IsSpill() bool { return op == OpSpill || op == OpFSpill }
+
+// IsRestore reports whether op is a heavyweight (main-memory) spill load.
+func (op Op) IsRestore() bool { return op == OpRestore || op == OpFRestore }
+
+// IsCCMSpill reports whether op is a CCM spill store.
+func (op Op) IsCCMSpill() bool { return op == OpCCMSpill || op == OpCCMFSpill }
+
+// IsCCMRestore reports whether op is a CCM spill load.
+func (op Op) IsCCMRestore() bool { return op == OpCCMRestore || op == OpCCMFRestore }
+
+// DstClass returns the register class of op's result (ClassNone if none).
+// Call results depend on the callee and are handled separately.
+func (op Op) DstClass() Class { return op.info().dst }
+
+// ArgClass returns the required class of argument i for fixed-arity ops.
+func (op Op) ArgClass(i int) Class {
+	inf := op.info()
+	switch i {
+	case 0:
+		return inf.arg0
+	case 1:
+		return inf.arg1
+	}
+	return ClassNone
+}
+
+// NumArgs returns the fixed argument count, or -1 for variable-arity ops.
+func (op Op) NumArgs() int { return op.info().nargs }
+
+// opByName maps the textual opcode name back to the Op (used by the parser).
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// SpillOpFor returns the heavyweight spill/restore opcodes for a class.
+func SpillOpFor(c Class) (spill, restore Op) {
+	if c == ClassFloat {
+		return OpFSpill, OpFRestore
+	}
+	return OpSpill, OpRestore
+}
+
+// CCMOpFor returns the CCM spill/restore opcodes for a class.
+func CCMOpFor(c Class) (spill, restore Op) {
+	if c == ClassFloat {
+		return OpCCMFSpill, OpCCMFRestore
+	}
+	return OpCCMSpill, OpCCMRestore
+}
+
+// CopyOpFor returns the register-copy opcode for a class.
+func CopyOpFor(c Class) Op {
+	if c == ClassFloat {
+		return OpFCopy
+	}
+	return OpCopy
+}

@@ -1,0 +1,398 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a whole program in the textual ILOC form produced by
+// Program.String. The grammar, line oriented:
+//
+//	global NAME WORDS [= (i|f|x) v v v ...]
+//	func NAME(r0, f1, ...) [int|float] {
+//	label:
+//		[rN|fN =] op operands
+//	}
+//
+// '#' starts a comment that runs to end of line. Register names use a
+// shared index space: r5 and f5 denote the same register slot, and the
+// prefix fixes its class; using both prefixes for one index is an error.
+func Parse(src string) (*Program, error) {
+	p := &parser{prog: &Program{}}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+type parser struct {
+	prog *Program
+	f    *Func
+	blk  *Block
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parse line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var err error
+		switch {
+		case strings.HasPrefix(line, "global "):
+			err = p.parseGlobal(line)
+		case strings.HasPrefix(line, "func "):
+			err = p.parseFuncHeader(line)
+		case line == "}":
+			err = p.endFunc()
+		case strings.HasSuffix(line, ":") && !strings.Contains(line, " "):
+			err = p.startBlock(strings.TrimSuffix(line, ":"))
+		default:
+			err = p.parseInstr(line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if p.f != nil {
+		return p.errf("missing closing brace for func %s", p.f.Name)
+	}
+	return nil
+}
+
+func (p *parser) parseGlobal(line string) error {
+	if p.f != nil {
+		return p.errf("global declaration inside function")
+	}
+	rest := strings.TrimPrefix(line, "global ")
+	var init string
+	if i := strings.IndexByte(rest, '='); i >= 0 {
+		init = strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return p.errf("global wants 'global NAME WORDS', got %q", line)
+	}
+	words, err := strconv.Atoi(fields[1])
+	if err != nil || words < 0 {
+		return p.errf("bad global size %q", fields[1])
+	}
+	g := &Global{Name: fields[0], Words: words}
+	if init != "" {
+		vals := strings.Fields(init)
+		if len(vals) < 1 {
+			return p.errf("empty global initializer")
+		}
+		kind, vals := vals[0], vals[1:]
+		if len(vals) > words {
+			return p.errf("global %s: %d initializers for %d words", g.Name, len(vals), words)
+		}
+		for _, v := range vals {
+			switch kind {
+			case "i":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return p.errf("bad int initializer %q", v)
+				}
+				g.Init = append(g.Init, uint64(n))
+			case "f":
+				x, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return p.errf("bad float initializer %q", v)
+				}
+				g.Init = append(g.Init, math.Float64bits(x))
+			case "x":
+				n, err := strconv.ParseUint(v, 16, 64)
+				if err != nil {
+					return p.errf("bad hex initializer %q", v)
+				}
+				g.Init = append(g.Init, n)
+			default:
+				return p.errf("unknown initializer kind %q (want i, f, or x)", kind)
+			}
+		}
+	}
+	return p.prog.AddGlobal(g)
+}
+
+func (p *parser) parseFuncHeader(line string) error {
+	if p.f != nil {
+		return p.errf("nested func")
+	}
+	rest := strings.TrimPrefix(line, "func ")
+	if !strings.HasSuffix(rest, "{") {
+		return p.errf("func header must end with '{'")
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	open := strings.IndexByte(rest, '(')
+	close_ := strings.LastIndexByte(rest, ')')
+	if open < 0 || close_ < open {
+		return p.errf("malformed func header %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	if name == "" {
+		return p.errf("func missing name")
+	}
+	ret := ClassNone
+	switch tail := strings.TrimSpace(rest[close_+1:]); tail {
+	case "":
+	case "int":
+		ret = ClassInt
+	case "float":
+		ret = ClassFloat
+	default:
+		return p.errf("unknown return class %q", tail)
+	}
+	p.f = &Func{Name: name, RetClass: ret}
+	params := strings.TrimSpace(rest[open+1 : close_])
+	if params != "" {
+		for _, tok := range strings.Split(params, ",") {
+			r, err := p.reg(strings.TrimSpace(tok))
+			if err != nil {
+				return err
+			}
+			p.f.Params = append(p.f.Params, r)
+		}
+	}
+	return nil
+}
+
+func (p *parser) endFunc() error {
+	if p.f == nil {
+		return p.errf("unexpected '}'")
+	}
+	if len(p.f.Blocks) == 0 {
+		return p.errf("func %s has no blocks", p.f.Name)
+	}
+	p.f.Renumber()
+	err := p.prog.AddFunc(p.f)
+	p.f, p.blk = nil, nil
+	return err
+}
+
+func (p *parser) startBlock(name string) error {
+	if p.f == nil {
+		return p.errf("label %q outside function", name)
+	}
+	if p.f.BlockNamed(name) != nil {
+		return p.errf("duplicate block label %q", name)
+	}
+	p.blk = &Block{Name: name, Index: len(p.f.Blocks)}
+	p.f.Blocks = append(p.f.Blocks, p.blk)
+	return nil
+}
+
+// reg resolves a register token ("r12", "f3"), growing the register table
+// as needed and checking class consistency across mentions.
+func (p *parser) reg(tok string) (Reg, error) {
+	if len(tok) < 2 || (tok[0] != 'r' && tok[0] != 'f') {
+		return NoReg, p.errf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return NoReg, p.errf("bad register %q", tok)
+	}
+	c := ClassInt
+	if tok[0] == 'f' {
+		c = ClassFloat
+	}
+	for len(p.f.Regs) <= n {
+		p.f.Regs = append(p.f.Regs, RegInfo{Class: ClassNone})
+	}
+	switch p.f.Regs[n].Class {
+	case ClassNone:
+		p.f.Regs[n].Class = c
+	case c:
+	default:
+		return NoReg, p.errf("register %d used as both int and float", n)
+	}
+	return Reg(n), nil
+}
+
+func (p *parser) parseInstr(line string) error {
+	if p.f == nil {
+		return p.errf("instruction outside function")
+	}
+	if p.blk == nil {
+		return p.errf("instruction before any label")
+	}
+	if t := p.blk.Term(); t != nil {
+		return p.errf("instruction after terminator in block %s", p.blk.Name)
+	}
+	var dstTok string
+	if i := strings.Index(line, "="); i >= 0 && !strings.Contains(line[:i], "(") {
+		dstTok = strings.TrimSpace(line[:i])
+		line = strings.TrimSpace(line[i+1:])
+	}
+	opTok := line
+	rest := ""
+	if i := strings.IndexAny(line, " ("); i >= 0 {
+		opTok = line[:i]
+		rest = strings.TrimSpace(line[i:])
+	}
+	op, ok := opByName[opTok]
+	if !ok {
+		return p.errf("unknown opcode %q", opTok)
+	}
+	in := Instr{Op: op, Dst: NoReg}
+	if dstTok != "" {
+		dst, err := p.reg(dstTok)
+		if err != nil {
+			return err
+		}
+		in.Dst = dst
+	}
+
+	switch op {
+	case OpNop:
+	case OpLoadI:
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return p.errf("loadi wants an integer, got %q", rest)
+		}
+		in.Imm = n
+	case OpLoadF:
+		x, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return p.errf("loadf wants a float, got %q", rest)
+		}
+		in.FImm = x
+	case OpAddr:
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return p.errf("addr wants 'addr SYM, OFFSET'")
+		}
+		in.Sym = parts[0]
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return p.errf("bad addr offset %q", parts[1])
+		}
+		in.Imm = n
+	case OpLoadAI, OpFLoadAI, OpSpill, OpFSpill, OpCCMSpill, OpCCMFSpill:
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return p.errf("%s wants 'reg, offset'", op)
+		}
+		r, err := p.reg(parts[0])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return p.errf("bad offset %q", parts[1])
+		}
+		in.Args, in.Imm = []Reg{r}, n
+	case OpStoreAI, OpFStoreAI:
+		parts := splitOperands(rest)
+		if len(parts) != 3 {
+			return p.errf("%s wants 'val, addr, offset'", op)
+		}
+		v, err := p.reg(parts[0])
+		if err != nil {
+			return err
+		}
+		a, err := p.reg(parts[1])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return p.errf("bad offset %q", parts[2])
+		}
+		in.Args, in.Imm = []Reg{v, a}, n
+	case OpRestore, OpFRestore, OpCCMRestore, OpCCMFRestore:
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return p.errf("%s wants an offset, got %q", op, rest)
+		}
+		in.Imm = n
+	case OpJmp:
+		if rest == "" {
+			return p.errf("jmp wants a label")
+		}
+		in.Then = rest
+	case OpCBr:
+		parts := splitOperands(rest)
+		if len(parts) != 3 {
+			return p.errf("cbr wants 'cond, then, else'")
+		}
+		c, err := p.reg(parts[0])
+		if err != nil {
+			return err
+		}
+		in.Args, in.Then, in.Else = []Reg{c}, parts[1], parts[2]
+	case OpCall:
+		open := strings.IndexByte(rest, '(')
+		close_ := strings.LastIndexByte(rest, ')')
+		if open < 0 || close_ < open {
+			return p.errf("call wants 'call NAME(args)'")
+		}
+		in.Sym = strings.TrimSpace(rest[:open])
+		argstr := strings.TrimSpace(rest[open+1 : close_])
+		if argstr != "" {
+			for _, tok := range splitOperands(argstr) {
+				r, err := p.reg(tok)
+				if err != nil {
+					return err
+				}
+				in.Args = append(in.Args, r)
+			}
+		}
+	case OpRet:
+		if rest != "" {
+			r, err := p.reg(rest)
+			if err != nil {
+				return err
+			}
+			in.Args = []Reg{r}
+		}
+	case OpPhi:
+		for _, tok := range splitOperands(rest) {
+			r, err := p.reg(tok)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, r)
+		}
+	default:
+		// Uniform fixed-arity register ops.
+		want := op.NumArgs()
+		var parts []string
+		if rest != "" {
+			parts = splitOperands(rest)
+		}
+		if len(parts) != want {
+			return p.errf("%s wants %d operands, got %d", op, want, len(parts))
+		}
+		for _, tok := range parts {
+			r, err := p.reg(tok)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, r)
+		}
+	}
+	p.blk.Instrs = append(p.blk.Instrs, in)
+	return nil
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,214 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseEveryInstructionForm(t *testing.T) {
+	src := `
+# comment line
+global G 8 = i 1 -2 3
+global H 2 = f 1.5 -0.25
+global X 1 = x deadbeef
+
+func main() {  # trailing comment
+entry:
+	nop
+	r0 = loadi -42
+	f1 = loadf 2.5
+	r2 = add r0, r0
+	r3 = sub r2, r0
+	r4 = mul r3, r3
+	r5 = div r4, r3
+	r6 = rem r5, r3
+	r7 = and r6, r5
+	r8 = or r7, r6
+	r9 = xor r8, r7
+	r10 = shl r9, r0
+	r11 = shr r10, r0
+	r12 = neg r11
+	r13 = not r12
+	r14 = cmplt r13, r12
+	r15 = cmple r14, r13
+	r16 = cmpgt r15, r14
+	r17 = cmpge r16, r15
+	r18 = cmpeq r17, r16
+	r19 = cmpne r18, r17
+	f20 = fadd f1, f1
+	f21 = fsub f20, f1
+	f22 = fmul f21, f20
+	f23 = fdiv f22, f21
+	f24 = fneg f23
+	f25 = fabs f24
+	f26 = fsqrt f25
+	r27 = fcmplt f26, f25
+	r28 = fcmple f26, f25
+	r29 = fcmpgt f26, f25
+	r30 = fcmpge f26, f25
+	r31 = fcmpeq f26, f25
+	r32 = fcmpne f26, f25
+	f33 = i2f r32
+	r34 = f2i f33
+	r35 = copy r34
+	f36 = fcopy f33
+	r37 = addr G, 16
+	r38 = load r37
+	r39 = loadai r37, 8
+	store r38, r37
+	storeai r39, r37, 8
+	f40 = fload r37
+	f41 = floadai r37, 8
+	fstore f40, r37
+	fstoreai f41, r37, 8
+	spill r39, 0
+	r42 = restore 0
+	fspill f41, 8
+	f43 = frestore 8
+	ccmspill r42, 0
+	r44 = ccmrestore 0
+	ccmfspill f43, 8
+	f45 = ccmfrestore 8
+	emit r44
+	femit f45
+	r46 = call fn(r44, f45)
+	call fn2()
+	cbr r46, next, next
+next:
+	jmp done
+done:
+	ret
+}
+
+func fn(r0, f1) int {
+entry:
+	ret r0
+}
+
+func fn2() {
+entry:
+	ret
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProgram(p, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Globals decoded correctly.
+	g := p.Global("G")
+	if g.Words != 8 || int64(g.Init[1]) != -2 {
+		t.Fatalf("global G = %+v", g)
+	}
+	h := p.Global("H")
+	if math.Float64frombits(h.Init[1]) != -0.25 {
+		t.Fatal("float initializer wrong")
+	}
+	x := p.Global("X")
+	if x.Init[0] != 0xdeadbeef {
+		t.Fatal("hex initializer wrong")
+	}
+	// Round-trip.
+	text := p.String()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if q.String() != text {
+		t.Fatal("print→parse→print not a fixed point")
+	}
+}
+
+func TestParsePhiRoundTrip(t *testing.T) {
+	src := `func f() {
+entry:
+	r0 = loadi 1
+	jmp merge
+merge:
+	r1 = phi r0, r1
+	jmp merge
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProgram(p, VerifyOptions{AllowPhi: true}); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != src {
+		t.Fatalf("round trip:\n%q\n%q", p.String(), src)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"global G", "global wants"},
+		{"global G x", "bad global size"},
+		{"global G 2 = i 1 2 3", "3 initializers for 2 words"},
+		{"global G 2 = q 1", "unknown initializer kind"},
+		{"global G 1 = i zz", "bad int initializer"},
+		{"func f( {", "malformed func header"},
+		{"func f() wat {", "unknown return class"},
+		{"func f() {\nentry:\n\tret\n}\nglobal G 1 # after func is fine\nfunc f() {\nentry:\n\tret\n}", "duplicate function"},
+		{"func f() {\nentry:\n\tfrobnicate r1\n}", "unknown opcode"},
+		{"func f() {\nentry:\n\tr0 = loadi xyz\n}", "loadi wants an integer"},
+		{"func f() {\nentry:\n\tr0 = add r1\n}", "add wants 2 operands"},
+		{"func f() {\nentry:\n\tr0 = add q1, r2\n}", "bad register"},
+		{"func f() {\nentry:\n\tr0 = loadi 1\n\tf0 = loadf 1.0\n\tret\n}", "both int and float"},
+		{"func f() {\n\tr0 = loadi 1\n}", "before any label"},
+		{"r0 = loadi 1", "outside function"},
+		{"func f() {\nentry:\n\tret\nentry:\n\tret\n}", "duplicate block label"},
+		{"func f() {\nentry:\n\tret\n\tnop\n}", "after terminator"},
+		{"func f() {\nentry:\n\tret\n", "missing closing brace"},
+		{"}", "unexpected '}'"},
+		{"func f() {\nentry:\n\tcbr r0, a\n}", "cbr wants"},
+		{"func f() {\nentry:\n\tjmp\n}", "jmp wants a label"},
+		{"func f() {\nentry:\n\tspill r0, x\n}", "bad offset"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse accepted %q (want error %q)", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseGlobalInsideFunction(t *testing.T) {
+	_, err := Parse("func f() {\nentry:\nglobal G 1\n\tret\n}")
+	if err == nil || !strings.Contains(err.Error(), "inside function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFormatInstrSpecials(t *testing.T) {
+	f := &Func{Name: "x"}
+	r := f.NewReg(ClassInt, "")
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop, Dst: NoReg}, "nop"},
+		{Instr{Op: OpLoadI, Dst: r, Imm: -7}, "r0 = loadi -7"},
+		{Instr{Op: OpAddr, Dst: r, Sym: "G", Imm: 8}, "r0 = addr G, 8"},
+		{Instr{Op: OpRet, Dst: NoReg}, "ret"},
+		{Instr{Op: OpRet, Dst: NoReg, Args: []Reg{r}}, "ret r0"},
+		{Instr{Op: OpCall, Dst: NoReg, Sym: "g", Args: []Reg{r, r}}, "call g(r0, r0)"},
+		{Instr{Op: OpCall, Dst: r, Sym: "g"}, "r0 = call g()"},
+		{Instr{Op: OpCBr, Dst: NoReg, Args: []Reg{r}, Then: "a", Else: "b"}, "cbr r0, a, b"},
+		{Instr{Op: OpSpill, Dst: NoReg, Args: []Reg{r}, Imm: 16}, "spill r0, 16"},
+		{Instr{Op: OpCCMRestore, Dst: r, Imm: 24}, "r0 = ccmrestore 24"},
+	}
+	for _, c := range cases {
+		if got := f.FormatInstr(&c.in); got != c.want {
+			t.Errorf("FormatInstr = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RegName renders a register in the textual form used by the parser:
+// r<N> for integer registers, f<N> for floats. The index space is shared,
+// so r4 and f4 never coexist in one function.
+func (f *Func) RegName(r Reg) string {
+	if r == NoReg {
+		return "_"
+	}
+	switch f.RegClass(r) {
+	case ClassFloat:
+		return fmt.Sprintf("f%d", r)
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// FormatInstr renders one instruction in parseable form.
+func (f *Func) FormatInstr(in *Instr) string {
+	var b strings.Builder
+	arg := func(i int) string { return f.RegName(in.Args[i]) }
+	if in.Dst != NoReg {
+		fmt.Fprintf(&b, "%s = ", f.RegName(in.Dst))
+	}
+	switch in.Op {
+	case OpNop:
+		b.WriteString("nop")
+	case OpLoadI:
+		fmt.Fprintf(&b, "loadi %d", in.Imm)
+	case OpLoadF:
+		fmt.Fprintf(&b, "loadf %v", in.FImm)
+	case OpLoadAI, OpFLoadAI:
+		fmt.Fprintf(&b, "%s %s, %d", in.Op, arg(0), in.Imm)
+	case OpStoreAI, OpFStoreAI:
+		fmt.Fprintf(&b, "%s %s, %s, %d", in.Op, arg(0), arg(1), in.Imm)
+	case OpAddr:
+		fmt.Fprintf(&b, "addr %s, %d", in.Sym, in.Imm)
+	case OpSpill, OpFSpill, OpCCMSpill, OpCCMFSpill:
+		fmt.Fprintf(&b, "%s %s, %d", in.Op, arg(0), in.Imm)
+	case OpRestore, OpFRestore, OpCCMRestore, OpCCMFRestore:
+		fmt.Fprintf(&b, "%s %d", in.Op, in.Imm)
+	case OpJmp:
+		fmt.Fprintf(&b, "jmp %s", in.Then)
+	case OpCBr:
+		fmt.Fprintf(&b, "cbr %s, %s, %s", arg(0), in.Then, in.Else)
+	case OpCall:
+		parts := make([]string, len(in.Args))
+		for i := range in.Args {
+			parts[i] = arg(i)
+		}
+		fmt.Fprintf(&b, "call %s(%s)", in.Sym, strings.Join(parts, ", "))
+	case OpRet:
+		b.WriteString("ret")
+		if len(in.Args) == 1 {
+			fmt.Fprintf(&b, " %s", arg(0))
+		}
+	case OpPhi:
+		parts := make([]string, len(in.Args))
+		for i := range in.Args {
+			parts[i] = arg(i)
+		}
+		fmt.Fprintf(&b, "phi %s", strings.Join(parts, ", "))
+	default:
+		// Uniform fixed-arity ops: "op a[, b]".
+		b.WriteString(in.Op.String())
+		for i := range in.Args {
+			if i == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteString(", ")
+			}
+			b.WriteString(arg(i))
+		}
+	}
+	return b.String()
+}
+
+// String renders the function in the textual ILOC form accepted by Parse.
+func (f *Func) String() string {
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = f.RegName(p)
+	}
+	fmt.Fprintf(&b, "func %s(%s)", f.Name, strings.Join(params, ", "))
+	switch f.RetClass {
+	case ClassInt:
+		b.WriteString(" int")
+	case ClassFloat:
+		b.WriteString(" float")
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for i := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s\n", f.FormatInstr(&blk.Instrs[i]))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the whole program in parseable form.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s %d", g.Name, g.Words)
+		if len(g.Init) > 0 {
+			b.WriteString(" = x")
+			for _, w := range g.Init {
+				fmt.Fprintf(&b, " %x", w)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.Globals) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

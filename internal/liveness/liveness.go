@@ -1,0 +1,133 @@
+// Package liveness implements backward may-dataflow for live variables,
+// over registers (used by the register allocator) and, via the generic
+// Backward solver, over spill locations (used by the post-pass CCM
+// allocator, where a location is "live" at p if some path from p reaches a
+// restore of it with no intervening spill that kills it — the paper's §3.1
+// definition).
+package liveness
+
+import (
+	"ccmem/internal/bitset"
+	"ccmem/internal/cfg"
+	"ccmem/internal/ir"
+)
+
+// Result holds per-block live-in and live-out sets.
+type Result struct {
+	In  []bitset.Set
+	Out []bitset.Set
+}
+
+// Backward solves In[b] = Use[b] ∪ (Out[b] \ Def[b]),
+// Out[b] = ∪_{s ∈ succ(b)} (In[s] ∪ edgeUse(b,s)) with a worklist over the
+// postorder. edgeUse may be nil; when present it supplies facts used on the
+// edge b→s (phi arguments). All sets must share one capacity.
+func Backward(g *cfg.Graph, use, def []bitset.Set, edgeUse func(from, to int) bitset.Set) *Result {
+	n := g.NumBlocks()
+	if n == 0 {
+		return &Result{}
+	}
+	capBits := use[0].Len()
+	res := &Result{In: make([]bitset.Set, n), Out: make([]bitset.Set, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = bitset.New(capBits)
+		res.Out[i] = bitset.New(capBits)
+	}
+	po := g.Postorder()
+	inWorklist := make([]bool, n)
+	worklist := make([]int, 0, n)
+	for _, b := range po {
+		worklist = append(worklist, b)
+		inWorklist[b] = true
+	}
+	tmp := bitset.New(capBits)
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		inWorklist[b] = false
+
+		out := res.Out[b]
+		out.Reset()
+		for _, s := range g.Succs[b] {
+			out.UnionWith(res.In[s])
+			if edgeUse != nil {
+				if e := edgeUse(b, s); e.Len() > 0 {
+					out.UnionWith(e)
+				}
+			}
+		}
+		tmp.CopyFrom(out)
+		tmp.DifferenceWith(def[b])
+		tmp.UnionWith(use[b])
+		if !tmp.Equal(res.In[b]) {
+			res.In[b].CopyFrom(tmp)
+			for _, p := range g.Preds[b] {
+				if g.Reachable(p) && !inWorklist[p] {
+					inWorklist[p] = true
+					worklist = append(worklist, p)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Registers computes live registers per block for f. Phi instructions are
+// handled SSA-style: a phi's arguments are live at the end of the
+// corresponding predecessor, and its result is defined at block entry.
+func Registers(f *ir.Func, g *cfg.Graph) *Result {
+	n := g.NumBlocks()
+	nr := len(f.Regs)
+	use := make([]bitset.Set, n)
+	def := make([]bitset.Set, n)
+	for i := 0; i < n; i++ {
+		use[i] = bitset.New(nr)
+		def[i] = bitset.New(nr)
+	}
+	// edgeUses[s] is indexed by the position of the predecessor in
+	// g.Preds[s], matching phi-argument order.
+	edgeUses := map[[2]int]bitset.Set{}
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op == ir.OpPhi {
+				for ai, a := range in.Args {
+					if ai >= len(g.Preds[bi]) {
+						break
+					}
+					p := g.Preds[bi][ai]
+					key := [2]int{p, bi}
+					s, ok := edgeUses[key]
+					if !ok {
+						s = bitset.New(nr)
+						edgeUses[key] = s
+					}
+					s.Set(int(a))
+				}
+				if in.Dst != ir.NoReg {
+					def[bi].Set(int(in.Dst))
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				if !def[bi].Has(int(a)) {
+					use[bi].Set(int(a))
+				}
+			}
+			if in.Dst != ir.NoReg {
+				def[bi].Set(int(in.Dst))
+			}
+		}
+	}
+	var edge func(from, to int) bitset.Set
+	if len(edgeUses) > 0 {
+		empty := bitset.New(nr)
+		edge = func(from, to int) bitset.Set {
+			if s, ok := edgeUses[[2]int{from, to}]; ok {
+				return s
+			}
+			return empty
+		}
+	}
+	return Backward(g, use, def, edge)
+}

@@ -1,0 +1,227 @@
+// Package memsys models the memory hierarchies discussed in §4.3 of the
+// paper ("More complex execution models"): a set-associative data cache,
+// an optional victim cache behind it, and a write buffer in front of it.
+// The paper's headline experiments use the flat 2-cycle model (no cache);
+// these models power the ablation that compares "better cache / write
+// buffer / victim cache" against the CCM.
+package memsys
+
+import "fmt"
+
+// Model prices one memory access. Access returns the cycle cost of a
+// load (store=false) or store (store=true) at the given byte address.
+type Model interface {
+	Access(addr int64, store bool) int
+	Reset()
+	Stats() Stats
+}
+
+// Stats aggregates hit/miss behaviour of a Model.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	VictimHits int64
+	Evictions  int64
+}
+
+// CacheConfig describes a set-associative, write-allocate, LRU data cache.
+type CacheConfig struct {
+	LineBytes  int // power of two, ≥ 8
+	Sets       int // power of two
+	Ways       int // ≥ 1
+	HitCost    int // cycles on hit
+	MissCost   int // cycles on miss
+	VictimWays int // 0 disables the victim cache
+}
+
+// TotalBytes returns the cache capacity.
+func (c CacheConfig) TotalBytes() int { return c.LineBytes * c.Sets * c.Ways }
+
+func (c CacheConfig) validate() error {
+	if c.LineBytes < 8 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("memsys: LineBytes %d must be a power of two ≥ 8", c.LineBytes)
+	}
+	if c.Sets < 1 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("memsys: Sets %d must be a power of two ≥ 1", c.Sets)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("memsys: Ways %d must be ≥ 1", c.Ways)
+	}
+	if c.HitCost < 1 || c.MissCost < c.HitCost {
+		return fmt.Errorf("memsys: costs hit=%d miss=%d invalid", c.HitCost, c.MissCost)
+	}
+	if c.VictimWays < 0 {
+		return fmt.Errorf("memsys: VictimWays %d must be ≥ 0", c.VictimWays)
+	}
+	return nil
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	lru   int64 // last-touch tick; larger is more recent
+}
+
+// Cache is a set-associative LRU cache, optionally backed by a small
+// fully-associative victim cache that captures evicted lines.
+type Cache struct {
+	cfg    CacheConfig
+	sets   [][]line
+	victim []line
+	tick   int64
+	stats  Stats
+}
+
+// NewCache builds a cache from cfg.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	c.Reset()
+	return c, nil
+}
+
+// Reset clears all cache state and statistics.
+func (c *Cache) Reset() {
+	c.sets = make([][]line, c.cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, c.cfg.Ways)
+	}
+	c.victim = make([]line, c.cfg.VictimWays)
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// Stats returns accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access simulates a load or store (write-allocate: both install lines).
+func (c *Cache) Access(addr int64, store bool) int {
+	c.tick++
+	c.stats.Accesses++
+	lineAddr := addr / int64(c.cfg.LineBytes)
+	set := int(lineAddr) & (c.cfg.Sets - 1)
+	tag := lineAddr
+
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			c.stats.Hits++
+			return c.cfg.HitCost
+		}
+	}
+
+	// Victim-cache probe: a hit there swaps the line back at hit cost + 1.
+	if len(c.victim) > 0 {
+		for i := range c.victim {
+			if c.victim[i].valid && c.victim[i].tag == tag {
+				c.stats.VictimHits++
+				c.stats.Hits++
+				evicted := c.install(set, tag)
+				c.victim[i] = evicted
+				c.victim[i].lru = c.tick
+				return c.cfg.HitCost + 1
+			}
+		}
+	}
+
+	c.stats.Misses++
+	evicted := c.install(set, tag)
+	if evicted.valid && len(c.victim) > 0 {
+		vi := 0
+		for i := range c.victim {
+			if !c.victim[i].valid {
+				vi = i
+				break
+			}
+			if c.victim[i].lru < c.victim[vi].lru {
+				vi = i
+			}
+		}
+		c.victim[vi] = evicted
+		c.victim[vi].lru = c.tick
+	}
+	return c.cfg.MissCost
+}
+
+// install places tag into the set, returning the line it displaced.
+func (c *Cache) install(set int, tag int64) line {
+	ways := c.sets[set]
+	vi := 0
+	for i := range ways {
+		if !ways[i].valid {
+			vi = i
+			break
+		}
+		if ways[i].lru < ways[vi].lru {
+			vi = i
+		}
+	}
+	evicted := ways[vi]
+	if evicted.valid {
+		c.stats.Evictions++
+	}
+	ways[vi] = line{tag: tag, valid: true, lru: c.tick}
+	return evicted
+}
+
+// WriteBuffer wraps a Model so that stores complete in StoreCost cycles
+// (the buffer absorbs them) while still updating the underlying cache
+// state; loads pass through at the inner model's price. This reproduces
+// the paper's observation that a write buffer helps the stores generated
+// by spilling but "does little or nothing for loads".
+type WriteBuffer struct {
+	Inner     Model
+	StoreCost int
+	stats     Stats
+}
+
+// NewWriteBuffer wraps inner with a write buffer.
+func NewWriteBuffer(inner Model, storeCost int) *WriteBuffer {
+	if storeCost < 1 {
+		storeCost = 1
+	}
+	return &WriteBuffer{Inner: inner, StoreCost: storeCost}
+}
+
+// Access implements Model.
+func (w *WriteBuffer) Access(addr int64, store bool) int {
+	w.stats.Accesses++
+	if store {
+		w.Inner.Access(addr, true) // keep cache state coherent
+		w.stats.Hits++
+		return w.StoreCost
+	}
+	return w.Inner.Access(addr, false)
+}
+
+// Reset implements Model.
+func (w *WriteBuffer) Reset() {
+	w.Inner.Reset()
+	w.stats = Stats{}
+}
+
+// Stats returns the write buffer's own access counts; inner cache stats
+// are available from the wrapped model.
+func (w *WriteBuffer) Stats() Stats { return w.stats }
+
+// FlatMemory is the paper's default model: every access costs Cost cycles.
+type FlatMemory struct {
+	Cost  int
+	stats Stats
+}
+
+// Access implements Model.
+func (m *FlatMemory) Access(addr int64, store bool) int {
+	m.stats.Accesses++
+	return m.Cost
+}
+
+// Reset implements Model.
+func (m *FlatMemory) Reset() { m.stats = Stats{} }
+
+// Stats implements Model.
+func (m *FlatMemory) Stats() Stats { return m.stats }

@@ -1,0 +1,150 @@
+package memsys
+
+import (
+	"testing"
+)
+
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func base() CacheConfig {
+	return CacheConfig{LineBytes: 32, Sets: 4, Ways: 1, HitCost: 1, MissCost: 10}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{LineBytes: 0, Sets: 4, Ways: 1, HitCost: 1, MissCost: 10},
+		{LineBytes: 24, Sets: 4, Ways: 1, HitCost: 1, MissCost: 10}, // not pow2
+		{LineBytes: 32, Sets: 3, Ways: 1, HitCost: 1, MissCost: 10},
+		{LineBytes: 32, Sets: 4, Ways: 0, HitCost: 1, MissCost: 10},
+		{LineBytes: 32, Sets: 4, Ways: 1, HitCost: 0, MissCost: 10},
+		{LineBytes: 32, Sets: 4, Ways: 1, HitCost: 5, MissCost: 2}, // miss < hit
+		{LineBytes: 32, Sets: 4, Ways: 1, HitCost: 1, MissCost: 10, VictimWays: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if base().TotalBytes() != 128 {
+		t.Fatalf("TotalBytes = %d", base().TotalBytes())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustCache(t, base())
+	if cost := c.Access(64, false); cost != 10 {
+		t.Fatalf("cold access cost %d", cost)
+	}
+	if cost := c.Access(64, false); cost != 1 {
+		t.Fatalf("warm access cost %d", cost)
+	}
+	if cost := c.Access(64+24, true); cost != 1 {
+		t.Fatalf("same-line store cost %d", cost)
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := mustCache(t, base())
+	// Addresses 0 and 4*32=128 map to set 0 in a 4-set cache.
+	c.Access(0, false)
+	c.Access(128, false) // evicts 0
+	if cost := c.Access(0, false); cost != 10 {
+		t.Fatalf("conflict victim still resident (cost %d)", cost)
+	}
+}
+
+func TestTwoWayLRU(t *testing.T) {
+	cfg := base()
+	cfg.Ways = 2
+	c := mustCache(t, cfg)
+	c.Access(0, false)   // set 0, way A
+	c.Access(128, false) // set 0, way B
+	c.Access(0, false)   // touch A: B becomes LRU
+	c.Access(256, false) // evicts B (LRU)
+	if cost := c.Access(0, false); cost != 1 {
+		t.Fatal("MRU line evicted")
+	}
+	if cost := c.Access(128, false); cost != 10 {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestVictimCache(t *testing.T) {
+	cfg := base()
+	cfg.VictimWays = 2
+	c := mustCache(t, cfg)
+	c.Access(0, false)
+	c.Access(128, false) // evicts 0 into the victim buffer
+	cost := c.Access(0, false)
+	if cost != cfg.HitCost+1 {
+		t.Fatalf("victim hit cost %d, want %d", cost, cfg.HitCost+1)
+	}
+	s := c.Stats()
+	if s.VictimHits != 1 {
+		t.Fatalf("victim hits = %d", s.VictimHits)
+	}
+	// The line swapped back: now a plain hit.
+	if cost := c.Access(0, false); cost != 1 {
+		t.Fatal("swap-back failed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustCache(t, base())
+	c.Access(0, false)
+	c.Reset()
+	if s := c.Stats(); s.Accesses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if cost := c.Access(0, false); cost != 10 {
+		t.Fatal("contents survived reset")
+	}
+}
+
+func TestWriteBuffer(t *testing.T) {
+	inner := mustCache(t, base())
+	wb := NewWriteBuffer(inner, 1)
+	if cost := wb.Access(0, true); cost != 1 {
+		t.Fatalf("buffered store cost %d", cost)
+	}
+	// The store still installed the line: a subsequent load hits.
+	if cost := wb.Access(0, false); cost != 1 {
+		t.Fatalf("load after buffered store cost %d", cost)
+	}
+	// Loads pass through at the inner price.
+	if cost := wb.Access(512, false); cost != 10 {
+		t.Fatalf("cold load through buffer cost %d", cost)
+	}
+	wb.Reset()
+	if wb.Stats().Accesses != 0 || inner.Stats().Accesses != 0 {
+		t.Fatal("reset did not propagate")
+	}
+	if NewWriteBuffer(inner, 0).StoreCost != 1 {
+		t.Fatal("store cost floor")
+	}
+}
+
+func TestFlatMemory(t *testing.T) {
+	m := &FlatMemory{Cost: 2}
+	if m.Access(0, false) != 2 || m.Access(123456, true) != 2 {
+		t.Fatal("flat cost")
+	}
+	if m.Stats().Accesses != 2 {
+		t.Fatal("flat stats")
+	}
+	m.Reset()
+	if m.Stats().Accesses != 0 {
+		t.Fatal("flat reset")
+	}
+}

@@ -1,0 +1,121 @@
+package opt
+
+import (
+	"fmt"
+
+	"ccmem/internal/cfg"
+	"ccmem/internal/ir"
+)
+
+// CleanCFG tidies control flow to a fixed point: conditional branches with
+// identical arms become jumps, jumps to trivial forwarding blocks are
+// threaded, straight-line block pairs merge, and unreachable blocks are
+// deleted. The function must be phi-free.
+func CleanCFG(f *ir.Func, st *Stats) error {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpPhi {
+				return fmt.Errorf("opt: CleanCFG on %s: phi present", f.Name)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+
+		// cbr with equal arms -> jmp.
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t != nil && t.Op == ir.OpCBr && t.Then == t.Else {
+				*t = ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Then: t.Then}
+				st.BranchesFolded++
+				changed = true
+			}
+		}
+
+		// Thread jumps through blocks that only jump elsewhere.
+		forward := map[string]string{}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 1 && b.Instrs[0].Op == ir.OpJmp && b.Instrs[0].Then != b.Name {
+				forward[b.Name] = b.Instrs[0].Then
+			}
+		}
+		resolveFwd := func(label string) string {
+			seen := map[string]bool{}
+			for {
+				next, ok := forward[label]
+				if !ok || seen[label] {
+					return label
+				}
+				seen[label] = true
+				label = next
+			}
+		}
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil {
+				continue
+			}
+			switch t.Op {
+			case ir.OpJmp:
+				if nt := resolveFwd(t.Then); nt != t.Then {
+					t.Then = nt
+					changed = true
+				}
+			case ir.OpCBr:
+				if nt := resolveFwd(t.Then); nt != t.Then {
+					t.Then = nt
+					changed = true
+				}
+				if ne := resolveFwd(t.Else); ne != t.Else {
+					t.Else = ne
+					changed = true
+				}
+			}
+		}
+
+		// Merge b -> c when b ends in jmp c and c has exactly one pred.
+		g, err := cfg.New(f)
+		if err != nil {
+			return err
+		}
+		merged := map[string]bool{}
+		for bi, b := range f.Blocks {
+			if merged[b.Name] {
+				continue
+			}
+			t := b.Term()
+			if t == nil || t.Op != ir.OpJmp {
+				continue
+			}
+			ci := -1
+			for i, c := range f.Blocks {
+				if c.Name == t.Then {
+					ci = i
+					break
+				}
+			}
+			if ci < 0 || ci == 0 || ci == bi {
+				continue
+			}
+			c := f.Blocks[ci]
+			if len(g.Preds[ci]) != 1 || merged[c.Name] {
+				continue
+			}
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], c.Instrs...)
+			c.Instrs = []ir.Instr{{Op: ir.OpJmp, Dst: ir.NoReg, Then: b.Name}} // now unreachable
+			merged[c.Name] = true
+			st.BlocksMerged++
+			changed = true
+		}
+
+		removed, err := cfg.RemoveUnreachable(f)
+		if err != nil {
+			return err
+		}
+		if removed {
+			st.BlocksRemoved++
+			changed = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package opt
+
+import (
+	"ccmem/internal/ir"
+	"ccmem/internal/ssa"
+)
+
+// DeadCodeElim removes pure instructions (including phis) whose results
+// never reach a side-effecting instruction — global dead-code elimination
+// over SSA: single assignment makes the def-use relation exact, so one
+// mark pass from the side-effecting roots suffices.
+func DeadCodeElim(info *ssa.Info, st *Stats) {
+	f := info.F
+
+	type ref struct{ block, index int }
+	defSite := map[ir.Reg]ref{}
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if d := b.Instrs[ii].Dst; d != ir.NoReg {
+				defSite[d] = ref{bi, ii}
+			}
+		}
+	}
+
+	live := map[ref]bool{}
+	var work []ref
+	markArgs := func(r ref) {
+		in := &f.Blocks[r.block].Instrs[r.index]
+		for _, a := range in.Args {
+			d, ok := defSite[a]
+			if !ok || live[d] {
+				continue
+			}
+			live[d] = true
+			work = append(work, d)
+		}
+	}
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op.HasSideEffects() {
+				r := ref{bi, ii}
+				live[r] = true
+				work = append(work, r)
+			}
+		}
+	}
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		markArgs(r)
+	}
+
+	for bi, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for ii := range b.Instrs {
+			in := b.Instrs[ii]
+			if in.Op == ir.OpNop {
+				st.DeadRemoved++
+				continue
+			}
+			if !in.Op.HasSideEffects() && !live[ref{bi, ii}] {
+				st.DeadRemoved++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+}

@@ -1,0 +1,390 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/ssa"
+)
+
+// ValueNumber performs dominator-scoped value numbering over SSA: pure
+// expressions are hashed in a scope that follows the dominator tree, so a
+// redundant computation anywhere below its first occurrence reuses it;
+// constants fold; copies propagate; conditional branches on constants
+// become jumps. Memory operations are never value-numbered (no alias
+// analysis; see package comment).
+func ValueNumber(info *ssa.Info, st *Stats) {
+	f, g := info.F, info.G
+
+	rep := map[ir.Reg]ir.Reg{}
+	var resolve func(r ir.Reg) ir.Reg
+	resolve = func(r ir.Reg) ir.Reg {
+		if s, ok := rep[r]; ok {
+			root := resolve(s)
+			rep[r] = root
+			return root
+		}
+		return r
+	}
+
+	constI := map[ir.Reg]int64{}
+	constF := map[ir.Reg]float64{}
+
+	table := map[string]ir.Reg{}
+	children := make([][]int, g.NumBlocks())
+	for b := 0; b < g.NumBlocks(); b++ {
+		if d := g.Idom(b); d >= 0 {
+			children[d] = append(children[d], b)
+		}
+	}
+
+	// setConst registers dst as a constant and hashes it so later loadi of
+	// the same value reuses the register.
+	makeKey := func(in *ir.Instr) (string, bool) {
+		switch in.Op {
+		case ir.OpLoadI:
+			return fmt.Sprintf("ci:%d", in.Imm), true
+		case ir.OpLoadF:
+			return fmt.Sprintf("cf:%x", math.Float64bits(in.FImm)), true
+		case ir.OpAddr:
+			return fmt.Sprintf("addr:%s:%d", in.Sym, in.Imm), true
+		}
+		if in.Op.HasSideEffects() || in.Op.IsMemOp() || in.Op == ir.OpPhi ||
+			in.Op == ir.OpCopy || in.Op == ir.OpFCopy || in.Dst == ir.NoReg {
+			return "", false
+		}
+		a := in.Args
+		if in.Op.IsCommutative() && len(a) == 2 && a[1] < a[0] {
+			a = []ir.Reg{a[1], a[0]}
+		}
+		key := fmt.Sprintf("%d:", in.Op)
+		for _, x := range a {
+			key += fmt.Sprintf("%d,", x)
+		}
+		return key, true
+	}
+
+	var visit func(b int)
+	visit = func(b int) {
+		blk := f.Blocks[b]
+		var added []string
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			for ai := range in.Args {
+				in.Args[ai] = resolve(in.Args[ai])
+			}
+
+			switch in.Op {
+			case ir.OpPhi:
+				// A phi whose (currently resolvable) arguments are all one
+				// value, or the phi itself, is meaningless.
+				same := ir.NoReg
+				ok := true
+				for _, a := range in.Args {
+					if a == in.Dst {
+						continue
+					}
+					if same == ir.NoReg {
+						same = a
+					} else if a != same {
+						ok = false
+						break
+					}
+				}
+				if ok && same != ir.NoReg {
+					rep[in.Dst] = same
+					st.ValueNumbered++
+				}
+				continue
+			case ir.OpCopy, ir.OpFCopy:
+				rep[in.Dst] = in.Args[0]
+				st.ValueNumbered++
+				continue
+			case ir.OpCBr:
+				if v, ok := constI[in.Args[0]]; ok {
+					if v != 0 {
+						*in = ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Then: in.Then}
+					} else {
+						*in = ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Then: in.Else}
+					}
+					st.BranchesFolded++
+				}
+				continue
+			}
+
+			// Constant folding (including div/rem by a known non-zero).
+			if folded := foldConstant(in, constI, constF); folded {
+				st.ConstantsFolded++
+			}
+			// Algebraic simplification to a copy of an operand.
+			if src, ok := simplifyAlgebraic(in, constI); ok {
+				rep[in.Dst] = resolve(src)
+				st.ValueNumbered++
+				continue
+			}
+
+			key, hashable := makeKey(in)
+			if !hashable {
+				continue
+			}
+			if prev, ok := table[key]; ok {
+				rep[in.Dst] = prev
+				st.ValueNumbered++
+				continue
+			}
+			table[key] = in.Dst
+			added = append(added, key)
+			switch in.Op {
+			case ir.OpLoadI:
+				constI[in.Dst] = in.Imm
+			case ir.OpLoadF:
+				constF[in.Dst] = in.FImm
+			}
+		}
+		for _, c := range children[b] {
+			visit(c)
+		}
+		for _, k := range added {
+			delete(table, k)
+		}
+	}
+	visit(0)
+
+	// Final pass: back-edge phi arguments reference definitions processed
+	// after the phi; apply the representative map everywhere.
+	for _, blk := range f.Blocks {
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			for ai := range in.Args {
+				in.Args[ai] = resolve(in.Args[ai])
+			}
+		}
+	}
+}
+
+// foldConstant rewrites a pure instruction with all-constant operands into
+// loadi/loadf, matching the simulator's arithmetic exactly. It reports
+// whether it folded.
+func foldConstant(in *ir.Instr, constI map[ir.Reg]int64, constF map[ir.Reg]float64) bool {
+	getI := func(r ir.Reg) (int64, bool) { v, ok := constI[r]; return v, ok }
+	getF := func(r ir.Reg) (float64, bool) { v, ok := constF[r]; return v, ok }
+
+	setI := func(v int64) {
+		*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: v}
+	}
+	setF := func(v float64) {
+		*in = ir.Instr{Op: ir.OpLoadF, Dst: in.Dst, FImm: v}
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE, ir.OpCmpEQ, ir.OpCmpNE:
+		x, okx := getI(in.Args[0])
+		y, oky := getI(in.Args[1])
+		if !okx || !oky {
+			return false
+		}
+		switch in.Op {
+		case ir.OpAdd:
+			setI(x + y)
+		case ir.OpSub:
+			setI(x - y)
+		case ir.OpMul:
+			setI(x * y)
+		case ir.OpDiv:
+			if y == 0 {
+				return false // preserve the trap
+			}
+			setI(x / y)
+		case ir.OpRem:
+			if y == 0 {
+				return false
+			}
+			setI(x % y)
+		case ir.OpAnd:
+			setI(x & y)
+		case ir.OpOr:
+			setI(x | y)
+		case ir.OpXor:
+			setI(x ^ y)
+		case ir.OpShl:
+			setI(x << (uint64(y) & 63))
+		case ir.OpShr:
+			setI(x >> (uint64(y) & 63))
+		case ir.OpCmpLT:
+			setI(b2i(x < y))
+		case ir.OpCmpLE:
+			setI(b2i(x <= y))
+		case ir.OpCmpGT:
+			setI(b2i(x > y))
+		case ir.OpCmpGE:
+			setI(b2i(x >= y))
+		case ir.OpCmpEQ:
+			setI(b2i(x == y))
+		case ir.OpCmpNE:
+			setI(b2i(x != y))
+		}
+		return true
+
+	case ir.OpNeg, ir.OpNot:
+		x, ok := getI(in.Args[0])
+		if !ok {
+			return false
+		}
+		if in.Op == ir.OpNeg {
+			setI(-x)
+		} else {
+			setI(int64(^uint64(x)))
+		}
+		return true
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+		ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE, ir.OpFCmpEQ, ir.OpFCmpNE:
+		x, okx := getF(in.Args[0])
+		y, oky := getF(in.Args[1])
+		if !okx || !oky {
+			return false
+		}
+		switch in.Op {
+		case ir.OpFAdd:
+			setF(x + y)
+		case ir.OpFSub:
+			setF(x - y)
+		case ir.OpFMul:
+			setF(x * y)
+		case ir.OpFDiv:
+			setF(x / y)
+		case ir.OpFCmpLT:
+			setI(b2i(x < y))
+		case ir.OpFCmpLE:
+			setI(b2i(x <= y))
+		case ir.OpFCmpGT:
+			setI(b2i(x > y))
+		case ir.OpFCmpGE:
+			setI(b2i(x >= y))
+		case ir.OpFCmpEQ:
+			setI(b2i(x == y))
+		case ir.OpFCmpNE:
+			setI(b2i(x != y))
+		}
+		return true
+
+	case ir.OpFNeg, ir.OpFAbs, ir.OpFSqrt:
+		x, ok := getF(in.Args[0])
+		if !ok {
+			return false
+		}
+		switch in.Op {
+		case ir.OpFNeg:
+			setF(-x)
+		case ir.OpFAbs:
+			setF(math.Abs(x))
+		case ir.OpFSqrt:
+			setF(math.Sqrt(x))
+		}
+		return true
+
+	case ir.OpI2F:
+		x, ok := getI(in.Args[0])
+		if !ok {
+			return false
+		}
+		setF(float64(x))
+		return true
+	case ir.OpF2I:
+		x, ok := getF(in.Args[0])
+		if !ok {
+			return false
+		}
+		// Same saturating semantics as the simulator.
+		switch {
+		case math.IsNaN(x):
+			setI(0)
+		case x >= math.MaxInt64:
+			setI(math.MaxInt64)
+		case x <= math.MinInt64:
+			setI(math.MinInt64)
+		default:
+			setI(int64(x))
+		}
+		return true
+	}
+	return false
+}
+
+// simplifyAlgebraic reduces identities like x+0, x*1, x&x to a copy of an
+// operand, returning the surviving operand. Floating point is left alone
+// (x+0.0 is not an identity for -0.0, etc.).
+func simplifyAlgebraic(in *ir.Instr, constI map[ir.Reg]int64) (ir.Reg, bool) {
+	isZero := func(r ir.Reg) bool { v, ok := constI[r]; return ok && v == 0 }
+	isOne := func(r ir.Reg) bool { v, ok := constI[r]; return ok && v == 1 }
+
+	switch in.Op {
+	case ir.OpAdd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		if isZero(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if in.Op == ir.OpAdd || in.Op == ir.OpOr || in.Op == ir.OpXor {
+			if isZero(in.Args[0]) {
+				return in.Args[1], true
+			}
+		}
+	case ir.OpSub:
+		if isZero(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if in.Args[0] == in.Args[1] {
+			*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: 0}
+			return ir.NoReg, false
+		}
+	case ir.OpMul:
+		if isOne(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if isOne(in.Args[0]) {
+			return in.Args[1], true
+		}
+		if isZero(in.Args[0]) || isZero(in.Args[1]) {
+			*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: 0}
+			return ir.NoReg, false
+		}
+	}
+	switch in.Op {
+	case ir.OpAnd:
+		if in.Args[0] == in.Args[1] {
+			return in.Args[0], true
+		}
+		if isZero(in.Args[0]) || isZero(in.Args[1]) {
+			*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: 0}
+			return ir.NoReg, false
+		}
+	case ir.OpOr:
+		if in.Args[0] == in.Args[1] {
+			return in.Args[0], true
+		}
+	case ir.OpXor:
+		if in.Args[0] == in.Args[1] {
+			*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: 0}
+			return ir.NoReg, false
+		}
+	case ir.OpCmpEQ, ir.OpCmpLE, ir.OpCmpGE:
+		if in.Args[0] == in.Args[1] {
+			*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: 1}
+			return ir.NoReg, false
+		}
+	case ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpGT:
+		if in.Args[0] == in.Args[1] {
+			*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: 0}
+			return ir.NoReg, false
+		}
+	}
+	return ir.NoReg, false
+}

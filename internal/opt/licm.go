@@ -1,0 +1,119 @@
+package opt
+
+import (
+	"ccmem/internal/ir"
+	"ccmem/internal/ssa"
+)
+
+// HoistLoopInvariants performs loop-invariant code motion over SSA: a
+// pure, non-memory instruction whose operands are all defined outside a
+// natural loop moves to the loop's preheader. Single assignment makes the
+// transformation trivially sound (the unique definition still dominates
+// every use, and pure instructions cannot trap), which is why the pass
+// runs between value numbering and dead-code elimination.
+//
+// To avoid phi surgery the pass is deliberately conservative about loop
+// shape: it hoists only when the header has exactly one predecessor
+// outside the loop and that predecessor's only successor is the header —
+// the shape every structured loop in this codebase has. Other loops are
+// left alone.
+func HoistLoopInvariants(info *ssa.Info, st *Stats) {
+	f, g := info.F, info.G
+
+	// Natural loops from back edges t -> h with h dominating t.
+	type loop struct {
+		header int
+		blocks map[int]bool
+	}
+	var loops []loop
+	for t := 0; t < g.NumBlocks(); t++ {
+		if !g.Reachable(t) {
+			continue
+		}
+		for _, h := range g.Succs[t] {
+			if !g.Dominates(h, t) {
+				continue
+			}
+			l := loop{header: h, blocks: map[int]bool{h: true}}
+			stack := []int{t}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.blocks[x] {
+					continue
+				}
+				l.blocks[x] = true
+				for _, p := range g.Preds[x] {
+					if g.Reachable(p) && !l.blocks[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+			loops = append(loops, l)
+		}
+	}
+
+	// Definition block of every SSA name.
+	defBlock := map[ir.Reg]int{}
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if d := b.Instrs[ii].Dst; d != ir.NoReg {
+				defBlock[d] = bi
+			}
+		}
+	}
+
+	hoistable := func(in *ir.Instr, l loop) bool {
+		if in.Op == ir.OpPhi || in.Op.HasSideEffects() || in.Op.IsMemOp() || in.Dst == ir.NoReg {
+			return false
+		}
+		for _, a := range in.Args {
+			if db, ok := defBlock[a]; ok && l.blocks[db] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, l := range loops {
+		// Find the unique outside predecessor with the header as its only
+		// successor; bail out otherwise.
+		pre := -1
+		ok := true
+		for _, p := range g.Preds[l.header] {
+			if l.blocks[p] {
+				continue
+			}
+			if pre != -1 {
+				ok = false
+				break
+			}
+			pre = p
+		}
+		if !ok || pre == -1 || len(g.Succs[pre]) != 1 || !g.Reachable(pre) {
+			continue
+		}
+		preBlk := f.Blocks[pre]
+
+		for changed := true; changed; {
+			changed = false
+			for bi := range l.blocks {
+				blk := f.Blocks[bi]
+				kept := blk.Instrs[:0]
+				for ii := range blk.Instrs {
+					in := blk.Instrs[ii]
+					if hoistable(&in, l) {
+						term := preBlk.Instrs[len(preBlk.Instrs)-1]
+						preBlk.Instrs = append(preBlk.Instrs[:len(preBlk.Instrs)-1], in, term)
+						defBlock[in.Dst] = pre
+						st.Hoisted++
+						changed = true
+						continue
+					}
+					kept = append(kept, in)
+				}
+				blk.Instrs = kept
+			}
+		}
+	}
+}

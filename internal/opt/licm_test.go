@@ -1,0 +1,200 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+func TestLICMHoistsInvariantExpression(t *testing.T) {
+	// r4 = mul r9, r9 is invariant; the loads/stores are not.
+	src := `global A 16
+func main(r9) {
+entry:
+	r0 = loadi 0
+	r1 = loadi 8
+	r2 = loadi 1
+	r3 = addr A, 0
+	jmp head
+head:
+	r5 = cmplt r0, r1
+	cbr r5, body, exit
+body:
+	r4 = mul r9, r9
+	r6 = loadi 8
+	r7 = mul r0, r6
+	r8 = add r3, r7
+	store r4, r8
+	r0 = add r0, r2
+	jmp head
+exit:
+	r10 = load r3
+	emit r10
+	ret
+}
+`
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(p.Clone(), "main", sim.Config{}, sim.IntValue(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Optimize(p.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hoisted == 0 {
+		t.Fatalf("nothing hoisted:\n%s", p.Funcs[0])
+	}
+	got, err := sim.Run(p, "main", sim.Config{}, sim.IntValue(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatalf("LICM changed semantics: %v vs %v", got.Output, want.Output)
+	}
+	// The multiply must now execute once, not eight times.
+	if got.Instrs >= want.Instrs {
+		t.Fatalf("no dynamic improvement: %d -> %d", want.Instrs, got.Instrs)
+	}
+	// Statically, the loop body must not contain the invariant multiply.
+	f := p.Funcs[0]
+	for _, b := range f.Blocks {
+		inLoop := strings.HasPrefix(b.Name, "body") || strings.HasPrefix(b.Name, "head")
+		if !inLoop {
+			continue
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpMul && len(in.Args) == 2 && in.Args[0] == in.Args[1] {
+				t.Fatalf("invariant mul still in loop:\n%s", f)
+			}
+		}
+	}
+}
+
+func TestLICMDoesNotHoistMemoryOrSideEffects(t *testing.T) {
+	// The load depends on memory a store in the loop changes; it must stay.
+	src := `global A 2
+func main() {
+entry:
+	r0 = loadi 0
+	r1 = loadi 4
+	r2 = loadi 1
+	r3 = addr A, 0
+	jmp head
+head:
+	r4 = cmplt r0, r1
+	cbr r4, body, exit
+body:
+	r5 = load r3
+	r6 = add r5, r2
+	store r6, r3
+	r0 = add r0, r2
+	jmp head
+exit:
+	r7 = load r3
+	emit r7
+	ret
+}
+`
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(p.Funcs[0]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output[0].Int() != 4 {
+		t.Fatalf("accumulating load hoisted: got %v, want 4", st.Output[0])
+	}
+}
+
+func TestLICMNestedLoops(t *testing.T) {
+	// The inner loop's invariant (depending only on the outer index) may
+	// move to the inner preheader but not out of the outer loop.
+	src := `func main() {
+entry:
+	r0 = loadi 0
+	r1 = loadi 3
+	r2 = loadi 1
+	r9 = loadi 0
+	jmp ohead
+ohead:
+	r3 = cmplt r0, r1
+	cbr r3, opre, done
+opre:
+	r4 = loadi 0
+	jmp ihead
+ihead:
+	r5 = cmplt r4, r1
+	cbr r5, ibody, onext
+ibody:
+	r6 = mul r0, r0
+	r9 = add r9, r6
+	r4 = add r4, r2
+	jmp ihead
+onext:
+	r0 = add r0, r2
+	jmp ohead
+done:
+	emit r9
+	ret
+}
+`
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Optimize(p.Funcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatalf("nested LICM broke semantics: %v vs %v\n%s", got.Output, want.Output, p.Funcs[0])
+	}
+	// want = sum over i of 3*i^2 = 3*(0+1+4) = 15.
+	if got.Output[0].Int() != 15 {
+		t.Fatalf("result %v", got.Output[0])
+	}
+	if st.Hoisted == 0 {
+		t.Fatalf("inner invariant not hoisted:\n%s", p.Funcs[0])
+	}
+}
+
+func TestLICMRandomPrograms(t *testing.T) {
+	for seed := int64(500); seed < 540; seed++ {
+		p := workload.RandomProgram(seed)
+		want, err := sim.Run(p.Clone(), "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OptimizeProgram(p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Run(p, "main", sim.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sim.TracesEqual(got.Output, want.Output) {
+			t.Fatalf("seed %d: optimizer with LICM changed trace", seed)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package opt is the scalar optimizer run before register allocation. The
+// paper's test codes "were subjected to extensive scalar optimization,
+// including global value numbering, global constant propagation, global
+// dead-code elimination, partial redundancy elimination, and peephole
+// optimization"; this package provides the equivalent pre-allocation
+// clean-up so the allocators see comparable code quality:
+//
+//   - dominator-scoped value numbering over SSA (global value numbering
+//     with constant folding, algebraic simplification and copy
+//     propagation — subsuming global constant propagation for straight
+//     uses),
+//   - loop-invariant code motion over SSA,
+//   - constant-branch folding,
+//   - SSA-based global dead-code elimination,
+//   - CFG clean-up (jump threading, block merging, unreachable removal),
+//     which acts as the peephole/branch peephole stage.
+//
+// PRE is not implemented (see DESIGN.md substitutions); all allocation
+// strategies see identical optimizer output, so comparisons are unaffected.
+package opt
+
+import (
+	"ccmem/internal/ir"
+	"ccmem/internal/ssa"
+)
+
+// Stats reports what the optimizer did to one function.
+type Stats struct {
+	ValueNumbered   int // instructions replaced by an existing value
+	ConstantsFolded int
+	BranchesFolded  int
+	Hoisted         int // loop-invariant instructions moved to preheaders
+	DeadRemoved     int
+	BlocksMerged    int
+	BlocksRemoved   int
+}
+
+// Optimize runs the full pipeline on f in place. The function must be
+// phi-free on entry and is phi-free on exit.
+func Optimize(f *ir.Func) (*Stats, error) {
+	st := &Stats{}
+	if err := CleanCFG(f, st); err != nil {
+		return nil, err
+	}
+	info, err := ssa.Build(f)
+	if err != nil {
+		return nil, err
+	}
+	ValueNumber(info, st)
+	HoistLoopInvariants(info, st)
+	DeadCodeElim(info, st)
+	// Destruct, not CollapseToLiveRanges: after value numbering, phi
+	// operands may be shared across webs, and union-collapsing them is
+	// unsound (see ssa.Destruct).
+	info.Destruct()
+	if err := CleanCFG(f, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// OptimizeProgram optimizes every function.
+func OptimizeProgram(p *ir.Program) (map[string]*Stats, error) {
+	out := map[string]*Stats{}
+	for _, f := range p.Funcs {
+		st, err := Optimize(f)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,502 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+	"ccmem/internal/ssa"
+	"ccmem/internal/workload"
+)
+
+func optimizeSrc(t *testing.T, src string) (*ir.Program, *Stats) {
+	t.Helper()
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var total Stats
+	for _, f := range p.Funcs {
+		st, err := Optimize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.ValueNumbered += st.ValueNumbered
+		total.ConstantsFolded += st.ConstantsFolded
+		total.BranchesFolded += st.BranchesFolded
+		total.DeadRemoved += st.DeadRemoved
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("post-opt verify: %v", err)
+	}
+	return p, &total
+}
+
+// expectEmits optimizes src and checks main's trace.
+func expectEmits(t *testing.T, src string, want ...sim.Value) *ir.Program {
+	t.Helper()
+	p, _ := optimizeSrc(t, src)
+	st, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(st.Output, want) {
+		t.Fatalf("trace = %v, want %v\n%s", st.Output, want, p)
+	}
+	return p
+}
+
+func TestConstantFoldingTable(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"r2 = add r0, r1", 10},
+		{"r2 = sub r0, r1", 4},
+		{"r2 = mul r0, r1", 21},
+		{"r2 = div r0, r1", 2},
+		{"r2 = rem r0, r1", 1},
+		{"r2 = and r0, r1", 3},
+		{"r2 = or r0, r1", 7},
+		{"r2 = xor r0, r1", 4},
+		{"r2 = shl r0, r1", 56},
+		{"r2 = shr r0, r1", 0},
+		{"r2 = cmplt r0, r1", 0},
+		{"r2 = cmpge r0, r1", 1},
+	}
+	for _, c := range cases {
+		src := "func main() {\nentry:\n\tr0 = loadi 7\n\tr1 = loadi 3\n\t" +
+			c.expr + "\n\temit r2\n\tret\n}\n"
+		p := expectEmits(t, src, sim.IntValue(c.want))
+		// The arithmetic op must be gone.
+		text := p.Funcs[0].String()
+		op := strings.Fields(c.expr)[2]
+		if strings.Contains(text, " "+op+" ") {
+			t.Errorf("%s not folded:\n%s", op, text)
+		}
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	src := "func main() {\nentry:\n\tr0 = loadi 7\n\tr1 = loadi 0\n\tr2 = div r0, r1\n\temit r2\n\tret\n}\n"
+	p, _ := optimizeSrc(t, src)
+	if !strings.Contains(p.Funcs[0].String(), "div") {
+		t.Fatal("div by zero folded away — trap lost")
+	}
+	if _, err := sim.Run(p, "main", sim.Config{}); err == nil {
+		t.Fatal("trap not preserved")
+	}
+}
+
+func TestFloatFolding(t *testing.T) {
+	src := `func main() {
+entry:
+	f0 = loadf 1.5
+	f1 = loadf 2.5
+	f2 = fadd f0, f1
+	f3 = fmul f2, f2
+	femit f3
+	ret
+}
+`
+	p := expectEmits(t, src, sim.FloatValue(16))
+	if strings.Contains(p.Funcs[0].String(), "fadd") {
+		t.Fatal("fadd not folded")
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	// x+0, x*1, x-x, x^x, x&x, x|x, x*0 with a non-constant x.
+	src := `func main(r0) {
+entry:
+	r1 = loadi 0
+	r2 = loadi 1
+	r3 = add r0, r1
+	emit r3
+	r4 = mul r0, r2
+	emit r4
+	r5 = sub r0, r0
+	emit r5
+	r6 = xor r0, r0
+	emit r6
+	r7 = and r0, r0
+	emit r7
+	r8 = or r0, r0
+	emit r8
+	r9 = mul r0, r1
+	emit r9
+	r10 = cmpeq r0, r0
+	emit r10
+	ret
+}
+`
+	p, st := optimizeSrc(t, src)
+	sst, err := sim.Run(p, "main", sim.Config{}, sim.IntValue(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Value{
+		sim.IntValue(9), sim.IntValue(9), sim.IntValue(0), sim.IntValue(0),
+		sim.IntValue(9), sim.IntValue(9), sim.IntValue(0), sim.IntValue(1),
+	}
+	if !sim.TracesEqual(sst.Output, want) {
+		t.Fatalf("trace = %v", sst.Output)
+	}
+	text := p.Funcs[0].String()
+	for _, op := range []string{"add", "mul", "sub", "xor", "and", "cmpeq"} {
+		if strings.Contains(text, " "+op+" ") {
+			t.Errorf("identity %s survived:\n%s", op, text)
+		}
+	}
+	if st.ValueNumbered == 0 {
+		t.Error("no value numbering recorded")
+	}
+}
+
+func TestGlobalValueNumberingAcrossBlocks(t *testing.T) {
+	// The same pure expression in a dominated block must reuse the
+	// dominating computation.
+	src := `func main(r0) {
+entry:
+	r1 = mul r0, r0
+	emit r1
+	r2 = loadi 1
+	cbr r2, a, b
+a:
+	r3 = mul r0, r0
+	emit r3
+	jmp done
+b:
+	r4 = mul r0, r0
+	emit r4
+	jmp done
+done:
+	ret
+}
+`
+	p, _ := optimizeSrc(t, src)
+	text := p.Funcs[0].String()
+	if n := strings.Count(text, "mul"); n != 1 {
+		t.Fatalf("mul count = %d, want 1:\n%s", n, text)
+	}
+}
+
+func TestNoHoistingAcrossNonDominatedBlocks(t *testing.T) {
+	// Expressions in sibling branches must NOT value-number to each other.
+	src := `func main(r0, r1) {
+entry:
+	cbr r0, a, b
+a:
+	r2 = mul r1, r1
+	emit r2
+	jmp done
+b:
+	r3 = mul r1, r1
+	emit r3
+	jmp done
+done:
+	ret
+}
+`
+	p, _ := optimizeSrc(t, src)
+	text := p.Funcs[0].String()
+	if n := strings.Count(text, "mul"); n != 2 {
+		t.Fatalf("mul count = %d, want 2 (siblings must not share):\n%s", n, text)
+	}
+}
+
+func TestCommutativeHashing(t *testing.T) {
+	src := `func main(r0, r1) {
+entry:
+	r2 = add r0, r1
+	r3 = add r1, r0
+	r4 = sub r2, r3
+	emit r4
+	ret
+}
+`
+	p, _ := optimizeSrc(t, src)
+	// add r0,r1 == add r1,r0 → r4 = x-x = 0, everything folds.
+	st, err := sim.Run(p, "main", sim.Config{}, sim.IntValue(3), sim.IntValue(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output[0].Int() != 0 {
+		t.Fatal("wrong result")
+	}
+	if strings.Contains(p.Funcs[0].String(), "sub") {
+		t.Fatalf("commutative CSE failed:\n%s", p.Funcs[0])
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	src := `global G 1
+func main() {
+entry:
+	r0 = addr G, 0
+	r1 = loadi 42
+	store r1, r0
+	r2 = load r0
+	r3 = mul r2, r2
+	ret
+}
+`
+	// r3 is dead; the store and load must survive (loads are conservative).
+	p, st := optimizeSrc(t, src)
+	text := p.Funcs[0].String()
+	if !strings.Contains(text, "store") {
+		t.Fatal("store removed")
+	}
+	if strings.Contains(text, "mul") {
+		t.Fatal("dead mul survived")
+	}
+	if st.DeadRemoved == 0 {
+		t.Fatal("no dead code recorded")
+	}
+}
+
+func TestBranchFoldingRemovesArm(t *testing.T) {
+	src := `func main() {
+entry:
+	r0 = loadi 0
+	cbr r0, dead, live
+dead:
+	r1 = loadi 111
+	emit r1
+	jmp out
+live:
+	r2 = loadi 222
+	emit r2
+	jmp out
+out:
+	ret
+}
+`
+	p := expectEmits(t, src, sim.IntValue(222))
+	if strings.Contains(p.Funcs[0].String(), "111") {
+		t.Fatalf("dead arm survived:\n%s", p.Funcs[0])
+	}
+}
+
+func TestCleanCFGMergesChains(t *testing.T) {
+	src := `func main() {
+entry:
+	jmp a
+a:
+	jmp b
+b:
+	r0 = loadi 5
+	emit r0
+	jmp c
+c:
+	ret
+}
+`
+	p, _ := optimizeSrc(t, src)
+	if len(p.Funcs[0].Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1:\n%s", len(p.Funcs[0].Blocks), p.Funcs[0])
+	}
+}
+
+func TestCleanCFGSelfLoopSafe(t *testing.T) {
+	// A self-looping forwarding block must not send jump threading into an
+	// infinite chase.
+	src := `func main() {
+entry:
+	r0 = loadi 1
+	cbr r0, out, spin
+spin:
+	jmp spin
+out:
+	ret
+}
+`
+	p, _ := optimizeSrc(t, src)
+	st, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("no execution")
+	}
+}
+
+func TestCleanCFGRejectsPhi(t *testing.T) {
+	p, err := ir.Parse(`func main() {
+entry:
+	r0 = loadi 1
+	jmp l
+l:
+	r1 = phi r0, r1
+	jmp l
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := CleanCFG(p.Funcs[0], &st); err == nil {
+		t.Fatal("CleanCFG accepted phi")
+	}
+}
+
+func TestOptimizerMonotoneAndStable(t *testing.T) {
+	// Re-optimizing must never grow the program (a second pass may shrink
+	// it slightly by propagating the copies SSA destruction introduced)
+	// and must preserve semantics.
+	for seed := int64(60); seed < 75; seed++ {
+		p := workload.RandomProgram(seed)
+		want, err := sim.Run(p.Clone(), "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OptimizeProgram(p); err != nil {
+			t.Fatal(err)
+		}
+		size1 := p.Func("main").NumInstrs()
+		if _, err := OptimizeProgram(p); err != nil {
+			t.Fatal(err)
+		}
+		size2 := p.Func("main").NumInstrs()
+		if size2 > size1 {
+			t.Fatalf("seed %d: second pass grew main: %d -> %d", seed, size1, size2)
+		}
+		got, err := sim.Run(p, "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim.TracesEqual(got.Output, want.Output) {
+			t.Fatalf("seed %d: double optimization changed trace", seed)
+		}
+	}
+}
+
+func TestMeaninglessPhiEliminated(t *testing.T) {
+	// After SSA, a diamond that assigns the same existing value on both
+	// arms creates a phi(x, x) that DVN must collapse.
+	src := `func main(r0) {
+entry:
+	r1 = loadi 7
+	cbr r0, a, b
+a:
+	r2 = copy r1
+	jmp done
+b:
+	r2 = copy r1
+	jmp done
+done:
+	emit r2
+	ret
+}
+`
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs[0]
+	info, err := ssa.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	ValueNumber(info, &st)
+	DeadCodeElim(info, &st)
+	info.Destruct()
+	var cst Stats
+	if err := CleanCFG(f, &cst); err != nil {
+		t.Fatal(err)
+	}
+	text := f.String()
+	if strings.Contains(text, "phi") {
+		t.Fatalf("phi survived:\n%s", text)
+	}
+	rst, err := sim.Run(p, "main", sim.Config{}, sim.IntValue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Output[0].Int() != 7 {
+		t.Fatalf("got %v", rst.Output[0])
+	}
+}
+
+func TestFloatComparisonAndUnaryFolding(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"r2 = fcmplt f0, f1", 1},
+		{"r2 = fcmple f0, f1", 1},
+		{"r2 = fcmpgt f0, f1", 0},
+		{"r2 = fcmpge f0, f1", 0},
+		{"r2 = fcmpeq f0, f1", 0},
+		{"r2 = fcmpne f0, f1", 1},
+	}
+	for _, c := range cases {
+		src := "func main() {\nentry:\n\tf0 = loadf 1.5\n\tf1 = loadf 2.5\n\t" +
+			c.expr + "\n\temit r2\n\tret\n}\n"
+		p := expectEmits(t, src, sim.IntValue(c.want))
+		op := strings.Fields(c.expr)[2]
+		if strings.Contains(p.Funcs[0].String(), op) {
+			t.Errorf("%s not folded", op)
+		}
+	}
+	// Unary float folds and conversions.
+	src := `func main() {
+entry:
+	f0 = loadf -2.25
+	f1 = fneg f0
+	femit f1
+	f2 = fabs f0
+	femit f2
+	f3 = loadf 16.0
+	f4 = fsqrt f3
+	femit f4
+	r5 = loadi 3
+	f6 = i2f r5
+	femit f6
+	f7 = loadf 7.9
+	r8 = f2i f7
+	emit r8
+	ret
+}
+`
+	p, _ := optimizeSrc(t, src)
+	for _, op := range []string{"fneg", "fabs", "fsqrt", "i2f", "f2i"} {
+		if strings.Contains(p.Funcs[0].String(), op) {
+			t.Errorf("%s not folded:\n%s", op, p.Funcs[0])
+		}
+	}
+	st, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Value{
+		sim.FloatValue(2.25), sim.FloatValue(2.25), sim.FloatValue(4),
+		sim.FloatValue(3), sim.IntValue(7),
+	}
+	if !sim.TracesEqual(st.Output, want) {
+		t.Fatalf("trace %v", st.Output)
+	}
+}
+
+func TestNegNotFolding(t *testing.T) {
+	src := `func main() {
+entry:
+	r0 = loadi -9
+	r1 = neg r0
+	emit r1
+	r2 = not r0
+	emit r2
+	ret
+}
+`
+	p := expectEmits(t, src, sim.IntValue(9), sim.IntValue(8))
+	text := p.Funcs[0].String()
+	if strings.Contains(text, "neg") || strings.Contains(text, " not ") {
+		t.Errorf("unary int ops not folded:\n%s", text)
+	}
+}

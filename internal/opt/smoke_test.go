@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+)
+
+const optSrc = `
+global A 4 = i 7 8 9 10
+
+func main() {
+entry:
+	r0 = loadi 6
+	r1 = loadi 7
+	r2 = add r0, r1
+	r3 = add r0, r1
+	r4 = add r2, r3
+	r5 = loadi 0
+	r6 = add r4, r5
+	r7 = mul r6, r6
+	emit r7
+	r8 = loadi 1
+	cbr r8, taken, nottaken
+taken:
+	r9 = addr A, 8
+	r10 = load r9
+	emit r10
+	jmp exit
+nottaken:
+	r11 = loadi 999
+	emit r11
+	jmp exit
+exit:
+	r12 = loadi 5
+	r13 = sub r12, r12
+	r14 = add r13, r0
+	emit r14
+	ret
+}
+`
+
+func TestOptimizePreservesAndImproves(t *testing.T) {
+	p, err := ir.Parse(optSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Optimize(p.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("post-opt verify: %v\n%s", err, p.Func("main"))
+	}
+	got, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatalf("optimization changed output: %v vs %v\n%s", got.Output, want.Output, p.Func("main"))
+	}
+	if got.Instrs >= want.Instrs {
+		t.Fatalf("no improvement: %d -> %d instrs", want.Instrs, got.Instrs)
+	}
+	if st.BranchesFolded == 0 {
+		t.Error("constant branch not folded")
+	}
+	if st.ValueNumbered == 0 {
+		t.Error("no value numbering happened")
+	}
+	text := p.Func("main").String()
+	if strings.Contains(text, "999") {
+		t.Error("dead branch survived:\n" + text)
+	}
+	t.Logf("stats=%+v instrs %d -> %d\n%s", st, want.Instrs, got.Instrs, text)
+}

@@ -1,0 +1,109 @@
+package regalloc
+
+import (
+	"ccmem/internal/ir"
+)
+
+// CleanupSpillCode performs Briggs-style spill-code peephole cleanup on an
+// allocated function: within a basic block, a restore (heavyweight or CCM)
+// whose slot was last written by a spill from register r — with neither r
+// nor the slot disturbed in between — is replaced by a 1-cycle register
+// copy; a copy to itself is deleted outright. Spill-everywhere insertion
+// leaves many such pairs around definitions that are used immediately.
+//
+// The rewrite is purely local and cycle-reducing: it never changes which
+// values reach memory (the spill itself stays, since other blocks may
+// restore it).
+//
+// It returns the number of restores forwarded and the number deleted.
+func CleanupSpillCode(f *ir.Func) (forwarded, deleted int) {
+	type slotKey struct {
+		ccm bool
+		off int64
+	}
+	for _, b := range f.Blocks {
+		// lastSpill maps a slot to the register it was filled from, valid
+		// until that register is redefined.
+		lastSpill := map[slotKey]ir.Reg{}
+		invalidateReg := func(r ir.Reg) {
+			for k, v := range lastSpill {
+				if v == r {
+					delete(lastSpill, k)
+				}
+			}
+		}
+		out := b.Instrs[:0]
+		for ii := range b.Instrs {
+			in := b.Instrs[ii]
+			switch {
+			case in.Op.IsSpill() || in.Op.IsCCMSpill():
+				key := slotKey{ccm: in.Op.IsCCMSpill(), off: in.Imm}
+				lastSpill[key] = in.Args[0]
+				out = append(out, in)
+				continue
+			case in.Op.IsRestore() || in.Op.IsCCMRestore():
+				key := slotKey{ccm: in.Op.IsCCMRestore(), off: in.Imm}
+				if src, ok := lastSpill[key]; ok && f.RegClass(src) == f.RegClass(in.Dst) {
+					if src == in.Dst {
+						deleted++ // value already in place
+					} else {
+						forwarded++
+						out = append(out, ir.Instr{
+							Op:   ir.CopyOpFor(f.RegClass(in.Dst)),
+							Dst:  in.Dst,
+							Args: []ir.Reg{src},
+						})
+						invalidateReg(in.Dst)
+						lastSpill[key] = in.Dst // freshest holder of the slot value
+					}
+					continue
+				}
+				// Unknown slot contents: the restore stands, and the
+				// destination now holds the slot's value.
+				invalidateReg(in.Dst)
+				lastSpill[key] = in.Dst
+				out = append(out, in)
+				continue
+			case in.Op == ir.OpCall:
+				// Calls cannot disturb this frame's slots or registers
+				// (per-activation register files and frames), but a callee
+				// shares the CCM: forget CCM slots conservatively.
+				for k := range lastSpill {
+					if k.ccm {
+						delete(lastSpill, k)
+					}
+				}
+			case in.Op == ir.OpStore || in.Op == ir.OpStoreAI ||
+				in.Op == ir.OpFStore || in.Op == ir.OpFStoreAI:
+				// An ordinary store with a computed address could, in
+				// hand-written code, alias the activation record (the
+				// memory layout is deterministic); forget frame slots.
+				for k := range lastSpill {
+					if !k.ccm {
+						delete(lastSpill, k)
+					}
+				}
+			}
+			if in.Dst != ir.NoReg {
+				invalidateReg(in.Dst)
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return forwarded, deleted
+}
+
+// CleanupProgram applies CleanupSpillCode to every allocated function and
+// returns the totals.
+func CleanupProgram(p *ir.Program) (forwarded, deleted int) {
+	for _, f := range p.Funcs {
+		if !f.Allocated {
+			continue
+		}
+		fw, del := CleanupSpillCode(f)
+		forwarded += fw
+		deleted += del
+	}
+	return forwarded, deleted
+}

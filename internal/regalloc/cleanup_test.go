@@ -1,0 +1,269 @@
+package regalloc
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+func allocatedFromSrc(t *testing.T, src string, numInt int) *ir.Program {
+	t.Helper()
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Funcs {
+		regs := make([]ir.RegInfo, numInt+1)
+		for i := 0; i < numInt; i++ {
+			regs[i] = ir.RegInfo{Class: ir.ClassInt}
+		}
+		regs[numInt] = ir.RegInfo{Class: ir.ClassFloat}
+		f.Regs = regs
+		f.Allocated = true
+		f.NumInt = numInt
+		f.NumFloat = 1
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if (in.Op.IsSpill() || in.Op.IsRestore()) && in.Imm+ir.WordBytes > f.FrameBytes {
+					f.FrameBytes = in.Imm + ir.WordBytes
+				}
+			}
+		}
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCleanupForwardsRestore(t *testing.T) {
+	src := `
+func main() {
+entry:
+	r0 = loadi 7
+	spill r0, 0
+	r1 = restore 0
+	emit r1
+	ret
+}
+`
+	p := allocatedFromSrc(t, src, 4)
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, del := CleanupSpillCode(p.Funcs[0])
+	if fw != 1 || del != 0 {
+		t.Fatalf("forwarded=%d deleted=%d", fw, del)
+	}
+	text := p.Funcs[0].String()
+	if strings.Contains(text, "restore") {
+		t.Fatalf("restore survived:\n%s", text)
+	}
+	got, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatal("semantics changed")
+	}
+	if got.Cycles >= want.Cycles {
+		t.Fatalf("no cycle win: %d -> %d", want.Cycles, got.Cycles)
+	}
+}
+
+func TestCleanupDeletesIdentityRestore(t *testing.T) {
+	src := `
+func main() {
+entry:
+	r0 = loadi 7
+	spill r0, 0
+	r0 = restore 0
+	emit r0
+	ret
+}
+`
+	p := allocatedFromSrc(t, src, 2)
+	fw, del := CleanupSpillCode(p.Funcs[0])
+	if fw != 0 || del != 1 {
+		t.Fatalf("forwarded=%d deleted=%d", fw, del)
+	}
+	st, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output[0].Int() != 7 {
+		t.Fatal("value lost")
+	}
+}
+
+func TestCleanupRespectsClobbers(t *testing.T) {
+	// r0 is redefined between spill and restore: the restore must stay.
+	src := `
+func main() {
+entry:
+	r0 = loadi 7
+	spill r0, 0
+	r0 = loadi 9
+	emit r0
+	r1 = restore 0
+	emit r1
+	ret
+}
+`
+	p := allocatedFromSrc(t, src, 4)
+	fw, del := CleanupSpillCode(p.Funcs[0])
+	if fw != 0 || del != 0 {
+		t.Fatalf("clobbered slot forwarded (%d/%d)", fw, del)
+	}
+	st, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Output[0].Int() != 9 || st.Output[1].Int() != 7 {
+		t.Fatalf("trace %v", st.Output)
+	}
+}
+
+func TestCleanupStopsAtBlockBoundary(t *testing.T) {
+	src := `
+func main() {
+entry:
+	r0 = loadi 7
+	spill r0, 0
+	jmp next
+next:
+	r1 = restore 0
+	emit r1
+	ret
+}
+`
+	p := allocatedFromSrc(t, src, 4)
+	fw, del := CleanupSpillCode(p.Funcs[0])
+	if fw != 0 || del != 0 {
+		t.Fatal("forwarded across block boundary")
+	}
+}
+
+func TestCleanupCCMAcrossCallConservative(t *testing.T) {
+	src := `
+func main() {
+entry:
+	r0 = loadi 7
+	ccmspill r0, 0
+	call f()
+	r1 = ccmrestore 0
+	emit r1
+	ret
+}
+func f() {
+entry:
+	ret
+}
+`
+	p := allocatedFromSrc(t, src, 4)
+	fw, del := CleanupSpillCode(p.Funcs[0])
+	if fw != 0 || del != 0 {
+		t.Fatal("CCM slot forwarded across a call")
+	}
+	// Frame slots, by contrast, survive calls.
+	src2 := strings.ReplaceAll(src, "ccmspill", "spill")
+	src2 = strings.ReplaceAll(src2, "ccmrestore", "restore")
+	p2 := allocatedFromSrc(t, src2, 4)
+	fw, _ = CleanupSpillCode(p2.Funcs[0])
+	if fw != 1 {
+		t.Fatal("frame slot not forwarded across a call")
+	}
+}
+
+func TestCleanupWildStoreConservative(t *testing.T) {
+	src := `
+global G 1
+func main() {
+entry:
+	r0 = loadi 7
+	spill r0, 0
+	r1 = addr G, 0
+	store r0, r1
+	r2 = restore 0
+	emit r2
+	ret
+}
+`
+	p := allocatedFromSrc(t, src, 4)
+	fw, del := CleanupSpillCode(p.Funcs[0])
+	if fw != 0 || del != 0 {
+		t.Fatal("forwarded across an ordinary store")
+	}
+}
+
+func TestCleanupRandomProgramsAndPressure(t *testing.T) {
+	for seed := int64(800); seed < 830; seed++ {
+		p := workload.RandomProgram(seed)
+		want, err := sim.Run(p.Clone(), "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Funcs {
+			if _, err := Allocate(f, Options{IntRegs: 4, FloatRegs: 4, CCMBytes: 256}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before, err := sim.Run(p.Clone(), "main", sim.Config{CCMBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		CleanupProgram(p)
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		after, err := sim.Run(p, "main", sim.Config{CCMBytes: 256})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sim.TracesEqual(after.Output, want.Output) {
+			t.Fatalf("seed %d: cleanup changed trace", seed)
+		}
+		if after.Cycles > before.Cycles {
+			t.Fatalf("seed %d: cleanup made it slower: %d -> %d", seed, before.Cycles, after.Cycles)
+		}
+	}
+}
+
+func TestCleanupOnSuiteKernel(t *testing.T) {
+	r, _ := workload.Lookup("fpppp")
+	p, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Funcs {
+		if _, err := Allocate(f, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, del := CleanupProgram(p)
+	after, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(after.Output, want.Output) {
+		t.Fatal("trace changed")
+	}
+	t.Logf("fpppp cleanup: forwarded=%d deleted=%d cycles %d -> %d (%.3f)",
+		fw, del, before.Cycles, after.Cycles, float64(after.Cycles)/float64(before.Cycles))
+	if fw+del == 0 {
+		t.Log("note: spill-everywhere left no same-block pairs on this kernel")
+	}
+}

@@ -1,0 +1,330 @@
+package regalloc
+
+import (
+	"math"
+	"sort"
+
+	"ccmem/internal/ir"
+)
+
+// coalesce performs one conservative (Briggs) coalescing pass over the
+// recorded copy instructions, merging nodes in the alias union-find. It
+// returns the number of copies merged; the caller rewrites the code and
+// rebuilds the graph before another pass, so within one pass any node
+// already involved in a merge is skipped (the graph no longer reflects it).
+func (a *allocation) coalesce() int {
+	merged := 0
+	touched := make(map[int]bool)
+	for _, cs := range a.copies {
+		in := &a.f.Blocks[cs.block].Instrs[cs.index]
+		if in.Op != ir.OpCopy && in.Op != ir.OpFCopy {
+			continue
+		}
+		d, s := int(in.Dst), int(in.Args[0])
+		if d == s || touched[d] || touched[s] {
+			continue
+		}
+		if a.matrix.Has(d, s) {
+			continue
+		}
+		if !a.briggsSafe(d, s) {
+			continue
+		}
+		a.alias.Union(d, s)
+		touched[d], touched[s] = true, true
+		merged++
+	}
+	return merged
+}
+
+// briggsSafe applies the Briggs conservative test: the combined node has
+// fewer than k neighbors of significant degree.
+func (a *allocation) briggsSafe(d, s int) bool {
+	k := a.kFor(d)
+	seen := make(map[int32]bool, len(a.adj[d])+len(a.adj[s]))
+	significant := 0
+	consider := func(w int32) {
+		if seen[w] || !a.isRange(int(w)) {
+			return
+		}
+		seen[w] = true
+		deg := a.degree[w]
+		// A neighbor adjacent to both d and s loses one edge in the merge.
+		if a.matrix.Has(int(w), d) && a.matrix.Has(int(w), s) {
+			deg--
+		}
+		if deg >= k {
+			significant++
+		}
+	}
+	for _, w := range a.adj[d] {
+		consider(w)
+	}
+	for _, w := range a.adj[s] {
+		consider(w)
+	}
+	return significant < k
+}
+
+// applyCoalesce rewrites the function through the alias map, removing
+// copies that became identities, and compacts the register table.
+func (a *allocation) applyCoalesce() {
+	f := a.f
+	newID := make([]ir.Reg, len(f.Regs))
+	for i := range newID {
+		newID[i] = ir.NoReg
+	}
+	var regs []ir.RegInfo
+	rename := func(r ir.Reg) ir.Reg {
+		rep := a.alias.Find(int(r))
+		if newID[rep] == ir.NoReg {
+			regs = append(regs, ir.RegInfo{Class: f.Regs[rep].Class, Name: f.Regs[rep].Name})
+			newID[rep] = ir.Reg(len(regs) - 1)
+		}
+		return newID[rep]
+	}
+	for pi, p := range f.Params {
+		f.Params[pi] = rename(p)
+	}
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for ii := range b.Instrs {
+			in := b.Instrs[ii]
+			for ai, arg := range in.Args {
+				in.Args[ai] = rename(arg)
+			}
+			if in.Dst != ir.NoReg {
+				in.Dst = rename(in.Dst)
+			}
+			if (in.Op == ir.OpCopy || in.Op == ir.OpFCopy) && in.Dst == in.Args[0] {
+				continue // identity copy
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	f.Regs = regs
+}
+
+// computeSpillCosts estimates the dynamic cost of spilling each live range
+// as Σ 10^loop-depth over its definitions and uses, and detects ranges
+// that spilling cannot help (the tiny def-use pairs produced by earlier
+// spill insertion), which become infinitely expensive — the standard
+// Chaitin-Briggs guarantee of termination.
+func (a *allocation) computeSpillCosts() {
+	f := a.f
+	a.cost = make([]float64, a.n)
+	a.noSpill = make([]bool, a.n)
+	a.remat = make([]*ir.Instr, a.n)
+
+	// Rematerialization candidates: every def of the range is the same
+	// constant-producing instruction. Parameters (no defs) never qualify.
+	if a.opts.Rematerialize {
+		sameDef := make([]*ir.Instr, a.n)
+		bad := make([]bool, a.n)
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Dst == ir.NoReg {
+					continue
+				}
+				d := int(in.Dst)
+				switch in.Op {
+				case ir.OpLoadI, ir.OpLoadF, ir.OpAddr:
+					prev := sameDef[d]
+					if prev == nil {
+						sameDef[d] = in
+					} else if prev.Op != in.Op || prev.Imm != in.Imm ||
+						prev.FImm != in.FImm || prev.Sym != in.Sym {
+						bad[d] = true
+					}
+				default:
+					bad[d] = true
+				}
+			}
+		}
+		for r := 0; r < a.n; r++ {
+			if !bad[r] && sameDef[r] != nil {
+				a.remat[r] = sameDef[r]
+			}
+		}
+	}
+
+	type occ struct {
+		block, index int
+		isDef        bool
+	}
+	occs := make([][]occ, a.n)
+	record := func(r ir.Reg, bi, ii int, def bool) {
+		occs[r] = append(occs[r], occ{bi, ii, def})
+	}
+	for bi, b := range f.Blocks {
+		depth := a.g.LoopDepth(bi)
+		if depth > 9 {
+			depth = 9
+		}
+		w := math.Pow(10, float64(depth))
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			for _, u := range in.Args {
+				a.cost[u] += w
+				record(u, bi, ii, false)
+			}
+			if in.Dst != ir.NoReg {
+				a.cost[in.Dst] += w
+				record(in.Dst, bi, ii, true)
+			}
+		}
+	}
+
+	// A range whose occurrences form def/use pairs within single blocks,
+	// separated only by other spill code or constant materializations, is
+	// a spill (or rematerialization) temporary: re-spilling it reproduces
+	// the same shape and makes no progress, so its cost is infinite.
+	// (Restores and rematerialized constants for an instruction with
+	// several spilled operands stack up, so the gap may hold them.)
+	spillCode := func(op ir.Op) bool {
+		return op.IsRestore() || op.IsSpill() || op.IsCCMRestore() || op.IsCCMSpill() ||
+			op == ir.OpLoadI || op == ir.OpLoadF || op == ir.OpAddr
+	}
+	for r := 0; r < a.n; r++ {
+		o := occs[r]
+		if len(o) == 0 || len(o)%2 != 0 {
+			continue
+		}
+		temp := true
+		for i := 0; i < len(o) && temp; i += 2 {
+			d, u := o[i], o[i+1]
+			if !d.isDef || u.isDef || d.block != u.block || u.index <= d.index {
+				temp = false
+				break
+			}
+			for k := d.index + 1; k < u.index; k++ {
+				if !spillCode(f.Blocks[d.block].Instrs[k].Op) {
+					temp = false
+					break
+				}
+			}
+		}
+		if temp {
+			a.noSpill[r] = true
+		}
+	}
+}
+
+// simplify removes nodes from the graph onto the coloring stack, pushing a
+// cheapest spill candidate optimistically when every remaining node has
+// significant degree (Briggs optimistic coloring).
+func (a *allocation) simplify() {
+	a.stack = a.stack[:0]
+	deg := make([]int, a.n)
+	copy(deg, a.degree)
+	removed := make([]bool, a.n)
+	remaining := a.n
+
+	// Deterministic iteration: ascending node id.
+	removeNode := func(v int) {
+		removed[v] = true
+		remaining--
+		a.stack = append(a.stack, int32(v))
+		for _, w := range a.adj[v] {
+			if a.isRange(int(w)) && !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+
+	for remaining > 0 {
+		progressed := false
+		for v := 0; v < a.n; v++ {
+			if removed[v] {
+				continue
+			}
+			if deg[v] < a.kFor(v) {
+				removeNode(v)
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		// All remaining nodes are high degree: push the best spill
+		// candidate (per the configured heuristic) optimistically.
+		best, bestScore := -1, math.Inf(1)
+		for v := 0; v < a.n; v++ {
+			if removed[v] || a.noSpill[v] {
+				continue
+			}
+			var score float64
+			switch a.opts.Heuristic {
+			case HeuristicCostOnly:
+				score = a.cost[v]
+			case HeuristicDegreeOnly:
+				score = -float64(deg[v])
+			default: // Chaitin's cost/degree
+				score = a.cost[v] / float64(deg[v]+1)
+			}
+			if score < bestScore {
+				best, bestScore = v, score
+			}
+		}
+		if best == -1 {
+			// Only "unspillable" nodes remain; push the lowest-degree one
+			// and hope optimism colors it (select reports failure if not).
+			for v := 0; v < a.n; v++ {
+				if !removed[v] {
+					if best == -1 || deg[v] < deg[best] {
+						best = v
+					}
+				}
+			}
+		}
+		removeNode(best)
+	}
+}
+
+// sel pops the simplify stack assigning colors; it returns the live
+// ranges that failed to receive one and must be spilled.
+func (a *allocation) sel() []int {
+	a.color = make([]int32, a.n)
+	for i := range a.color {
+		a.color[i] = -1
+	}
+	var spilled []int
+	used := make([]bool, maxInt(a.opts.IntRegs, a.opts.FloatRegs))
+	for i := len(a.stack) - 1; i >= 0; i-- {
+		v := int(a.stack[i])
+		k := a.kFor(v)
+		for c := 0; c < k; c++ {
+			used[c] = false
+		}
+		for _, w := range a.adj[v] {
+			if a.isRange(int(w)) && a.color[w] >= 0 {
+				if int(a.color[w]) < k {
+					used[a.color[w]] = true
+				}
+			}
+		}
+		chosen := int32(-1)
+		for c := 0; c < k; c++ {
+			if !used[c] {
+				chosen = int32(c)
+				break
+			}
+		}
+		if chosen == -1 {
+			spilled = append(spilled, v)
+			continue
+		}
+		a.color[v] = chosen
+	}
+	sort.Ints(spilled)
+	return spilled
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"ccmem/internal/bitset"
+	"ccmem/internal/cfg"
+	"ccmem/internal/intgraph"
+	"ccmem/internal/ir"
+	"ccmem/internal/liveness"
+	"ccmem/internal/uf"
+)
+
+// allocation holds the per-round state of the Chaitin-Briggs allocator.
+// Nodes 0..n-1 are live ranges; nodes n..n+ccmSlots-1 are CCM locations
+// (present only in integrated mode). CCM nodes join the graph but are
+// never simplified or colored: their edges are "ignored during allocation
+// and used during spill code insertion" (paper §3.2).
+type allocation struct {
+	f    *ir.Func
+	opts Options
+
+	g    *cfg.Graph
+	live *liveness.Result
+
+	n        int // live-range count
+	ccmSlots int
+	nodes    int // n + ccmSlots
+
+	adj            [][]int32
+	matrix         *intgraph.Matrix
+	degree         []int // same-class live-range neighbors only
+	liveAcrossCall []bool
+
+	// anyMatrix records value-value interference regardless of register
+	// class. Register coloring ignores cross-class pairs (they never
+	// compete for colors), but CCM slots are class-agnostic: two values
+	// spilled in the same round may share a slot only if they do not
+	// interfere as values (paper footnote 5), including an integer
+	// against a float.
+	anyMatrix *intgraph.Matrix
+
+	cost    []float64
+	noSpill []bool
+	// remat[v] is the constant-producing instruction that can recompute
+	// live range v at any point, or nil (set only with Options.Rematerialize).
+	remat []*ir.Instr
+
+	stack []int32
+	color []int32 // physical color per live range; -1 = uncolored
+
+	alias  *uf.Set
+	copies []copySiteRef
+
+	// Register-pressure peaks (MAXLIVE) observed during the backward scan.
+	maxLiveInt, maxLiveFloat int
+}
+
+// copySiteRef locates a copy instruction for coalescing.
+type copySiteRef struct {
+	block int
+	index int
+}
+
+func newAllocation(f *ir.Func, opts Options) (*allocation, error) {
+	a := &allocation{
+		f:        f,
+		opts:     opts,
+		n:        len(f.Regs),
+		ccmSlots: int(opts.CCMBytes / ir.WordBytes),
+	}
+	a.nodes = a.n + a.ccmSlots
+	return a, nil
+}
+
+func (a *allocation) slotNode(slot int) int { return a.n + slot }
+
+func (a *allocation) isRange(node int) bool { return node < a.n }
+
+func (a *allocation) classOf(node int) ir.Class {
+	if node < a.n {
+		return a.f.Regs[node].Class
+	}
+	return ir.ClassNone // CCM slot
+}
+
+// kFor returns the color budget for a live range's class.
+func (a *allocation) kFor(node int) int {
+	if a.f.Regs[node].Class == ir.ClassFloat {
+		return a.opts.FloatRegs
+	}
+	return a.opts.IntRegs
+}
+
+func (a *allocation) addEdge(u, v int) {
+	if u == v {
+		return
+	}
+	ur, vr := a.isRange(u), a.isRange(v)
+	if ur && vr {
+		a.anyMatrix.Set(u, v)
+	}
+	if a.matrix.Has(u, v) {
+		return
+	}
+	switch {
+	case ur && vr:
+		if a.classOf(u) != a.classOf(v) {
+			return // distinct classes never compete for colors
+		}
+	case !ur && !vr:
+		return // slot-slot edges carry no information
+	}
+	a.matrix.Set(u, v)
+	a.adj[u] = append(a.adj[u], int32(v))
+	a.adj[v] = append(a.adj[v], int32(u))
+	if ur && vr {
+		a.degree[u]++
+		a.degree[v]++
+	}
+}
+
+// buildGraph recomputes CFG, liveness and the interference graph for the
+// current code, including CCM location nodes when integrated mode is on.
+func (a *allocation) buildGraph() error {
+	f := a.f
+	a.n = len(f.Regs)
+	a.nodes = a.n + a.ccmSlots
+
+	g, err := cfg.New(f)
+	if err != nil {
+		return err
+	}
+	a.g = g
+
+	// Liveness over live ranges; CCM slots are tracked manually below.
+	a.live = liveness.Registers(f, g)
+
+	a.adj = make([][]int32, a.nodes)
+	a.matrix = intgraph.NewMatrix(a.nodes)
+	a.anyMatrix = intgraph.NewMatrix(a.n)
+	a.degree = make([]int, a.n)
+	a.liveAcrossCall = make([]bool, a.n)
+	a.copies = a.copies[:0]
+	a.alias = uf.New(a.n)
+
+	// Values carried into the function (parameters, and any
+	// read-before-write ranges) are all written by the caller at entry, so
+	// they must occupy distinct registers: add pairwise edges.
+	entryLive := a.live.In[0].Members()
+	entrySet := map[int]bool{}
+	for _, r := range entryLive {
+		entrySet[r] = true
+	}
+	for _, p := range f.Params {
+		entrySet[int(p)] = true
+	}
+	entryNodes := make([]int, 0, len(entrySet))
+	for r := range entrySet {
+		entryNodes = append(entryNodes, r)
+	}
+	for i := 0; i < len(entryNodes); i++ {
+		for j := i + 1; j < len(entryNodes); j++ {
+			a.addEdge(entryNodes[i], entryNodes[j])
+		}
+	}
+
+	// CCM slot liveness: solve the backward problem over slots first so
+	// block-exit slot liveness is available. Slots are used by ccmrestore
+	// and killed by ccmspill.
+	var slotLive *liveness.Result
+	if a.ccmSlots > 0 {
+		use := make([]bitset.Set, g.NumBlocks())
+		def := make([]bitset.Set, g.NumBlocks())
+		for i := 0; i < g.NumBlocks(); i++ {
+			use[i] = bitset.New(a.ccmSlots)
+			def[i] = bitset.New(a.ccmSlots)
+		}
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op.IsCCMRestore() {
+					s := int(in.Imm / ir.WordBytes)
+					if !def[bi].Has(s) {
+						use[bi].Set(s)
+					}
+				} else if in.Op.IsCCMSpill() {
+					def[bi].Set(int(in.Imm / ir.WordBytes))
+				}
+			}
+		}
+		slotLive = liveness.Backward(g, use, def, nil)
+	}
+
+	// Backward scan per block building edges.
+	a.maxLiveInt, a.maxLiveFloat = 0, 0
+	pressure := func(live bitset.Set) {
+		ni, nf := 0, 0
+		live.ForEach(func(r int) {
+			if f.Regs[r].Class == ir.ClassFloat {
+				nf++
+			} else {
+				ni++
+			}
+		})
+		if ni > a.maxLiveInt {
+			a.maxLiveInt = ni
+		}
+		if nf > a.maxLiveFloat {
+			a.maxLiveFloat = nf
+		}
+	}
+	liveNow := bitset.New(a.n)
+	var slotNow bitset.Set
+	if a.ccmSlots > 0 {
+		slotNow = bitset.New(a.ccmSlots)
+	}
+	for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
+		b := f.Blocks[bi]
+		if !g.Reachable(bi) {
+			continue
+		}
+		liveNow.CopyFrom(a.live.Out[bi])
+		if a.ccmSlots > 0 {
+			slotNow.CopyFrom(slotLive.Out[bi])
+		}
+		pressure(liveNow)
+		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+			in := &b.Instrs[ii]
+			if in.Op == ir.OpPhi {
+				return fmt.Errorf("regalloc: %s: phi reached interference construction", f.Name)
+			}
+			isCopy := in.Op == ir.OpCopy || in.Op == ir.OpFCopy
+
+			if in.Op == ir.OpCall {
+				liveNow.ForEach(func(r int) { a.liveAcrossCall[r] = true })
+			}
+
+			// Definition point.
+			switch {
+			case in.Op.IsCCMSpill():
+				s := int(in.Imm / ir.WordBytes)
+				node := a.slotNode(s)
+				liveNow.ForEach(func(r int) { a.addEdge(node, r) })
+				slotNow.Clear(s)
+			case in.Dst != ir.NoReg:
+				d := int(in.Dst)
+				liveNow.ForEach(func(r int) {
+					if isCopy && r == int(in.Args[0]) {
+						// Chaitin's copy exception: no register edge, but
+						// the values still may not share a CCM slot (the
+						// range can be redefined while the other lives).
+						if d != r {
+							a.anyMatrix.Set(d, r)
+						}
+						return
+					}
+					a.addEdge(d, r)
+				})
+				if a.ccmSlots > 0 {
+					slotNow.ForEach(func(s int) { a.addEdge(d, a.slotNode(s)) })
+				}
+				liveNow.Clear(d)
+			}
+
+			// Use points.
+			if in.Op.IsCCMRestore() {
+				slotNow.Set(int(in.Imm / ir.WordBytes))
+			}
+			for _, u := range in.Args {
+				liveNow.Set(int(u))
+			}
+			pressure(liveNow)
+
+			if isCopy && in.Dst != in.Args[0] {
+				a.copies = append(a.copies, copySiteRef{block: bi, index: ii})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"ccmem/internal/ir"
+)
+
+// AllocateLocal is a textbook bottom-up local register allocator (the
+// Cooper–Torczon chapter-13 baseline): every virtual register has a memory
+// home in the activation record, registers are assigned greedily within a
+// basic block with Belady furthest-next-use eviction, and every dirty
+// register is written back at block boundaries. It produces far more spill
+// traffic than the Chaitin-Briggs allocator — which is the point: it is
+// the contrast baseline for the allocator-quality ablation, and a second
+// spill-code producer for the post-pass CCM allocator to promote.
+//
+// Like Allocate, it rewrites f in place to physical registers.
+func AllocateLocal(f *ir.Func, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if f.Allocated {
+		return nil, fmt.Errorf("regalloc: %s is already allocated", f.Name)
+	}
+	if opts.IntRegs < 3 || opts.FloatRegs < 3 {
+		return nil, fmt.Errorf("regalloc: local allocation needs ≥3 registers per class")
+	}
+	la := &localAlloc{f: f, opts: opts, slotOf: map[ir.Reg]int64{}}
+	if err := la.run(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rounds:        1,
+		SpilledRanges: len(la.slotOf),
+		FrameRanges:   len(la.slotOf),
+		FrameBytes:    f.FrameBytes,
+	}, nil
+}
+
+type localAlloc struct {
+	f      *ir.Func
+	opts   Options
+	slotOf map[ir.Reg]int64 // vreg -> memory home (assigned lazily)
+}
+
+// regState tracks one physical register within a block.
+type regState struct {
+	vreg  ir.Reg // NoReg when free
+	dirty bool
+}
+
+func (la *localAlloc) home(v ir.Reg) int64 {
+	off, ok := la.slotOf[v]
+	if !ok {
+		off = la.f.FrameBytes
+		la.f.FrameBytes += ir.WordBytes
+		la.slotOf[v] = off
+	}
+	return off
+}
+
+func (la *localAlloc) run() error {
+	f := la.f
+	kInt, kFloat := la.opts.IntRegs, la.opts.FloatRegs
+
+	physBase := func(c ir.Class) (base, k int) {
+		if c == ir.ClassFloat {
+			return kInt, kFloat
+		}
+		return 0, kInt
+	}
+
+	// Pre-bind parameters to the first physical registers of each class.
+	newParams := make([]ir.Reg, len(f.Params))
+	paramPhys := map[ir.Reg]ir.Reg{} // vreg -> phys
+	ci, cf := 0, 0
+	for i, p := range f.Params {
+		if f.RegClass(p) == ir.ClassFloat {
+			if cf >= kFloat {
+				return fmt.Errorf("regalloc: %s: more float parameters than registers", f.Name)
+			}
+			newParams[i] = ir.Reg(kInt + cf)
+			cf++
+		} else {
+			if ci >= kInt {
+				return fmt.Errorf("regalloc: %s: more int parameters than registers", f.Name)
+			}
+			newParams[i] = ir.Reg(ci)
+			ci++
+		}
+		paramPhys[p] = newParams[i]
+	}
+
+	for bi, b := range f.Blocks {
+		// Occurrence positions per vreg for Belady eviction.
+		occ := map[ir.Reg][]int{}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			for _, a := range in.Args {
+				occ[a] = append(occ[a], ii)
+			}
+			if in.Dst != ir.NoReg {
+				occ[in.Dst] = append(occ[in.Dst], ii)
+			}
+		}
+		nextOcc := func(v ir.Reg, after int) int {
+			for _, p := range occ[v] {
+				if p > after {
+					return p
+				}
+			}
+			return 1 << 30 // not used again in this block
+		}
+
+		regs := make([]regState, kInt+kFloat)
+		for i := range regs {
+			regs[i].vreg = ir.NoReg
+		}
+		where := map[ir.Reg]ir.Reg{} // vreg -> phys currently holding it
+		var out []ir.Instr
+
+		// The entry block starts with parameters resident (and dirty: they
+		// have no memory copy yet).
+		if bi == 0 {
+			for v, phys := range paramPhys {
+				regs[phys] = regState{vreg: v, dirty: true}
+				where[v] = phys
+			}
+		}
+
+		writeback := func(phys ir.Reg) {
+			st := &regs[phys]
+			if st.vreg == ir.NoReg || !st.dirty {
+				return
+			}
+			op, _ := ir.SpillOpFor(la.f.RegClass(st.vreg))
+			out = append(out, ir.Instr{Op: op, Dst: ir.NoReg, Args: []ir.Reg{phys}, Imm: la.home(st.vreg)})
+			st.dirty = false
+		}
+		free := func(phys ir.Reg) {
+			writeback(phys)
+			if v := regs[phys].vreg; v != ir.NoReg {
+				delete(where, v)
+			}
+			regs[phys] = regState{vreg: ir.NoReg}
+		}
+
+		// pick selects a register of class c, evicting the resident value
+		// with the furthest next use; pinned registers are untouchable.
+		pick := func(c ir.Class, at int, pinned map[ir.Reg]bool) (ir.Reg, error) {
+			base, k := physBase(c)
+			best, bestNext := ir.Reg(-1), -1
+			for i := 0; i < k; i++ {
+				phys := ir.Reg(base + i)
+				if pinned[phys] {
+					continue
+				}
+				if regs[phys].vreg == ir.NoReg {
+					return phys, nil
+				}
+				if n := nextOcc(regs[phys].vreg, at); n > bestNext {
+					best, bestNext = phys, n
+				}
+			}
+			if best < 0 {
+				return 0, fmt.Errorf("regalloc: %s: all %v registers pinned", la.f.Name, c)
+			}
+			free(best)
+			return best, nil
+		}
+
+		ensure := func(v ir.Reg, at int, pinned map[ir.Reg]bool) (ir.Reg, error) {
+			if phys, ok := where[v]; ok {
+				return phys, nil
+			}
+			phys, err := pick(la.f.RegClass(v), at, pinned)
+			if err != nil {
+				return 0, err
+			}
+			_, restore := ir.SpillOpFor(la.f.RegClass(v))
+			out = append(out, ir.Instr{Op: restore, Dst: phys, Imm: la.home(v)})
+			regs[phys] = regState{vreg: v, dirty: false}
+			where[v] = phys
+			return phys, nil
+		}
+
+		for ii := range b.Instrs {
+			in := b.Instrs[ii]
+			isTerm := in.Op.IsTerminator()
+			pinned := map[ir.Reg]bool{}
+
+			for ai, a := range in.Args {
+				phys, err := ensure(a, ii, pinned)
+				if err != nil {
+					return err
+				}
+				pinned[phys] = true
+				in.Args[ai] = phys
+			}
+			var post func()
+			if in.Dst != ir.NoReg {
+				v := in.Dst
+				phys, err := pick(la.f.RegClass(v), ii, pinned)
+				if err != nil {
+					return err
+				}
+				in.Dst = phys
+				post = func() {
+					// A redefinition makes any resident copy of the old
+					// value stale; discard it without a writeback.
+					if oldPhys, ok := where[v]; ok && oldPhys != phys {
+						regs[oldPhys] = regState{vreg: ir.NoReg}
+					}
+					regs[phys] = regState{vreg: v, dirty: true}
+					where[v] = phys
+				}
+			}
+
+			if isTerm {
+				// Flush every dirty register before leaving the block.
+				for i := range regs {
+					writeback(ir.Reg(i))
+				}
+			}
+			out = append(out, in)
+			if post != nil {
+				post()
+			}
+		}
+		// Blocks always end in a terminator, so the flush above ran.
+		b.Instrs = out
+	}
+
+	// Physical register table and metadata.
+	regs := make([]ir.RegInfo, kInt+kFloat)
+	for i := 0; i < kInt; i++ {
+		regs[i] = ir.RegInfo{Class: ir.ClassInt, Name: fmt.Sprintf("r%d", i)}
+	}
+	for i := 0; i < kFloat; i++ {
+		regs[kInt+i] = ir.RegInfo{Class: ir.ClassFloat, Name: fmt.Sprintf("f%d", i)}
+	}
+	f.Params = newParams
+	f.Regs = regs
+	f.Allocated = true
+	f.NumInt = kInt
+	f.NumFloat = kFloat
+	return nil
+}

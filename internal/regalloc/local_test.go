@@ -1,0 +1,137 @@
+package regalloc
+
+import (
+	"testing"
+
+	"ccmem/internal/core"
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+func TestLocalAllocatorCorrectOnRandomPrograms(t *testing.T) {
+	for seed := int64(900); seed < 960; seed++ {
+		p := workload.RandomProgram(seed)
+		want, err := sim.Run(p.Clone(), "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Funcs {
+			if _, err := AllocateLocal(f, Options{IntRegs: 4, FloatRegs: 4}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := sim.Run(p, "main", sim.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sim.TracesEqual(got.Output, want.Output) {
+			t.Fatalf("seed %d: local allocation changed trace", seed)
+		}
+	}
+}
+
+func TestLocalAllocatorOnSuite(t *testing.T) {
+	for _, name := range []string{"fpppp", "radb5X", "tomcatv", "decomp", "blts"} {
+		r, _ := workload.Lookup(name)
+		p, err := r.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Run(p.Clone(), "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chaitin := p.Clone()
+		for _, f := range chaitin.Funcs {
+			if _, err := Allocate(f, Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stChaitin, err := sim.Run(chaitin, "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Funcs {
+			if _, err := AllocateLocal(f, Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stLocal, err := sim.Run(p, "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim.TracesEqual(stLocal.Output, want.Output) {
+			t.Fatalf("%s: local allocation changed trace", name)
+		}
+		// The graph-coloring allocator must beat the local baseline.
+		if stChaitin.Cycles >= stLocal.Cycles {
+			t.Errorf("%s: Chaitin-Briggs (%d) not faster than local (%d)",
+				name, stChaitin.Cycles, stLocal.Cycles)
+		}
+		t.Logf("%-8s local=%-8d chaitin=%-8d (%.2fx)",
+			name, stLocal.Cycles, stChaitin.Cycles,
+			float64(stLocal.Cycles)/float64(stChaitin.Cycles))
+	}
+}
+
+func TestLocalThenPostPassPromotion(t *testing.T) {
+	// The post-pass CCM allocator runs unchanged on local-allocator output
+	// (any spill-code producer works) and wins big, since the local
+	// allocator spills so much.
+	r, _ := workload.Lookup("radb5X")
+	p, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Funcs {
+		if _, err := AllocateLocal(f, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.PostPass(p, core.PostPassOptions{CCMBytes: 2048, Interprocedural: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(p, "main", sim.Config{CCMBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatal("promotion on local output changed trace")
+	}
+	if res.TotalPromoted() == 0 {
+		t.Fatal("nothing promoted")
+	}
+	ratio := float64(got.Cycles) / float64(base.Cycles)
+	if ratio >= 0.95 {
+		t.Fatalf("promotion on spill-heavy local code only reached %.3f", ratio)
+	}
+	t.Logf("local + CCM promotion: %.3f of local cycles (%d webs promoted)",
+		ratio, res.TotalPromoted())
+}
+
+func TestLocalAllocatorErrors(t *testing.T) {
+	src := "func main() {\nentry:\n\tret\n}"
+	p, _ := ir.Parse(src)
+	if _, err := AllocateLocal(p.Funcs[0], Options{IntRegs: 2, FloatRegs: 2}); err == nil {
+		t.Fatal("too few registers accepted")
+	}
+	if _, err := AllocateLocal(p.Funcs[0], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllocateLocal(p.Funcs[0], Options{}); err == nil {
+		t.Fatal("double allocation accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package regalloc implements a Chaitin-Briggs graph-coloring register
+// allocator (Briggs 1992) for the two-class abstract machine of the paper:
+// live ranges are built by collapsing pruned SSA, copies are coalesced
+// conservatively, coloring is optimistic, and spilling is spill-everywhere
+// with 10^loop-depth cost weighting.
+//
+// With Options.CCM set, the allocator runs the paper's §3.2 integrated
+// scheme: CCM location names join the interference graph after live ranges
+// are built, their edges are ignored during coloring and consulted during
+// spill-code insertion, and a value marked for spilling is placed in the
+// lowest conflict-free CCM slot (falling back to the activation record
+// when none fits, or when the value is live across a call — the
+// conservative interprocedural rule).
+package regalloc
+
+import (
+	"fmt"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/ssa"
+)
+
+// Options configure one allocation.
+type Options struct {
+	IntRegs   int // colors for the integer class (default 32)
+	FloatRegs int // colors for the float class (default 32)
+
+	// CCMBytes, when positive, enables integrated CCM spilling with the
+	// given capacity (paper §3.2).
+	CCMBytes int64
+
+	// MaxRounds bounds the build-spill iteration (default 64).
+	MaxRounds int
+
+	// Rematerialize enables Briggs-style rematerialization: a spill
+	// candidate whose every definition is the same constant-producing
+	// instruction (loadi, loadf, addr) is recomputed before each use
+	// instead of travelling through memory. Off by default to keep the
+	// paper-faithful pipeline; the ablation benchmarks flip it.
+	Rematerialize bool
+
+	// Heuristic selects how the spill candidate is chosen when simplify
+	// blocks (default: Chaitin's cost/degree).
+	Heuristic SpillHeuristic
+}
+
+// SpillHeuristic orders spill candidates when the graph is stuck.
+type SpillHeuristic int
+
+const (
+	// HeuristicCostOverDegree is Chaitin's classic choice: minimize
+	// estimated dynamic cost divided by interference degree.
+	HeuristicCostOverDegree SpillHeuristic = iota
+	// HeuristicCostOnly minimizes estimated dynamic cost alone.
+	HeuristicCostOnly
+	// HeuristicDegreeOnly maximizes degree (frees the most pressure).
+	HeuristicDegreeOnly
+)
+
+func (h SpillHeuristic) String() string {
+	switch h {
+	case HeuristicCostOverDegree:
+		return "cost/degree"
+	case HeuristicCostOnly:
+		return "cost"
+	case HeuristicDegreeOnly:
+		return "degree"
+	}
+	return "unknown"
+}
+
+func (o Options) withDefaults() Options {
+	if o.IntRegs == 0 {
+		o.IntRegs = 32
+	}
+	if o.FloatRegs == 0 {
+		o.FloatRegs = 32
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 64
+	}
+	return o
+}
+
+// Result reports what allocation did.
+type Result struct {
+	Rounds          int   // build-color-spill iterations
+	SpilledRanges   int   // live ranges sent to memory (frame or CCM)
+	FrameRanges     int   // of those, ranges assigned activation-record slots
+	CCMRanges       int   // of those, ranges assigned CCM slots
+	FrameBytes      int64 // naive frame usage (one slot per spilled range)
+	CCMBytesUsed    int64 // high-water CCM usage of this function's own code
+	CopiesCoalesced int
+	Rematerialized  int // spill candidates recomputed instead of spilled
+
+	// MaxLiveInt/MaxLiveFloat are the register-pressure peaks (MAXLIVE)
+	// observed in the first allocation round — the quantity that, compared
+	// against the 32+32 register file, predicts whether a routine spills.
+	MaxLiveInt   int
+	MaxLiveFloat int
+}
+
+// Allocate rewrites f in place to use physical registers, inserting spill
+// code as needed. On success f.Allocated is true, registers are the
+// physical names (integers first, then floats), and spill code addresses
+// f.FrameBytes bytes of activation record plus, in integrated mode, up to
+// Result.CCMBytesUsed bytes of CCM.
+func Allocate(f *ir.Func, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if f.Allocated {
+		return nil, fmt.Errorf("regalloc: %s is already allocated", f.Name)
+	}
+	res := &Result{}
+
+	for round := 0; ; round++ {
+		if round >= opts.MaxRounds {
+			return nil, fmt.Errorf("regalloc: %s did not converge after %d rounds", f.Name, opts.MaxRounds)
+		}
+		res.Rounds = round + 1
+
+		// Build SSA Form; build live-range names (paper Fig. 2).
+		info, err := ssa.Build(f)
+		if err != nil {
+			return nil, err
+		}
+		info.CollapseToLiveRanges()
+
+		a, err := newAllocation(f, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		// Repeat until no more coalescing possible: build the interference
+		// graph (including CCM positions) and coalesce copies.
+		for {
+			if err := a.buildGraph(); err != nil {
+				return nil, err
+			}
+			merged := a.coalesce()
+			res.CopiesCoalesced += merged
+			if merged == 0 {
+				break
+			}
+			a.applyCoalesce()
+		}
+		if round == 0 {
+			res.MaxLiveInt, res.MaxLiveFloat = a.maxLiveInt, a.maxLiveFloat
+		}
+
+		a.computeSpillCosts()
+		a.simplify()
+		spilled := a.sel()
+		if len(spilled) == 0 {
+			a.rewritePhysical()
+			break
+		}
+		nFrame, nCCM, nRemat, err := a.insertSpills(spilled)
+		if err != nil {
+			return nil, err
+		}
+		res.SpilledRanges += len(spilled)
+		res.FrameRanges += nFrame
+		res.CCMRanges += nCCM
+		res.Rematerialized += nRemat
+	}
+	res.FrameBytes = f.FrameBytes
+	res.CCMBytesUsed = f.CCMBytes
+	return res, nil
+}

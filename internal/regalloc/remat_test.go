@@ -1,0 +1,172 @@
+package regalloc
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+// constPressure builds a kernel where many long-lived values are plain
+// constants — the rematerialization sweet spot.
+func constPressure() *ir.Program {
+	b := ir.NewBuilder("main", ir.ClassNone)
+	b.Label("entry")
+	consts := make([]ir.Reg, 12)
+	for i := range consts {
+		consts[i] = b.ConstI(int64(i * 3))
+	}
+	n := b.ConstI(6)
+	one := b.ConstI(1)
+	i := b.Copy(b.ConstI(0))
+	acc := b.Copy(b.ConstI(0))
+	b.Jmp("head")
+	b.Label("head")
+	b.CBr(b.CmpLT(i, n), "body", "exit")
+	b.Label("body")
+	sum := consts[0]
+	for _, c := range consts[1:] {
+		sum = b.Add(sum, b.Xor(c, i))
+	}
+	b.CopyTo(acc, b.Add(acc, sum))
+	b.CopyTo(i, b.Add(i, one))
+	b.Jmp("head")
+	b.Label("exit")
+	b.Emit(acc)
+	b.Ret()
+	p := &ir.Program{}
+	if err := p.AddFunc(b.MustFinish()); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestRematerializationReplacesSpills(t *testing.T) {
+	want, err := sim.Run(constPressure(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := constPressure()
+	resPlain, err := Allocate(plain.Funcs[0], Options{IntRegs: 4, FloatRegs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remat := constPressure()
+	resRemat, err := Allocate(remat.Funcs[0], Options{IntRegs: 4, FloatRegs: 2, Rematerialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRemat.Rematerialized == 0 {
+		t.Fatal("nothing rematerialized")
+	}
+	if resRemat.FrameBytes >= resPlain.FrameBytes {
+		t.Fatalf("remat frame %d not below plain %d", resRemat.FrameBytes, resPlain.FrameBytes)
+	}
+	for _, p := range []*ir.Program{plain, remat} {
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stPlain, err := sim.Run(plain, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRemat, err := sim.Run(remat, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(stPlain.Output, want.Output) || !sim.TracesEqual(stRemat.Output, want.Output) {
+		t.Fatal("semantics changed")
+	}
+	// Recomputing a constant costs 1 cycle; a restore costs 2 — remat must
+	// win on this kernel.
+	if stRemat.Cycles >= stPlain.Cycles {
+		t.Fatalf("remat %d cycles not below plain %d", stRemat.Cycles, stPlain.Cycles)
+	}
+	if stRemat.SpillLoads >= stPlain.SpillLoads {
+		t.Fatalf("remat restores %d not below plain %d", stRemat.SpillLoads, stPlain.SpillLoads)
+	}
+	t.Logf("plain: %d cycles %dB frame; remat: %d cycles %dB frame (%d ranges recomputed)",
+		stPlain.Cycles, resPlain.FrameBytes, stRemat.Cycles, resRemat.FrameBytes, resRemat.Rematerialized)
+}
+
+func TestRematerializationAddrConstants(t *testing.T) {
+	src := `global A 1
+global B 1
+func main() {
+entry:
+	r0 = addr A, 0
+	r1 = addr B, 0
+	r2 = loadi 7
+	store r2, r0
+	store r2, r1
+	r3 = load r0
+	r4 = load r1
+	r5 = add r3, r4
+	emit r5
+	ret
+}
+`
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(p.Clone(), "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(p.Funcs[0], Options{IntRegs: 2, FloatRegs: 1, Rematerialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(p, "main", sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TracesEqual(got.Output, want.Output) {
+		t.Fatalf("addr remat broke semantics: %v vs %v\n%s", got.Output, want.Output, p.Funcs[0])
+	}
+	if res.Rematerialized > 0 && strings.Contains(p.Funcs[0].String(), "restore") &&
+		res.FrameBytes > 0 && got.SpillLoads > 0 {
+		t.Logf("mixed remat + spills: %+v", res)
+	}
+}
+
+func TestRematerializationRandomPrograms(t *testing.T) {
+	for seed := int64(600); seed < 650; seed++ {
+		p := workload.RandomProgram(seed)
+		want, err := sim.Run(p.Clone(), "main", sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Funcs {
+			if _, err := Allocate(f, Options{IntRegs: 4, FloatRegs: 4, Rematerialize: true}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := sim.Run(p, "main", sim.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sim.TracesEqual(got.Output, want.Output) {
+			t.Fatalf("seed %d: rematerialization changed trace", seed)
+		}
+	}
+}
+
+func TestRematerializationOffByDefault(t *testing.T) {
+	p := constPressure()
+	res, err := Allocate(p.Funcs[0], Options{IntRegs: 4, FloatRegs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rematerialized != 0 {
+		t.Fatal("rematerialization ran without the option")
+	}
+}

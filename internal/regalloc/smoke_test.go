@@ -1,0 +1,121 @@
+package regalloc
+
+import (
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+)
+
+// buildPressure returns a program whose main computes, in one loop, more
+// simultaneously-live integer values than fit in k registers, emitting a
+// checksum — a minimal register-pressure kernel for allocator smoke tests.
+func buildPressure(liveVals int) *ir.Program {
+	b := ir.NewBuilder("main", ir.ClassNone)
+	b.Label("entry")
+	n := b.ConstI(10)
+	one := b.ConstI(1)
+	i := b.Copy(b.ConstI(0))
+	acc := b.Copy(b.ConstI(0))
+	b.Jmp("loop")
+
+	b.Label("loop")
+	cond := b.CmpLT(i, n)
+	b.CBr(cond, "body", "done")
+
+	b.Label("body")
+	vals := make([]ir.Reg, liveVals)
+	for j := range vals {
+		vals[j] = b.Add(i, b.ConstI(int64(j*7+1)))
+	}
+	sum := vals[0]
+	for j := 1; j < len(vals); j++ {
+		sum = b.Add(sum, vals[j])
+	}
+	// Second use of every val keeps them all live across the sums above.
+	prod := vals[0]
+	for j := 1; j < len(vals); j++ {
+		prod = b.Xor(prod, vals[j])
+	}
+	b.CopyTo(acc, b.Add(acc, b.Add(sum, prod)))
+	b.CopyTo(i, b.Add(i, one))
+	b.Jmp("loop")
+
+	b.Label("done")
+	b.Emit(acc)
+	b.Ret()
+
+	p := &ir.Program{}
+	if err := p.AddFunc(b.MustFinish()); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *ir.Program, ccmBytes int64) *sim.Stats {
+	t.Helper()
+	st, err := sim.Run(p, "main", sim.Config{CCMBytes: ccmBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestAllocatePreservesBehaviour(t *testing.T) {
+	for _, k := range []int{4, 8, 16, 32} {
+		p := buildPressure(24)
+		want := run(t, p.Clone(), 0).Output
+
+		f := p.Func("main")
+		res, err := Allocate(f, Options{IntRegs: k, FloatRegs: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			t.Fatalf("k=%d: verify: %v", k, err)
+		}
+		got := run(t, p, 0)
+		if !sim.TracesEqual(got.Output, want) {
+			t.Fatalf("k=%d: output changed: got %v want %v", k, got.Output, want)
+		}
+		if k <= 8 && res.SpilledRanges == 0 {
+			t.Errorf("k=%d: expected spills for 24 simultaneous values", k)
+		}
+		t.Logf("k=%d rounds=%d spilled=%d frameBytes=%d coalesced=%d",
+			k, res.Rounds, res.SpilledRanges, res.FrameBytes, res.CopiesCoalesced)
+	}
+}
+
+func TestAllocateIntegratedCCM(t *testing.T) {
+	p := buildPressure(24)
+	want := run(t, p.Clone(), 0).Output
+
+	pNo := p.Clone()
+	if _, err := Allocate(pNo.Func("main"), Options{IntRegs: 8, FloatRegs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	base := run(t, pNo, 0)
+
+	res, err := Allocate(p.Func("main"), Options{IntRegs: 8, FloatRegs: 8, CCMBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, p, 512)
+	if !sim.TracesEqual(got.Output, want) {
+		t.Fatalf("integrated CCM changed output: got %v want %v", got.Output, want)
+	}
+	if res.CCMRanges == 0 {
+		t.Fatal("integrated mode assigned no CCM slots")
+	}
+	if got.CCMOps == 0 {
+		t.Fatal("no CCM operations executed")
+	}
+	if got.Cycles >= base.Cycles {
+		t.Fatalf("CCM run (%d cycles) not faster than heavyweight spills (%d)", got.Cycles, base.Cycles)
+	}
+	t.Logf("baseline=%d cycles, integrated=%d cycles (%.3f), ccmRanges=%d ccmBytes=%d",
+		base.Cycles, got.Cycles, float64(got.Cycles)/float64(base.Cycles), res.CCMRanges, res.CCMBytesUsed)
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"ccmem/internal/ir"
+)
+
+const smokeSrc = `
+global A 4 = i 10 20 30 40
+
+func main() {
+entry:
+	r0 = loadi 0
+	r1 = loadi 4
+	f20 = loadf 0.0
+	jmp loop
+loop:
+	r2 = cmplt r0, r1
+	cbr r2, body, done
+body:
+	r3 = addr A, 0
+	r4 = loadi 8
+	r5 = mul r0, r4
+	r6 = add r3, r5
+	r7 = load r6
+	r8 = call double(r7)
+	emit r8
+	r9 = loadi 1
+	r0 = add r0, r9
+	jmp loop
+done:
+	f21 = loadf 2.5
+	f20 = fadd f20, f21
+	femit f20
+	ret
+}
+
+func double(r0) int {
+entry:
+	r1 = loadi 2
+	r2 = mul r0, r1
+	ret r2
+}
+`
+
+func TestSmoke(t *testing.T) {
+	p, err := ir.Parse(smokeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(p, "main", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Value{IntValue(20), IntValue(40), IntValue(60), IntValue(80), FloatValue(2.5)}
+	if !TracesEqual(st.Output, want) {
+		t.Fatalf("output = %v, want %v", st.Output, want)
+	}
+	if st.Cycles <= st.Instrs {
+		t.Fatalf("cycles %d should exceed instrs %d (memory ops cost 2)", st.Cycles, st.Instrs)
+	}
+	if st.PerFunc["double"].Calls != 4 {
+		t.Fatalf("double called %d times, want 4", st.PerFunc["double"].Calls)
+	}
+	// Round-trip through the printer.
+	p2, err := ir.Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	st2, err := Run(p2, "main", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TracesEqual(st.Output, st2.Output) {
+		t.Fatal("round-tripped program produced different output")
+	}
+}

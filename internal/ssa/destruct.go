@@ -1,0 +1,118 @@
+package ssa
+
+import (
+	"ccmem/internal/ir"
+)
+
+// Destruct leaves SSA form by replacing every phi with explicit copies at
+// the end of the predecessor blocks, sequencing each predecessor's copy
+// set as a parallel copy (dependency order, cycles broken with a fresh
+// temporary — the classic lost-copy/swap-safe SSA destruction).
+//
+// Unlike CollapseToLiveRanges, Destruct is sound after arbitrary SSA
+// transformations (value numbering, constant propagation, ...): it never
+// merges names, so interference introduced by optimization cannot corrupt
+// values. The register allocator's conservative coalescing removes the
+// copies that are safe to remove. CollapseToLiveRanges remains valid only
+// on untransformed SSA, where every phi joins versions of one source
+// register; use Destruct everywhere else.
+func (s *Info) Destruct() {
+	f, g := s.F, s.G
+
+	type task struct{ dst, src ir.Reg }
+	perPred := make([][]task, g.NumBlocks())
+
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpPhi {
+				break
+			}
+			seen := map[int]bool{}
+			for k, p := range g.Preds[bi] {
+				if seen[p] {
+					continue // duplicate edge: renaming filled identical args
+				}
+				seen[p] = true
+				if k < len(in.Args) && in.Args[k] != in.Dst {
+					perPred[p] = append(perPred[p], task{dst: in.Dst, src: in.Args[k]})
+				}
+			}
+		}
+	}
+
+	for p, tasks := range perPred {
+		if len(tasks) == 0 {
+			continue
+		}
+		blk := f.Blocks[p]
+		var seq []ir.Instr
+		pending := append([]task(nil), tasks...)
+		for len(pending) > 0 {
+			// Emit any copy whose destination is not the source of a
+			// pending copy.
+			emitted := false
+			for i := 0; i < len(pending); i++ {
+				d := pending[i].dst
+				blocked := false
+				for j := range pending {
+					if j != i && pending[j].src == d {
+						blocked = true
+						break
+					}
+				}
+				if blocked {
+					continue
+				}
+				if d != pending[i].src {
+					seq = append(seq, ir.Instr{
+						Op:   ir.CopyOpFor(f.RegClass(d)),
+						Dst:  d,
+						Args: []ir.Reg{pending[i].src},
+					})
+				}
+				pending = append(pending[:i], pending[i+1:]...)
+				emitted = true
+				break
+			}
+			if emitted {
+				continue
+			}
+			// Every pending destination feeds another pending copy: a
+			// cycle. Save one destination in a temporary and retarget its
+			// readers.
+			d := pending[0].dst
+			t := f.NewReg(f.RegClass(d), f.Regs[d].Name+".cyc")
+			s.Orig = append(s.Orig, s.origOf(d))
+			seq = append(seq, ir.Instr{Op: ir.CopyOpFor(f.RegClass(d)), Dst: t, Args: []ir.Reg{d}})
+			for j := range pending {
+				if pending[j].src == d {
+					pending[j].src = t
+				}
+			}
+		}
+		// Insert before the terminator.
+		term := blk.Instrs[len(blk.Instrs)-1]
+		blk.Instrs = append(blk.Instrs[:len(blk.Instrs)-1], seq...)
+		blk.Instrs = append(blk.Instrs, term)
+	}
+
+	// Drop the phis.
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpPhi {
+				continue
+			}
+			kept = append(kept, b.Instrs[ii])
+		}
+		b.Instrs = kept
+	}
+}
+
+func (s *Info) origOf(r ir.Reg) ir.Reg {
+	if int(r) < len(s.Orig) {
+		return s.Orig[r]
+	}
+	return r
+}

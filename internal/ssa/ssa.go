@@ -1,0 +1,276 @@
+// Package ssa builds pruned static single-assignment form over an ir.Func
+// and collapses it back into live-range names, the representation the
+// Chaitin-Briggs allocator colors ("Build SSA Form / Build live-range
+// names" in the paper's Figure 2). The same machinery — dominance
+// frontiers for phi placement, renaming along the dominator tree,
+// union-find over phi operands — is reused by the post-pass CCM allocator
+// for its SSA over spill locations (paper Figure 1).
+package ssa
+
+import (
+	"fmt"
+
+	"ccmem/internal/cfg"
+	"ccmem/internal/ir"
+	"ccmem/internal/liveness"
+	"ccmem/internal/uf"
+)
+
+// Info is a function in SSA form.
+type Info struct {
+	F *ir.Func
+	G *cfg.Graph // built after unreachable-block removal
+
+	// Orig maps every register (pre-existing and SSA-created) to the
+	// pre-SSA register it versions. Pre-SSA registers map to themselves
+	// and double as the "initial version" (parameter or undefined value).
+	Orig []ir.Reg
+
+	children [][]int // dominator-tree children
+}
+
+// Build converts f to pruned SSA in place. Unreachable blocks are removed
+// first. The result satisfies: every register has at most one defining
+// instruction, and phi arguments align with CFG predecessor order.
+func Build(f *ir.Func) (*Info, error) {
+	if _, err := cfg.RemoveUnreachable(f); err != nil {
+		return nil, err
+	}
+	cfg.SplitEntry(f) // a phi in the entry block would miss the entry path
+	g, err := cfg.New(f)
+	if err != nil {
+		return nil, err
+	}
+	live := liveness.Registers(f, g)
+
+	s := &Info{F: f, G: g}
+	s.Orig = make([]ir.Reg, len(f.Regs))
+	for i := range s.Orig {
+		s.Orig[i] = ir.Reg(i)
+	}
+	s.children = domChildren(g)
+
+	s.insertPhis(live)
+	s.rename()
+	return s, nil
+}
+
+func domChildren(g *cfg.Graph) [][]int {
+	n := g.NumBlocks()
+	ch := make([][]int, n)
+	for b := 0; b < n; b++ {
+		if d := g.Idom(b); d >= 0 {
+			ch[d] = append(ch[d], b)
+		}
+	}
+	return ch
+}
+
+// insertPhis places a phi for register r at every block in the iterated
+// dominance frontier of r's definition blocks where r is live-in (pruned
+// SSA; the liveness check keeps dead versions from joining live ranges).
+func (s *Info) insertPhis(live *liveness.Result) {
+	f, g := s.F, s.G
+	nr := len(f.Regs)
+	defBlocks := make([][]int, nr)
+	// Every register is conceptually defined at entry (parameter or undef
+	// initial version), so the entry block seeds every def set.
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if d := b.Instrs[ii].Dst; d != ir.NoReg {
+				defBlocks[d] = append(defBlocks[d], bi)
+			}
+		}
+	}
+
+	hasPhi := make(map[[2]int]bool) // (block, reg)
+	for r := 0; r < nr; r++ {
+		if len(defBlocks[r]) == 0 {
+			continue
+		}
+		work := append([]int{0}, defBlocks[r]...)
+		onWork := make(map[int]bool, len(work))
+		for _, b := range work {
+			onWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range g.DomFrontier(b) {
+				if hasPhi[[2]int{y, r}] {
+					continue
+				}
+				if !live.In[y].Has(r) {
+					continue // pruned SSA
+				}
+				hasPhi[[2]int{y, r}] = true
+				args := make([]ir.Reg, len(g.Preds[y]))
+				for i := range args {
+					args[i] = ir.Reg(r)
+				}
+				blk := f.Blocks[y]
+				phi := ir.Instr{Op: ir.OpPhi, Dst: ir.Reg(r), Args: args, Imm: int64(r)}
+				blk.Instrs = append([]ir.Instr{phi}, blk.Instrs...)
+				if !onWork[y] {
+					onWork[y] = true
+					work = append(work, y)
+				}
+			}
+		}
+	}
+}
+
+// rename walks the dominator tree assigning fresh versions to every
+// definition. The pre-SSA register itself serves as the initial version,
+// so parameters and (harmless) uses of undefined registers keep their
+// original names.
+func (s *Info) rename() {
+	f, g := s.F, s.G
+	numOrig := len(s.Orig)
+	stacks := make([][]ir.Reg, numOrig)
+	for r := 0; r < numOrig; r++ {
+		stacks[r] = []ir.Reg{ir.Reg(r)}
+	}
+	origOf := func(r ir.Reg) ir.Reg {
+		if int(r) < numOrig {
+			return r
+		}
+		return s.Orig[r]
+	}
+	newVersion := func(orig ir.Reg) ir.Reg {
+		nv := f.NewReg(f.RegClass(orig), f.Regs[orig].Name)
+		s.Orig = append(s.Orig, orig)
+		stacks[orig] = append(stacks[orig], nv)
+		return nv
+	}
+	top := func(orig ir.Reg) ir.Reg {
+		st := stacks[orig]
+		return st[len(st)-1]
+	}
+
+	var visit func(b int)
+	visit = func(b int) {
+		blk := f.Blocks[b]
+		pushed := make([]ir.Reg, 0, 8)
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			if in.Op == ir.OpPhi {
+				orig := ir.Reg(in.Imm)
+				in.Dst = newVersion(orig)
+				pushed = append(pushed, orig)
+				continue
+			}
+			for ai, a := range in.Args {
+				in.Args[ai] = top(origOf(a))
+			}
+			if in.Dst != ir.NoReg {
+				orig := origOf(in.Dst)
+				in.Dst = newVersion(orig)
+				pushed = append(pushed, orig)
+			}
+		}
+		for _, su := range g.Succs[b] {
+			sblk := f.Blocks[su]
+			for ii := range sblk.Instrs {
+				in := &sblk.Instrs[ii]
+				if in.Op != ir.OpPhi {
+					break
+				}
+				orig := ir.Reg(in.Imm)
+				for k, p := range g.Preds[su] {
+					if p == b {
+						in.Args[k] = top(orig)
+					}
+				}
+			}
+		}
+		for _, c := range s.children[b] {
+			visit(c)
+		}
+		for _, orig := range pushed {
+			stacks[orig] = stacks[orig][:len(stacks[orig])-1]
+		}
+	}
+	visit(0)
+}
+
+// CollapseToLiveRanges unions SSA versions joined by phis into live ranges
+// (one union-find class per web), rewrites the function to use one compact
+// register per live range, deletes the phis, and returns the number of
+// live ranges. The rewrite is semantics-preserving: distinct webs of one
+// source register are never simultaneously live, and phi-connected
+// versions collapse to a single name, making every phi an identity.
+func (s *Info) CollapseToLiveRanges() int {
+	f := s.F
+	u := uf.New(len(f.Regs))
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpPhi {
+				break
+			}
+			for _, a := range in.Args {
+				u.Union(int(in.Dst), int(a))
+			}
+		}
+	}
+
+	newID := make([]ir.Reg, len(f.Regs))
+	for i := range newID {
+		newID[i] = ir.NoReg
+	}
+	var regs []ir.RegInfo
+	rename := func(r ir.Reg) ir.Reg {
+		rep := u.Find(int(r))
+		if newID[rep] == ir.NoReg {
+			regs = append(regs, ir.RegInfo{Class: f.Regs[rep].Class, Name: f.Regs[rep].Name})
+			newID[rep] = ir.Reg(len(regs) - 1)
+		}
+		return newID[rep]
+	}
+
+	for pi, p := range f.Params {
+		f.Params[pi] = rename(p)
+	}
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for ii := range b.Instrs {
+			in := b.Instrs[ii]
+			if in.Op == ir.OpPhi {
+				continue // identity after collapsing
+			}
+			for ai, a := range in.Args {
+				in.Args[ai] = rename(a)
+			}
+			if in.Dst != ir.NoReg {
+				in.Dst = rename(in.Dst)
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	f.Regs = regs
+	return len(regs)
+}
+
+// CheckSSA verifies the single-assignment property and phi arity; it is a
+// testing aid.
+func CheckSSA(f *ir.Func, g *cfg.Graph) error {
+	defs := make(map[ir.Reg]int)
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op == ir.OpPhi && len(in.Args) != len(g.Preds[bi]) {
+				return fmt.Errorf("ssa: block %s: phi has %d args for %d preds",
+					b.Name, len(in.Args), len(g.Preds[bi]))
+			}
+			if in.Dst != ir.NoReg {
+				defs[in.Dst]++
+				if defs[in.Dst] > 1 {
+					return fmt.Errorf("ssa: register %s defined %d times", f.RegName(in.Dst), defs[in.Dst])
+				}
+			}
+		}
+	}
+	return nil
+}

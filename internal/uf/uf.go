@@ -1,0 +1,50 @@
+// Package uf provides a small union-find (disjoint set) structure, used to
+// merge SSA names into live ranges (registers in the allocator, spill
+// locations in the post-pass CCM allocator).
+package uf
+
+// Set is a union-find over the integers 0..n-1.
+type Set struct {
+	parent []int
+	rank   []int
+}
+
+// New returns a union-find with n singleton sets.
+func New(n int) *Set {
+	s := &Set{parent: make([]int, n), rank: make([]int, n)}
+	for i := range s.parent {
+		s.parent[i] = i
+	}
+	return s
+}
+
+// Len returns the element count.
+func (s *Set) Len() int { return len(s.parent) }
+
+// Find returns the representative of x, with path compression.
+func (s *Set) Find(x int) int {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and returns the new representative.
+func (s *Set) Union(a, b int) int {
+	ra, rb := s.Find(a), s.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if s.rank[ra] < s.rank[rb] {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+	if s.rank[ra] == s.rank[rb] {
+		s.rank[ra]++
+	}
+	return ra
+}
+
+// Same reports whether a and b are in one set.
+func (s *Set) Same(a, b int) bool { return s.Find(a) == s.Find(b) }

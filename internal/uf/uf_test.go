@@ -1,0 +1,83 @@
+package uf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingletons(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 5; i++ {
+		if s.Find(i) != i {
+			t.Fatalf("Find(%d) = %d in fresh set", i, s.Find(i))
+		}
+	}
+	if s.Same(0, 1) {
+		t.Fatal("distinct singletons reported same")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestUnionTransitivity(t *testing.T) {
+	s := New(10)
+	s.Union(0, 1)
+	s.Union(1, 2)
+	s.Union(5, 6)
+	if !s.Same(0, 2) {
+		t.Fatal("transitive union failed")
+	}
+	if s.Same(0, 5) {
+		t.Fatal("disjoint sets merged")
+	}
+	s.Union(2, 6)
+	if !s.Same(0, 5) {
+		t.Fatal("merge of groups failed")
+	}
+}
+
+func TestUnionReturnsRepresentative(t *testing.T) {
+	s := New(4)
+	r := s.Union(1, 2)
+	if s.Find(1) != r || s.Find(2) != r {
+		t.Fatal("returned representative inconsistent")
+	}
+	if s.Union(1, 2) != r {
+		t.Fatal("re-union changed representative")
+	}
+}
+
+// Property: union-find groups match a reference partition computed by
+// naive label propagation.
+func TestAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		s := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			s.Union(a, b)
+			relabel(label[a], label[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if s.Same(i, j) != (label[i] == label[j]) {
+					t.Fatalf("trial %d: Same(%d,%d)=%v, reference %v",
+						trial, i, j, s.Same(i, j), label[i] == label[j])
+				}
+			}
+		}
+	}
+}

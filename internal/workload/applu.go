@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"ccmem/internal/ir"
+)
+
+// appluRoutines builds SPEC applu-style kernels: 5×5 block jacobian
+// builders (jacld, jacu), flux/rhs stencils (rhs, erhs), and triangular
+// block solves (blts, buts) plus their support routines (subb, supp).
+func appluRoutines() []Routine {
+	return []Routine{
+		{Name: "jacld", Paper: "jacld", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildJac("jacld", 5, 2, false, 40) }},
+		{Name: "jacu", Paper: "jacu", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildJac("jacu", 5, 2, true, 40) }},
+		{Name: "rhs", Paper: "rhs", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildFlux("rhs", 5, 64) }},
+		{Name: "erhs", Paper: "erhs", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildFlux("erhs", 4, 64) }},
+		{Name: "blts", Paper: "blts", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildTriBlock("blts", false, 48) }},
+		{Name: "buts", Paper: "buts", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildTriBlock("buts", true, 48) }},
+		{Name: "subb", Paper: "subb", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildJac("subb", 6, 1, false, 40) }},
+		{Name: "supp", Paper: "supp", Family: "applu",
+			Build: func() (*ir.Program, error) { return buildJac("supp", 6, 1, true, 40) }},
+	}
+}
+
+// buildJac emits a jacld/jacu-style kernel: per grid cell, load the bs
+// solution components plus inverse metrics, then form a bs×bs jacobian
+// block whose entries are products and sums of the loaded values. All bs
+// components and several recurring subexpressions stay live across the
+// whole block, giving the moderate-but-real pressure of the originals.
+func buildJac(name string, bs, nmats int, upper bool, cells int64) (*ir.Program, error) {
+	withAux := nmats > 1 // jacld/jacu call a metric helper per cell
+	u := name + "_u"
+	d := name + "_d"
+	uWords := cells * int64(bs)
+	dWords := cells * int64(bs*bs*nmats)
+
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	uBase := b.Addr(u, 0)
+	dBase := b.Addr(d, 0)
+	c1 := b.ConstF(1.4)
+	c2 := b.ConstF(0.4)
+
+	b.LoopConst(0, cells, func(i ir.Reg) {
+		comp := make([]ir.Reg, bs)
+		row := b.Idx(uBase, i, int64(bs), 0)
+		for m := 0; m < bs; m++ {
+			comp[m] = b.FLoadAI(row, int64(m)*ir.WordBytes)
+		}
+		// Recurring subexpressions (density inverse, kinetic terms) that
+		// stay live across all bs*bs entries.
+		rinv := b.FDiv(b.ConstF(1), b.FAdd(comp[0], b.ConstF(1e-9)))
+		q := b.Copy(b.ConstF(0))
+		for m := 1; m < bs; m++ {
+			b.CopyTo(q, b.FAdd(q, b.FMul(comp[m], comp[m])))
+		}
+		qr := b.FMul(q, rinv)
+		if withAux {
+			// Metric helper call: the loaded components and the recurring
+			// subexpressions are all live across it.
+			qr = b.FAdd(qr, b.Call(name+"_aux", ir.ClassFloat, qr))
+		}
+		// Compute every block entry first, then store them all: the whole
+		// bs×bs block is simultaneously live, as in the Fortran original
+		// after scalar replacement.
+		// The real jacld forms several bs×bs jacobian blocks per cell;
+		// every entry of every block is computed before any is stored, so
+		// nmats*bs*bs values peak simultaneously.
+		drow := b.Idx(dBase, i, int64(bs*bs*nmats), 0)
+		entries := make([]ir.Reg, bs*bs*nmats)
+		for mat := 0; mat < nmats; mat++ {
+			scale := b.ConstF(1.0 + 0.25*float64(mat))
+			for m := 0; m < bs; m++ {
+				for n := 0; n < bs; n++ {
+					mm, nn := m, n
+					if upper {
+						mm, nn = bs-1-m, bs-1-n
+					}
+					var e ir.Reg
+					switch {
+					case mm == nn:
+						e = b.FAdd(b.FMul(c1, comp[mm]), b.FMul(c2, qr))
+					case mm < nn:
+						e = b.FSub(b.FMul(comp[mm], b.FMul(comp[nn], rinv)), qr)
+					default:
+						e = b.FMul(b.FMul(comp[mm], rinv), b.FSub(comp[nn], q))
+					}
+					if mat > 0 {
+						e = b.FMul(e, scale)
+					}
+					entries[mat*bs*bs+m*bs+n] = e
+				}
+			}
+		}
+		for j := 0; j < bs*bs*nmats; j++ {
+			b.FStoreAI(entries[j], drow, int64(j)*ir.WordBytes)
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + u},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	funcs := []*ir.Func{
+		main,
+		fillFunc(u, uWords, int64(len(name))*101),
+		kern,
+		checksumFunc("check_"+name, d, dWords),
+	}
+	if withAux {
+		funcs = append(funcs, buildAux(name+"_aux", auxLight))
+	}
+	return program(
+		[]*ir.Global{fglobal(u, uWords), fglobal(d, dWords)},
+		funcs...,
+	)
+}
+
+// buildFlux emits an rhs/erhs-style flux stencil: for each interior cell,
+// the bs components of the left, center and right neighbours are loaded
+// (3*bs live values) and combined into dissipation + flux terms.
+func buildFlux(name string, bs int, cells int64) (*ir.Program, error) {
+	u := name + "_u"
+	r := name + "_r"
+	uWords := (cells + 4) * int64(bs)
+	rWords := cells * int64(bs)
+
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	uBase := b.Addr(u, 0)
+	rBase := b.Addr(r, 0)
+	dt := b.ConstF(0.035)
+	dis := b.ConstF(0.25)
+
+	b.LoopConst(0, cells, func(i ir.Reg) {
+		// Five-point window of bs components each (the fourth-difference
+		// dissipation of the original needs i-2..i+2), all live at once.
+		win := make([][]ir.Reg, 5)
+		for w := 0; w < 5; w++ {
+			row := b.Idx(uBase, i, int64(bs), int64(w*bs))
+			win[w] = make([]ir.Reg, bs)
+			for m := 0; m < bs; m++ {
+				win[w][m] = b.FLoadAI(row, int64(m)*ir.WordBytes)
+			}
+		}
+		lm2, lm, mm, rm, rm2 := win[0], win[1], win[2], win[3], win[4]
+		out := b.Idx(rBase, i, int64(bs), 0)
+		res := make([]ir.Reg, bs)
+		for m := 0; m < bs; m++ {
+			p := (m + 1) % bs
+			fluxL := b.FMul(lm[m], b.FAdd(lm[p], dt))
+			fluxR := b.FMul(rm[m], b.FAdd(rm[p], dt))
+			diff := b.FSub(fluxR, fluxL)
+			d2 := b.FAdd(lm[m], b.FSub(rm[m], b.FMul(mm[m], b.ConstF(2))))
+			d4 := b.FSub(b.FAdd(lm2[m], rm2[m]), b.FMul(d2, b.ConstF(4)))
+			v := b.FAdd(b.FMul(diff, b.ConstF(0.5)), b.FSub(b.FMul(d2, dis), b.FMul(d4, b.ConstF(0.0625))))
+			res[m] = v
+		}
+		for m := 0; m < bs; m++ {
+			b.FStoreAI(res[m], out, int64(m)*ir.WordBytes)
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + u},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(u, uWords), fglobal(r, rWords)},
+		main,
+		fillFunc(u, uWords, int64(bs)*977),
+		kern,
+		checksumFunc("check_"+name, r, rWords),
+	)
+}
+
+// buildTriBlock emits a blts/buts-style 5×5 triangular block solve: the
+// full 25-coefficient block is loaded up front (as the Fortran original
+// keeps it in registers) together with the 5-vector being solved, so ~30
+// floating values are simultaneously live.
+func buildTriBlock(name string, backward bool, cells int64) (*ir.Program, error) {
+	const bs = 5
+	a := name + "_a"
+	v := name + "_v"
+	aWords := cells * bs * bs
+	vWords := cells * bs
+
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	aBase := b.Addr(a, 0)
+	vBase := b.Addr(v, 0)
+
+	const unroll = 2
+	b.LoopConst(0, cells/unroll, func(i ir.Reg) {
+		idx := func(m, n int) int {
+			if backward {
+				return (bs-1-m)*bs + (bs - 1 - n)
+			}
+			return m*bs + n
+		}
+		// Two cells' blocks and solution vectors are loaded and solved
+		// together (the pipelined form of the original), so ~60 floating
+		// values are live at the peak.
+		coef := make([][]ir.Reg, unroll)
+		x := make([][]ir.Reg, unroll)
+		vrows := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			cell := b.Add(b.Mul(i, b.ConstI(unroll)), b.ConstI(int64(u)))
+			arow := b.Idx(aBase, cell, bs*bs, 0)
+			coef[u] = make([]ir.Reg, bs*bs)
+			for j := 0; j < bs*bs; j++ {
+				coef[u][j] = b.FLoadAI(arow, int64(j)*ir.WordBytes)
+			}
+			vrows[u] = b.Idx(vBase, cell, bs, 0)
+			x[u] = make([]ir.Reg, bs)
+			for m := 0; m < bs; m++ {
+				x[u][m] = b.FLoadAI(vrows[u], int64(m)*ir.WordBytes)
+			}
+		}
+		for m := 0; m < bs; m++ {
+			for u := 0; u < unroll; u++ {
+				acc := x[u][m]
+				for n := 0; n < m; n++ {
+					acc = b.FSub(acc, b.FMul(coef[u][idx(m, n)], x[u][n]))
+				}
+				diag := b.FAdd(coef[u][idx(m, m)], b.ConstF(2.5))
+				x[u][m] = b.FDiv(acc, diag)
+			}
+		}
+		for u := 0; u < unroll; u++ {
+			for m := 0; m < bs; m++ {
+				b.FStoreAI(x[u][m], vrows[u], int64(m)*ir.WordBytes)
+			}
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + a},
+		driverCall{callee: "init_" + v},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(a, aWords), fglobal(v, vWords)},
+		main,
+		fillFunc(a, aWords, 4242),
+		fillFunc(v, vWords, 2424),
+		kern,
+		checksumFunc("check_"+name, v, vWords),
+	)
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ccmem/internal/ir"
+)
+
+// blockRoutines builds the giant-basic-block family: fpppp (SPEC's famous
+// multi-hundred-instruction straight-line block with extreme floating
+// pressure), twldrv (a large mixed int/float loop nest), and deseco (a
+// medium multi-phase body) — the heaviest spillers in the paper's Table 1.
+func blockRoutines() []Routine {
+	return []Routine{
+		// fpppp's spill footprint deliberately exceeds a 512-byte CCM (but
+		// fits 1024), so it appears in Table 3. It makes no calls.
+		{Name: "fpppp", Paper: "fpppp", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("fpppp", 100, 900, 11, 12, 2, auxNone) }},
+		// twldrv calls a helper that itself spills, exercising the
+		// interprocedural high-water stacking; it also overflows 512 bytes.
+		{Name: "twldrv", Paper: "twldrv", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("twldrv", 64, 460, 23, 20, 2, auxHeavy) }},
+		// deseco, debflu and bilan call small helpers mid-web, so most of
+		// their spilled values are live across a call: the intraprocedural
+		// post-pass must leave them heavyweight while the call-graph
+		// variant promotes them (the paper's Post-Pass vs w/-Call-Graph gap).
+		{Name: "deseco", Paper: "deseco", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("deseco", 40, 220, 37, 24, 2, auxLight) }},
+		{Name: "pastem", Paper: "pastem", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("pastem", 16, 90, 41, 24, 1, auxNone) }},
+		{Name: "debflu", Paper: "debflu", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("debflu", 28, 160, 53, 24, 2, auxLight) }},
+		{Name: "bilan", Paper: "bilan", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("bilan", 24, 130, 59, 24, 2, auxLight) }},
+		// paroi and energyx are the paper's heavy spillers for which "no
+		// compaction was possible": one loop, one phase, everything live.
+		{Name: "paroi", Paper: "paroi", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("paroi", 100, 1000, 67, 12, 1, auxNone) }},
+		{Name: "drepvi", Paper: "drepvi", Family: "block",
+			Build: func() (*ir.Program, error) { return buildBigBlock("drepvi", 24, 120, 71, 24, 2, auxLight) }},
+	}
+}
+
+// aux selects the helper-function style a big-block kernel calls mid-web.
+type aux int
+
+const (
+	auxNone  aux = iota // leaf kernel
+	auxLight            // tiny helper, no spills (high water 0)
+	auxHeavy            // helper with its own spills (non-zero high water)
+)
+
+// buildAux constructs the helper. The light version is a few instructions;
+// the heavy version evaluates a parallel polynomial web that spills on the
+// 32-register machine, giving callers a non-zero CCM high-water mark to
+// stack above in interprocedural mode.
+func buildAux(name string, kind aux) *ir.Func {
+	b := newKB(name, ir.ClassFloat)
+	x := b.Param(ir.ClassFloat, "x")
+	b.Label("entry")
+	if kind == auxLight {
+		r := b.FDiv(x, b.FAdd(b.ConstF(1), b.FAbs(x)))
+		b.RetVal(b.FAdd(r, b.ConstF(0.03125)))
+		return b.MustFinish()
+	}
+	// Heavy: 40 coupled lanes seeded from x, iterated a few times.
+	const lanes = 40
+	vals := make([]ir.Reg, lanes)
+	for i := range vals {
+		vals[i] = b.FAdd(x, b.ConstF(float64(i)*0.01))
+	}
+	for round := 0; round < 3; round++ {
+		next := make([]ir.Reg, lanes)
+		for i := range vals {
+			next[i] = b.FAdd(b.FMul(vals[i], b.ConstF(0.5)), b.FMul(vals[(i+7)%lanes], b.ConstF(0.25)))
+		}
+		vals = next
+	}
+	acc := vals[0]
+	for i := 1; i < lanes; i++ {
+		acc = b.FAdd(acc, vals[i])
+	}
+	b.RetVal(acc)
+	return b.MustFinish()
+}
+
+// buildBigBlock constructs a kernel whose loop body is one long
+// straight-line expression web: nIn inputs are loaded, nOps dependent
+// floating operations follow with deliberately long-range operand reuse
+// (the shape that makes fpppp's block so hard to allocate), and the last
+// values are reduced into outputs. The web is generated from a fixed seed,
+// so the suite is deterministic.
+func buildBigBlock(name string, nIn, nOps int, seed int64, iters int64, phases int, auxKind aux) (*ir.Program, error) {
+	in := name + "_in"
+	out := name + "_out"
+	inWords := int64(nIn)
+	outWords := int64(8) * int64(phases)
+
+	rng := rand.New(rand.NewSource(seed))
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	inBase := b.Addr(in, 0)
+	outBase := b.Addr(out, 0)
+
+	// Each phase is its own loop over an independently generated web, so a
+	// multi-phase routine presents the compactor with disjoint spill
+	// lifetimes (Table 1).
+	for ph := 0; ph < phases; ph++ {
+		phOff := int64(ph) * 8
+		b.LoopConst(0, iters, func(k ir.Reg) {
+			vals := make([]ir.Reg, 0, nIn+nOps)
+			for i := 0; i < nIn; i++ {
+				vals = append(vals, b.FLoadIdx(inBase, k, 0, int64(i%int(inWords))))
+			}
+			// Long-range web: operands drawn uniformly over everything
+			// produced so far, so early values stay live deep into the block.
+			for i := 0; i < nOps; i++ {
+				x := vals[rng.Intn(len(vals))]
+				y := vals[rng.Intn(len(vals))]
+				var v ir.Reg
+				switch rng.Intn(4) {
+				case 0:
+					v = b.FAdd(x, y)
+				case 1:
+					v = b.FSub(x, y)
+				case 2:
+					v = b.FMul(x, y)
+				default:
+					v = b.FAdd(b.FMul(x, b.ConstF(0.5)), y)
+				}
+				vals = append(vals, v)
+				// Mid-web helper call: everything live here is live
+				// across the call.
+				if auxKind != auxNone && i == nOps/2 {
+					vals = append(vals, b.Call(name+"_aux", ir.ClassFloat, v))
+				}
+			}
+			for j := int64(0); j < 8; j++ {
+				acc := vals[len(vals)-1-int(j)]
+				acc = b.FAdd(acc, vals[len(vals)-9-int(j)])
+				b.FStoreIdx(acc, outBase, k, 0, phOff+j)
+			}
+		})
+	}
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + in},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	funcs := []*ir.Func{
+		main,
+		fillFunc(in, inWords, seed*3+1),
+		kern,
+		checksumFunc("check_"+name, out, outWords),
+	}
+	if auxKind != auxNone {
+		funcs = append(funcs, buildAux(name+"_aux", auxKind))
+	}
+	return program(
+		[]*ir.Global{fglobal(in, inWords), fglobal(out, outWords)},
+		funcs...,
+	)
+}

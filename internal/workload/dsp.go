@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"ccmem/internal/ir"
+)
+
+// dspRoutines builds the DSP-flavored kernels the paper's introduction
+// motivates ("these machines change quite rapidly ... small, fast, on-chip
+// memory"): FIR filters with the tap weights held in registers, IIR
+// biquad cascades carrying filter state, and an LMS adaptive filter whose
+// coefficient update doubles the pressure. The X variants keep a whole
+// unrolled window live, the classic software-pipelined DSP shape.
+func dspRoutines() []Routine {
+	return []Routine{
+		{Name: "fir", Paper: "fir (DSP)", Family: "dsp",
+			Build: func() (*ir.Program, error) { return buildFIR("fir", 8, 96) }},
+		{Name: "firX", Paper: "firX (DSP)", Family: "dsp",
+			Build: func() (*ir.Program, error) { return buildFIR("firX", 22, 96) }},
+		{Name: "biquad", Paper: "biquad (DSP)", Family: "dsp",
+			Build: func() (*ir.Program, error) { return buildBiquad("biquad", 3, 128) }},
+		{Name: "biquadX", Paper: "biquadX (DSP)", Family: "dsp",
+			Build: func() (*ir.Program, error) { return buildBiquad("biquadX", 8, 128) }},
+		{Name: "lmsX", Paper: "lmsX (DSP)", Family: "dsp",
+			Build: func() (*ir.Program, error) { return buildLMS("lmsX", 16, 96) }},
+	}
+}
+
+// buildFIR is a direct-form FIR filter: the `taps` coefficients live in
+// registers for the whole loop (the DSP idiom), and the sliding input
+// window is carried in registers too, so ~2*taps values are always live.
+func buildFIR(name string, taps int, n int64) (*ir.Program, error) {
+	x := name + "_x"
+	y := name + "_y"
+	words := n + int64(taps)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	xB := b.Addr(x, 0)
+	yB := b.Addr(y, 0)
+
+	// Tap weights: distinct constants held in registers across the loop.
+	coefs := make([]ir.Reg, taps)
+	for i := range coefs {
+		coefs[i] = b.Copy(b.ConstF(1.0 / float64(i+2)))
+	}
+	// Initial window, carried in registers and shifted each iteration.
+	win := make([]ir.Reg, taps)
+	for i := range win {
+		win[i] = b.Copy(b.FLoadAI(xB, int64(i)*ir.WordBytes))
+	}
+	b.LoopConst(0, n, func(i ir.Reg) {
+		acc := b.FMul(win[0], coefs[0])
+		for t := 1; t < taps; t++ {
+			acc = b.FAdd(acc, b.FMul(win[t], coefs[t]))
+		}
+		b.FStore(acc, b.Idx(yB, i, 1, 0))
+		// Shift the window and load the next sample.
+		next := b.FLoad(b.Idx(xB, b.Add(i, b.ConstI(int64(taps))), 1, 0))
+		for t := 0; t < taps-1; t++ {
+			b.CopyTo(win[t], win[t+1])
+		}
+		b.CopyTo(win[taps-1], next)
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + x},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(x, words), fglobal(y, words)},
+		main, fillFunc(x, words, int64(taps)*29), kern, checksumFunc("check_"+name, y, n),
+	)
+}
+
+// buildBiquad is a cascade of `stages` direct-form-II biquad sections:
+// each stage carries two state variables plus five coefficients, all in
+// registers, so pressure grows linearly with the cascade depth.
+func buildBiquad(name string, stages int, n int64) (*ir.Program, error) {
+	x := name + "_x"
+	y := name + "_y"
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	xB := b.Addr(x, 0)
+	yB := b.Addr(y, 0)
+
+	type stage struct {
+		b0, b1, b2, a1, a2, z1, z2 ir.Reg
+	}
+	sts := make([]stage, stages)
+	for s := range sts {
+		fs := float64(s + 1)
+		sts[s] = stage{
+			b0: b.Copy(b.ConstF(0.2 + 0.01*fs)),
+			b1: b.Copy(b.ConstF(0.4 + 0.01*fs)),
+			b2: b.Copy(b.ConstF(0.2 - 0.005*fs)),
+			a1: b.Copy(b.ConstF(-0.3 + 0.02*fs)),
+			a2: b.Copy(b.ConstF(0.1 - 0.005*fs)),
+			z1: b.Copy(b.ConstF(0)),
+			z2: b.Copy(b.ConstF(0)),
+		}
+	}
+	b.LoopConst(0, n, func(i ir.Reg) {
+		v := b.FLoad(b.Idx(xB, i, 1, 0))
+		for s := range sts {
+			st := &sts[s]
+			// Direct form II transposed:
+			//   y = b0*v + z1;  z1 = b1*v - a1*y + z2;  z2 = b2*v - a2*y
+			out := b.FAdd(b.FMul(st.b0, v), st.z1)
+			nz1 := b.FAdd(b.FSub(b.FMul(st.b1, v), b.FMul(st.a1, out)), st.z2)
+			nz2 := b.FSub(b.FMul(st.b2, v), b.FMul(st.a2, out))
+			b.CopyTo(st.z1, nz1)
+			b.CopyTo(st.z2, nz2)
+			v = out
+		}
+		b.FStore(v, b.Idx(yB, i, 1, 0))
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + x},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(x, n), fglobal(y, n)},
+		main, fillFunc(x, n, int64(stages)*37), kern, checksumFunc("check_"+name, y, n),
+	)
+}
+
+// buildLMS is an LMS adaptive filter: per sample, a `taps`-point FIR
+// produces the estimate, the error updates every coefficient, and both
+// the window and the (mutable) coefficient vector live in registers —
+// roughly 2*taps carried values plus the per-sample temporaries.
+func buildLMS(name string, taps int, n int64) (*ir.Program, error) {
+	x := name + "_x"
+	d := name + "_d"
+	w := name + "_w"
+	words := n + int64(taps)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	xB := b.Addr(x, 0)
+	dB := b.Addr(d, 0)
+	wB := b.Addr(w, 0)
+	mu := b.ConstF(0.0078125)
+
+	coefs := make([]ir.Reg, taps)
+	win := make([]ir.Reg, taps)
+	for i := range coefs {
+		coefs[i] = b.Copy(b.ConstF(0))
+		win[i] = b.Copy(b.FLoadAI(xB, int64(i)*ir.WordBytes))
+	}
+	b.LoopConst(0, n, func(i ir.Reg) {
+		est := b.FMul(win[0], coefs[0])
+		for t := 1; t < taps; t++ {
+			est = b.FAdd(est, b.FMul(win[t], coefs[t]))
+		}
+		desired := b.FLoad(b.Idx(dB, i, 1, 0))
+		errv := b.FMul(b.FSub(desired, est), mu)
+		for t := 0; t < taps; t++ {
+			b.CopyTo(coefs[t], b.FAdd(coefs[t], b.FMul(errv, win[t])))
+		}
+		next := b.FLoad(b.Idx(xB, b.Add(i, b.ConstI(int64(taps))), 1, 0))
+		for t := 0; t < taps-1; t++ {
+			b.CopyTo(win[t], win[t+1])
+		}
+		b.CopyTo(win[taps-1], next)
+	})
+	// Publish the converged coefficients for the checksum.
+	for t := 0; t < taps; t++ {
+		b.FStoreAI(coefs[t], wB, int64(t)*ir.WordBytes)
+	}
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + x},
+		driverCall{callee: "init_" + d},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(x, words), fglobal(d, n), fglobal(w, int64(taps))},
+		main, fillFunc(x, words, 83), fillFunc(d, n, 89),
+		kern, checksumFunc("check_"+name, w, int64(taps)),
+	)
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ccmem/internal/ir"
+)
+
+// fftRoutines builds the FFTPACK-style radix passes. The plain versions
+// compute one butterfly at a time (modest pressure, like the paper's
+// untransformed FFT routines); the X versions accumulate every output in
+// parallel across an unrolled pair of iterations, reproducing the register
+// pressure of the paper's transformed radb2X..radf5X routines.
+func fftRoutines() []Routine {
+	var rs []Routine
+	for _, radix := range []int{2, 3, 4, 5} {
+		for _, fwd := range []bool{false, true} {
+			base := "radb"
+			paper := "radb"
+			if fwd {
+				base, paper = "radf", "radf"
+			}
+			name := fmt.Sprintf("%s%d", base, radix)
+			r, f := radix, fwd
+			rs = append(rs, Routine{
+				Name:   name,
+				Paper:  fmt.Sprintf("%s%d", paper, radix),
+				Family: "fft",
+				Build:  func() (*ir.Program, error) { return buildRadix(fmt.Sprintf("%s%d", base, r), r, f, 1, 48) },
+			})
+			xUnroll := map[int]int{2: 5, 3: 4, 4: 3, 5: 2}[radix]
+			xu := xUnroll
+			rs = append(rs, Routine{
+				Name:   name + "X",
+				Paper:  fmt.Sprintf("%s%dX", paper, radix),
+				Family: "fft",
+				Build:  func() (*ir.Program, error) { return buildRadix(fmt.Sprintf("%s%dX", base, r), r, f, xu, 48) },
+			})
+		}
+	}
+	// General-radix passes (the paper's radbgX / radfgX): radix 7,
+	// unrolled — the widest butterflies in the suite.
+	rs = append(rs, Routine{
+		Name: "radbgX", Paper: "radbgX", Family: "fft",
+		Build: func() (*ir.Program, error) { return buildRadix("radbgX", 7, false, 2, 42) },
+	})
+	rs = append(rs, Routine{
+		Name: "radfgX", Paper: "radfgX", Family: "fft",
+		Build: func() (*ir.Program, error) { return buildRadix("radfgX", 7, true, 2, 42) },
+	})
+	// rffti-style setup routine (wavetable initialization; light pressure).
+	rs = append(rs, Routine{
+		Name:   "rffti1",
+		Paper:  "rffti1x",
+		Family: "fft",
+		Build:  buildRffti,
+	})
+	return rs
+}
+
+// buildRadix constructs a radix-r DFT butterfly pass over l1 butterflies.
+// CC holds the inputs (l1*r complex values), WA the per-butterfly twiddle
+// factors, CH the outputs. unroll > 1 interleaves that many butterflies,
+// keeping all of their inputs and output accumulators live at once.
+func buildRadix(name string, radix int, forward bool, unroll int, l1 int64) (*ir.Program, error) {
+	cc := name + "_cc"
+	ch := name + "_ch"
+	wa := name + "_wa"
+	ccWords := l1 * int64(radix) * 2
+	waWords := l1 * int64(radix-1) * 2
+
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	ccBase := b.Addr(cc, 0)
+	chBase := b.Addr(ch, 0)
+	waBase := b.Addr(wa, 0)
+
+	sign := 1.0
+	if forward {
+		sign = -1.0
+	}
+
+	iters := l1 / int64(unroll)
+	b.LoopConst(0, iters, func(k ir.Reg) {
+		type cval struct{ re, im ir.Reg }
+		ins := make([][]cval, unroll)
+		outs := make([][]cval, unroll)
+		kk := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			kk[u] = b.Add(b.Mul(k, b.ConstI(int64(unroll))), b.ConstI(int64(u)))
+		}
+		// Load and twiddle all inputs for every unrolled butterfly first —
+		// this is what creates the X-variant pressure.
+		for u := 0; u < unroll; u++ {
+			ins[u] = make([]cval, radix)
+			ccRow := b.Idx(ccBase, kk[u], int64(radix)*2, 0)
+			waRow := b.Idx(waBase, kk[u], int64(radix-1)*2, 0)
+			for m := 0; m < radix; m++ {
+				re := b.FLoadAI(ccRow, int64(2*m)*ir.WordBytes)
+				im := b.FLoadAI(ccRow, int64(2*m+1)*ir.WordBytes)
+				if m > 0 {
+					wre := b.FLoadAI(waRow, int64(2*(m-1))*ir.WordBytes)
+					wim := b.FLoadAI(waRow, int64(2*(m-1)+1)*ir.WordBytes)
+					// (re,im) *= (wre, sign*wim)
+					tre := b.FSub(b.FMul(re, wre), b.FMul(b.FMul(im, wim), b.ConstF(sign)))
+					tim := b.FAdd(b.FMul(b.FMul(re, wim), b.ConstF(sign)), b.FMul(im, wre))
+					re, im = tre, tim
+				}
+				ins[u][m] = cval{re, im}
+			}
+		}
+		// Butterfly. The unrolled variant accumulates every output in
+		// parallel; the plain variant finishes one output before starting
+		// the next (lower pressure).
+		for u := 0; u < unroll; u++ {
+			outs[u] = make([]cval, radix)
+			for j := 0; j < radix; j++ {
+				outs[u][j] = cval{b.Copy(ins[u][0].re), b.Copy(ins[u][0].im)}
+			}
+		}
+		accumulate := func(u, j, m int) {
+			ang := 2 * math.Pi * float64(j*m) / float64(radix)
+			c := b.ConstF(math.Cos(ang))
+			s := b.ConstF(sign * math.Sin(ang))
+			re, im := ins[u][m].re, ins[u][m].im
+			or := b.FAdd(outs[u][j].re, b.FSub(b.FMul(re, c), b.FMul(im, s)))
+			oi := b.FAdd(outs[u][j].im, b.FAdd(b.FMul(re, s), b.FMul(im, c)))
+			outs[u][j] = cval{or, oi}
+		}
+		if unroll > 1 {
+			for m := 1; m < radix; m++ {
+				for u := 0; u < unroll; u++ {
+					for j := 0; j < radix; j++ {
+						accumulate(u, j, m)
+					}
+				}
+			}
+		} else {
+			for j := 0; j < radix; j++ {
+				for m := 1; m < radix; m++ {
+					accumulate(0, j, m)
+				}
+			}
+		}
+		for u := 0; u < unroll; u++ {
+			for j := 0; j < radix; j++ {
+				// CH[j*l1 + kk] layout: transposed butterfly output.
+				row := b.Idx(chBase, kk[u], 2, int64(j)*l1*2)
+				b.FStoreAI(outs[u][j].re, row, 0)
+				b.FStoreAI(outs[u][j].im, row, ir.WordBytes)
+			}
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + cc},
+		driverCall{callee: "init_" + wa},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(cc, ccWords), fglobal(ch, ccWords), fglobal(wa, waWords)},
+		main,
+		fillFunc(cc, ccWords, 1234+int64(radix)),
+		fillFunc(wa, waWords, 777+int64(radix)),
+		kern,
+		checksumFunc("check_"+name, ch, ccWords),
+	)
+}
+
+// buildRffti is a light-pressure wavetable initializer: trigonometric
+// recurrences with a handful of live values (a routine that, like the
+// paper's non-spilling majority, needs no spill code).
+func buildRffti() (*ir.Program, error) {
+	const words = 256
+	b := newKB("rffti1", ir.ClassNone)
+	b.Label("entry")
+	base := b.Addr("rffti1_wa", 0)
+	// cos/sin recurrence: w_{k+1} = w_k * w_1.
+	c1 := b.ConstF(math.Cos(2 * math.Pi / 64))
+	s1 := b.ConstF(math.Sin(2 * math.Pi / 64))
+	cr := b.Copy(b.ConstF(1))
+	ci := b.Copy(b.ConstF(0))
+	b.LoopConst(0, words/2, func(i ir.Reg) {
+		nr := b.FSub(b.FMul(cr, c1), b.FMul(ci, s1))
+		ni := b.FAdd(b.FMul(cr, s1), b.FMul(ci, c1))
+		b.CopyTo(cr, nr)
+		b.CopyTo(ci, ni)
+		row := b.Idx(base, i, 2, 0)
+		b.FStoreAI(cr, row, 0)
+		b.FStoreAI(ci, row, ir.WordBytes)
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "rffti1"},
+		driverCall{callee: "check_rffti1"},
+	)
+	return program(
+		[]*ir.Global{fglobal("rffti1_wa", words)},
+		main,
+		kern,
+		checksumFunc("check_rffti1", "rffti1_wa", words),
+	)
+}

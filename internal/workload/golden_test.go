@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"ccmem/internal/sim"
+)
+
+// goldenTraces pins the baseline emit trace of every suite routine. Any
+// change here means the workload definition changed — which silently
+// invalidates all recorded experiment numbers — so it must be deliberate:
+// regenerate with the snippet in the test failure message.
+var goldenTraces = map[string][]string{
+	"radb2":   {"82.76517535746093"},
+	"radb2X":  {"77.55426274519412"},
+	"radf2":   {"82.76517535746093"},
+	"radf2X":  {"77.5542627451941"},
+	"radb3":   {"142.28142743557692"},
+	"radb3X":  {"142.28142743557692"},
+	"radf3":   {"142.28142743557683"},
+	"radf3X":  {"142.28142743557683"},
+	"radb4":   {"192.32493188977242"},
+	"radb4X":  {"192.32493188977242"},
+	"radf4":   {"192.32493188977242"},
+	"radf4X":  {"192.32493188977242"},
+	"radb5":   {"221.95823449641466"},
+	"radb5X":  {"221.95823449641466"},
+	"radf5":   {"221.95823449641455"},
+	"radf5X":  {"221.95823449641455"},
+	"radbgX":  {"281.3539902726194"},
+	"radfgX":  {"281.3539902726188"},
+	"rffti1":  {"1.0985656828665924e-13"},
+	"fpppp":   {"11.565430074672431"},
+	"twldrv":  {"0.8517443529181298"},
+	"deseco":  {"25.37903474271753"},
+	"pastem":  {"11.705748667454623"},
+	"debflu":  {"14.213949764143326"},
+	"bilan":   {"16.075219036378257"},
+	"paroi":   {"7.607344956383292"},
+	"drepvi":  {"8.042822953234113"},
+	"jacld":   {"-16512.175726873757"},
+	"jacu":    {"-9477.931279644903"},
+	"rhs":     {"-20.07480888894957"},
+	"erhs":    {"-16.080722433054532"},
+	"blts":    {"27.79530765943397"},
+	"buts":    {"27.16504386766694"},
+	"subb":    {"-10586.70437373682"},
+	"supp":    {"-10586.70437373682"},
+	"decomp":  {"32.317589790461724"},
+	"svd":     {"46.18102279089862"},
+	"vslvlpX": {"126.05986962519452"},
+	"vslvlxX": {"165.45734020706365"},
+	"saturr":  {"395.1983446585323"},
+	"colbur":  {"278.10324197515604"},
+	"ddeflu":  {"348.86386517566933"},
+	"prophy":  {"128.53005121831774"},
+	"dyeh":    {"83.02438676491522"},
+	"efill":   {"81.4476412150084"},
+	"getbX":   {"583.4330448210239"},
+	"putbX":   {"686.6094812128722"},
+	"parmvrX": {"964.6759846851637"},
+	"parmveX": {"766.1957319796784"},
+	"parmovX": {"875.0403131693602"},
+	"energyx": {"-3832.638875831007"},
+	"pdiagX":  {"155.7454867600621"},
+	"tomcatv": {"162.63855529704685"},
+	"smoothX": {"40.17079609353095"},
+	"advbndX": {"2049.479909169076"},
+	"fieldX":  {"326.0413984447718"},
+	"initX":   {"2375.5093307907878"},
+	"slv2xyX": {"45.61698281019926"},
+	"inisla":  {"2285.3928624410273"},
+	"fir":     {"84.61814399544625"},
+	"firX":    {"134.76281440581943"},
+	"biquad":  {"65.10721932474361"},
+	"biquadX": {"53.20852153892588"},
+	"lmsX":    {"0.7754979823249603"},
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			want, ok := goldenTraces[r.Name]
+			if !ok {
+				t.Fatalf("no golden trace for %s — add it to goldenTraces", r.Name)
+			}
+			p, err := r.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sim.Run(p, "main", sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Output) != len(want) {
+				t.Fatalf("trace length %d, golden %d", len(st.Output), len(want))
+			}
+			for i, v := range st.Output {
+				if v.String() != want[i] {
+					t.Fatalf("emit %d = %s, golden %s (workload changed? regenerate goldens deliberately)",
+						i, v.String(), want[i])
+				}
+			}
+		})
+	}
+	if len(goldenTraces) != len(All()) {
+		t.Fatalf("golden map has %d entries for %d routines", len(goldenTraces), len(All()))
+	}
+}

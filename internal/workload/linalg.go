@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"ccmem/internal/ir"
+)
+
+// linalgRoutines builds the linear-algebra and utility kernels: Forsythe
+// et al.-style decomp/svd, banded solves (vslvlpX, vslvlxX), saturation
+// and burn-off polynomials (saturr, colbur, ddeflu, prophy, dyeh, efill),
+// and the block move/pack routines (getbX, putbX, parmvrX, parmveX,
+// parmovX).
+func linalgRoutines() []Routine {
+	return []Routine{
+		{Name: "decomp", Paper: "decomp", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildLU("decomp", 12) }},
+		{Name: "svd", Paper: "svd", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildSVD("svd", 10) }},
+		{Name: "vslvlpX", Paper: "vslvlpX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildTriSolve("vslvlpX", 64, 12) }},
+		{Name: "vslvlxX", Paper: "vslvlxX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildTriSolve("vslvlxX", 64, 16) }},
+		{Name: "saturr", Paper: "saturr", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildPoly("saturr", 8, 2, 64, 18) }},
+		{Name: "colbur", Paper: "colbur", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildPoly("colbur", 4, 3, 64, 17) }},
+		{Name: "ddeflu", Paper: "ddeflu", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildPoly("ddeflu", 6, 2, 64, 16) }},
+		{Name: "prophy", Paper: "prophy", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildPoly("prophy", 5, 2, 48, 8) }},
+		{Name: "dyeh", Paper: "dyeh", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildPoly("dyeh", 3, 1, 48, 4) }},
+		{Name: "efill", Paper: "efill", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildPoly("efill", 2, 1, 96, 2) }},
+		{Name: "getbX", Paper: "getbX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildMove("getbX", 12, false, 64) }},
+		{Name: "putbX", Paper: "putbX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildMove("putbX", 14, true, 64) }},
+		{Name: "parmvrX", Paper: "parmvrX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildMove("parmvrX", 20, true, 64) }},
+		{Name: "parmveX", Paper: "parmveX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildMove("parmveX", 16, true, 64) }},
+		{Name: "parmovX", Paper: "parmovX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildMove("parmovX", 18, false, 64) }},
+		{Name: "energyx", Paper: "energyx", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildJac("energyx", 7, 1, false, 32) }},
+		{Name: "pdiagX", Paper: "pdiagX", Family: "linalg",
+			Build: func() (*ir.Program, error) { return buildTriSolve("pdiagX", 48, 20) }},
+	}
+}
+
+// buildLU is a decomp-style LU factorization (no pivoting) over an n×n
+// matrix: classic triply nested loops with a rank-1 update inner loop.
+func buildLU(name string, n int64) (*ir.Program, error) {
+	a := name + "_a"
+	words := n * n
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	base := b.Addr(a, 0)
+	nR := b.ConstI(n)
+	b.Loop(b.ConstI(0), nR, func(k ir.Reg) {
+		pivRow := b.Idx(base, b.Mul(k, nR), 1, 0)
+		piv := b.FAdd(b.FLoadAI(b.Idx(pivRow, k, 1, 0), 0), b.ConstF(3.0))
+		pinv := b.FDiv(b.ConstF(1), piv)
+		kp1 := b.Add(k, b.ConstI(1))
+		b.Loop(kp1, nR, func(i ir.Reg) {
+			iRow := b.Idx(base, b.Mul(i, nR), 1, 0)
+			lik := b.FMul(b.FLoad(b.Idx(iRow, k, 1, 0)), pinv)
+			b.FStore(lik, b.Idx(iRow, k, 1, 0))
+			b.Loop(kp1, nR, func(j ir.Reg) {
+				akj := b.FLoad(b.Idx(pivRow, j, 1, 0))
+				aij := b.FLoad(b.Idx(iRow, j, 1, 0))
+				b.FStore(b.FSub(aij, b.FMul(lik, akj)), b.Idx(iRow, j, 1, 0))
+			})
+		})
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + a},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(a, words)},
+		main, fillFunc(a, words, 31), kern, checksumFunc("check_"+name, a, words),
+	)
+}
+
+// buildSVD is an svd-style one-sided Jacobi sweep: for each column pair,
+// accumulate three inner products, derive a rotation (with sqrt), and
+// apply it to both columns — reduction followed by update, with calls into
+// nothing but straight-line math.
+func buildSVD(name string, n int64) (*ir.Program, error) {
+	a := name + "_a"
+	words := n * n
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	base := b.Addr(a, 0)
+	nR := b.ConstI(n)
+	nm1 := b.ConstI(n - 1)
+	b.Loop(b.ConstI(0), nm1, func(j ir.Reg) {
+		jp1 := b.Add(j, b.ConstI(1))
+		app := b.Copy(b.ConstF(1e-9))
+		aqq := b.Copy(b.ConstF(1e-9))
+		apq := b.Copy(b.ConstF(0)) // off-diagonal inner product
+		b.Loop(b.ConstI(0), nR, func(i ir.Reg) {
+			row := b.Idx(base, b.Mul(i, nR), 1, 0)
+			x := b.FLoad(b.Idx(row, j, 1, 0))
+			y := b.FLoad(b.Idx(row, jp1, 1, 0))
+			b.CopyTo(app, b.FAdd(app, b.FMul(x, x)))
+			b.CopyTo(aqq, b.FAdd(aqq, b.FMul(y, y)))
+			b.CopyTo(apq, b.FAdd(apq, b.FMul(x, y)))
+		})
+		// rotation angle ~ apq / (app+aqq); c,s via 1/sqrt(1+t^2).
+		t := b.FDiv(apq, b.FAdd(app, aqq))
+		den := b.FSqrt(b.FAdd(b.ConstF(1), b.FMul(t, t)))
+		c := b.FDiv(b.ConstF(1), den)
+		s := b.FMul(t, c)
+		b.Loop(b.ConstI(0), nR, func(i ir.Reg) {
+			row := b.Idx(base, b.Mul(i, nR), 1, 0)
+			x := b.FLoad(b.Idx(row, j, 1, 0))
+			y := b.FLoad(b.Idx(row, jp1, 1, 0))
+			b.FStore(b.FAdd(b.FMul(c, x), b.FMul(s, y)), b.Idx(row, j, 1, 0))
+			b.FStore(b.FSub(b.FMul(c, y), b.FMul(s, x)), b.Idx(row, jp1, 1, 0))
+		})
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + a},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(a, words)},
+		main, fillFunc(a, words, 57), kern, checksumFunc("check_"+name, a, words),
+	)
+}
+
+// buildTriSolve is a vslvlp/vslvlx-style banded forward solve, unrolled:
+// each step loads `unroll` right-hand sides plus band coefficients and
+// carries the recurrences in parallel, so all the partial solutions are
+// simultaneously live.
+func buildTriSolve(name string, n int64, unroll int) (*ir.Program, error) {
+	rhs := name + "_r"
+	band := name + "_b"
+	words := n * int64(unroll)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	rBase := b.Addr(rhs, 0)
+	bBase := b.Addr(band, 0)
+	carry := make([]ir.Reg, unroll)
+	for u := range carry {
+		carry[u] = b.Copy(b.ConstF(0))
+	}
+	b.LoopConst(0, n, func(i ir.Reg) {
+		rRow := b.Idx(rBase, i, int64(unroll), 0)
+		bRow := b.Idx(bBase, i, int64(unroll), 0)
+		xs := make([]ir.Reg, unroll)
+		cs := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			xs[u] = b.FLoadAI(rRow, int64(u)*ir.WordBytes)
+			cs[u] = b.FLoadAI(bRow, int64(u)*ir.WordBytes)
+		}
+		// Coupled recurrences: x'_u = (x_u - c_u * carry_u) / (2 + c_u),
+		// then neighbouring lanes exchange carries (keeps lanes live).
+		nx := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			num := b.FSub(xs[u], b.FMul(cs[u], carry[u]))
+			nx[u] = b.FDiv(num, b.FAdd(b.ConstF(2), cs[u]))
+		}
+		for u := 0; u < unroll; u++ {
+			b.CopyTo(carry[u], b.FAdd(nx[u], b.FMul(b.ConstF(0.125), nx[(u+1)%unroll])))
+			b.FStoreAI(nx[u], rRow, int64(u)*ir.WordBytes)
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + rhs},
+		driverCall{callee: "init_" + band},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(rhs, words), fglobal(band, words)},
+		main,
+		fillFunc(rhs, words, 11), fillFunc(band, words, 13),
+		kern, checksumFunc("check_"+name, rhs, words),
+	)
+}
+
+// buildPoly is a saturr/colbur-style pointwise kernel: `phases` sequential
+// loops each evaluate a Horner polynomial of the given degree and a
+// saturation clamp. Sequential phases give the spill-memory compactor
+// disjoint lifetimes to pack (Table 1).
+func buildPoly(name string, deg, phases int, cells int64, lanes int) (*ir.Program, error) {
+	a := name + "_a"
+	words := cells * int64(lanes)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	base := b.Addr(a, 0)
+	for ph := 0; ph < phases; ph++ {
+		coef := make([]float64, deg+1)
+		for i := range coef {
+			coef[i] = 1.0 / float64(ph+i+2)
+		}
+		b.LoopConst(0, cells, func(i ir.Reg) {
+			// `lanes` Horner evaluations proceed in lock step, so all the
+			// lane accumulators and inputs are simultaneously live.
+			row := b.Idx(base, i, int64(lanes), 0)
+			xs := make([]ir.Reg, lanes)
+			accs := make([]ir.Reg, lanes)
+			for l := 0; l < lanes; l++ {
+				xs[l] = b.FLoadAI(row, int64(l)*ir.WordBytes)
+				accs[l] = b.ConstF(coef[deg])
+			}
+			for d := deg - 1; d >= 0; d-- {
+				for l := 0; l < lanes; l++ {
+					accs[l] = b.FAdd(b.FMul(accs[l], xs[l]), b.ConstF(coef[d]))
+				}
+			}
+			for l := 0; l < lanes; l++ {
+				// Saturate into (-1, 1): acc / (1 + |acc|).
+				sat := b.FDiv(accs[l], b.FAdd(b.ConstF(1), b.FAbs(accs[l])))
+				b.FStoreAI(sat, row, int64(l)*ir.WordBytes)
+			}
+		})
+	}
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + a},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(a, words)},
+		main, fillFunc(a, words, int64(deg*7+phases)), kern, checksumFunc("check_"+name, a, words),
+	)
+}
+
+// buildMove is a getb/putb/parmvr-style block mover: `unroll` elements per
+// step are gathered, optionally scaled, cross-mixed (so every lane stays
+// live through the whole body), and scattered with a stride permutation.
+func buildMove(name string, unroll int, scale bool, n int64) (*ir.Program, error) {
+	src := name + "_s"
+	dst := name + "_d"
+	words := n * int64(unroll)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	sBase := b.Addr(src, 0)
+	dBase := b.Addr(dst, 0)
+	k := b.ConstF(1.0009765625)
+	b.LoopConst(0, n, func(i ir.Reg) {
+		row := b.Idx(sBase, i, int64(unroll), 0)
+		vals := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			vals[u] = b.FLoadAI(row, int64(u)*ir.WordBytes)
+		}
+		if scale {
+			for u := 0; u < unroll; u++ {
+				vals[u] = b.FMul(vals[u], k)
+			}
+		}
+		// Cross-mix with a far lane: every value's last use is in the
+		// second half of the mixing phase, so all lanes stay live through
+		// it (the getb/putb gather buffers behave the same way).
+		mixed := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			far := (u + unroll/2) % unroll
+			mixed[u] = b.FAdd(vals[u], b.FMul(b.ConstF(0.5), vals[far]))
+		}
+		out := b.Idx(dBase, i, int64(unroll), 0)
+		for u := 0; u < unroll; u++ {
+			// Permuted scatter (reverse order), getb/putb style.
+			b.FStoreAI(mixed[u], out, int64(unroll-1-u)*ir.WordBytes)
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + src},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(src, words), fglobal(dst, words)},
+		main, fillFunc(src, words, int64(unroll)*19), kern, checksumFunc("check_"+name, dst, words),
+	)
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"ccmem/internal/core"
+	"ccmem/internal/ir"
+	"ccmem/internal/opt"
+	"ccmem/internal/regalloc"
+	"ccmem/internal/sim"
+)
+
+// runTrace executes a program and returns its emit trace, failing the test
+// on any fault.
+func runTrace(t *testing.T, p *ir.Program, ccmBytes int64, what string) []sim.Value {
+	t.Helper()
+	st, err := sim.Run(p, "main", sim.Config{CCMBytes: ccmBytes})
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	return st.Output
+}
+
+// TestRandomProgramsAcrossPipeline is the central property test of the
+// reproduction: for many seeded random programs, every stage and strategy
+// combination must preserve the observable emit trace bit for bit, pass
+// the IR verifier, and respect machine limits.
+func TestRandomProgramsAcrossPipeline(t *testing.T) {
+	const seeds = 120
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := RandomProgram(seed)
+			want := runTrace(t, base.Clone(), 0, "baseline")
+			if len(want) == 0 {
+				t.Fatal("random program emits nothing")
+			}
+
+			// Stage 1: optimizer only.
+			p1 := base.Clone()
+			if _, err := opt.OptimizeProgram(p1); err != nil {
+				t.Fatal(err)
+			}
+			if err := ir.VerifyProgram(p1, ir.VerifyOptions{}); err != nil {
+				t.Fatalf("verify after opt: %v", err)
+			}
+			if got := runTrace(t, p1.Clone(), 0, "opt"); !sim.TracesEqual(got, want) {
+				t.Fatalf("optimizer changed trace\nbase: %v\ngot:  %v", want, got)
+			}
+
+			// Stage 2: allocation at several register budgets, on the
+			// optimized program.
+			for _, k := range []int{4, 6, 32} {
+				p2 := p1.Clone()
+				for _, f := range p2.Funcs {
+					if _, err := regalloc.Allocate(f, regalloc.Options{IntRegs: k, FloatRegs: k}); err != nil {
+						t.Fatalf("k=%d: %v", k, err)
+					}
+					if len(f.Regs) != 2*k {
+						t.Fatalf("k=%d: %s has %d physical regs", k, f.Name, len(f.Regs))
+					}
+				}
+				if err := ir.VerifyProgram(p2, ir.VerifyOptions{}); err != nil {
+					t.Fatalf("verify after alloc k=%d: %v", k, err)
+				}
+				if got := runTrace(t, p2.Clone(), 0, "alloc"); !sim.TracesEqual(got, want) {
+					t.Fatalf("allocation k=%d changed trace", k)
+				}
+
+				// Stage 3a: post-pass promotion (both modes) + compaction.
+				for _, ipa := range []bool{false, true} {
+					p3 := p2.Clone()
+					if _, err := core.PostPass(p3, core.PostPassOptions{CCMBytes: 256, Interprocedural: ipa}); err != nil {
+						t.Fatalf("postpass ipa=%v: %v", ipa, err)
+					}
+					if _, err := core.CompactProgram(p3); err != nil {
+						t.Fatal(err)
+					}
+					if err := ir.VerifyProgram(p3, ir.VerifyOptions{}); err != nil {
+						t.Fatalf("verify after postpass: %v", err)
+					}
+					if got := runTrace(t, p3, 256, "postpass"); !sim.TracesEqual(got, want) {
+						t.Fatalf("postpass ipa=%v k=%d changed trace", ipa, k)
+					}
+				}
+
+				// Stage 3b: integrated CCM allocation.
+				p4 := p1.Clone()
+				for _, f := range p4.Funcs {
+					if _, err := regalloc.Allocate(f, regalloc.Options{IntRegs: k, FloatRegs: k, CCMBytes: 256}); err != nil {
+						t.Fatalf("integrated k=%d: %v", k, err)
+					}
+				}
+				if err := ir.VerifyProgram(p4, ir.VerifyOptions{}); err != nil {
+					t.Fatalf("verify after integrated: %v", err)
+				}
+				if got := runTrace(t, p4, 256, "integrated"); !sim.TracesEqual(got, want) {
+					t.Fatalf("integrated k=%d changed trace", k)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomProgramsDeterministic checks the generator itself: equal seeds
+// yield identical programs; different seeds almost always differ.
+func TestRandomProgramsDeterministic(t *testing.T) {
+	a := RandomProgram(7).String()
+	b := RandomProgram(7).String()
+	if a != b {
+		t.Fatal("same seed produced different programs")
+	}
+	c := RandomProgram(8).String()
+	if a == c {
+		t.Fatal("different seeds produced identical programs")
+	}
+}

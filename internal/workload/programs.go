@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"ccmem/internal/ir"
+)
+
+// BenchProgram is a whole program for the paper's Figures 3 and 4: a main
+// that runs a set of suite routines end to end, so total running time
+// (rather than per-routine cycles) can be compared across CCM strategies.
+type BenchProgram struct {
+	Name    string
+	Members []string // routine names included
+	Build   func() (*ir.Program, error)
+}
+
+// Programs returns the whole-program workloads, echoing the paper's
+// benchmark programs (fpppp, doduc, applu, wave5/nave-style, fft,
+// tomcatv, and Forsythe et al. drivers).
+func Programs() []BenchProgram {
+	defs := []struct {
+		name    string
+		members []string
+	}{
+		{"fftX", []string{"rffti1", "radf2X", "radf3X", "radf4X", "radf5X", "radb2X", "radb3X", "radb4X", "radb5X"}},
+		{"fft", []string{"rffti1", "radf2", "radf3", "radf4", "radf5", "radb2", "radb3", "radb4", "radb5"}},
+		{"applu", []string{"jacld", "jacu", "rhs", "erhs", "blts", "buts", "subb", "supp"}},
+		{"doduc", []string{"deseco", "ddeflu", "debflu", "bilan", "pastem", "prophy", "saturr", "dyeh", "colbur"}},
+		{"fpppp", []string{"fpppp", "twldrv", "efill"}},
+		{"nave", []string{"fieldX", "initX", "parmvrX", "parmveX", "parmovX", "getbX", "putbX", "smoothX", "slv2xyX", "vslvlpX", "vslvlxX"}},
+		{"tomcatv", []string{"tomcatv"}},
+		{"forsythe", []string{"decomp", "svd", "efill"}},
+		{"advect", []string{"advbndX", "smoothX", "fieldX"}},
+		{"solve", []string{"blts", "buts", "vslvlpX", "decomp"}},
+		{"dsp", []string{"fir", "firX", "biquad", "biquadX", "lmsX"}},
+	}
+	out := make([]BenchProgram, 0, len(defs))
+	for _, d := range defs {
+		d := d
+		out = append(out, BenchProgram{
+			Name:    d.name,
+			Members: d.members,
+			Build:   func() (*ir.Program, error) { return Combine(d.name, d.members) },
+		})
+	}
+	return out
+}
+
+// Combine merges the driver programs of the named routines into one
+// program whose main runs each routine's driver in sequence. Each
+// routine's own main becomes run_<routine>.
+func Combine(name string, members []string) (*ir.Program, error) {
+	p := &ir.Program{}
+	var calls []driverCall
+	for _, m := range members {
+		r, ok := Lookup(m)
+		if !ok {
+			return nil, fmt.Errorf("workload: program %s references unknown routine %q", name, m)
+		}
+		q, err := r.Build()
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range q.Globals {
+			if p.Global(g.Name) != nil {
+				return nil, fmt.Errorf("workload: program %s: duplicate global %q (routine %s)", name, g.Name, m)
+			}
+			if err := p.AddGlobal(g); err != nil {
+				return nil, err
+			}
+		}
+		for _, f := range q.Funcs {
+			if f.Name == "main" {
+				f.Name = "run_" + m
+			}
+			if p.Func(f.Name) != nil {
+				return nil, fmt.Errorf("workload: program %s: duplicate function %q (routine %s)", name, f.Name, m)
+			}
+			if err := p.AddFunc(f); err != nil {
+				return nil, err
+			}
+		}
+		calls = append(calls, driverCall{callee: "run_" + m})
+	}
+	if err := p.AddFunc(driverMain(calls...)); err != nil {
+		return nil, err
+	}
+	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccmem/internal/ir"
+)
+
+// RandomProgram generates a deterministic pseudo-random program from the
+// seed: structured control flow (nested bounded loops, diamonds), integer
+// and float arithmetic over growing variable pools, guarded divisions,
+// in-bounds memory traffic over a shared global, calls to generated leaf
+// functions, and emit instructions sprinkled throughout plus a final
+// drain. Every program terminates and never faults, so it can serve as a
+// semantic oracle for the whole compilation pipeline: any transformation
+// must preserve the emit trace bit for bit.
+func RandomProgram(seed int64) *ir.Program {
+	g := &randGen{rng: rand.New(rand.NewSource(seed))}
+	return g.program()
+}
+
+type randGen struct {
+	rng   *rand.Rand
+	prog  *ir.Program
+	leafs []string
+}
+
+const randArrayWords = 64
+
+func (g *randGen) program() *ir.Program {
+	g.prog = &ir.Program{}
+	if err := g.prog.AddGlobal(&ir.Global{Name: "mem", Words: randArrayWords}); err != nil {
+		panic(err)
+	}
+	nLeaf := g.rng.Intn(3)
+	for i := 0; i < nLeaf; i++ {
+		name := fmt.Sprintf("leaf%d", i)
+		g.leafs = append(g.leafs, name)
+		if err := g.prog.AddFunc(g.leaf(name)); err != nil {
+			panic(err)
+		}
+	}
+	if err := g.prog.AddFunc(g.fn("main", 2+g.rng.Intn(3))); err != nil {
+		panic(err)
+	}
+	if err := ir.VerifyProgram(g.prog, ir.VerifyOptions{}); err != nil {
+		panic(fmt.Sprintf("random program invalid (seed bug): %v\n%s", err, g.prog))
+	}
+	return g.prog
+}
+
+// leaf generates a small straight-line function with 1-2 parameters.
+func (g *randGen) leaf(name string) *ir.Func {
+	b := ir.NewBuilder(name, ir.ClassInt)
+	st := &randState{g: g, b: b}
+	p0 := b.Param(ir.ClassInt, "a")
+	st.ints = append(st.ints, p0)
+	if g.rng.Intn(2) == 0 {
+		st.floats = append(st.floats, b.Param(ir.ClassFloat, "x"))
+	}
+	b.Label("entry")
+	if len(st.floats) == 0 {
+		st.floats = append(st.floats, b.ConstF(g.fconst()))
+	}
+	for i := 0; i < 3+g.rng.Intn(6); i++ {
+		st.arith()
+	}
+	b.RetVal(st.anyInt())
+	return b.MustFinish()
+}
+
+// fn generates main: a statement tree of the given depth budget.
+func (g *randGen) fn(name string, depth int) *ir.Func {
+	b := ir.NewBuilder(name, ir.ClassNone)
+	st := &randState{g: g, b: b}
+	b.Label("entry")
+	st.ints = append(st.ints, b.ConstI(g.iconst()), b.ConstI(g.iconst()))
+	st.floats = append(st.floats, b.ConstF(g.fconst()), b.ConstF(g.fconst()))
+	st.base = b.Addr("mem", 0)
+	st.block(depth, 4+g.rng.Intn(6))
+	// Drain: emit a digest of the live pools.
+	accI := st.ints[0]
+	for _, r := range st.ints[1:] {
+		accI = b.Xor(accI, r)
+	}
+	b.Emit(accI)
+	accF := st.floats[0]
+	for _, r := range st.floats[1:] {
+		accF = b.FAdd(accF, r)
+	}
+	b.Emit(accF)
+	b.Ret()
+	return b.MustFinish()
+}
+
+// randState carries the variable pools of one function body.
+type randState struct {
+	g      *randGen
+	b      *ir.Builder
+	ints   []ir.Reg
+	floats []ir.Reg
+	base   ir.Reg // address of the shared array; NoReg in leafs
+	labels int
+}
+
+func (g *randGen) iconst() int64 { return int64(g.rng.Intn(41) - 20) }
+func (g *randGen) fconst() float64 {
+	return float64(g.rng.Intn(400)-200) / 16.0
+}
+
+func (s *randState) anyInt() ir.Reg   { return s.ints[s.g.rng.Intn(len(s.ints))] }
+func (s *randState) anyFloat() ir.Reg { return s.floats[s.g.rng.Intn(len(s.floats))] }
+
+func (s *randState) label(prefix string) string {
+	s.labels++
+	return fmt.Sprintf("%s%d", prefix, s.labels)
+}
+
+// block emits n statements at the given structural depth.
+func (s *randState) block(depth, n int) {
+	for i := 0; i < n; i++ {
+		s.stmt(depth)
+	}
+}
+
+func (s *randState) stmt(depth int) {
+	g := s.g
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 4:
+		s.arith()
+	case choice < 5 && s.base != ir.NoReg:
+		s.memory()
+	case choice < 6:
+		s.b.Emit(s.anyInt())
+	case choice < 7 && len(g.leafs) > 0:
+		callee := g.leafs[g.rng.Intn(len(g.leafs))]
+		f := g.prog.Func(callee)
+		args := make([]ir.Reg, len(f.Params))
+		for i, p := range f.Params {
+			if f.RegClass(p) == ir.ClassFloat {
+				args[i] = s.anyFloat()
+			} else {
+				args[i] = s.anyInt()
+			}
+		}
+		s.ints = append(s.ints, s.b.Call(callee, ir.ClassInt, args...))
+	case choice < 8 && depth > 0:
+		s.diamond(depth)
+	case depth > 0:
+		s.loop(depth)
+	default:
+		s.arith()
+	}
+}
+
+// arith appends one random pure computation to a pool.
+func (s *randState) arith() {
+	g := s.g
+	b := s.b
+	if g.rng.Intn(2) == 0 {
+		x, y := s.anyInt(), s.anyInt()
+		var v ir.Reg
+		switch g.rng.Intn(10) {
+		case 0:
+			v = b.Add(x, y)
+		case 1:
+			v = b.Sub(x, y)
+		case 2:
+			v = b.Mul(x, y)
+		case 3:
+			// Guarded division: denominator (y & 7) + 1 is never zero.
+			den := b.Add(b.And(y, b.ConstI(7)), b.ConstI(1))
+			v = b.Div(x, den)
+		case 4:
+			den := b.Add(b.And(y, b.ConstI(15)), b.ConstI(1))
+			v = b.Rem(x, den)
+		case 5:
+			v = b.Xor(x, y)
+		case 6:
+			v = b.And(x, y)
+		case 7:
+			v = b.Or(x, y)
+		case 8:
+			v = b.Shl(x, b.And(y, b.ConstI(7)))
+		default:
+			v = b.CmpLT(x, y)
+		}
+		s.ints = append(s.ints, v)
+		if len(s.ints) > 12 {
+			s.ints = s.ints[1:]
+		}
+		return
+	}
+	x, y := s.anyFloat(), s.anyFloat()
+	var v ir.Reg
+	switch g.rng.Intn(7) {
+	case 0:
+		v = b.FAdd(x, y)
+	case 1:
+		v = b.FSub(x, y)
+	case 2:
+		v = b.FMul(x, y)
+	case 3:
+		// Guarded: denominator 1 + |y| is never zero.
+		v = b.FDiv(x, b.FAdd(b.ConstF(1), b.FAbs(y)))
+	case 4:
+		v = b.FAbs(x)
+	case 5:
+		v = b.FSqrt(b.FAbs(x))
+	default:
+		v = b.I2F(s.anyInt())
+	}
+	s.floats = append(s.floats, v)
+	if len(s.floats) > 12 {
+		s.floats = s.floats[1:]
+	}
+}
+
+// memory emits an in-bounds load or store on the shared array.
+func (s *randState) memory() {
+	g := s.g
+	b := s.b
+	idx := b.And(s.anyInt(), b.ConstI(randArrayWords-1))
+	addr := b.Add(s.base, b.Mul(idx, b.ConstI(ir.WordBytes)))
+	if g.rng.Intn(2) == 0 {
+		s.ints = append(s.ints, b.Load(addr))
+	} else {
+		b.Store(s.anyInt(), addr)
+	}
+}
+
+// diamond emits if/else joining back, both arms generated.
+func (s *randState) diamond(depth int) {
+	b := s.b
+	then := s.label("then")
+	els := s.label("else")
+	join := s.label("join")
+	cond := b.CmpLT(s.anyInt(), s.anyInt())
+	b.CBr(cond, then, els)
+
+	// Both arms must leave the pools with the same registers for the join
+	// to be well-defined, so arms write through pre-allocated join regs.
+	outI := b.Reg(ir.ClassInt, "ji")
+	outF := b.Reg(ir.ClassFloat, "jf")
+	snapshotI := append([]ir.Reg(nil), s.ints...)
+	snapshotF := append([]ir.Reg(nil), s.floats...)
+
+	b.Label(then)
+	s.block(depth-1, 1+s.g.rng.Intn(3))
+	b.CopyTo(outI, s.anyInt())
+	b.CopyTo(outF, s.anyFloat())
+	b.Jmp(join)
+
+	s.ints = append([]ir.Reg(nil), snapshotI...)
+	s.floats = append([]ir.Reg(nil), snapshotF...)
+	b.Label(els)
+	s.block(depth-1, 1+s.g.rng.Intn(3))
+	b.CopyTo(outI, s.anyInt())
+	b.CopyTo(outF, s.anyFloat())
+	b.Jmp(join)
+
+	b.Label(join)
+	s.ints = append(snapshotI, outI)
+	s.floats = append(snapshotF, outF)
+}
+
+// loop emits a bounded counted loop whose body updates an accumulator.
+func (s *randState) loop(depth int) {
+	b := s.b
+	head := s.label("head")
+	body := s.label("body")
+	exit := s.label("exit")
+
+	trip := int64(2 + s.g.rng.Intn(6))
+	i := b.Copy(b.ConstI(0))
+	limit := b.ConstI(trip)
+	one := b.ConstI(1)
+	acc := b.Copy(s.anyInt())
+	snapshotI := append([]ir.Reg(nil), s.ints...)
+	snapshotF := append([]ir.Reg(nil), s.floats...)
+
+	b.Jmp(head)
+	b.Label(head)
+	b.CBr(b.CmpLT(i, limit), body, exit)
+
+	b.Label(body)
+	s.block(depth-1, 1+s.g.rng.Intn(3))
+	b.CopyTo(acc, b.Add(acc, s.anyInt()))
+	b.CopyTo(i, b.Add(i, one))
+	b.Jmp(head)
+
+	b.Label(exit)
+	s.ints = append(snapshotI, acc)
+	s.floats = snapshotF
+}

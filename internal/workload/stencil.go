@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"ccmem/internal/ir"
+)
+
+// stencilRoutines builds the mesh/stencil family: tomcatv-style
+// relaxation, unrolled smoothers and field updates (smoothX, fieldX,
+// slv2xyX), boundary sweeps (advbndX) and initialization recurrences
+// (initX).
+func stencilRoutines() []Routine {
+	return []Routine{
+		{Name: "tomcatv", Paper: "tomcatv", Family: "stencil",
+			Build: func() (*ir.Program, error) { return buildTomcatv("tomcatv", 18) }},
+		{Name: "smoothX", Paper: "smoothX", Family: "stencil",
+			Build: func() (*ir.Program, error) { return buildSmooth("smoothX", 96, 14) }},
+		{Name: "advbndX", Paper: "advbndX", Family: "stencil",
+			Build: func() (*ir.Program, error) { return buildAdvbnd("advbndX", 64, 18) }},
+		{Name: "fieldX", Paper: "fieldX", Family: "stencil",
+			Build: func() (*ir.Program, error) { return buildField("fieldX", 64, 12) }},
+		{Name: "initX", Paper: "initX", Family: "stencil",
+			Build: func() (*ir.Program, error) { return buildInitX("initX", 128, 28) }},
+		{Name: "slv2xyX", Paper: "slv2xyX", Family: "stencil",
+			Build: func() (*ir.Program, error) { return buildSmooth("slv2xyX", 96, 16) }},
+		{Name: "inisla", Paper: "inisla", Family: "stencil",
+			Build: func() (*ir.Program, error) { return buildInitX("inisla", 96, 36) }},
+	}
+}
+
+// buildTomcatv is a 2D 9-point mesh relaxation over two coordinate arrays
+// in two sequential loop nests (residual computation, then correction),
+// the tomcatv shape: moderate pressure, several disjoint phases.
+func buildTomcatv(name string, n int64) (*ir.Program, error) {
+	x := name + "_x"
+	y := name + "_y"
+	rx := name + "_rx"
+	words := n * n
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	xB := b.Addr(x, 0)
+	yB := b.Addr(y, 0)
+	rB := b.Addr(rx, 0)
+	nR := b.ConstI(n)
+	one := b.ConstI(1)
+	nm1 := b.Sub(nR, one)
+
+	// Phase 1: residuals from the 9-point neighbourhood of both fields.
+	b.Loop(one, nm1, func(i ir.Reg) {
+		rowOff := b.Mul(i, nR)
+		b.Loop(one, nm1, func(j ir.Reg) {
+			at := func(base ir.Reg, di, dj int64) ir.Reg {
+				idx := b.Add(b.Add(rowOff, j), b.ConstI(di*n+dj))
+				return b.FLoad(b.Idx(base, idx, 1, 0))
+			}
+			xxaa := b.FSub(at(xB, 0, 1), at(xB, 0, -1))
+			yxaa := b.FSub(at(yB, 0, 1), at(yB, 0, -1))
+			xeta := b.FSub(at(xB, 1, 0), at(xB, -1, 0))
+			yeta := b.FSub(at(yB, 1, 0), at(yB, -1, 0))
+			a := b.FAdd(b.FMul(xeta, xeta), b.FMul(yeta, yeta))
+			c := b.FAdd(b.FMul(xxaa, xxaa), b.FMul(yxaa, yxaa))
+			bb := b.FAdd(b.FMul(xxaa, xeta), b.FMul(yxaa, yeta))
+			d2x := b.FSub(b.FAdd(at(xB, 0, 1), at(xB, 0, -1)), b.FMul(at(xB, 0, 0), b.ConstF(2)))
+			d2y := b.FSub(b.FAdd(at(xB, 1, 0), at(xB, -1, 0)), b.FMul(at(xB, 0, 0), b.ConstF(2)))
+			cross := b.FSub(b.FSub(b.FSub(at(xB, 1, 1), at(xB, 1, -1)), at(xB, -1, 1)), at(xB, -1, -1))
+			res := b.FSub(b.FAdd(b.FMul(a, d2x), b.FMul(c, d2y)), b.FMul(bb, b.FMul(cross, b.ConstF(0.5))))
+			b.FStore(res, b.Idx(rB, b.Add(rowOff, j), 1, 0))
+		})
+	})
+	// Phase 2: damped correction.
+	b.Loop(one, nm1, func(i ir.Reg) {
+		rowOff := b.Mul(i, nR)
+		b.Loop(one, nm1, func(j ir.Reg) {
+			idx := b.Add(rowOff, j)
+			old := b.FLoad(b.Idx(xB, idx, 1, 0))
+			res := b.FLoad(b.Idx(rB, idx, 1, 0))
+			b.FStore(b.FAdd(old, b.FMul(res, b.ConstF(0.05))), b.Idx(xB, idx, 1, 0))
+		})
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + x},
+		driverCall{callee: "init_" + y},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(x, words), fglobal(y, words), fglobal(rx, words)},
+		main, fillFunc(x, words, 3), fillFunc(y, words, 5),
+		kern, checksumFunc("check_"+name, x, words),
+	)
+}
+
+// buildSmooth is a smoothX/slv2xyX-style unrolled 5-point smoother: the
+// X transform computes `unroll` output points per iteration, so all their
+// stencil windows are live together.
+func buildSmooth(name string, n int64, unroll int) (*ir.Program, error) {
+	a := name + "_a"
+	o := name + "_o"
+	words := n + int64(unroll) + 4
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	aB := b.Addr(a, 0)
+	oB := b.Addr(o, 0)
+	iters := n / int64(unroll)
+	b.LoopConst(0, iters, func(k ir.Reg) {
+		baseI := b.Mul(k, b.ConstI(int64(unroll)))
+		// Load the whole window for all unrolled points first.
+		win := make([]ir.Reg, unroll+4)
+		for w := range win {
+			win[w] = b.FLoad(b.Idx(aB, b.Add(baseI, b.ConstI(int64(w))), 1, 0))
+		}
+		outs := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			c := b.FMul(win[u+2], b.ConstF(0.4))
+			n1 := b.FMul(b.FAdd(win[u+1], win[u+3]), b.ConstF(0.2))
+			n2 := b.FMul(b.FAdd(win[u], win[u+4]), b.ConstF(0.1))
+			outs[u] = b.FAdd(c, b.FAdd(n1, n2))
+		}
+		// A sharpening pass re-reads the raw window, so window and
+		// smoothed values are simultaneously live (the X transform fused
+		// two passes of the original smoother).
+		for u := 0; u < unroll; u++ {
+			sharp := b.FSub(b.FMul(outs[u], b.ConstF(1.25)), b.FMul(win[u+2], b.ConstF(0.25)))
+			b.FStore(sharp, b.Idx(oB, b.Add(baseI, b.ConstI(int64(u))), 1, 0))
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + a},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(a, words), fglobal(o, words)},
+		main, fillFunc(a, words, 21), kern, checksumFunc("check_"+name, o, words),
+	)
+}
+
+// buildAdvbnd is an advbndX-style boundary sweep: four short sequential
+// loops (one per boundary edge) each with an unrolled update — disjoint
+// phase lifetimes for the compactor, moderate pressure per phase.
+func buildAdvbnd(name string, n int64, unroll int) (*ir.Program, error) {
+	a := name + "_a"
+	words := n * int64(unroll)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	base := b.Addr(a, 0)
+	for phase := 0; phase < 4; phase++ {
+		coef := b.ConstF(0.8 + 0.1*float64(phase))
+		b.LoopConst(0, n/2, func(i ir.Reg) {
+			row := b.Idx(base, i, int64(unroll)*2, int64(phase%2)*int64(unroll))
+			vals := make([]ir.Reg, unroll)
+			for u := 0; u < unroll; u++ {
+				vals[u] = b.FLoadAI(row, int64(u)*ir.WordBytes)
+			}
+			for u := 0; u < unroll; u++ {
+				nv := b.FMul(b.FAdd(vals[u], vals[(u+1)%unroll]), coef)
+				b.FStoreAI(nv, row, int64(u)*ir.WordBytes)
+			}
+		})
+	}
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + a},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(a, words)},
+		main, fillFunc(a, words, 87), kern, checksumFunc("check_"+name, a, words),
+	)
+}
+
+// buildField is a fieldX-style multi-array update: unrolled loads from
+// three arrays feed coupled updates written back to two of them.
+func buildField(name string, n int64, unroll int) (*ir.Program, error) {
+	e := name + "_e"
+	h := name + "_h"
+	j := name + "_j"
+	words := n * int64(unroll)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	eB := b.Addr(e, 0)
+	hB := b.Addr(h, 0)
+	jB := b.Addr(j, 0)
+	c1 := b.ConstF(0.9)
+	c2 := b.ConstF(0.05)
+	b.LoopConst(0, n, func(i ir.Reg) {
+		eRow := b.Idx(eB, i, int64(unroll), 0)
+		hRow := b.Idx(hB, i, int64(unroll), 0)
+		jRow := b.Idx(jB, i, int64(unroll), 0)
+		ev := make([]ir.Reg, unroll)
+		hv := make([]ir.Reg, unroll)
+		jv := make([]ir.Reg, unroll)
+		for u := 0; u < unroll; u++ {
+			ev[u] = b.FLoadAI(eRow, int64(u)*ir.WordBytes)
+			hv[u] = b.FLoadAI(hRow, int64(u)*ir.WordBytes)
+			jv[u] = b.FLoadAI(jRow, int64(u)*ir.WordBytes)
+		}
+		for u := 0; u < unroll; u++ {
+			curl := b.FSub(hv[(u+1)%unroll], hv[u])
+			ne := b.FAdd(b.FMul(ev[u], c1), b.FMul(b.FSub(curl, jv[u]), c2))
+			nh := b.FSub(b.FMul(hv[u], c1), b.FMul(b.FSub(ev[(u+1)%unroll], ev[u]), c2))
+			b.FStoreAI(ne, eRow, int64(u)*ir.WordBytes)
+			b.FStoreAI(nh, hRow, int64(u)*ir.WordBytes)
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: "init_" + e},
+		driverCall{callee: "init_" + h},
+		driverCall{callee: "init_" + j},
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(e, words), fglobal(h, words), fglobal(j, words)},
+		main, fillFunc(e, words, 61), fillFunc(h, words, 67), fillFunc(j, words, 71),
+		kern, checksumFunc("check_"+name, e, words),
+	)
+}
+
+// buildInitX is an initX-style initializer: `unroll` parallel LCG/
+// trigonometric-free recurrences carried across the loop in registers.
+func buildInitX(name string, n int64, unroll int) (*ir.Program, error) {
+	a := name + "_a"
+	words := n * int64(unroll)
+	b := newKB(name, ir.ClassNone)
+	b.Label("entry")
+	base := b.Addr(a, 0)
+	carry := make([]ir.Reg, unroll)
+	for u := range carry {
+		carry[u] = b.Copy(b.ConstF(0.1 + 0.01*float64(u)))
+	}
+	k := b.ConstF(3.73)
+	one := b.ConstF(1)
+	b.LoopConst(0, n, func(i ir.Reg) {
+		row := b.Idx(base, i, int64(unroll), 0)
+		for u := 0; u < unroll; u++ {
+			// Logistic-map step per lane; lanes coupled by neighbours.
+			x := carry[u]
+			nx := b.FMul(b.FMul(k, x), b.FSub(one, x))
+			nx = b.FAdd(b.FMul(nx, b.ConstF(0.996)), b.FMul(carry[(u+1)%unroll], b.ConstF(0.004)))
+			b.CopyTo(carry[u], nx)
+			b.FStoreAI(nx, row, int64(u)*ir.WordBytes)
+		}
+	})
+	b.Ret()
+	kern := b.MustFinish()
+
+	main := driverMain(
+		driverCall{callee: name},
+		driverCall{callee: "check_" + name},
+	)
+	return program(
+		[]*ir.Global{fglobal(a, words)},
+		main, kern, checksumFunc("check_"+name, a, words),
+	)
+}

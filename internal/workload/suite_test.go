@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/opt"
+	"ccmem/internal/regalloc"
+	"ccmem/internal/sim"
+)
+
+// TestSuiteRoutinesRun verifies every routine builds, passes the verifier,
+// executes, emits at least one finite checksum, and survives the full
+// optimize+allocate pipeline with identical output.
+func TestSuiteRoutinesRun(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			if seen[r.Name] {
+				t.Fatalf("duplicate routine name %q", r.Name)
+			}
+			seen[r.Name] = true
+			p, err := r.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Func(r.Name) == nil {
+				t.Fatalf("program lacks measured function %q", r.Name)
+			}
+			want, err := sim.Run(p.Clone(), "main", sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want.Output) == 0 {
+				t.Fatal("no checksum emitted")
+			}
+			for _, v := range want.Output {
+				if v.IsFloat && (math.IsNaN(v.Float()) || math.IsInf(v.Float(), 0)) {
+					t.Fatalf("non-finite checksum %v", v)
+				}
+			}
+
+			if _, err := opt.OptimizeProgram(p); err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range p.Funcs {
+				if _, err := regalloc.Allocate(f, regalloc.Options{}); err != nil {
+					t.Fatalf("allocate %s: %v", f.Name, err)
+				}
+			}
+			if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sim.Run(p, "main", sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sim.TracesEqual(got.Output, want.Output) {
+				t.Fatalf("pipeline changed output: %v vs %v", got.Output, want.Output)
+			}
+		})
+	}
+	t.Logf("%d routines", len(seen))
+}
+
+// TestSuitePressureProfile reports which routines spill under the paper's
+// 32+32 machine; the suite must contain a healthy mix of spilling and
+// non-spilling routines (the paper: 59 of 122 spilled).
+func TestSuitePressureProfile(t *testing.T) {
+	spillers := 0
+	total := 0
+	for _, r := range All() {
+		p, err := r.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt.OptimizeProgram(p); err != nil {
+			t.Fatal(err)
+		}
+		f := p.Func(r.Name)
+		res, err := regalloc.Allocate(f, regalloc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if res.FrameBytes > 0 {
+			spillers++
+		}
+		t.Logf("%-10s frameBytes=%-5d spilledRanges=%-4d rounds=%d", r.Name, res.FrameBytes, res.SpilledRanges, res.Rounds)
+	}
+	if spillers < total/4 {
+		t.Errorf("only %d of %d routines spill; suite pressure too low", spillers, total)
+	}
+	t.Logf("%d of %d routines require spill code", spillers, total)
+}
+
+func TestProgramsBuildAndRun(t *testing.T) {
+	for _, bp := range Programs() {
+		bp := bp
+		t.Run(bp.Name, func(t *testing.T) {
+			p, err := bp.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sim.Run(p, "main", sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Output) == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if _, err := Combine("x", []string{"nosuch"}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if _, err := Combine("x", []string{"rffti1", "rffti1"}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fpppp"); !ok {
+		t.Fatal("fpppp missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("phantom routine")
+	}
+}
+
+func TestProgramMembersExist(t *testing.T) {
+	for _, bp := range Programs() {
+		for _, m := range bp.Members {
+			if _, ok := Lookup(m); !ok {
+				t.Errorf("program %s references unknown routine %s", bp.Name, m)
+			}
+		}
+	}
+}
