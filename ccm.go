@@ -23,11 +23,9 @@ import (
 	"fmt"
 	"io"
 
-	"ccmem/internal/core"
 	"ccmem/internal/ir"
 	"ccmem/internal/memsys"
-	"ccmem/internal/opt"
-	"ccmem/internal/regalloc"
+	"ccmem/internal/pipeline"
 	"ccmem/internal/sim"
 )
 
@@ -151,80 +149,57 @@ func (pr *Program) Clone() *Program {
 // Text renders the program in parseable ILOC text.
 func (pr *Program) Text() string { return pr.p.String() }
 
-// Compile runs the full pipeline in place.
+// pipelineStrategy maps the facade strategy onto the driver's.
+func pipelineStrategy(s Strategy) pipeline.Strategy {
+	switch s {
+	case PostPass:
+		return pipeline.PostPass
+	case PostPassInterproc:
+		return pipeline.PostPassInterproc
+	case Integrated:
+		return pipeline.Integrated
+	}
+	return pipeline.NoCCM
+}
+
+// defaultDriver serves every Compile through this facade: a worker pool
+// sized to GOMAXPROCS and one process-wide content-addressed artifact
+// cache, so repeated compiles of identical (program, Config) pairs are
+// answered without re-running the passes. Compilation is deterministic,
+// so neither parallelism nor caching can change the output.
+var defaultDriver = pipeline.New(pipeline.Options{})
+
+// Compile runs the full pipeline in place. The work is delegated to the
+// internal/pipeline driver; use that package directly (via IR) for
+// per-pass timings, cache statistics, and worker control.
 func (pr *Program) Compile(cfg Config) (*CompileReport, error) {
 	if pr.compiled {
 		return nil, fmt.Errorf("ccm: program is already compiled")
 	}
-	if cfg.IntRegs == 0 {
-		cfg.IntRegs = 32
-	}
-	if cfg.FloatRegs == 0 {
-		cfg.FloatRegs = 32
-	}
 	if cfg.Strategy != NoCCM && cfg.CCMBytes <= 0 {
 		return nil, fmt.Errorf("ccm: strategy %v requires CCMBytes > 0", cfg.Strategy)
 	}
-
-	if !cfg.DisableOptimizer {
-		if _, err := opt.OptimizeProgram(pr.p); err != nil {
-			return nil, err
-		}
+	prep, err := defaultDriver.Compile(pr.p, pipeline.Config{
+		Strategy:          pipelineStrategy(cfg.Strategy),
+		CCMBytes:          cfg.CCMBytes,
+		IntRegs:           cfg.IntRegs,
+		FloatRegs:         cfg.FloatRegs,
+		DisableOptimizer:  cfg.DisableOptimizer,
+		DisableCompaction: cfg.DisableCompaction,
+		CleanupSpills:     cfg.CleanupSpills,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccm: %w", err)
 	}
-
 	rep := &CompileReport{PerFunc: map[string]FuncReport{}}
-	ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
-	if cfg.Strategy == Integrated {
-		ra.CCMBytes = cfg.CCMBytes
-	}
-	for _, f := range pr.p.Funcs {
-		res, err := regalloc.Allocate(f, ra)
-		if err != nil {
-			return nil, fmt.Errorf("ccm: %w", err)
+	for name, fr := range prep.PerFunc {
+		rep.PerFunc[name] = FuncReport{
+			SpillBytesNaive:     fr.SpillBytesNaive,
+			SpillBytesCompacted: fr.SpillBytesCompacted,
+			CCMBytes:            fr.CCMBytes,
+			SpilledRanges:       fr.SpilledRanges,
+			PromotedWebs:        fr.PromotedWebs,
 		}
-		fr := rep.PerFunc[f.Name]
-		fr.SpillBytesNaive = res.FrameBytes
-		fr.SpilledRanges = res.SpilledRanges
-		fr.CCMBytes = res.CCMBytesUsed
-		fr.PromotedWebs = res.CCMRanges
-		rep.PerFunc[f.Name] = fr
-	}
-
-	switch cfg.Strategy {
-	case PostPass, PostPassInterproc:
-		res, err := core.PostPass(pr.p, core.PostPassOptions{
-			CCMBytes:        cfg.CCMBytes,
-			Interprocedural: cfg.Strategy == PostPassInterproc,
-		})
-		if err != nil {
-			return nil, err
-		}
-		for name, fp := range res.PerFunc {
-			fr := rep.PerFunc[name]
-			fr.PromotedWebs = fp.Promoted
-			fr.CCMBytes = fp.CCMBytes
-			rep.PerFunc[name] = fr
-		}
-	}
-
-	if cfg.CleanupSpills {
-		regalloc.CleanupProgram(pr.p)
-	}
-
-	if !cfg.DisableCompaction {
-		compacted, err := core.CompactProgram(pr.p)
-		if err != nil {
-			return nil, err
-		}
-		for name, c := range compacted {
-			fr := rep.PerFunc[name]
-			fr.SpillBytesCompacted = c.AfterBytes
-			rep.PerFunc[name] = fr
-		}
-	}
-
-	if err := ir.VerifyProgram(pr.p, ir.VerifyOptions{}); err != nil {
-		return nil, fmt.Errorf("ccm: post-compile verification failed: %w", err)
 	}
 	pr.compiled = true
 	pr.ccmBytes = cfg.CCMBytes

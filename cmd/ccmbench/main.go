@@ -4,17 +4,24 @@
 //
 // Usage:
 //
-//	ccmbench [-table N] [-figure N] [-ablation] [-memcost N]
+//	ccmbench [-table N] [-figure N] [-ablation] [-multiproc] [-markdown]
+//	         [-memcost N] [-workers N] [-json]
 //
-// Without flags it prints everything.
+// Without selection flags it prints everything. Every measurement runs
+// through one shared compilation driver (internal/pipeline), so compile
+// artifacts are cached across tables and figures; -json prints the
+// driver's cumulative report (per-pass wall time, cache hit/miss
+// counters) to stderr after the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"ccmem/internal/experiments"
+	"ccmem/internal/pipeline"
 )
 
 func main() {
@@ -24,10 +31,22 @@ func main() {
 	multiproc := flag.Bool("multiproc", false, "print only the §2.1 multi-process comparison")
 	markdown := flag.Bool("markdown", false, "emit the full evaluation as a markdown report")
 	memCost := flag.Int("memcost", 2, "cycles per main-memory operation")
+	workers := flag.Int("workers", 0, "compilation worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "print the cumulative pipeline report as JSON to stderr")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.MemCost = *memCost
+	cfg.Driver = pipeline.New(pipeline.Options{Workers: *workers})
+	defer func() {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(cfg.Driver.Metrics()); err != nil {
+				fatal(err)
+			}
+		}
+	}()
 
 	if *markdown {
 		if err := experiments.WriteReport(os.Stdout, cfg); err != nil {

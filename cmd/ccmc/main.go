@@ -1,22 +1,30 @@
 // Command ccmc compiles textual ILOC through the reproduction's pipeline:
 // scalar optimization, Chaitin-Briggs register allocation, CCM spill
-// promotion (per the chosen strategy), and spill-memory compaction.
+// promotion (per the chosen strategy), and spill-memory compaction, driven
+// by the concurrent caching pipeline in internal/pipeline.
 //
 // Usage:
 //
 //	ccmc [-strategy none|postpass|postpass-ipa|integrated] [-ccm BYTES]
-//	     [-regs N] [-no-opt] [-no-compact] [-stats] [-o out.iloc] in.iloc
+//	     [-regs N] [-no-opt] [-no-compact] [-cleanup] [-workers N]
+//	     [-stats] [-json] [-o out.iloc] in.iloc
 //
-// The output is allocated ILOC, runnable with ccmsim.
+// -cleanup runs the post-allocation spill-code peephole. -stats prints
+// per-function spill statistics to stderr; -json emits the pipeline's
+// full structured report (per-pass wall time, instruction deltas, spill
+// statistics, cache counters) to stderr as one JSON object. The output is
+// allocated ILOC, runnable with ccmsim.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	ccm "ccmem"
+	"ccmem/internal/pipeline"
 )
 
 func main() {
@@ -26,7 +34,9 @@ func main() {
 	noOpt := flag.Bool("no-opt", false, "skip the scalar optimizer")
 	noCompact := flag.Bool("no-compact", false, "skip spill-memory compaction")
 	cleanup := flag.Bool("cleanup", false, "run the post-allocation spill-code peephole")
+	workers := flag.Int("workers", 0, "compilation worker pool size (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-function spill statistics to stderr")
+	jsonOut := flag.Bool("json", false, "print the pipeline report as JSON to stderr")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -43,11 +53,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	strat, err := ccm.ParseStrategy(*strategy)
+	strat, err := pipeline.ParseStrategy(*strategy)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := ccm.Config{
+	cfg := pipeline.Config{
 		Strategy:          strat,
 		IntRegs:           *regs,
 		FloatRegs:         *regs,
@@ -55,10 +65,11 @@ func main() {
 		DisableCompaction: *noCompact,
 		CleanupSpills:     *cleanup,
 	}
-	if strat != ccm.NoCCM {
+	if strat != pipeline.NoCCM {
 		cfg.CCMBytes = *ccmBytes
 	}
-	report, err := prog.Compile(cfg)
+	drv := pipeline.New(pipeline.Options{Workers: *workers})
+	report, err := drv.Compile(prog.IR(), cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,6 +85,13 @@ func main() {
 				"%-20s spilled=%-3d frame=%4dB compacted=%4dB ccm=%4dB promoted=%d\n",
 				n, fr.SpilledRanges, fr.SpillBytesNaive, fr.SpillBytesCompacted,
 				fr.CCMBytes, fr.PromotedWebs)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
 		}
 	}
 	text := prog.Text()

@@ -17,10 +17,8 @@ package experiments
 import (
 	"fmt"
 
-	"ccmem/internal/core"
 	"ccmem/internal/ir"
-	"ccmem/internal/opt"
-	"ccmem/internal/regalloc"
+	"ccmem/internal/pipeline"
 	"ccmem/internal/sim"
 	"ccmem/internal/workload"
 )
@@ -68,11 +66,39 @@ type Config struct {
 	CCMSizes  []int64 // paper: 512 and 1024 bytes
 	IntRegs   int     // paper: 32
 	FloatRegs int     // paper: 32
+
+	// Driver, when non-nil, is the compilation driver every measurement
+	// goes through — sharing one driver shares its artifact cache and
+	// accumulates pass/cache metrics across tables, figures, and
+	// ablations (ccmbench -json prints them). When nil, each suite entry
+	// point builds a private driver.
+	Driver *pipeline.Driver
 }
 
 // Default returns the paper's configuration.
 func Default() Config {
 	return Config{MemCost: 2, CCMSizes: []int64{512, 1024}, IntRegs: 32, FloatRegs: 32}
+}
+
+// driver returns the configured driver or a fresh private one.
+func (c Config) driver() *pipeline.Driver {
+	if c.Driver != nil {
+		return c.Driver
+	}
+	return pipeline.New(pipeline.Options{})
+}
+
+// pipelineStrategy maps the experiment strategy onto the driver's.
+func (s Strategy) pipelineStrategy() pipeline.Strategy {
+	switch s {
+	case StrategyPostPass:
+		return pipeline.PostPass
+	case StrategyPostPassIPA:
+		return pipeline.PostPassInterproc
+	case StrategyIntegrated:
+		return pipeline.Integrated
+	}
+	return pipeline.NoCCM
 }
 
 // CycPair is a (total cycles, memory-operation cycles) measurement.
@@ -146,37 +172,19 @@ type SuiteResults struct {
 	Programs []*ProgramResult
 }
 
-// compile runs the full pipeline on p for one strategy/size and returns
-// the naive per-function frame bytes recorded before compaction.
-func compile(p *ir.Program, strat Strategy, ccmBytes int64, cfg Config) (map[string]int64, error) {
-	if _, err := opt.OptimizeProgram(p); err != nil {
-		return nil, err
-	}
-	ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
-	if strat == StrategyIntegrated {
-		ra.CCMBytes = ccmBytes
-	}
-	naive := map[string]int64{}
-	for _, f := range p.Funcs {
-		if _, err := regalloc.Allocate(f, ra); err != nil {
-			return nil, fmt.Errorf("%s: %w", f.Name, err)
-		}
-		naive[f.Name] = f.FrameBytes
-	}
-	switch strat {
-	case StrategyPostPass:
-		if _, err := core.PostPass(p, core.PostPassOptions{CCMBytes: ccmBytes}); err != nil {
-			return nil, err
-		}
-	case StrategyPostPassIPA:
-		if _, err := core.PostPass(p, core.PostPassOptions{CCMBytes: ccmBytes, Interprocedural: true}); err != nil {
-			return nil, err
-		}
-	}
-	if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
-		return nil, err
-	}
-	return naive, nil
+// compileWith drives one compilation through drv. compact controls the
+// back stage: the table and figure measurements pack residual
+// heavyweight spills (paper footnote 3), while the ablation and
+// multi-process studies skip compaction so the spill address streams
+// their cache models observe match the paper-faithful harness.
+func compileWith(drv *pipeline.Driver, p *ir.Program, strat Strategy, ccmBytes int64, cfg Config, compact bool) (*pipeline.Report, error) {
+	return drv.Compile(p, pipeline.Config{
+		Strategy:          strat.pipelineStrategy(),
+		CCMBytes:          ccmBytes,
+		IntRegs:           cfg.IntRegs,
+		FloatRegs:         cfg.FloatRegs,
+		DisableCompaction: !compact,
+	})
 }
 
 // runProgram executes a compiled program and returns whole-program and
@@ -187,22 +195,19 @@ func runProgram(p *ir.Program, ccmBytes int64, cfg Config) (*sim.Stats, error) {
 
 // measureRoutine compiles and runs one routine under one variant,
 // returning the measured function's exclusive costs and promotion count.
-func measureRoutine(r workload.Routine, strat Strategy, ccmBytes int64, cfg Config) (CycPair, int, error) {
+// Residual heavyweight spills are packed (paper footnote 3); this is
+// cycle-neutral but keeps frame sizes honest.
+func measureRoutine(drv *pipeline.Driver, r workload.Routine, strat Strategy, ccmBytes int64, cfg Config) (CycPair, int, error) {
 	p, err := r.Build()
 	if err != nil {
 		return CycPair{}, 0, err
 	}
-	if _, err := compile(p, strat, ccmBytes, cfg); err != nil {
+	if _, err := compileWith(drv, p, strat, ccmBytes, cfg, true); err != nil {
 		return CycPair{}, 0, err
 	}
 	promoted := 0
 	if strat == StrategyPostPass || strat == StrategyPostPassIPA {
 		promoted = countCCMOps(p.Func(r.Name))
-	}
-	// Residual heavyweight spills are packed (paper footnote 3); this is
-	// cycle-neutral but keeps frame sizes honest.
-	if _, err := core.CompactProgram(p); err != nil {
-		return CycPair{}, 0, err
 	}
 	st, err := runProgram(p, ccmBytes, cfg)
 	if err != nil {
@@ -232,8 +237,13 @@ func countCCMOps(f *ir.Func) int {
 
 // RunSuite performs every compile+run combination needed by the tables
 // and figures: per routine and per program, the baseline plus each
-// strategy at each CCM size.
+// strategy at each CCM size. The whole run shares one driver, so the
+// compile cache carries artifacts across variants (the front stage is
+// identical for the baseline and both post-pass strategies).
 func RunSuite(cfg Config) (*SuiteResults, error) {
+	if cfg.Driver == nil {
+		cfg.Driver = cfg.driver()
+	}
 	res, err := RunRoutineSuite(cfg)
 	if err != nil {
 		return nil, err
@@ -249,6 +259,7 @@ func RunSuite(cfg Config) (*SuiteResults, error) {
 // RunRoutineSuite measures every routine (Tables 1-4).
 func RunRoutineSuite(cfg Config) (*SuiteResults, error) {
 	res := &SuiteResults{Config: cfg}
+	drv := cfg.driver()
 
 	for _, r := range workload.All() {
 		rr := &RoutineResult{
@@ -263,24 +274,14 @@ func RunRoutineSuite(cfg Config) (*SuiteResults, error) {
 		if err != nil {
 			return nil, err
 		}
-		naive, err := compile(p, StrategyNone, 0, cfg)
+		rep, err := compileWith(drv, p, StrategyNone, 0, cfg, true)
 		if err != nil {
 			return nil, fmt.Errorf("routine %s: %w", r.Name, err)
 		}
-		rr.SpillBefore = naive[r.Name]
-		cres, err := core.CompactSpills(p.Func(r.Name))
-		if err != nil {
-			return nil, err
-		}
-		rr.SpillAfter = cres.AfterBytes
-		rr.Webs = cres.Webs
-		for _, f := range p.Funcs {
-			if f.Name != r.Name && f.FrameBytes > 0 {
-				if _, err := core.CompactSpills(f); err != nil {
-					return nil, err
-				}
-			}
-		}
+		fr := rep.PerFunc[r.Name]
+		rr.SpillBefore = fr.SpillBytesNaive
+		rr.SpillAfter = fr.SpillBytesCompacted
+		rr.Webs = fr.SpillWebs
 		st, err := runProgram(p, 0, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("routine %s baseline: %w", r.Name, err)
@@ -290,7 +291,7 @@ func RunRoutineSuite(cfg Config) (*SuiteResults, error) {
 
 		for _, size := range cfg.CCMSizes {
 			for _, strat := range Strategies {
-				pair, promo, err := measureRoutine(r, strat, size, cfg)
+				pair, promo, err := measureRoutine(drv, r, strat, size, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("routine %s %v/%d: %w", r.Name, strat, size, err)
 				}
@@ -307,17 +308,15 @@ func RunRoutineSuite(cfg Config) (*SuiteResults, error) {
 // RunProgramSuite measures the whole-program workloads (Figures 3-4).
 func RunProgramSuite(cfg Config) (*SuiteResults, error) {
 	res := &SuiteResults{Config: cfg}
+	drv := cfg.driver()
 	for _, bp := range workload.Programs() {
 		pr := &ProgramResult{Name: bp.Name, Strat: map[Key]CycPair{}}
 		p, err := bp.Build()
 		if err != nil {
 			return nil, err
 		}
-		if _, err := compile(p, StrategyNone, 0, cfg); err != nil {
+		if _, err := compileWith(drv, p, StrategyNone, 0, cfg, true); err != nil {
 			return nil, fmt.Errorf("program %s: %w", bp.Name, err)
-		}
-		if _, err := core.CompactProgram(p); err != nil {
-			return nil, err
 		}
 		st, err := runProgram(p, 0, cfg)
 		if err != nil {
@@ -331,11 +330,8 @@ func RunProgramSuite(cfg Config) (*SuiteResults, error) {
 				if err != nil {
 					return nil, err
 				}
-				if _, err := compile(q, strat, size, cfg); err != nil {
+				if _, err := compileWith(drv, q, strat, size, cfg, true); err != nil {
 					return nil, fmt.Errorf("program %s %v/%d: %w", bp.Name, strat, size, err)
-				}
-				if _, err := core.CompactProgram(q); err != nil {
-					return nil, err
 				}
 				st, err := runProgram(q, size, cfg)
 				if err != nil {

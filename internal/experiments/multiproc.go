@@ -55,6 +55,7 @@ func MultiProcess(cfg Config, names []string, ccmBytes int64) (*MultiProcResult,
 		return nil, fmt.Errorf("experiments: CCM %d too small for %d processes", ccmBytes, n)
 	}
 	res := &MultiProcResult{Processes: names, CCMBytes: ccmBytes, Partition: partition}
+	drv := cfg.driver()
 
 	for i, name := range names {
 		r, ok := workload.Lookup(name)
@@ -67,7 +68,7 @@ func MultiProcess(cfg Config, names []string, ccmBytes int64) (*MultiProcResult,
 		if err != nil {
 			return nil, err
 		}
-		if _, err := compile(p, StrategyPostPassIPA, ccmBytes, cfg); err != nil {
+		if _, err := compileWith(drv, p, StrategyPostPassIPA, ccmBytes, cfg, false); err != nil {
 			return nil, err
 		}
 		maxUsed := int64(0)
@@ -91,7 +92,7 @@ func MultiProcess(cfg Config, names []string, ccmBytes int64) (*MultiProcResult,
 		if err != nil {
 			return nil, err
 		}
-		if _, err := compile(q, StrategyPostPassIPA, partition, cfg); err != nil {
+		if _, err := compileWith(drv, q, StrategyPostPassIPA, partition, cfg, false); err != nil {
 			return nil, err
 		}
 		st2, err := sim.Run(q, "main", sim.Config{

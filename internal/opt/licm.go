@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"sort"
+
 	"ccmem/internal/ir"
 	"ccmem/internal/ssa"
 )
@@ -95,9 +97,18 @@ func HoistLoopInvariants(info *ssa.Info, st *Stats) {
 		}
 		preBlk := f.Blocks[pre]
 
+		// Walk member blocks in layout order: the order invariants are
+		// appended to the preheader must not depend on map iteration, or
+		// compilation stops being reproducible.
+		members := make([]int, 0, len(l.blocks))
+		for bi := range l.blocks {
+			members = append(members, bi)
+		}
+		sort.Ints(members)
+
 		for changed := true; changed; {
 			changed = false
-			for bi := range l.blocks {
+			for _, bi := range members {
 				blk := f.Blocks[bi]
 				kept := blk.Instrs[:0]
 				for ii := range blk.Instrs {

@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/workload"
+)
+
+// benchSuite is a fixed mixed workload: every program is compiled once
+// per benchmark iteration, as the experiment harness does per sweep.
+func benchSuite(b *testing.B) []*ir.Program {
+	b.Helper()
+	var progs []*ir.Program
+	for seed := int64(1); seed <= 8; seed++ {
+		progs = append(progs, workload.RandomProgram(seed))
+	}
+	for _, r := range workload.All()[:8] {
+		p, err := r.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+func compileSuite(b *testing.B, d *Driver, progs []*ir.Program) {
+	b.Helper()
+	cfg := Config{Strategy: PostPassInterproc, CCMBytes: 512}
+	for _, p := range progs {
+		if _, err := d.Compile(p.Clone(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineCold compiles the suite with caching disabled: every
+// iteration pays the full optimize/allocate/promote/compact cost.
+func BenchmarkPipelineCold(b *testing.B) {
+	progs := benchSuite(b)
+	d := New(Options{DisableCache: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, d, progs)
+	}
+}
+
+// BenchmarkPipelineCached compiles the suite through one shared cache,
+// primed before timing: every compile is a whole-program hit (hash +
+// clone). The acceptance bar is >= 5x over BenchmarkPipelineCold.
+func BenchmarkPipelineCached(b *testing.B) {
+	progs := benchSuite(b)
+	d := New(Options{})
+	compileSuite(b, d, progs) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, d, progs)
+	}
+	b.StopTimer()
+	st := d.Cache().Stats()
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+	b.ReportMetric(float64(st.Misses), "cache-misses")
+}

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"container/list"
+	"sync"
+
+	"ccmem/internal/ir"
+)
+
+// DefaultCacheEntries bounds a driver's private cache. Each entry is one
+// compiled artifact (a function body after a stage, or a whole program),
+// so the bound is a count, not bytes; the suite's largest sweeps stay
+// well under it while runaway callers evict in LRU order.
+const DefaultCacheEntries = 4096
+
+// digest is a content address: SHA-256 over the canonical encoding
+// produced in hash.go.
+type digest [32]byte
+
+// Cache is a bounded, thread-safe, content-addressed artifact store with
+// LRU eviction. Artifacts are stored and returned as deep copies by the
+// driver, so cached state is never aliased by a live compilation.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[digest]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheItem struct {
+	key digest
+	val any
+}
+
+// NewCache builds a cache bounded to maxEntries artifacts (<=0 uses
+// DefaultCacheEntries).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{
+		max:     maxEntries,
+		entries: make(map[digest]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+func (c *Cache) get(k digest) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheItem).val, true
+}
+
+func (c *Cache) put(k digest, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		e.Value.(*cacheItem).val = v
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&cacheItem{key: k, val: v})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheItem).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a counter snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+	}
+}
+
+// frontArtifact is a function after the front stage (optimize +
+// allocate), plus the report fields those passes produced.
+type frontArtifact struct {
+	fn *ir.Func
+	fr FuncReport // naive spill bytes, spilled ranges, integrated CCM use
+}
+
+// backArtifact is a function after the back stage (cleanup + compaction).
+type backArtifact struct {
+	fn           *ir.Func
+	compactAfter int64
+	webs         int
+}
+
+// programArtifact is a fully compiled program: final function bodies in
+// input order plus the complete per-function report.
+type programArtifact struct {
+	funcs   []*ir.Func
+	perFunc map[string]FuncReport
+}

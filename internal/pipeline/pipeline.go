@@ -1,0 +1,468 @@
+// Package pipeline is the compilation driver: it owns the pass sequence
+// that turns verified input ILOC into allocated, CCM-promoted, compacted
+// output (optimize → register allocation → CCM promotion → spill cleanup →
+// compaction → verification) and adds the three things the inline driver
+// in ccm.go never had:
+//
+//   - per-function parallelism: functions are independent before and
+//     after the interprocedural CCM partitioning step, so the front
+//     (optimize + allocate) and back (cleanup + compact) stages run on a
+//     bounded worker pool; only the call-graph-driven post-pass promotion
+//     is a sequential whole-program barrier;
+//   - a content-addressed compile cache keyed by SHA-256 over a canonical
+//     encoding of (function IR, relevant Config fields), with whole-program
+//     entries layered on top, so repeated compiles — the dominant cost in
+//     experiment sweeps — are near-free;
+//   - observability: per-pass wall time, instruction deltas, per-function
+//     spill statistics and cache hit/miss counters, exported as a
+//     structured Report that the CLIs print as JSON.
+//
+// Parallel compilation is deterministic: every pass mutates only its own
+// function, so workers=N produces bit-identical output to workers=1 (the
+// package test suite asserts this under the race detector).
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccmem/internal/core"
+	"ccmem/internal/ir"
+	"ccmem/internal/opt"
+	"ccmem/internal/regalloc"
+)
+
+// Strategy selects how register spills are placed. The values mirror the
+// paper's three CCM algorithms plus the no-CCM baseline (ccm.Strategy is
+// the public-facade twin of this type).
+type Strategy int
+
+const (
+	// NoCCM spills to the activation record only (the baseline).
+	NoCCM Strategy = iota
+	// PostPass promotes spills with the stand-alone intraprocedural CCM
+	// allocator.
+	PostPass
+	// PostPassInterproc adds the bottom-up call-graph walk.
+	PostPassInterproc
+	// Integrated assigns CCM locations during spill-code insertion inside
+	// the Chaitin-Briggs allocator.
+	Integrated
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case NoCCM:
+		return "none"
+	case PostPass:
+		return "postpass"
+	case PostPassInterproc:
+		return "postpass-ipa"
+	case Integrated:
+		return "integrated"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a command-line name into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "none":
+		return NoCCM, nil
+	case "postpass":
+		return PostPass, nil
+	case "postpass-ipa", "ipa":
+		return PostPassInterproc, nil
+	case "integrated":
+		return Integrated, nil
+	}
+	return NoCCM, fmt.Errorf("unknown strategy %q (want none, postpass, postpass-ipa, integrated)", s)
+}
+
+// Config parameterizes one compilation. The zero value compiles like the
+// paper's baseline: 32+32 registers, optimizer on, compaction on, no CCM.
+type Config struct {
+	Strategy Strategy
+	CCMBytes int64 // capacity of the CCM; required unless Strategy is NoCCM
+
+	IntRegs   int // default 32
+	FloatRegs int // default 32
+
+	DisableOptimizer  bool // skip the scalar optimizer
+	DisableCompaction bool // skip spill-memory compaction (and the whole back stage)
+	CleanupSpills     bool // run the post-allocation spill-code peephole
+}
+
+func (c Config) withDefaults() Config {
+	if c.IntRegs == 0 {
+		c.IntRegs = 32
+	}
+	if c.FloatRegs == 0 {
+		c.FloatRegs = 32
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Strategy != NoCCM && c.CCMBytes <= 0 {
+		return fmt.Errorf("pipeline: strategy %v requires CCMBytes > 0", c.Strategy)
+	}
+	return nil
+}
+
+// Options configure a Driver.
+type Options struct {
+	// Workers bounds the per-function worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Cache is the artifact store shared by every Compile on this driver.
+	// nil creates a private cache of DefaultCacheEntries; to share one
+	// cache across drivers, pass the same *Cache to each.
+	Cache *Cache
+	// DisableCache turns content-addressed caching off entirely.
+	DisableCache bool
+}
+
+// Driver is a reusable compilation pipeline. It is safe for concurrent
+// use; the cache and cumulative metrics are shared across Compile calls.
+type Driver struct {
+	workers int
+	cache   *Cache // nil when caching is disabled
+
+	mu          sync.Mutex
+	cum         *metrics // cumulative per-pass totals across compiles
+	compiles    int64
+	funcsTotal  int64
+	wallTotal   int64
+	programHits int64
+}
+
+// New builds a Driver.
+func New(opts Options) *Driver {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	d := &Driver{workers: w, cum: newMetrics()}
+	if !opts.DisableCache {
+		d.cache = opts.Cache
+		if d.cache == nil {
+			d.cache = NewCache(DefaultCacheEntries)
+		}
+	}
+	return d
+}
+
+// Workers returns the worker-pool bound.
+func (d *Driver) Workers() int { return d.workers }
+
+// Cache returns the driver's artifact store (nil when disabled).
+func (d *Driver) Cache() *Cache { return d.cache }
+
+// funcState carries per-function results from stage to stage.
+type funcState struct {
+	fr       FuncReport
+	frontHit bool
+	backHit  bool
+}
+
+// Compile runs the full pass sequence on p in place and returns the
+// structured report. p must be verified input ILOC (unallocated).
+func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := newMetrics()
+	rep := &Report{
+		Strategy: cfg.Strategy.String(),
+		Workers:  d.workers,
+		Funcs:    len(p.Funcs),
+		PerFunc:  make(map[string]FuncReport, len(p.Funcs)),
+	}
+
+	// Whole-program cache: a repeat compile of an identical (program,
+	// Config) pair skips every pass, including verification.
+	var progKey digest
+	if d.cache != nil {
+		progKey = programKey(p, cfg)
+		if v, ok := d.cache.get(progKey); ok {
+			art := v.(*programArtifact)
+			for i := range p.Funcs {
+				p.Funcs[i] = art.funcs[i].Clone()
+			}
+			for name, fr := range art.perFunc {
+				fr.FrontCacheHit = true
+				fr.BackCacheHit = true
+				rep.PerFunc[name] = fr
+			}
+			rep.ProgramCacheHit = true
+			d.finish(rep, m, start, true)
+			return rep, nil
+		}
+	}
+
+	states := make([]funcState, len(p.Funcs))
+
+	// Front stage (parallel): scalar optimization + register allocation.
+	// Each worker touches only p.Funcs[i], so scheduling cannot change
+	// the output. The cache key deliberately excludes Strategy except for
+	// the integrated CCM capacity: the front stage is identical for the
+	// baseline and both post-pass strategies, so artifacts are shared
+	// across those sweeps.
+	err := d.forEach(len(p.Funcs), func(i int) error {
+		f := p.Funcs[i]
+		st := &states[i]
+		var key digest
+		if d.cache != nil {
+			key = frontKey(f, cfg)
+			if v, ok := d.cache.get(key); ok {
+				art := v.(*frontArtifact)
+				p.Funcs[i] = art.fn.Clone()
+				st.fr = art.fr
+				st.frontHit = true
+				return nil
+			}
+		}
+		if !cfg.DisableOptimizer {
+			before := f.NumInstrs()
+			t := time.Now()
+			if _, err := opt.Optimize(f); err != nil {
+				return err
+			}
+			m.pass(PassOptimize, time.Since(t), before, f.NumInstrs())
+		}
+		ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
+		if cfg.Strategy == Integrated {
+			ra.CCMBytes = cfg.CCMBytes
+		}
+		before := f.NumInstrs()
+		t := time.Now()
+		res, err := regalloc.Allocate(f, ra)
+		if err != nil {
+			return fmt.Errorf("pipeline: %s: %w", f.Name, err)
+		}
+		m.pass(PassRegalloc, time.Since(t), before, f.NumInstrs())
+		st.fr.SpillBytesNaive = res.FrameBytes
+		st.fr.SpilledRanges = res.SpilledRanges
+		st.fr.CCMBytes = res.CCMBytesUsed
+		st.fr.PromotedWebs = res.CCMRanges
+		if d.cache != nil {
+			d.cache.put(key, &frontArtifact{fn: f.Clone(), fr: st.fr})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Interprocedural barrier (sequential): the post-pass CCM allocator
+	// walks the call graph bottom-up, so every function's allocated body
+	// must be final before any promotion decision is made.
+	if cfg.Strategy == PostPass || cfg.Strategy == PostPassInterproc {
+		before := totalInstrs(p)
+		t := time.Now()
+		res, err := core.PostPass(p, core.PostPassOptions{
+			CCMBytes:        cfg.CCMBytes,
+			Interprocedural: cfg.Strategy == PostPassInterproc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.pass(PassPostPass, time.Since(t), before, totalInstrs(p))
+		for i, f := range p.Funcs {
+			if fp := res.PerFunc[f.Name]; fp != nil {
+				states[i].fr.PromotedWebs = fp.Promoted
+				states[i].fr.CCMBytes = fp.CCMBytes
+			}
+		}
+	}
+
+	// Back stage (parallel): spill-code cleanup and spill-memory
+	// compaction, both strictly per-function. Keyed by the post-barrier
+	// function content, so a promotion change invalidates exactly the
+	// functions it rewrote.
+	if cfg.CleanupSpills || !cfg.DisableCompaction {
+		err = d.forEach(len(p.Funcs), func(i int) error {
+			f := p.Funcs[i]
+			st := &states[i]
+			var key digest
+			if d.cache != nil {
+				key = backKey(f, cfg)
+				if v, ok := d.cache.get(key); ok {
+					art := v.(*backArtifact)
+					p.Funcs[i] = art.fn.Clone()
+					st.fr.SpillBytesCompacted = art.compactAfter
+					st.fr.SpillWebs = art.webs
+					st.backHit = true
+					return nil
+				}
+			}
+			if cfg.CleanupSpills {
+				before := f.NumInstrs()
+				t := time.Now()
+				regalloc.CleanupSpillCode(f)
+				m.pass(PassCleanup, time.Since(t), before, f.NumInstrs())
+			}
+			if !cfg.DisableCompaction {
+				before := f.NumInstrs()
+				t := time.Now()
+				cres, err := core.CompactSpills(f)
+				if err != nil {
+					return err
+				}
+				m.pass(PassCompact, time.Since(t), before, f.NumInstrs())
+				st.fr.SpillBytesCompacted = cres.AfterBytes
+				st.fr.SpillWebs = cres.Webs
+			}
+			if d.cache != nil {
+				d.cache.put(key, &backArtifact{
+					fn:           f.Clone(),
+					compactAfter: st.fr.SpillBytesCompacted,
+					webs:         st.fr.SpillWebs,
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	{
+		n := totalInstrs(p)
+		t := time.Now()
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			return nil, fmt.Errorf("pipeline: post-compile verification failed: %w", err)
+		}
+		m.pass(PassVerify, time.Since(t), n, n)
+	}
+
+	for i, f := range p.Funcs {
+		st := states[i]
+		st.fr.Instrs = f.NumInstrs()
+		st.fr.FrontCacheHit = st.frontHit
+		st.fr.BackCacheHit = st.backHit
+		rep.PerFunc[f.Name] = st.fr
+	}
+
+	if d.cache != nil {
+		art := &programArtifact{
+			funcs:   make([]*ir.Func, len(p.Funcs)),
+			perFunc: make(map[string]FuncReport, len(rep.PerFunc)),
+		}
+		for i, f := range p.Funcs {
+			art.funcs[i] = f.Clone()
+		}
+		for name, fr := range rep.PerFunc {
+			fr.FrontCacheHit = false
+			fr.BackCacheHit = false
+			art.perFunc[name] = fr
+		}
+		d.cache.put(progKey, art)
+	}
+
+	d.finish(rep, m, start, false)
+	return rep, nil
+}
+
+// finish stamps wall time and cache stats on rep and folds the compile
+// into the driver's cumulative metrics.
+func (d *Driver) finish(rep *Report, m *metrics, start time.Time, programHit bool) {
+	rep.WallNanos = time.Since(start).Nanoseconds()
+	rep.Passes = m.stats()
+	if d.cache != nil {
+		rep.Cache = d.cache.Stats()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.compiles++
+	d.funcsTotal += int64(rep.Funcs)
+	d.wallTotal += rep.WallNanos
+	if programHit {
+		d.programHits++
+	}
+	d.cum.merge(m)
+}
+
+// Metrics returns the driver's cumulative totals across every Compile:
+// aggregated per-pass timings, total functions and wall time, the number
+// of whole-program cache hits, and a cache-counter snapshot. PerFunc is
+// nil on the cumulative report.
+func (d *Driver) Metrics() *Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep := &Report{
+		Strategy:    "(cumulative)",
+		Workers:     d.workers,
+		Compiles:    d.compiles,
+		Funcs:       int(d.funcsTotal),
+		WallNanos:   d.wallTotal,
+		ProgramHits: d.programHits,
+		Passes:      d.cum.stats(),
+	}
+	if d.cache != nil {
+		rep.Cache = d.cache.Stats()
+	}
+	return rep
+}
+
+// forEach runs fn(i) for i in [0,n) on the worker pool. With one worker
+// (or one item) it degenerates to a plain loop; results are identical
+// either way because each fn touches only its own index.
+func (d *Driver) forEach(n int, fn func(int) error) error {
+	workers := d.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		first  error
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+func totalInstrs(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}

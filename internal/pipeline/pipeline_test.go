@@ -1,0 +1,321 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+var allStrategies = []Strategy{NoCCM, PostPass, PostPassInterproc, Integrated}
+
+const detSeeds = 6 // random programs per strategy in the determinism suite
+
+func detConfig(s Strategy) Config {
+	cfg := Config{Strategy: s}
+	if s != NoCCM {
+		cfg.CCMBytes = 512
+	}
+	return cfg
+}
+
+func mustCompile(t *testing.T, d *Driver, p *ir.Program, cfg Config) *Report {
+	t.Helper()
+	rep, err := d.Compile(p, cfg)
+	if err != nil {
+		t.Fatalf("Compile(%v): %v", cfg.Strategy, err)
+	}
+	return rep
+}
+
+func runEmit(t *testing.T, p *ir.Program, ccmBytes int64) []sim.Value {
+	t.Helper()
+	st, err := sim.Run(p, "main", sim.Config{CCMBytes: ccmBytes})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return st.Output
+}
+
+// TestParallelDeterminism is the headline invariant: compiling the random
+// program suite with workers=8 must produce byte-identical ILOC — and
+// therefore identical emit traces — to workers=1, for every strategy.
+// Run under -race, it doubles as the pool's race-detector workload.
+func TestParallelDeterminism(t *testing.T) {
+	for _, strat := range allStrategies {
+		cfg := detConfig(strat)
+		for seed := int64(1); seed <= detSeeds; seed++ {
+			seq := New(Options{Workers: 1, DisableCache: true})
+			par := New(Options{Workers: 8, DisableCache: true})
+
+			p1 := workload.RandomProgram(seed)
+			p8 := workload.RandomProgram(seed)
+			if p1.String() != p8.String() {
+				t.Fatalf("seed %d: RandomProgram is not deterministic", seed)
+			}
+
+			rep1 := mustCompile(t, seq, p1, cfg)
+			rep8 := mustCompile(t, par, p8, cfg)
+
+			if got, want := p8.String(), p1.String(); got != want {
+				t.Fatalf("strategy %v seed %d: workers=8 ILOC differs from workers=1", strat, seed)
+			}
+			if !reflect.DeepEqual(rep1.PerFunc, rep8.PerFunc) {
+				t.Errorf("strategy %v seed %d: per-func reports differ:\n seq=%+v\n par=%+v",
+					strat, seed, rep1.PerFunc, rep8.PerFunc)
+			}
+			out1 := runEmit(t, p1, cfg.CCMBytes)
+			out8 := runEmit(t, p8, cfg.CCMBytes)
+			if !reflect.DeepEqual(out1, out8) {
+				t.Errorf("strategy %v seed %d: emit traces differ", strat, seed)
+			}
+		}
+	}
+}
+
+// TestCacheSecondCompileIsFullHit: an identical (program, Config) pair
+// must be answered entirely from the cache — zero new misses — and
+// produce byte-identical output.
+func TestCacheSecondCompileIsFullHit(t *testing.T) {
+	for _, strat := range allStrategies {
+		cfg := detConfig(strat)
+		d := New(Options{})
+		p1 := workload.RandomProgram(7)
+		rep1 := mustCompile(t, d, p1, cfg)
+		if rep1.ProgramCacheHit {
+			t.Fatalf("strategy %v: cold compile reported a program cache hit", strat)
+		}
+
+		p2 := workload.RandomProgram(7)
+		rep2 := mustCompile(t, d, p2, cfg)
+		if !rep2.ProgramCacheHit {
+			t.Fatalf("strategy %v: repeat compile missed the program cache", strat)
+		}
+		if got := rep2.Cache.Misses - rep1.Cache.Misses; got != 0 {
+			t.Errorf("strategy %v: repeat compile had %d cache misses, want 0", strat, got)
+		}
+		if rep2.Cache.Hits <= rep1.Cache.Hits {
+			t.Errorf("strategy %v: repeat compile recorded no cache hits", strat)
+		}
+		for name, fr := range rep2.PerFunc {
+			if !fr.FrontCacheHit || !fr.BackCacheHit {
+				t.Errorf("strategy %v: func %s not marked cached on repeat compile", strat, name)
+			}
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("strategy %v: cached compile output differs from cold compile", strat)
+		}
+		if !reflect.DeepEqual(rep1.PerFunc, rep2.PerFunc) {
+			// Hit flags differ by design; compare everything else.
+			for name, fr1 := range rep1.PerFunc {
+				fr2 := rep2.PerFunc[name]
+				fr2.FrontCacheHit, fr2.BackCacheHit = fr1.FrontCacheHit, fr1.BackCacheHit
+				if fr1 != fr2 {
+					t.Errorf("strategy %v: report for %s differs on cached compile: %+v vs %+v",
+						strat, name, fr1, fr2)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheMissOnInstrChange: editing one instruction must miss the
+// program cache (content addressing), while untouched functions still
+// hit the per-function front cache.
+func TestCacheMissOnInstrChange(t *testing.T) {
+	d := New(Options{})
+	cfg := detConfig(PostPassInterproc)
+
+	build := func() *ir.Program { return workload.RandomProgram(11) }
+	mustCompile(t, d, build(), cfg)
+
+	p := build()
+	// Perturb one immediate in main's entry block: loadi constants feed
+	// the emit trace, so the change is semantically visible too.
+	f := p.Func("main")
+	mutated := false
+	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if !mutated && in.Op == ir.OpLoadI {
+			in.Imm++
+			mutated = true
+		}
+	})
+	if !mutated {
+		t.Fatal("no loadi found in main to mutate")
+	}
+	rep := mustCompile(t, d, p, cfg)
+	if rep.ProgramCacheHit {
+		t.Fatal("program cache hit despite a mutated instruction")
+	}
+	if fr := rep.PerFunc["main"]; fr.FrontCacheHit {
+		t.Error("mutated function hit the front cache")
+	}
+	for name, fr := range rep.PerFunc {
+		if name != "main" && !fr.FrontCacheHit {
+			t.Errorf("untouched function %s missed the front cache", name)
+		}
+	}
+}
+
+// TestCacheMissOnConfigChange: every Config field must be part of the
+// program key.
+func TestCacheMissOnConfigChange(t *testing.T) {
+	base := Config{Strategy: PostPassInterproc, CCMBytes: 512}
+	variants := map[string]Config{
+		"Strategy":          {Strategy: PostPass, CCMBytes: 512},
+		"CCMBytes":          {Strategy: PostPassInterproc, CCMBytes: 1024},
+		"IntRegs":           {Strategy: PostPassInterproc, CCMBytes: 512, IntRegs: 16},
+		"FloatRegs":         {Strategy: PostPassInterproc, CCMBytes: 512, FloatRegs: 16},
+		"DisableOptimizer":  {Strategy: PostPassInterproc, CCMBytes: 512, DisableOptimizer: true},
+		"DisableCompaction": {Strategy: PostPassInterproc, CCMBytes: 512, DisableCompaction: true},
+		"CleanupSpills":     {Strategy: PostPassInterproc, CCMBytes: 512, CleanupSpills: true},
+	}
+	d := New(Options{})
+	mustCompile(t, d, workload.RandomProgram(13), base)
+	for field, cfg := range variants {
+		rep := mustCompile(t, d, workload.RandomProgram(13), cfg)
+		if rep.ProgramCacheHit {
+			t.Errorf("changing Config.%s still hit the program cache", field)
+		}
+	}
+	// Sanity: the unchanged config does hit.
+	if rep := mustCompile(t, d, workload.RandomProgram(13), base); !rep.ProgramCacheHit {
+		t.Error("identical recompile missed after variant sweeps")
+	}
+}
+
+// TestCacheEvictionBound: the cache never exceeds its entry bound and
+// counts evictions; correctness is unaffected.
+func TestCacheEvictionBound(t *testing.T) {
+	const maxEntries = 8
+	d := New(Options{Cache: NewCache(maxEntries)})
+	cfg := detConfig(NoCCM)
+	for seed := int64(1); seed <= 10; seed++ {
+		mustCompile(t, d, workload.RandomProgram(seed), cfg)
+		if n := d.Cache().Len(); n > maxEntries {
+			t.Fatalf("cache holds %d entries, bound is %d", n, maxEntries)
+		}
+	}
+	st := d.Cache().Stats()
+	if st.Evictions == 0 {
+		t.Error("expected evictions with a 8-entry cache over 10 programs")
+	}
+	// Evicted artifacts must simply be recomputed, not corrupted.
+	p1 := workload.RandomProgram(1)
+	d2 := New(Options{DisableCache: true})
+	p2 := workload.RandomProgram(1)
+	mustCompile(t, d, p1, cfg)
+	mustCompile(t, d2, p2, cfg)
+	if p1.String() != p2.String() {
+		t.Error("post-eviction compile differs from uncached compile")
+	}
+}
+
+// TestFrontArtifactSharedAcrossStrategies: the front stage is identical
+// for the baseline and the post-pass strategies, so sweeping strategies
+// over one program reuses the optimize+allocate work.
+func TestFrontArtifactSharedAcrossStrategies(t *testing.T) {
+	d := New(Options{})
+	mustCompile(t, d, workload.RandomProgram(17), detConfig(NoCCM))
+	rep := mustCompile(t, d, workload.RandomProgram(17), detConfig(PostPassInterproc))
+	if rep.ProgramCacheHit {
+		t.Fatal("different strategy unexpectedly hit the program cache")
+	}
+	for name, fr := range rep.PerFunc {
+		if !fr.FrontCacheHit {
+			t.Errorf("func %s missed the front cache across a strategy change", name)
+		}
+	}
+}
+
+// TestReportShape: pass stats are present, ordered, and measure real
+// work; the report marshals to JSON.
+func TestReportShape(t *testing.T) {
+	d := New(Options{})
+	cfg := Config{Strategy: PostPassInterproc, CCMBytes: 512, CleanupSpills: true}
+	rep := mustCompile(t, d, workload.RandomProgram(19), cfg)
+
+	want := []string{PassOptimize, PassRegalloc, PassPostPass, PassCleanup, PassCompact, PassVerify}
+	if len(rep.Passes) != len(want) {
+		t.Fatalf("got %d passes, want %d (%+v)", len(rep.Passes), len(want), rep.Passes)
+	}
+	for i, name := range want {
+		ps := rep.Passes[i]
+		if ps.Name != name {
+			t.Errorf("pass %d is %q, want %q", i, ps.Name, name)
+		}
+		if ps.Runs == 0 {
+			t.Errorf("pass %q recorded no runs", name)
+		}
+		if ps.InstrsBefore == 0 || ps.InstrsAfter == 0 {
+			t.Errorf("pass %q recorded no instruction counts", name)
+		}
+	}
+	if rep.WallNanos <= 0 {
+		t.Error("report has no wall time")
+	}
+	if len(rep.PerFunc) == 0 {
+		t.Error("report has no per-function entries")
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+
+	cum := d.Metrics()
+	if cum.Compiles != 1 || len(cum.Passes) == 0 {
+		t.Errorf("cumulative metrics incomplete: %+v", cum)
+	}
+}
+
+// TestConfigValidation mirrors the facade's contract.
+func TestConfigValidation(t *testing.T) {
+	d := New(Options{})
+	if _, err := d.Compile(workload.RandomProgram(1), Config{Strategy: PostPass}); err == nil {
+		t.Error("PostPass without CCMBytes should fail")
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy accepted junk")
+	}
+	for _, s := range allStrategies {
+		name := s.String()
+		got, err := ParseStrategy(name)
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+}
+
+// TestWorkloadSuiteThroughPipeline compiles the full named-routine suite
+// through the driver once per strategy, sharing one cache, as the
+// experiment harness does — an end-to-end exercise of cache sharing
+// between real kernels rather than random programs.
+func TestWorkloadSuiteThroughPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite compile in -short mode")
+	}
+	d := New(Options{Workers: 4})
+	routines := workload.All()[:12]
+	for _, strat := range []Strategy{NoCCM, PostPassInterproc} {
+		cfg := detConfig(strat)
+		for _, r := range routines {
+			p, err := r.Build()
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			rep, err := d.Compile(p, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", r.Name, strat, err)
+			}
+			if _, ok := rep.PerFunc[r.Name]; !ok {
+				t.Errorf("%s/%v: routine missing from report", r.Name, strat)
+			}
+		}
+	}
+	st := d.Cache().Stats()
+	if st.Hits == 0 {
+		t.Error("suite sweep recorded no cache hits (front artifacts should be shared)")
+	}
+}

@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// Pass names, in pipeline order.
+const (
+	PassOptimize = "optimize"
+	PassRegalloc = "regalloc"
+	PassPostPass = "postpass"
+	PassCleanup  = "cleanup"
+	PassCompact  = "compact"
+	PassVerify   = "verify"
+)
+
+// passOrder fixes the order passes appear in a Report regardless of
+// completion order under parallelism.
+var passOrder = []string{PassOptimize, PassRegalloc, PassPostPass, PassCleanup, PassCompact, PassVerify}
+
+// PassStat aggregates one pass over every function it ran on. Cache hits
+// skip passes entirely, so Runs counts real executions only; under a
+// parallel pool WallNanos is summed worker time, which can exceed the
+// compile's wall clock.
+type PassStat struct {
+	Name         string `json:"name"`
+	Runs         int64  `json:"runs"`
+	WallNanos    int64  `json:"wall_ns"`
+	InstrsBefore int64  `json:"instrs_before"`
+	InstrsAfter  int64  `json:"instrs_after"`
+}
+
+// CacheStats is a snapshot of the content-addressed cache's counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// FuncReport is the per-function compilation summary.
+type FuncReport struct {
+	SpillBytesNaive     int64 `json:"spill_bytes_naive"`     // one frame slot per spilled live range
+	SpillBytesCompacted int64 `json:"spill_bytes_compacted"` // after coloring-based compaction
+	CCMBytes            int64 `json:"ccm_bytes"`             // CCM high-water of the function's own code
+	SpilledRanges       int   `json:"spilled_ranges"`
+	PromotedWebs        int   `json:"promoted_webs"` // spill live ranges redirected to the CCM
+	SpillWebs           int   `json:"spill_webs"`    // spill-location live ranges seen by compaction
+	Instrs              int   `json:"instrs"`        // final static instruction count
+	FrontCacheHit       bool  `json:"front_cache_hit"`
+	BackCacheHit        bool  `json:"back_cache_hit"`
+}
+
+// Report is the structured result of one Compile (or, via
+// Driver.Metrics, the cumulative totals of many). It marshals to the
+// JSON printed by `ccmc -json` and `ccmbench -json`.
+type Report struct {
+	Strategy        string                `json:"strategy"`
+	Workers         int                   `json:"workers"`
+	Compiles        int64                 `json:"compiles,omitempty"` // cumulative reports only
+	Funcs           int                   `json:"funcs"`
+	WallNanos       int64                 `json:"wall_ns"`
+	ProgramCacheHit bool                  `json:"program_cache_hit,omitempty"`
+	ProgramHits     int64                 `json:"program_hits,omitempty"` // cumulative reports only
+	Passes          []PassStat            `json:"passes"`
+	PerFunc         map[string]FuncReport `json:"per_func,omitempty"`
+	Cache           CacheStats            `json:"cache"`
+}
+
+// metrics accumulates per-pass statistics; safe for concurrent workers.
+type metrics struct {
+	mu     sync.Mutex
+	passes map[string]*PassStat
+}
+
+func newMetrics() *metrics {
+	return &metrics{passes: make(map[string]*PassStat, len(passOrder))}
+}
+
+func (m *metrics) pass(name string, d time.Duration, before, after int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.passes[name]
+	if p == nil {
+		p = &PassStat{Name: name}
+		m.passes[name] = p
+	}
+	p.Runs++
+	p.WallNanos += d.Nanoseconds()
+	p.InstrsBefore += int64(before)
+	p.InstrsAfter += int64(after)
+}
+
+// merge folds o into m (used for the driver's cumulative totals).
+func (m *metrics) merge(o *metrics) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, op := range o.passes {
+		p := m.passes[name]
+		if p == nil {
+			p = &PassStat{Name: name}
+			m.passes[name] = p
+		}
+		p.Runs += op.Runs
+		p.WallNanos += op.WallNanos
+		p.InstrsBefore += op.InstrsBefore
+		p.InstrsAfter += op.InstrsAfter
+	}
+}
+
+// stats returns the accumulated passes in pipeline order.
+func (m *metrics) stats() []PassStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PassStat, 0, len(m.passes))
+	for _, name := range passOrder {
+		if p, ok := m.passes[name]; ok {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
