@@ -20,8 +20,10 @@
 package ccm
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"ccmem/internal/ir"
 	"ccmem/internal/memsys"
@@ -96,12 +98,32 @@ type Config struct {
 	// pipeline does not include it, and the experiment harness measures
 	// the paper-faithful configuration.
 	CleanupSpills bool
+
+	// VerifyPasses checkpoints IR and liveness invariants after every
+	// pass, attributing the first breakage to the pass that introduced
+	// it (slower; a debugging and hardening mode).
+	VerifyPasses bool
+	// FuncTimeout bounds each per-function compile attempt; on expiry
+	// the function is retried down the degradation ladder. 0 = no limit.
+	FuncTimeout time.Duration
+	// Strict fails the compile on the first pass fault instead of
+	// degrading the affected function.
+	Strict bool
+	// ReproDir, when non-empty, receives a replayable crash repro bundle
+	// for every recovered or fatal pass fault.
+	ReproDir string
 }
 
 // CompileReport summarizes one compilation.
 type CompileReport struct {
 	// PerFunc maps function name to its spill/promotion summary.
 	PerFunc map[string]FuncReport
+	// Failures counts recovered pass faults; Degraded counts functions
+	// shipped below the configured fidelity (see FuncReport.Degraded).
+	Failures int64
+	Degraded int64
+	// Repros lists the crash repro bundles written (Config.ReproDir).
+	Repros []string
 }
 
 // FuncReport is the per-function compilation summary.
@@ -111,6 +133,14 @@ type FuncReport struct {
 	CCMBytes            int64 // CCM high-water of the function's own code
 	SpilledRanges       int
 	PromotedWebs        int // spill live ranges redirected to the CCM
+
+	// Degraded names the rung of the degradation ladder the function
+	// shipped at ("" = full fidelity; "no-opt", "baseline", "no-ccm",
+	// optionally "+no-compact"); FailedPass and Error describe the last
+	// recovered fault.
+	Degraded   string
+	FailedPass string
+	Error      string
 }
 
 // Program is a compilation unit (an opaque wrapper around the internal
@@ -171,15 +201,23 @@ var defaultDriver = pipeline.New(pipeline.Options{})
 
 // Compile runs the full pipeline in place. The work is delegated to the
 // internal/pipeline driver; use that package directly (via IR) for
-// per-pass timings, cache statistics, and worker control.
+// per-pass timings, cache statistics, worker control, and experimental
+// pass injection.
 func (pr *Program) Compile(cfg Config) (*CompileReport, error) {
+	return pr.CompileContext(context.Background(), cfg)
+}
+
+// CompileContext is Compile with cooperative cancellation: ctx is checked
+// at pass boundaries, and compilation stops at the first boundary after
+// it is done.
+func (pr *Program) CompileContext(ctx context.Context, cfg Config) (*CompileReport, error) {
 	if pr.compiled {
 		return nil, fmt.Errorf("ccm: program is already compiled")
 	}
 	if cfg.Strategy != NoCCM && cfg.CCMBytes <= 0 {
 		return nil, fmt.Errorf("ccm: strategy %v requires CCMBytes > 0", cfg.Strategy)
 	}
-	prep, err := defaultDriver.Compile(pr.p, pipeline.Config{
+	prep, err := defaultDriver.CompileContext(ctx, pr.p, pipeline.Config{
 		Strategy:          pipelineStrategy(cfg.Strategy),
 		CCMBytes:          cfg.CCMBytes,
 		IntRegs:           cfg.IntRegs,
@@ -187,11 +225,20 @@ func (pr *Program) Compile(cfg Config) (*CompileReport, error) {
 		DisableOptimizer:  cfg.DisableOptimizer,
 		DisableCompaction: cfg.DisableCompaction,
 		CleanupSpills:     cfg.CleanupSpills,
+		VerifyPasses:      cfg.VerifyPasses,
+		FuncTimeout:       cfg.FuncTimeout,
+		Strict:            cfg.Strict,
+		ReproDir:          cfg.ReproDir,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ccm: %w", err)
 	}
-	rep := &CompileReport{PerFunc: map[string]FuncReport{}}
+	rep := &CompileReport{
+		PerFunc:  map[string]FuncReport{},
+		Failures: prep.Failures,
+		Degraded: prep.Degraded,
+		Repros:   prep.Repros,
+	}
 	for name, fr := range prep.PerFunc {
 		rep.PerFunc[name] = FuncReport{
 			SpillBytesNaive:     fr.SpillBytesNaive,
@@ -199,6 +246,9 @@ func (pr *Program) Compile(cfg Config) (*CompileReport, error) {
 			CCMBytes:            fr.CCMBytes,
 			SpilledRanges:       fr.SpilledRanges,
 			PromotedWebs:        fr.PromotedWebs,
+			Degraded:            fr.Degraded,
+			FailedPass:          fr.FailedPass,
+			Error:               fr.Error,
 		}
 	}
 	pr.compiled = true
@@ -229,13 +279,15 @@ func WithTrace(w io.Writer, limit int64) RunOption {
 }
 
 // WithCache attaches a freshly built set-associative data cache to main
-// memory. To inspect hit/miss statistics afterwards, build the model
+// memory. An invalid cache geometry surfaces as an error from Run, not a
+// panic. To inspect hit/miss statistics afterwards, build the model
 // yourself and pass it via WithMemory.
 func WithCache(cfg memsys.CacheConfig) RunOption {
 	return func(s *sim.Config) {
 		c, err := memsys.NewCache(cfg)
 		if err != nil {
-			panic(err)
+			s.Err = err
+			return
 		}
 		s.Memory = c
 	}

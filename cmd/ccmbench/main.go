@@ -6,6 +6,14 @@
 //
 //	ccmbench [-table N] [-figure N] [-ablation] [-multiproc] [-markdown]
 //	         [-memcost N] [-workers N] [-json]
+//	         [-verify-passes] [-timeout D] [-repro-dir DIR]
+//
+// The fault-isolation flags harden long benchmark runs: -verify-passes
+// checkpoints compiler invariants after every pass, -timeout bounds each
+// per-function compile attempt, and -repro-dir captures a replayable
+// bundle for any pass fault. Benchmarks always compile in strict mode —
+// silently degraded code would skew the tables — so a fault aborts the
+// run (after writing its bundle) rather than polluting the measurements.
 //
 // Without selection flags it prints everything. Every measurement runs
 // through one shared compilation driver (internal/pipeline), so compile
@@ -33,11 +41,18 @@ func main() {
 	memCost := flag.Int("memcost", 2, "cycles per main-memory operation")
 	workers := flag.Int("workers", 0, "compilation worker pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "print the cumulative pipeline report as JSON to stderr")
+	verifyPasses := flag.Bool("verify-passes", false, "verify IR and liveness invariants after every compilation pass")
+	timeout := flag.Duration("timeout", 0, "per-function compile attempt timeout (0 = none)")
+	reproDir := flag.String("repro-dir", "", "write crash repro bundles for pass faults to this directory")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.MemCost = *memCost
 	cfg.Driver = pipeline.New(pipeline.Options{Workers: *workers})
+	cfg.VerifyPasses = *verifyPasses
+	cfg.FuncTimeout = *timeout
+	cfg.ReproDir = *reproDir
+	cfg.Strict = true
 	defer func() {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stderr)

@@ -7,6 +7,7 @@
 //
 //	ccmc [-strategy none|postpass|postpass-ipa|integrated] [-ccm BYTES]
 //	     [-regs N] [-no-opt] [-no-compact] [-cleanup] [-workers N]
+//	     [-verify-passes] [-timeout D] [-strict] [-repro-dir DIR]
 //	     [-stats] [-json] [-o out.iloc] in.iloc
 //
 // -cleanup runs the post-allocation spill-code peephole. -stats prints
@@ -14,6 +15,16 @@
 // full structured report (per-pass wall time, instruction deltas, spill
 // statistics, cache counters) to stderr as one JSON object. The output is
 // allocated ILOC, runnable with ccmsim.
+//
+// The fault-isolation flags: -verify-passes checkpoints IR and liveness
+// invariants after every pass, attributing the first breakage to the pass
+// that introduced it; -timeout bounds each per-function compile attempt
+// (e.g. -timeout 5s); -strict turns the first pass fault into a fatal
+// error instead of degrading the affected function down the ladder
+// (no-opt → baseline spills → no CCM); -repro-dir writes a replayable
+// crash repro bundle for every fault. Recovered faults are summarized on
+// stderr and make ccmc exit 3 so scripted callers can tell a degraded
+// compile from a clean one.
 package main
 
 import (
@@ -35,6 +46,10 @@ func main() {
 	noCompact := flag.Bool("no-compact", false, "skip spill-memory compaction")
 	cleanup := flag.Bool("cleanup", false, "run the post-allocation spill-code peephole")
 	workers := flag.Int("workers", 0, "compilation worker pool size (0 = GOMAXPROCS)")
+	verifyPasses := flag.Bool("verify-passes", false, "verify IR and liveness invariants after every pass")
+	timeout := flag.Duration("timeout", 0, "per-function compile attempt timeout (0 = none)")
+	strict := flag.Bool("strict", false, "fail on the first pass fault instead of degrading")
+	reproDir := flag.String("repro-dir", "", "write crash repro bundles for pass faults to this directory")
 	stats := flag.Bool("stats", false, "print per-function spill statistics to stderr")
 	jsonOut := flag.Bool("json", false, "print the pipeline report as JSON to stderr")
 	out := flag.String("o", "", "output file (default stdout)")
@@ -64,6 +79,10 @@ func main() {
 		DisableOptimizer:  *noOpt,
 		DisableCompaction: *noCompact,
 		CleanupSpills:     *cleanup,
+		VerifyPasses:      *verifyPasses,
+		FuncTimeout:       *timeout,
+		Strict:            *strict,
+		ReproDir:          *reproDir,
 	}
 	if strat != pipeline.NoCCM {
 		cfg.CCMBytes = *ccmBytes
@@ -97,10 +116,30 @@ func main() {
 	text := prog.Text()
 	if *out == "" {
 		fmt.Print(text)
-		return
-	}
-	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fatal(err)
+	}
+	if report.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "ccmc: %d pass fault(s) recovered; %d function(s) degraded\n",
+			report.Failures, report.Degraded)
+		names := make([]string, 0, len(report.PerFunc))
+		for n := range report.PerFunc {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if fr := report.PerFunc[n]; fr.Degraded != "" || fr.Error != "" {
+				fmt.Fprintf(os.Stderr, "  %-20s degraded=%-12s pass=%-12s %s\n",
+					n, fr.Degraded, fr.FailedPass, fr.Error)
+			}
+		}
+		for _, r := range report.Repros {
+			fmt.Fprintf(os.Stderr, "  repro bundle: %s\n", r)
+		}
+		if report.ReproError != "" {
+			fmt.Fprintf(os.Stderr, "  repro bundles incomplete: %s\n", report.ReproError)
+		}
+		os.Exit(3)
 	}
 }
 

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	ccmsim [-entry main] [-ccm BYTES] [-memcost N] [-trace] [-perfunc]
-//	       [-cache SETSxWAYSxLINE] prog.iloc
+//	       [-cache SETSxWAYSxLINE] [-repro-dir DIR] prog.iloc
+//
+// -repro-dir captures a replayable crash repro bundle (the program text,
+// entry point, and error) whenever execution fails, in the same format
+// the compiler pipeline uses for pass faults.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	ccm "ccmem"
 	"ccmem/internal/memsys"
+	"ccmem/internal/repro"
 )
 
 func main() {
@@ -27,6 +32,7 @@ func main() {
 	perFunc := flag.Bool("perfunc", false, "print per-function cycle attribution")
 	cacheSpec := flag.String("cache", "", "attach a data cache, e.g. 32x1x32 (sets x ways x line bytes)")
 	debug := flag.Int64("debug", 0, "trace the first N executed instructions to stderr")
+	reproDir := flag.String("repro-dir", "", "write a crash repro bundle to this directory if the run fails")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -59,6 +65,20 @@ func main() {
 
 	st, err := prog.Run(*entry, opts...)
 	if err != nil {
+		if *reproDir != "" {
+			b := &repro.Bundle{
+				Version: repro.Version,
+				Kind:    repro.KindRun,
+				Func:    *entry,
+				Program: string(src),
+				Error:   err.Error(),
+			}
+			if path, werr := repro.Write(*reproDir, b); werr != nil {
+				fmt.Fprintln(os.Stderr, "ccmsim: writing repro bundle:", werr)
+			} else {
+				fmt.Fprintln(os.Stderr, "ccmsim: repro bundle:", path)
+			}
+		}
 		fatal(err)
 	}
 	fmt.Printf("instructions:     %d\n", st.Instrs)

@@ -18,6 +18,19 @@ type PostPassOptions struct {
 	// count as using the full CCM. When false, the allocator "only uses
 	// CCM for values that are not live across calls".
 	Interprocedural bool
+
+	// Skip excludes the named functions from promotion: their spill code
+	// is left on the heavyweight spill-to-RAM path untouched. The
+	// pipeline's degradation ladder uses this to quarantine functions
+	// that faulted during allocation. Skipped functions still take part
+	// in the call-graph walk so their callers see a correct (zero-CCM)
+	// high-water mark.
+	Skip map[string]bool
+
+	// OnFunc, when non-nil, is called with each function's name just
+	// before its spills are analyzed and rewritten. The pipeline uses it
+	// to attribute a mid-walk fault to the function being processed.
+	OnFunc func(name string)
 }
 
 // FuncPromotion reports per-function promotion results.
@@ -78,6 +91,26 @@ func PostPass(p *ir.Program, opts PostPassOptions) (*PostPassResult, error) {
 			return nil, fmt.Errorf("core: %s already contains CCM operations", name)
 		}
 		inCycle := cg.InCycle(name)
+		if opts.Skip[name] {
+			// Quarantined: no promotion, no CCM of its own; callers still
+			// need its effective high water (its callees' CCM use).
+			hw := int64(0)
+			if inCycle {
+				hw = opts.CCMBytes
+			} else {
+				for _, callee := range cg.Callees[name] {
+					if h, ok := highWater[callee]; ok && h > hw {
+						hw = h
+					}
+				}
+			}
+			highWater[name] = hw
+			res.PerFunc[name] = &FuncPromotion{InCycle: inCycle, EffectiveHW: hw}
+			continue
+		}
+		if opts.OnFunc != nil {
+			opts.OnFunc(name)
+		}
 
 		a, err := analyzeSpills(f)
 		if err != nil {

@@ -16,6 +16,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"ccmem/internal/ir"
 	"ccmem/internal/pipeline"
@@ -73,6 +74,17 @@ type Config struct {
 	// ablations (ccmbench -json prints them). When nil, each suite entry
 	// point builds a private driver.
 	Driver *pipeline.Driver
+
+	// VerifyPasses checkpoints IR and liveness invariants after every
+	// compilation pass; Strict fails a measurement on the first pass
+	// fault instead of letting the driver degrade the function (degraded
+	// code would silently skew the tables, so benchmarking wants Strict).
+	VerifyPasses bool
+	Strict       bool
+	// FuncTimeout bounds each per-function compile attempt (0 = none);
+	// ReproDir receives crash repro bundles for any pass fault.
+	FuncTimeout time.Duration
+	ReproDir    string
 }
 
 // Default returns the paper's configuration.
@@ -184,6 +196,10 @@ func compileWith(drv *pipeline.Driver, p *ir.Program, strat Strategy, ccmBytes i
 		IntRegs:           cfg.IntRegs,
 		FloatRegs:         cfg.FloatRegs,
 		DisableCompaction: !compact,
+		VerifyPasses:      cfg.VerifyPasses,
+		Strict:            cfg.Strict,
+		FuncTimeout:       cfg.FuncTimeout,
+		ReproDir:          cfg.ReproDir,
 	})
 }
 

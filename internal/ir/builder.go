@@ -63,7 +63,19 @@ func (b *Builder) At(name string) {
 	b.cur = blk
 }
 
-// Append adds a raw instruction to the current block.
+// Err returns the first construction error recorded so far (nil if the
+// function is well-formed up to this point). Helpers keep accepting calls
+// after a failure so straight-line construction code needs only one check,
+// at Finish; Err lets incremental generators (fuzzers, the random workload
+// builder) stop early instead.
+func (b *Builder) Err() error { return b.err }
+
+// Append adds a raw instruction to the current block after validating it
+// against the function under construction: every operand must be a
+// register of this function with the class the opcode requires. Malformed
+// instructions are recorded as a deferred error (returned by Finish and
+// Err) rather than appended, so a bad call site cannot crash later passes
+// or smuggle an out-of-range register past them.
 func (b *Builder) Append(in Instr) {
 	if b.cur == nil {
 		b.fail("instruction %s before any Label", in.Op)
@@ -72,6 +84,32 @@ func (b *Builder) Append(in Instr) {
 	if t := b.cur.Term(); t != nil {
 		b.fail("instruction %s after terminator in block %s", in.Op, b.cur.Name)
 		return
+	}
+	for i, a := range in.Args {
+		if a < 0 || int(a) >= len(b.f.Regs) {
+			b.fail("%s arg %d: r%d is not a register of this function", in.Op, i, a)
+			return
+		}
+	}
+	if in.Dst != NoReg && (in.Dst < 0 || int(in.Dst) >= len(b.f.Regs)) {
+		b.fail("%s dst: r%d is not a register of this function", in.Op, in.Dst)
+		return
+	}
+	if n := in.Op.NumArgs(); n >= 0 {
+		if len(in.Args) != n {
+			b.fail("%s wants %d args, got %d", in.Op, n, len(in.Args))
+			return
+		}
+		for i, a := range in.Args {
+			if want := in.Op.ArgClass(i); want != ClassNone && b.f.RegClass(a) != want {
+				b.fail("%s arg %d: r%d is %v, want %v", in.Op, i, a, b.f.RegClass(a), want)
+				return
+			}
+		}
+		if want := in.Op.DstClass(); want != ClassNone && b.f.RegClass(in.Dst) != want {
+			b.fail("%s dst: r%d is %v, want %v", in.Op, in.Dst, b.f.RegClass(in.Dst), want)
+			return
+		}
 	}
 	b.cur.Instrs = append(b.cur.Instrs, in)
 }
@@ -220,6 +258,12 @@ func (b *Builder) Finish() (*Func, error) {
 	for _, blk := range b.f.Blocks {
 		if blk.Term() == nil {
 			return nil, fmt.Errorf("builder %s: block %s lacks a terminator", b.f.Name, blk.Name)
+		}
+		t := blk.Term()
+		for _, label := range []string{t.Then, t.Else} {
+			if label != "" && b.f.BlockNamed(label) == nil {
+				return nil, fmt.Errorf("builder %s: block %s branches to undefined label %q", b.f.Name, blk.Name, label)
+			}
 		}
 	}
 	b.f.Renumber()

@@ -1,12 +1,34 @@
 package ir
 
 import (
+	"fmt"
+	"path/filepath"
 	"testing"
+
+	"ccmem/internal/repro"
 )
+
+// reproCorpusDir is the repository-level crash-repro regression corpus
+// replayed by the root package's TestReproCorpusReplays (relative to this
+// package; the go tool runs tests with the package directory as cwd).
+var reproCorpusDir = filepath.Join("..", "..", "testdata", "repros")
+
+// writeFuzzRepro captures a fuzz finding as a replayable bundle in the
+// shared corpus, so the failure joins the replay regression test in the
+// same format the compilation pipeline uses for pass faults.
+func writeFuzzRepro(t *testing.T, src, msg string) {
+	b := &repro.Bundle{Kind: repro.KindParse, Program: src, Error: msg}
+	if path, err := repro.Write(reproCorpusDir, b); err != nil {
+		t.Logf("could not write repro bundle: %v", err)
+	} else {
+		t.Logf("repro bundle: %s", path)
+	}
+}
 
 // FuzzParse hardens the textual front end: no input may panic the parser,
 // and anything that parses and verifies must survive a print/parse round
-// trip to an identical rendering.
+// trip to an identical rendering. Every finding — a panic included — is
+// written to the shared repro corpus before the test fails.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"",
@@ -25,6 +47,12 @@ func FuzzParse(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				writeFuzzRepro(t, src, fmt.Sprintf("panic: %v", r))
+				panic(r)
+			}
+		}()
 		p, err := Parse(src)
 		if err != nil {
 			return
@@ -35,9 +63,11 @@ func FuzzParse(f *testing.F) {
 		text := p.String()
 		q, err := Parse(text)
 		if err != nil {
+			writeFuzzRepro(t, src, fmt.Sprintf("printed program does not reparse: %v", err))
 			t.Fatalf("printed program does not reparse: %v\n%s", err, text)
 		}
 		if q.String() != text {
+			writeFuzzRepro(t, src, "print → parse → print not a fixed point")
 			t.Fatalf("print → parse → print not a fixed point:\n%q\n%q", text, q.String())
 		}
 	})

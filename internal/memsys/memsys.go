@@ -38,6 +38,11 @@ type CacheConfig struct {
 // TotalBytes returns the cache capacity.
 func (c CacheConfig) TotalBytes() int { return c.LineBytes * c.Sets * c.Ways }
 
+// Validate reports whether the configuration describes a buildable
+// cache, so callers can reject bad geometry before handing the config
+// to an API with no error path of its own.
+func (c CacheConfig) Validate() error { return c.validate() }
+
 func (c CacheConfig) validate() error {
 	if c.LineBytes < 8 || c.LineBytes&(c.LineBytes-1) != 0 {
 		return fmt.Errorf("memsys: LineBytes %d must be a power of two ≥ 8", c.LineBytes)

@@ -1,0 +1,545 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/repro"
+	"ccmem/internal/sim"
+	"ccmem/internal/workload"
+)
+
+// panicOn returns an injected pass that panics on the named function.
+func panicOn(name, passName string) InjectedPass {
+	return InjectedPass{Name: passName, Fn: func(_ context.Context, f *ir.Func) error {
+		if f.Name == name {
+			panic("injected fault in " + f.Name)
+		}
+		return nil
+	}}
+}
+
+// faultConfig is the common non-strict fault-test configuration.
+func faultConfig(strat Strategy) Config {
+	cfg := detConfig(strat)
+	cfg.VerifyPasses = true
+	return cfg
+}
+
+// TestPanicPassIsolated: a panicking pass is (a) isolated to its
+// function, (b) attributed to the correct pass, (c) recovered via the
+// degradation ladder with the program still compiling end-to-end, and
+// (d) captured as a replayable repro bundle — the injected-fault
+// acceptance walk for the "pass that panics" case.
+func TestPanicPassIsolated(t *testing.T) {
+	for _, strat := range allStrategies {
+		cfg := faultConfig(strat)
+		cfg.InjectFront = []InjectedPass{panicOn("main", "exp-bad")}
+		cfg.ReproDir = t.TempDir()
+
+		p := workload.RandomProgram(3)
+		want := mustCompileClean(t, p.Clone())
+
+		d := New(Options{})
+		rep, err := d.Compile(p, cfg)
+		if err != nil {
+			t.Fatalf("strategy %v: compile failed despite degradation ladder: %v", strat, err)
+		}
+		fr := rep.PerFunc["main"]
+		if fr.Degraded != "no-opt" {
+			t.Errorf("strategy %v: main degraded to %q, want no-opt", strat, fr.Degraded)
+		}
+		if fr.FailedPass != "exp-bad" {
+			t.Errorf("strategy %v: fault attributed to %q, want exp-bad", strat, fr.FailedPass)
+		}
+		if fr.Attempts != 2 {
+			t.Errorf("strategy %v: main took %d attempts, want 2", strat, fr.Attempts)
+		}
+		if rep.Failures != 1 || rep.Degraded != 1 {
+			t.Errorf("strategy %v: failures=%d degraded=%d, want 1/1", strat, rep.Failures, rep.Degraded)
+		}
+		for name, ofr := range rep.PerFunc {
+			if name != "main" && ofr.Degraded != "" {
+				t.Errorf("strategy %v: fault leaked into %s (degraded %q)", strat, name, ofr.Degraded)
+			}
+		}
+		// The degraded program must still run and emit the oracle trace.
+		got := runEmit(t, p, cfg.CCMBytes)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("strategy %v: degraded program diverges from oracle", strat)
+		}
+		// The failure is on disk as a loadable bundle naming pass & func.
+		if len(rep.Repros) != 1 {
+			t.Fatalf("strategy %v: %d repro bundles, want 1 (%v)", strat, len(rep.Repros), rep.Repros)
+		}
+		b, err := repro.Load(rep.Repros[0])
+		if err != nil {
+			t.Fatalf("strategy %v: loading bundle: %v", strat, err)
+		}
+		if b.Func != "main" || b.Pass != "exp-bad" || b.Kind != repro.KindCompile {
+			t.Errorf("strategy %v: bundle misattributed: func=%q pass=%q kind=%q", strat, b.Func, b.Pass, b.Kind)
+		}
+		if !strings.Contains(b.Stack, "panic") && !strings.Contains(b.Stack, "goroutine") {
+			t.Errorf("strategy %v: bundle carries no stack", strat)
+		}
+		if b.Program == "" {
+			t.Errorf("strategy %v: bundle carries no input program", strat)
+		}
+		// Injected passes cannot be serialized, so the replay compiles the
+		// bundled input without the faulty experiment: it must pass now.
+		if err := Replay(b); err != nil {
+			t.Errorf("strategy %v: replay without the injected pass should succeed: %v", strat, err)
+		}
+	}
+}
+
+// mustCompileClean compiles p with the plain baseline config and returns
+// its emit trace — the semantic oracle degraded compiles are checked
+// against.
+func mustCompileClean(t *testing.T, p *ir.Program) []sim.Value {
+	t.Helper()
+	d := New(Options{DisableCache: true})
+	if _, err := d.Compile(p, Config{}); err != nil {
+		t.Fatalf("oracle compile: %v", err)
+	}
+	return runEmit(t, p, 0)
+}
+
+// TestPanicPassStrict: in strict mode the same fault fails the compile
+// with a structured *CompileError carrying pass, function, and stack.
+func TestPanicPassStrict(t *testing.T) {
+	cfg := faultConfig(PostPassInterproc)
+	cfg.Strict = true
+	cfg.InjectFront = []InjectedPass{panicOn("main", "exp-bad")}
+
+	d := New(Options{})
+	_, err := d.Compile(workload.RandomProgram(3), cfg)
+	var cerr *CompileError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("strict compile returned %v, want *CompileError", err)
+	}
+	if cerr.Pass != "exp-bad" || cerr.Func != "main" || !cerr.Panicked {
+		t.Errorf("bad attribution: %+v", cerr)
+	}
+	if len(cerr.Stack) == 0 {
+		t.Error("CompileError has no panic stack")
+	}
+	if !strings.Contains(cerr.Error(), "exp-bad") || !strings.Contains(cerr.Error(), "main") {
+		t.Errorf("error text lacks attribution: %v", cerr)
+	}
+}
+
+// TestHangPassTimedOut: a pass that blocks forever is cancelled by the
+// per-function timeout and the function recovers on the next rung — the
+// "pass that hangs" acceptance case.
+func TestHangPassTimedOut(t *testing.T) {
+	cfg := faultConfig(PostPass)
+	cfg.FuncTimeout = 50 * time.Millisecond
+	cfg.InjectFront = []InjectedPass{{Name: "exp-hang", Fn: func(ctx context.Context, f *ir.Func) error {
+		if f.Name != "main" {
+			return nil
+		}
+		<-ctx.Done() // hang until the watchdog fires
+		return ctx.Err()
+	}}}
+
+	p := workload.RandomProgram(5)
+	want := mustCompileClean(t, p.Clone())
+
+	start := time.Now()
+	d := New(Options{})
+	rep, err := d.Compile(p, cfg)
+	if err != nil {
+		t.Fatalf("compile failed despite timeout + ladder: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("hang was not cut short (took %v)", elapsed)
+	}
+	fr := rep.PerFunc["main"]
+	if fr.Degraded != "no-opt" || fr.FailedPass != "exp-hang" {
+		t.Errorf("hang not attributed: degraded=%q pass=%q", fr.Degraded, fr.FailedPass)
+	}
+	if !strings.Contains(fr.Error, context.DeadlineExceeded.Error()) {
+		t.Errorf("hang error is %q, want a deadline error", fr.Error)
+	}
+	if got := runEmit(t, p, cfg.CCMBytes); !reflect.DeepEqual(got, want) {
+		t.Error("degraded program diverges from oracle")
+	}
+}
+
+// TestInvalidIRPassAttributed: a pass that emits structurally-plausible
+// but semantically broken IR (a use of a never-defined register) is
+// caught by the liveness-consistency checkpoint right after it runs, not
+// passes later — the "pass that emits invalid IR" acceptance case.
+func TestInvalidIRPassAttributed(t *testing.T) {
+	bad := InjectedPass{Name: "exp-invalid", Fn: func(_ context.Context, f *ir.Func) error {
+		if f.Name != "main" {
+			return nil
+		}
+		// Plain ir.VerifyFunc cannot see this: the register is declared
+		// and classed, it just never gets a value.
+		ghost := f.NewReg(ir.ClassInt, "ghost")
+		entry := f.Entry()
+		use := ir.Instr{Op: ir.OpEmit, Dst: ir.NoReg, Args: []ir.Reg{ghost}}
+		entry.Instrs = append([]ir.Instr{use}, entry.Instrs...)
+		return nil
+	}}
+	cfg := faultConfig(PostPassInterproc)
+	cfg.InjectFront = []InjectedPass{bad}
+
+	p := workload.RandomProgram(7)
+	want := mustCompileClean(t, p.Clone())
+
+	d := New(Options{})
+	rep, err := d.Compile(p, cfg)
+	if err != nil {
+		t.Fatalf("compile failed despite ladder: %v", err)
+	}
+	fr := rep.PerFunc["main"]
+	if fr.FailedPass != "exp-invalid" {
+		t.Errorf("invalid IR attributed to %q, want exp-invalid", fr.FailedPass)
+	}
+	if fr.Degraded != "no-opt" {
+		t.Errorf("main degraded to %q, want no-opt", fr.Degraded)
+	}
+	if !strings.Contains(fr.Error, "use before def") {
+		t.Errorf("checkpoint error is %q, want a use-before-def diagnosis", fr.Error)
+	}
+	if got := runEmit(t, p, cfg.CCMBytes); !reflect.DeepEqual(got, want) {
+		t.Error("degraded program diverges from oracle")
+	}
+
+	// Without per-pass verification the same breakage sails through to
+	// the final structural verify — which cannot see it either. The
+	// checkpoint is what catches it.
+	cfg2 := detConfig(NoCCM)
+	cfg2.InjectFront = []InjectedPass{bad}
+	rep2, err := New(Options{}).Compile(workload.RandomProgram(7), cfg2)
+	if err != nil {
+		t.Fatalf("unverified compile: %v", err)
+	}
+	if rep2.PerFunc["main"].Degraded != "" {
+		t.Error("without VerifyPasses the invalid IR should go undetected (that is the point of checkpoints)")
+	}
+}
+
+// TestInputFaultAttributedToInput: a broken invariant already present in
+// the input is blamed on "input", not on the first pass to run after it.
+func TestInputFaultAttributedToInput(t *testing.T) {
+	src := `func main() {
+entry:
+	r0 = loadi 1
+	r1 = add r0, r2
+	emit r1
+	ret
+}
+`
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{VerifyPasses: true, ReproDir: t.TempDir()}
+	d := New(Options{DisableCache: true})
+	_, err = d.Compile(p, cfg)
+	var cerr *CompileError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("compile of use-before-def input returned %v, want *CompileError", err)
+	}
+	if cerr.Pass != PassInput {
+		t.Errorf("fault attributed to %q, want %q", cerr.Pass, PassInput)
+	}
+
+	// The ladder cannot fix broken input, but every attempt left a
+	// replayable bundle behind; the replay reproduces the fault.
+	bundles, err := repro.LoadDir(cfg.ReproDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("no repro bundles written for input fault")
+	}
+	rerr := Replay(bundles[0])
+	var rcerr *CompileError
+	if !errors.As(rerr, &rcerr) || rcerr.Pass != PassInput {
+		t.Errorf("replay did not reproduce the input fault: %v", rerr)
+	}
+}
+
+// TestFuncRetries: a flaky pass that fails once succeeds on the bounded
+// retry at the same rung, without degrading.
+func TestFuncRetries(t *testing.T) {
+	var calls atomic.Int64
+	flaky := InjectedPass{Name: "exp-flaky", Fn: func(_ context.Context, f *ir.Func) error {
+		if f.Name == "main" && calls.Add(1) == 1 {
+			return fmt.Errorf("transient fault")
+		}
+		return nil
+	}}
+	cfg := detConfig(NoCCM)
+	cfg.InjectFront = []InjectedPass{flaky}
+	cfg.FuncRetries = 1
+
+	d := New(Options{})
+	rep, err := d.Compile(workload.RandomProgram(9), cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	fr := rep.PerFunc["main"]
+	if fr.Degraded != "" {
+		t.Errorf("retry at the same rung should not degrade, got %q", fr.Degraded)
+	}
+	if fr.Attempts != 2 || rep.Failures != 1 {
+		t.Errorf("attempts=%d failures=%d, want 2/1", fr.Attempts, rep.Failures)
+	}
+}
+
+// TestPostPassFaultQuarantinesFunction: a fault inside the sequential
+// interprocedural barrier is attributed to the function being processed,
+// which alone loses its CCM promotion; the rest of the program still
+// promotes.
+func TestPostPassFaultQuarantinesFunction(t *testing.T) {
+	p := workload.RandomProgram(4) // seed 4 has leaf functions
+	var victim string
+	for _, f := range p.Funcs {
+		if f.Name != "main" {
+			victim = f.Name
+			break
+		}
+	}
+	if victim == "" {
+		t.Skip("seed produced no leaf functions")
+	}
+	want := mustCompileClean(t, p.Clone())
+
+	cfg := detConfig(PostPassInterproc)
+	cfg.ReproDir = t.TempDir()
+	cfg.postPassHook = func(name string) {
+		if name == victim {
+			panic("allocator bug on " + name)
+		}
+	}
+	d := New(Options{DisableCache: true})
+	rep, err := d.Compile(p, cfg)
+	if err != nil {
+		t.Fatalf("compile failed despite quarantine: %v", err)
+	}
+	fr := rep.PerFunc[victim]
+	if fr.Degraded != "no-ccm" || fr.FailedPass != PassPostPass {
+		t.Errorf("victim not quarantined: degraded=%q pass=%q", fr.Degraded, fr.FailedPass)
+	}
+	if fr.PromotedWebs != 0 {
+		t.Errorf("quarantined function still promoted %d webs", fr.PromotedWebs)
+	}
+	for name, ofr := range rep.PerFunc {
+		if name != victim && ofr.Degraded != "" {
+			t.Errorf("quarantine leaked into %s (%q)", name, ofr.Degraded)
+		}
+	}
+	if rep.Failures != 1 {
+		t.Errorf("failures=%d, want 1", rep.Failures)
+	}
+	if len(rep.Repros) != 1 {
+		t.Errorf("%d repro bundles, want 1", len(rep.Repros))
+	}
+	if got := runEmit(t, p, cfg.CCMBytes); !reflect.DeepEqual(got, want) {
+		t.Error("quarantined program diverges from oracle")
+	}
+
+	// Strict mode: same fault, structured error naming the victim.
+	cfg.Strict = true
+	cfg.ReproDir = ""
+	_, err = New(Options{DisableCache: true}).Compile(workload.RandomProgram(4), cfg)
+	var cerr *CompileError
+	if !errors.As(err, &cerr) || cerr.Pass != PassPostPass || cerr.Func != victim {
+		t.Errorf("strict barrier fault: got %v, want *CompileError{postpass, %s}", err, victim)
+	}
+}
+
+// TestCancellationNoGoroutineLeak: cancelling the compile context stops a
+// deliberately slow pass mid-pipeline; the error wraps context.Canceled
+// and no worker goroutines outlive the call — the cancellation/timeout
+// satellite.
+func TestCancellationNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	cfg := detConfig(NoCCM)
+	cfg.InjectFront = []InjectedPass{{Name: "exp-slow", Fn: func(pctx context.Context, f *ir.Func) error {
+		started <- struct{}{}
+		<-pctx.Done() // a slow pass stub: runs until cancelled
+		return pctx.Err()
+	}}}
+
+	d := New(Options{Workers: 8})
+	done := make(chan error, 1)
+	p := workload.RandomProgram(2)
+	go func() {
+		_, err := d.CompileContext(ctx, p, cfg)
+		done <- err
+	}()
+	<-started // at least one function is inside the slow pass
+	cancel()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled compile did not return")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled compile returned %v, want context.Canceled", err)
+	}
+
+	// Goroutine accounting: everything the pipeline spawned must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+
+	// The driver stays usable after a cancelled compile.
+	if _, err := d.Compile(workload.RandomProgram(2), detConfig(NoCCM)); err != nil {
+		t.Fatalf("driver unusable after cancellation: %v", err)
+	}
+}
+
+// TestTimeoutDoesNotAbortSiblings: one hanging function times out and
+// degrades; its siblings compile at full fidelity in parallel.
+func TestTimeoutDoesNotAbortSiblings(t *testing.T) {
+	cfg := detConfig(NoCCM)
+	cfg.FuncTimeout = 50 * time.Millisecond
+	cfg.InjectFront = []InjectedPass{{Name: "exp-hang", Fn: func(ctx context.Context, f *ir.Func) error {
+		if f.Name == "main" {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}}}
+	p := workload.RandomProgram(4)
+	d := New(Options{Workers: 4})
+	rep, err := d.Compile(p, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if rep.PerFunc["main"].Degraded == "" {
+		t.Error("hanging main did not degrade")
+	}
+	for name, fr := range rep.PerFunc {
+		if name != "main" && fr.Degraded != "" {
+			t.Errorf("sibling %s degraded (%q)", name, fr.Degraded)
+		}
+	}
+}
+
+// TestDegradationDeterminism: with a deterministic fault injected, the
+// degraded output of workers=8 must be byte-identical to workers=1 —
+// the ladder is part of the deterministic pipeline, not a race.
+func TestDegradationDeterminism(t *testing.T) {
+	// Panic on every function whose post-optimize instruction count is
+	// even: input-dependent, scheduling-independent.
+	deterministicFault := func() []InjectedPass {
+		return []InjectedPass{{Name: "exp-parity", Fn: func(_ context.Context, f *ir.Func) error {
+			if f.NumInstrs()%2 == 0 {
+				panic(fmt.Sprintf("parity fault in %s (%d instrs)", f.Name, f.NumInstrs()))
+			}
+			return nil
+		}}}
+	}
+	for _, strat := range []Strategy{NoCCM, PostPassInterproc, Integrated} {
+		for seed := int64(1); seed <= detSeeds; seed++ {
+			cfg := faultConfig(strat)
+			cfg.InjectFront = deterministicFault()
+
+			p1 := workload.RandomProgram(seed)
+			p8 := workload.RandomProgram(seed)
+			rep1, err := New(Options{Workers: 1, DisableCache: true}).Compile(p1, cfg)
+			if err != nil {
+				t.Fatalf("strat %v seed %d workers=1: %v", strat, seed, err)
+			}
+			rep8, err := New(Options{Workers: 8, DisableCache: true}).Compile(p8, cfg)
+			if err != nil {
+				t.Fatalf("strat %v seed %d workers=8: %v", strat, seed, err)
+			}
+			if p1.String() != p8.String() {
+				t.Errorf("strat %v seed %d: degraded ILOC differs between workers=1 and workers=8", strat, seed)
+			}
+			if !reflect.DeepEqual(rep1.PerFunc, rep8.PerFunc) {
+				t.Errorf("strat %v seed %d: degraded per-func reports differ:\n w1=%+v\n w8=%+v",
+					strat, seed, rep1.PerFunc, rep8.PerFunc)
+			}
+			if rep1.Failures != rep8.Failures || rep1.Degraded != rep8.Degraded {
+				t.Errorf("strat %v seed %d: counters differ: w1=%d/%d w8=%d/%d",
+					strat, seed, rep1.Failures, rep1.Degraded, rep8.Failures, rep8.Degraded)
+			}
+		}
+	}
+}
+
+// TestVerifyPassesCleanSuite: per-pass verification (structural +
+// liveness) holds across the real pass pipeline for every strategy — the
+// checkpoints add no false positives.
+func TestVerifyPassesCleanSuite(t *testing.T) {
+	for _, strat := range allStrategies {
+		cfg := faultConfig(strat)
+		cfg.Strict = true
+		cfg.CleanupSpills = true
+		for seed := int64(1); seed <= detSeeds; seed++ {
+			d := New(Options{DisableCache: true})
+			rep, err := d.Compile(workload.RandomProgram(seed), cfg)
+			if err != nil {
+				t.Fatalf("strat %v seed %d: checkpoint false positive: %v", strat, seed, err)
+			}
+			if rep.Failures != 0 || rep.Degraded != 0 {
+				t.Fatalf("strat %v seed %d: clean compile recorded faults", strat, seed)
+			}
+		}
+	}
+}
+
+// TestDegradedCompileNotCached: a compile that recovered from faults must
+// not populate the program cache — a later identical compile (perhaps
+// with the bug fixed) must re-run the passes. The fault is injected via
+// the barrier hook, which does not disable caching the way closures in
+// InjectFront do, so this exercises the no-put-on-failure rule itself.
+func TestDegradedCompileNotCached(t *testing.T) {
+	d := New(Options{})
+
+	fcfg := detConfig(PostPassInterproc)
+	fcfg.postPassHook = func(name string) {
+		if name == "main" {
+			panic("transient allocator bug")
+		}
+	}
+	frep, err := d.Compile(workload.RandomProgram(21), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frep.Degraded == 0 {
+		t.Fatal("hooked compile did not degrade (test setup broken)")
+	}
+
+	cfg := detConfig(PostPassInterproc) // identical cache key, bug "fixed"
+	rep, err := d.Compile(workload.RandomProgram(21), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProgramCacheHit {
+		t.Error("clean compile was served a degraded program artifact")
+	}
+	if rep.PerFunc["main"].Degraded != "" {
+		t.Error("degradation leaked into the clean compile via the cache")
+	}
+	if rep.PerFunc["main"].PromotedWebs == 0 && frep.PerFunc["main"].SpilledRanges > 0 {
+		t.Error("recompile did not restore full-fidelity promotion")
+	}
+}

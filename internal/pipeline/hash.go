@@ -13,9 +13,9 @@ import (
 // of a stage change, so stale artifacts from an older scheme can never be
 // returned (relevant only to long-lived shared caches).
 const (
-	frontKeyTag   = "ccm-pipeline-front-v1"
-	backKeyTag    = "ccm-pipeline-back-v1"
-	programKeyTag = "ccm-pipeline-prog-v1"
+	frontKeyTag   = "ccm-pipeline-front-v2"
+	backKeyTag    = "ccm-pipeline-back-v2"
+	programKeyTag = "ccm-pipeline-prog-v2"
 )
 
 // hasher streams a canonical binary encoding of IR and Config into
@@ -114,6 +114,10 @@ func frontKey(f *ir.Func, cfg Config) digest {
 	} else {
 		h.i64(0)
 	}
+	// Verified and unverified artifacts are kept apart: a VerifyPasses
+	// compile must never be satisfied by an artifact that skipped its
+	// checkpoints.
+	h.bool(cfg.VerifyPasses)
 	h.fn(f)
 	return h.sum()
 }
@@ -125,6 +129,7 @@ func backKey(f *ir.Func, cfg Config) digest {
 	h := newHasher(backKeyTag)
 	h.bool(cfg.CleanupSpills)
 	h.bool(cfg.DisableCompaction)
+	h.bool(cfg.VerifyPasses)
 	h.fn(f)
 	return h.sum()
 }
@@ -139,6 +144,7 @@ func programKey(p *ir.Program, cfg Config) digest {
 	h.bool(cfg.DisableOptimizer)
 	h.bool(cfg.DisableCompaction)
 	h.bool(cfg.CleanupSpills)
+	h.bool(cfg.VerifyPasses)
 	h.int(len(p.Globals))
 	for _, g := range p.Globals {
 		h.str(g.Name)

@@ -1,8 +1,8 @@
 // Package pipeline is the compilation driver: it owns the pass sequence
 // that turns verified input ILOC into allocated, CCM-promoted, compacted
 // output (optimize → register allocation → CCM promotion → spill cleanup →
-// compaction → verification) and adds the three things the inline driver
-// in ccm.go never had:
+// compaction → verification) and adds the things the inline driver in
+// ccm.go never had:
 //
 //   - per-function parallelism: functions are independent before and
 //     after the interprocedural CCM partitioning step, so the front
@@ -15,16 +15,32 @@
 //     experiment sweeps — are near-free;
 //   - observability: per-pass wall time, instruction deltas, per-function
 //     spill statistics and cache hit/miss counters, exported as a
-//     structured Report that the CLIs print as JSON.
+//     structured Report that the CLIs print as JSON;
+//   - fault isolation: every per-function pass runs under recover(), so a
+//     panicking pass becomes a structured *CompileError naming the pass,
+//     function, and stack instead of killing the worker pool; Compile
+//     accepts a context with per-function timeouts and cooperative
+//     cancellation at pass boundaries; an optional verification mode
+//     (Config.VerifyPasses) checkpoints IR and liveness invariants after
+//     every pass and attributes the first breakage to the pass that
+//     introduced it; and a degradation ladder retries a faulting function
+//     first without optimization, then on the baseline spill-to-RAM path,
+//     so one bad function degrades instead of failing the program. Failed
+//     attempts are captured as replayable crash repro bundles
+//     (Config.ReproDir, internal/repro).
 //
 // Parallel compilation is deterministic: every pass mutates only its own
 // function, so workers=N produces bit-identical output to workers=1 (the
-// package test suite asserts this under the race detector).
+// package test suite asserts this under the race detector, including for
+// degraded functions). The one documented exception is timeout-induced
+// degradation, which depends on wall-clock scheduling.
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +49,7 @@ import (
 	"ccmem/internal/ir"
 	"ccmem/internal/opt"
 	"ccmem/internal/regalloc"
+	"ccmem/internal/repro"
 )
 
 // Strategy selects how register spills are placed. The values mirror the
@@ -82,6 +99,18 @@ func ParseStrategy(s string) (Strategy, error) {
 	return NoCCM, fmt.Errorf("unknown strategy %q (want none, postpass, postpass-ipa, integrated)", s)
 }
 
+// InjectedPass is an experimental per-function pass run between the
+// scalar optimizer and the register allocator — the hook an RL-driven or
+// otherwise untrusted transform plugs into. Injected passes run under the
+// same isolation as built-in passes (recover, checkpoints, the
+// degradation ladder), and the first rung of the ladder drops them, so a
+// crashing experiment can never take the toolchain down. The context is
+// the per-function compile context; long-running passes should honor it.
+type InjectedPass struct {
+	Name string
+	Fn   func(ctx context.Context, f *ir.Func) error
+}
+
 // Config parameterizes one compilation. The zero value compiles like the
 // paper's baseline: 32+32 registers, optimizer on, compaction on, no CCM.
 type Config struct {
@@ -94,6 +123,39 @@ type Config struct {
 	DisableOptimizer  bool // skip the scalar optimizer
 	DisableCompaction bool // skip spill-memory compaction (and the whole back stage)
 	CleanupSpills     bool // run the post-allocation spill-code peephole
+
+	// Fault isolation & graceful degradation.
+
+	// VerifyPasses runs ir.VerifyFunc plus the liveness-consistency check
+	// as a checkpoint after every per-function pass (and once on the
+	// input), attributing the first broken invariant to the pass that
+	// introduced it.
+	VerifyPasses bool
+	// FuncTimeout bounds each per-function compile attempt. The deadline
+	// is checked cooperatively at pass boundaries and passed to injected
+	// passes; a built-in pass that loops forever cannot be preempted. On
+	// expiry the attempt fails and the degradation ladder takes over
+	// (timeout-induced degradation is wall-clock dependent and therefore
+	// not deterministic). 0 means no limit.
+	FuncTimeout time.Duration
+	// FuncRetries is the number of extra attempts at the same degradation
+	// rung before descending to the next one.
+	FuncRetries int
+	// Strict fails the whole compile on the first fault instead of
+	// degrading (repro bundles are still written).
+	Strict bool
+	// ReproDir, when non-empty, receives one crash repro bundle
+	// (internal/repro) per failed attempt.
+	ReproDir string
+	// InjectFront holds experimental passes run between optimize and
+	// regalloc. Closures cannot be content-addressed, so any injected
+	// pass disables the compile cache for the whole Compile.
+	InjectFront []InjectedPass `json:"-"`
+
+	// postPassHook is a test seam: it is invoked with each function name
+	// as the interprocedural barrier reaches it, and may panic to
+	// simulate a mid-walk allocator fault.
+	postPassHook func(name string)
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +171,17 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	if c.Strategy != NoCCM && c.CCMBytes <= 0 {
 		return fmt.Errorf("pipeline: strategy %v requires CCMBytes > 0", c.Strategy)
+	}
+	if c.FuncRetries < 0 {
+		return fmt.Errorf("pipeline: FuncRetries must be >= 0, got %d", c.FuncRetries)
+	}
+	if c.FuncTimeout < 0 {
+		return fmt.Errorf("pipeline: FuncTimeout must be >= 0, got %v", c.FuncTimeout)
+	}
+	for _, ip := range c.InjectFront {
+		if ip.Name == "" || ip.Fn == nil {
+			return fmt.Errorf("pipeline: injected pass must have a name and a body")
+		}
 	}
 	return nil
 }
@@ -137,6 +210,8 @@ type Driver struct {
 	funcsTotal  int64
 	wallTotal   int64
 	programHits int64
+	failures    int64
+	degraded    int64
 }
 
 // New builds a Driver.
@@ -166,11 +241,66 @@ type funcState struct {
 	fr       FuncReport
 	frontHit bool
 	backHit  bool
+	level    degradeLevel // rung the front stage finished at
+}
+
+// compileState is the mutable shared state of one Compile: failure and
+// degradation counters plus the repro bundles written, updated from
+// worker goroutines.
+type compileState struct {
+	cfg       Config
+	inputText string // program text captured before any pass ran ("" when no ReproDir)
+
+	failures atomic.Int64
+	degraded atomic.Int64
+
+	mu       sync.Mutex
+	repros   []string
+	reproErr error
+}
+
+// recordFailure counts one failed attempt and, when a repro directory is
+// configured, writes the replayable bundle for it.
+func (cs *compileState) recordFailure(cerr *CompileError, passes []string) {
+	cs.failures.Add(1)
+	if cs.cfg.ReproDir == "" {
+		return
+	}
+	b := &repro.Bundle{
+		Kind:    repro.KindCompile,
+		Func:    cerr.Func,
+		Pass:    cerr.Pass,
+		Level:   cerr.Level,
+		Passes:  passes,
+		Program: cs.inputText,
+		Config:  marshalConfig(cs.cfg),
+		Error:   cerr.Err.Error(),
+		Stack:   string(cerr.Stack),
+	}
+	path, err := repro.Write(cs.cfg.ReproDir, b)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err != nil {
+		if cs.reproErr == nil {
+			cs.reproErr = err
+		}
+		return
+	}
+	cs.repros = append(cs.repros, path)
 }
 
 // Compile runs the full pass sequence on p in place and returns the
 // structured report. p must be verified input ILOC (unallocated).
 func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
+	return d.CompileContext(context.Background(), p, cfg)
+}
+
+// CompileContext is Compile with cooperative cancellation: ctx is checked
+// between passes and between functions, and is the parent of every
+// per-function timeout. On cancellation the in-flight passes finish (or
+// fail their next boundary check) and the first context error is
+// returned; no goroutines outlive the call.
+func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -183,13 +313,25 @@ func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
 		Funcs:    len(p.Funcs),
 		PerFunc:  make(map[string]FuncReport, len(p.Funcs)),
 	}
+	// Injected passes are closures and cannot be content-addressed, so
+	// they opt the whole compile out of the cache.
+	cache := d.cache
+	if len(cfg.InjectFront) > 0 {
+		cache = nil
+	}
+	cs := &compileState{cfg: cfg}
+	if cfg.ReproDir != "" {
+		// Captured before any pass mutates the program: bundles must carry
+		// the original input, and p cannot be printed racily mid-stage.
+		cs.inputText = p.String()
+	}
 
 	// Whole-program cache: a repeat compile of an identical (program,
 	// Config) pair skips every pass, including verification.
 	var progKey digest
-	if d.cache != nil {
+	if cache != nil {
 		progKey = programKey(p, cfg)
-		if v, ok := d.cache.get(progKey); ok {
+		if v, ok := cache.get(progKey); ok {
 			art := v.(*programArtifact)
 			for i := range p.Funcs {
 				p.Funcs[i] = art.funcs[i].Clone()
@@ -200,60 +342,19 @@ func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
 				rep.PerFunc[name] = fr
 			}
 			rep.ProgramCacheHit = true
-			d.finish(rep, m, start, true)
+			d.finish(rep, cs, m, start, true)
 			return rep, nil
 		}
 	}
 
 	states := make([]funcState, len(p.Funcs))
 
-	// Front stage (parallel): scalar optimization + register allocation.
-	// Each worker touches only p.Funcs[i], so scheduling cannot change
-	// the output. The cache key deliberately excludes Strategy except for
-	// the integrated CCM capacity: the front stage is identical for the
-	// baseline and both post-pass strategies, so artifacts are shared
-	// across those sweeps.
-	err := d.forEach(len(p.Funcs), func(i int) error {
-		f := p.Funcs[i]
-		st := &states[i]
-		var key digest
-		if d.cache != nil {
-			key = frontKey(f, cfg)
-			if v, ok := d.cache.get(key); ok {
-				art := v.(*frontArtifact)
-				p.Funcs[i] = art.fn.Clone()
-				st.fr = art.fr
-				st.frontHit = true
-				return nil
-			}
-		}
-		if !cfg.DisableOptimizer {
-			before := f.NumInstrs()
-			t := time.Now()
-			if _, err := opt.Optimize(f); err != nil {
-				return err
-			}
-			m.pass(PassOptimize, time.Since(t), before, f.NumInstrs())
-		}
-		ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
-		if cfg.Strategy == Integrated {
-			ra.CCMBytes = cfg.CCMBytes
-		}
-		before := f.NumInstrs()
-		t := time.Now()
-		res, err := regalloc.Allocate(f, ra)
-		if err != nil {
-			return fmt.Errorf("pipeline: %s: %w", f.Name, err)
-		}
-		m.pass(PassRegalloc, time.Since(t), before, f.NumInstrs())
-		st.fr.SpillBytesNaive = res.FrameBytes
-		st.fr.SpilledRanges = res.SpilledRanges
-		st.fr.CCMBytes = res.CCMBytesUsed
-		st.fr.PromotedWebs = res.CCMRanges
-		if d.cache != nil {
-			d.cache.put(key, &frontArtifact{fn: f.Clone(), fr: st.fr})
-		}
-		return nil
+	// Front stage (parallel): scalar optimization, injected experimental
+	// passes, and register allocation, each function isolated under the
+	// degradation ladder. Each worker touches only p.Funcs[i], so
+	// scheduling cannot change the output.
+	err := d.forEach(ctx, len(p.Funcs), func(i int) error {
+		return d.compileFront(ctx, p, i, cfg, cache, m, cs, &states[i])
 	})
 	if err != nil {
 		return nil, err
@@ -261,71 +362,22 @@ func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
 
 	// Interprocedural barrier (sequential): the post-pass CCM allocator
 	// walks the call graph bottom-up, so every function's allocated body
-	// must be final before any promotion decision is made.
+	// must be final before any promotion decision is made. Functions that
+	// degraded to the baseline rung keep their spill-to-RAM code and are
+	// excluded from promotion.
 	if cfg.Strategy == PostPass || cfg.Strategy == PostPassInterproc {
-		before := totalInstrs(p)
-		t := time.Now()
-		res, err := core.PostPass(p, core.PostPassOptions{
-			CCMBytes:        cfg.CCMBytes,
-			Interprocedural: cfg.Strategy == PostPassInterproc,
-		})
-		if err != nil {
+		if err := d.postPassBarrier(ctx, p, cfg, m, cs, states); err != nil {
+			d.foldCounters(cs)
 			return nil, err
-		}
-		m.pass(PassPostPass, time.Since(t), before, totalInstrs(p))
-		for i, f := range p.Funcs {
-			if fp := res.PerFunc[f.Name]; fp != nil {
-				states[i].fr.PromotedWebs = fp.Promoted
-				states[i].fr.CCMBytes = fp.CCMBytes
-			}
 		}
 	}
 
 	// Back stage (parallel): spill-code cleanup and spill-memory
-	// compaction, both strictly per-function. Keyed by the post-barrier
-	// function content, so a promotion change invalidates exactly the
-	// functions it rewrote.
+	// compaction, both strictly per-function. A fault here degrades to
+	// shipping the function with its uncompacted post-barrier body.
 	if cfg.CleanupSpills || !cfg.DisableCompaction {
-		err = d.forEach(len(p.Funcs), func(i int) error {
-			f := p.Funcs[i]
-			st := &states[i]
-			var key digest
-			if d.cache != nil {
-				key = backKey(f, cfg)
-				if v, ok := d.cache.get(key); ok {
-					art := v.(*backArtifact)
-					p.Funcs[i] = art.fn.Clone()
-					st.fr.SpillBytesCompacted = art.compactAfter
-					st.fr.SpillWebs = art.webs
-					st.backHit = true
-					return nil
-				}
-			}
-			if cfg.CleanupSpills {
-				before := f.NumInstrs()
-				t := time.Now()
-				regalloc.CleanupSpillCode(f)
-				m.pass(PassCleanup, time.Since(t), before, f.NumInstrs())
-			}
-			if !cfg.DisableCompaction {
-				before := f.NumInstrs()
-				t := time.Now()
-				cres, err := core.CompactSpills(f)
-				if err != nil {
-					return err
-				}
-				m.pass(PassCompact, time.Since(t), before, f.NumInstrs())
-				st.fr.SpillBytesCompacted = cres.AfterBytes
-				st.fr.SpillWebs = cres.Webs
-			}
-			if d.cache != nil {
-				d.cache.put(key, &backArtifact{
-					fn:           f.Clone(),
-					compactAfter: st.fr.SpillBytesCompacted,
-					webs:         st.fr.SpillWebs,
-				})
-			}
-			return nil
+		err = d.forEach(ctx, len(p.Funcs), func(i int) error {
+			return d.compileBack(ctx, p, i, cfg, cache, m, cs, &states[i])
 		})
 		if err != nil {
 			return nil, err
@@ -349,7 +401,10 @@ func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
 		rep.PerFunc[f.Name] = st.fr
 	}
 
-	if d.cache != nil {
+	// A program artifact is cached only for fault-free compiles: degraded
+	// output is correct but below configured fidelity, and must not be
+	// served to a later compile whose faults might have been fixed.
+	if cache != nil && cs.failures.Load() == 0 {
 		art := &programArtifact{
 			funcs:   make([]*ir.Func, len(p.Funcs)),
 			perFunc: make(map[string]FuncReport, len(rep.PerFunc)),
@@ -362,21 +417,374 @@ func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
 			fr.BackCacheHit = false
 			art.perFunc[name] = fr
 		}
-		d.cache.put(progKey, art)
+		cache.put(progKey, art)
 	}
 
-	d.finish(rep, m, start, false)
+	d.finish(rep, cs, m, start, false)
 	return rep, nil
 }
 
-// finish stamps wall time and cache stats on rep and folds the compile
-// into the driver's cumulative metrics.
-func (d *Driver) finish(rep *Report, m *metrics, start time.Time, programHit bool) {
+// postPassBarrier runs the sequential interprocedural CCM promotion with
+// per-function fault quarantine: a panic or error mid-walk is attributed
+// to the function being processed (via the allocator's OnFunc progress
+// callback), the pre-barrier bodies are restored, the culprit joins the
+// skip set, and the walk retries. One bad function therefore loses only
+// its own promotion; attribution failures degrade the whole barrier to
+// the heavyweight spill path instead of failing the program.
+func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config, m *metrics, cs *compileState, states []funcState) error {
+	skip := map[string]bool{}
+	for i, f := range p.Funcs {
+		if states[i].level >= levelBaseline {
+			skip[f.Name] = true
+		}
+	}
+	// The allocator rewrites functions as it walks; recovery from a
+	// mid-walk fault needs the pre-barrier state back.
+	var snapshot []*ir.Func
+	if !cfg.Strict {
+		snapshot = make([]*ir.Func, len(p.Funcs))
+		for i, f := range p.Funcs {
+			snapshot[i] = f.Clone()
+		}
+	}
+	quarantine := func(name, errText string) {
+		for i, f := range p.Funcs {
+			if f.Name != name {
+				continue
+			}
+			st := &states[i]
+			if st.fr.Degraded == "" {
+				st.fr.Degraded = "no-ccm"
+				cs.degraded.Add(1)
+			} else {
+				st.fr.Degraded += "+no-ccm"
+			}
+			st.fr.FailedPass = PassPostPass
+			st.fr.Error = errText
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		if cerr := ctxErr(ctx, PassPostPass, "", levelFull); cerr != nil {
+			return cerr
+		}
+		before := totalInstrs(p)
+		t := time.Now()
+		var res *core.PostPassResult
+		var last string // function the walk was processing when it faulted
+		cerr := runGuarded(PassPostPass, "", levelFull, func() error {
+			var err error
+			res, err = core.PostPass(p, core.PostPassOptions{
+				CCMBytes:        cfg.CCMBytes,
+				Interprocedural: cfg.Strategy == PostPassInterproc,
+				Skip:            skip,
+				OnFunc: func(name string) {
+					last = name
+					if cfg.postPassHook != nil {
+						cfg.postPassHook(name)
+					}
+				},
+			})
+			return err
+		})
+		if cerr == nil {
+			m.pass(PassPostPass, time.Since(t), before, totalInstrs(p))
+			for i, f := range p.Funcs {
+				if fp := res.PerFunc[f.Name]; fp != nil {
+					states[i].fr.PromotedWebs = fp.Promoted
+					states[i].fr.CCMBytes = fp.CCMBytes
+				}
+			}
+			return nil
+		}
+		cerr.Func = last
+		cs.recordFailure(cerr, []string{PassPostPass})
+		if cfg.Strict {
+			return cerr
+		}
+		// Restore fresh clones: the retry mutates them again.
+		for i := range p.Funcs {
+			p.Funcs[i] = snapshot[i].Clone()
+		}
+		if last == "" || attempt >= len(p.Funcs) {
+			// Cannot attribute (or the walk keeps faulting): degrade the
+			// whole barrier and ship everything with heavyweight spills.
+			for _, f := range p.Funcs {
+				if !skip[f.Name] {
+					quarantine(f.Name, cerr.Err.Error())
+				}
+			}
+			return nil
+		}
+		skip[last] = true
+		quarantine(last, cerr.Err.Error())
+	}
+}
+
+// frontPass is one named step of the per-function front stage.
+type frontPass struct {
+	name string
+	run  func(ctx context.Context, f *ir.Func) error
+}
+
+// frontPasses assembles the front-stage sequence for one degradation
+// rung: the ladder drops the optimizer and injected passes first, then
+// the integrated CCM assignment.
+func (d *Driver) frontPasses(cfg Config, level degradeLevel, st *funcState) []frontPass {
+	var passes []frontPass
+	if !cfg.DisableOptimizer && level < levelNoOpt {
+		passes = append(passes, frontPass{PassOptimize, func(_ context.Context, f *ir.Func) error {
+			_, err := opt.Optimize(f)
+			return err
+		}})
+	}
+	if level < levelNoOpt {
+		for _, ip := range cfg.InjectFront {
+			passes = append(passes, frontPass{ip.Name, ip.Fn})
+		}
+	}
+	ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
+	if cfg.Strategy == Integrated && level < levelBaseline {
+		ra.CCMBytes = cfg.CCMBytes
+	}
+	passes = append(passes, frontPass{PassRegalloc, func(_ context.Context, f *ir.Func) error {
+		res, err := regalloc.Allocate(f, ra)
+		if err != nil {
+			return err
+		}
+		st.fr.SpillBytesNaive = res.FrameBytes
+		st.fr.SpilledRanges = res.SpilledRanges
+		st.fr.CCMBytes = res.CCMBytesUsed
+		st.fr.PromotedWebs = res.CCMRanges
+		return nil
+	}})
+	return passes
+}
+
+func passNames(passes []frontPass) []string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.name
+	}
+	return names
+}
+
+// compileFront runs the front stage for p.Funcs[i], descending the
+// degradation ladder on faults. It returns an error only when the
+// compile as a whole must stop: context cancellation, Strict mode, or an
+// exhausted ladder.
+func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState) error {
+	f := p.Funcs[i]
+	var key digest
+	if cache != nil {
+		key = frontKey(f, cfg)
+		if v, ok := cache.get(key); ok {
+			art := v.(*frontArtifact)
+			p.Funcs[i] = art.fn.Clone()
+			st.fr = art.fr
+			st.frontHit = true
+			return nil
+		}
+	}
+
+	// The ladder re-runs the stage from pristine input, so failed
+	// attempts must not leak partial rewrites.
+	pristine := p.Funcs[i].Clone()
+	level := levelFull
+	retries := cfg.FuncRetries
+	for {
+		cerr := d.frontAttempt(ctx, p.Funcs[i], cfg, level, m, st)
+		if cerr == nil {
+			break
+		}
+		st.fr.Attempts++
+		st.fr.FailedPass = cerr.Pass
+		st.fr.Error = cerr.Err.Error()
+		cs.recordFailure(cerr, passNames(d.frontPasses(cfg, level, st)))
+		if ctx.Err() != nil {
+			// The compile itself was cancelled: abort, don't degrade.
+			return cerr
+		}
+		if cfg.Strict {
+			return cerr
+		}
+		p.Funcs[i] = pristine.Clone()
+		st.fr = FuncReport{Attempts: st.fr.Attempts, FailedPass: st.fr.FailedPass, Error: st.fr.Error}
+		if retries > 0 {
+			retries--
+			continue
+		}
+		level++
+		retries = cfg.FuncRetries
+		if level >= numLevels {
+			return cerr // ladder exhausted: nothing left to strip
+		}
+	}
+	st.fr.Attempts++
+	st.level = level
+	if level > levelFull {
+		st.fr.Degraded = level.String()
+		cs.degraded.Add(1)
+	} else if cache != nil && st.fr.Attempts == 1 {
+		cache.put(key, &frontArtifact{fn: p.Funcs[i].Clone(), fr: st.fr})
+	}
+	return nil
+}
+
+// frontAttempt makes one pass over the front-stage sequence at the given
+// rung: deadline check, guarded execution, optional checkpoint, for each
+// pass in turn.
+func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level degradeLevel, m *metrics, st *funcState) *CompileError {
+	fctx := ctx
+	if cfg.FuncTimeout > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, cfg.FuncTimeout)
+		defer cancel()
+	}
+	if cfg.VerifyPasses {
+		// Pre-pass checkpoint: a broken invariant already present in the
+		// input must be attributed to the input, not to the first pass.
+		if cerr := checkpoint(PassInput, f, level, false); cerr != nil {
+			return cerr
+		}
+	}
+	for _, pass := range d.frontPasses(cfg, level, st) {
+		if cerr := ctxErr(fctx, pass.name, f.Name, level); cerr != nil {
+			return cerr
+		}
+		before := f.NumInstrs()
+		t := time.Now()
+		if cerr := runGuarded(pass.name, f.Name, level, func() error { return pass.run(fctx, f) }); cerr != nil {
+			return cerr
+		}
+		m.pass(pass.name, time.Since(t), before, f.NumInstrs())
+		if cfg.VerifyPasses {
+			if cerr := checkpoint(pass.name, f, level, false); cerr != nil {
+				return cerr
+			}
+		}
+	}
+	return nil
+}
+
+// compileBack runs the back stage for p.Funcs[i]. A fault degrades to
+// shipping the uncompacted post-barrier body rather than failing the
+// compile.
+func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState) error {
+	f := p.Funcs[i]
+	var key digest
+	if cache != nil {
+		key = backKey(f, cfg)
+		if v, ok := cache.get(key); ok {
+			art := v.(*backArtifact)
+			p.Funcs[i] = art.fn.Clone()
+			st.fr.SpillBytesCompacted = art.compactAfter
+			st.fr.SpillWebs = art.webs
+			st.backHit = true
+			return nil
+		}
+	}
+
+	fctx := ctx
+	if cfg.FuncTimeout > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, cfg.FuncTimeout)
+		defer cancel()
+	}
+	var pristine *ir.Func
+	if !cfg.Strict {
+		pristine = f.Clone()
+	}
+	attempt := func() *CompileError {
+		if cfg.CleanupSpills {
+			if cerr := ctxErr(fctx, PassCleanup, f.Name, st.level); cerr != nil {
+				return cerr
+			}
+			before := f.NumInstrs()
+			t := time.Now()
+			if cerr := runGuarded(PassCleanup, f.Name, st.level, func() error {
+				regalloc.CleanupSpillCode(f)
+				return nil
+			}); cerr != nil {
+				return cerr
+			}
+			m.pass(PassCleanup, time.Since(t), before, f.NumInstrs())
+			if cfg.VerifyPasses {
+				if cerr := checkpoint(PassCleanup, f, st.level, false); cerr != nil {
+					return cerr
+				}
+			}
+		}
+		if !cfg.DisableCompaction {
+			if cerr := ctxErr(fctx, PassCompact, f.Name, st.level); cerr != nil {
+				return cerr
+			}
+			before := f.NumInstrs()
+			t := time.Now()
+			if cerr := runGuarded(PassCompact, f.Name, st.level, func() error {
+				cres, err := core.CompactSpills(f)
+				if err != nil {
+					return err
+				}
+				st.fr.SpillBytesCompacted = cres.AfterBytes
+				st.fr.SpillWebs = cres.Webs
+				return nil
+			}); cerr != nil {
+				return cerr
+			}
+			m.pass(PassCompact, time.Since(t), before, f.NumInstrs())
+			if cfg.VerifyPasses {
+				if cerr := checkpoint(PassCompact, f, st.level, false); cerr != nil {
+					return cerr
+				}
+			}
+		}
+		return nil
+	}
+	if cerr := attempt(); cerr != nil {
+		cs.recordFailure(cerr, []string{PassCleanup, PassCompact})
+		if ctx.Err() != nil || cfg.Strict {
+			return cerr
+		}
+		p.Funcs[i] = pristine
+		st.fr.SpillBytesCompacted = 0
+		st.fr.SpillWebs = 0
+		st.fr.FailedPass = cerr.Pass
+		st.fr.Error = cerr.Err.Error()
+		if st.fr.Degraded == "" {
+			cs.degraded.Add(1)
+			st.fr.Degraded = "no-compact"
+		} else {
+			st.fr.Degraded += "+no-compact"
+		}
+		return nil
+	}
+	if cache != nil && st.fr.Degraded == "" && st.fr.Attempts <= 1 {
+		cache.put(key, &backArtifact{
+			fn:           p.Funcs[i].Clone(),
+			compactAfter: st.fr.SpillBytesCompacted,
+			webs:         st.fr.SpillWebs,
+		})
+	}
+	return nil
+}
+
+// finish stamps wall time, cache and fault stats on rep and folds the
+// compile into the driver's cumulative metrics.
+func (d *Driver) finish(rep *Report, cs *compileState, m *metrics, start time.Time, programHit bool) {
 	rep.WallNanos = time.Since(start).Nanoseconds()
 	rep.Passes = m.stats()
 	if d.cache != nil {
 		rep.Cache = d.cache.Stats()
 	}
+	rep.Failures = cs.failures.Load()
+	rep.Degraded = cs.degraded.Load()
+	cs.mu.Lock()
+	sort.Strings(cs.repros)
+	rep.Repros = cs.repros
+	if cs.reproErr != nil {
+		rep.ReproError = cs.reproErr.Error()
+	}
+	cs.mu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.compiles++
@@ -385,13 +793,24 @@ func (d *Driver) finish(rep *Report, m *metrics, start time.Time, programHit boo
 	if programHit {
 		d.programHits++
 	}
+	d.failures += rep.Failures
+	d.degraded += rep.Degraded
 	d.cum.merge(m)
+}
+
+// foldCounters folds fault counters into the driver on the error path,
+// where finish never runs.
+func (d *Driver) foldCounters(cs *compileState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failures += cs.failures.Load()
+	d.degraded += cs.degraded.Load()
 }
 
 // Metrics returns the driver's cumulative totals across every Compile:
 // aggregated per-pass timings, total functions and wall time, the number
-// of whole-program cache hits, and a cache-counter snapshot. PerFunc is
-// nil on the cumulative report.
+// of whole-program cache hits, fault counters, and a cache-counter
+// snapshot. PerFunc is nil on the cumulative report.
 func (d *Driver) Metrics() *Report {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -402,6 +821,8 @@ func (d *Driver) Metrics() *Report {
 		Funcs:       int(d.funcsTotal),
 		WallNanos:   d.wallTotal,
 		ProgramHits: d.programHits,
+		Failures:    d.failures,
+		Degraded:    d.degraded,
 		Passes:      d.cum.stats(),
 	}
 	if d.cache != nil {
@@ -410,16 +831,20 @@ func (d *Driver) Metrics() *Report {
 	return rep
 }
 
-// forEach runs fn(i) for i in [0,n) on the worker pool. With one worker
-// (or one item) it degenerates to a plain loop; results are identical
-// either way because each fn touches only its own index.
-func (d *Driver) forEach(n int, fn func(int) error) error {
+// forEach runs fn(i) for i in [0,n) on the worker pool, checking ctx
+// between items. With one worker (or one item) it degenerates to a plain
+// loop; results are identical either way because each fn touches only its
+// own index.
+func (d *Driver) forEach(ctx context.Context, n int, fn func(int) error) error {
 	workers := d.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("pipeline: %w", err)
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -433,6 +858,14 @@ func (d *Driver) forEach(n int, fn func(int) error) error {
 		errMu  sync.Mutex
 		first  error
 	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
 	next.Store(-1)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -443,13 +876,12 @@ func (d *Driver) forEach(n int, fn func(int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					fail(fmt.Errorf("pipeline: %w", err))
+					return
+				}
 				if err := fn(i); err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = err
-					}
-					errMu.Unlock()
-					failed.Store(true)
+					fail(err)
 					return
 				}
 			}

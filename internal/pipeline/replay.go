@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/repro"
+)
+
+// marshalConfig encodes cfg for a repro bundle. Injected passes are
+// closures and are excluded (tagged json:"-"); a bundle replays the
+// built-in pass sequence only.
+func marshalConfig(cfg Config) json.RawMessage {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a plain struct of scalars; this cannot fail, but a
+		// bundle with no config beats no bundle.
+		return nil
+	}
+	return data
+}
+
+// Replay re-runs a crash repro bundle and returns the reproduced failure,
+// or nil if the toolchain no longer faults on it. Compile bundles replay
+// single-threaded, uncached, in Strict mode with per-pass verification,
+// so a latent fault surfaces as a *CompileError rather than being
+// degraded away; injected (experimental) passes cannot be serialized and
+// are not replayed. Run-kind bundles are executed by the public facade,
+// not here.
+func Replay(b *repro.Bundle) error {
+	switch b.Kind {
+	case repro.KindParse:
+		// The finding was "the parser crashed or mis-round-tripped": a
+		// graceful parse error is a pass.
+		p, err := ir.Parse(b.Program)
+		if err != nil {
+			return nil
+		}
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{AllowPhi: true}); err != nil {
+			return nil
+		}
+		text := p.String()
+		q, err := ir.Parse(text)
+		if err != nil {
+			return fmt.Errorf("replay: printed program does not reparse: %w", err)
+		}
+		if q.String() != text {
+			return fmt.Errorf("replay: print → parse → print is not a fixed point")
+		}
+		return nil
+	case repro.KindCompile:
+		p, err := ir.Parse(b.Program)
+		if err != nil {
+			return fmt.Errorf("replay: bundle program does not parse: %w", err)
+		}
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			return fmt.Errorf("replay: bundle program does not verify: %w", err)
+		}
+		var cfg Config
+		if len(b.Config) > 0 {
+			if err := json.Unmarshal(b.Config, &cfg); err != nil {
+				return fmt.Errorf("replay: bundle config: %w", err)
+			}
+		}
+		cfg.Strict = true
+		cfg.VerifyPasses = true
+		cfg.ReproDir = ""
+		cfg.FuncTimeout = 0 // replays must be deterministic
+		cfg.InjectFront = nil
+		d := New(Options{Workers: 1, DisableCache: true})
+		_, err = d.Compile(p, cfg)
+		return err
+	case repro.KindRun:
+		return fmt.Errorf("replay: run bundles replay through the ccm facade, not the pipeline")
+	}
+	return fmt.Errorf("replay: unknown bundle kind %q", b.Kind)
+}

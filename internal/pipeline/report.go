@@ -5,8 +5,11 @@ import (
 	"time"
 )
 
-// Pass names, in pipeline order.
+// Pass names, in pipeline order. PassInput is not a pass: it names the
+// pre-pass verification checkpoint, so a broken invariant already present
+// in the input is attributed to the input rather than to the first pass.
 const (
+	PassInput    = "input"
 	PassOptimize = "optimize"
 	PassRegalloc = "regalloc"
 	PassPostPass = "postpass"
@@ -50,6 +53,16 @@ type FuncReport struct {
 	Instrs              int   `json:"instrs"`        // final static instruction count
 	FrontCacheHit       bool  `json:"front_cache_hit"`
 	BackCacheHit        bool  `json:"back_cache_hit"`
+
+	// Fault-isolation outcome. Attempts counts front-stage tries (1 =
+	// clean first try); Degraded names the rung the function shipped at
+	// ("no-opt", "baseline", "no-ccm", with "+no-compact" appended when
+	// the back stage also degraded); FailedPass and Error describe the
+	// last recovered fault.
+	Attempts   int    `json:"attempts,omitempty"`
+	Degraded   string `json:"degraded,omitempty"`
+	FailedPass string `json:"failed_pass,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // Report is the structured result of one Compile (or, via
@@ -66,6 +79,13 @@ type Report struct {
 	Passes          []PassStat            `json:"passes"`
 	PerFunc         map[string]FuncReport `json:"per_func,omitempty"`
 	Cache           CacheStats            `json:"cache"`
+
+	// Fault-isolation counters: recovered pass faults, functions shipped
+	// below configured fidelity, and the crash repro bundles written.
+	Failures   int64    `json:"failures,omitempty"`
+	Degraded   int64    `json:"degraded,omitempty"`
+	Repros     []string `json:"repros,omitempty"`
+	ReproError string   `json:"repro_error,omitempty"`
 }
 
 // metrics accumulates per-pass statistics; safe for concurrent workers.

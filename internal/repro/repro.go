@@ -1,0 +1,149 @@
+// Package repro defines the crash-reproduction bundle format shared by
+// the compilation pipeline, the fuzzers, and the command-line tools. A
+// bundle is a single self-contained JSON file capturing everything needed
+// to replay a failure deterministically: the input program text, the pass
+// sequence that was attempted, the configuration it ran under, and the
+// error (with panic stack, when the failure was a panic).
+//
+// The package is deliberately free of compiler imports so that any layer
+// — including the IR package's own fuzz tests — can write bundles without
+// creating an import cycle. Replaying a bundle lives one layer up, in
+// internal/pipeline.
+package repro
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Version is the current bundle-format version; Load rejects bundles
+// from a newer format than it understands.
+const Version = 1
+
+// Bundle kinds: which stage of the toolchain the failure occurred in.
+const (
+	KindCompile = "compile" // a pipeline pass failed, panicked, or broke an invariant
+	KindParse   = "parse"   // the textual front end failed (fuzzer finding)
+	KindRun     = "run"     // the simulator rejected or faulted on a program
+)
+
+// Bundle is one replayable failure.
+type Bundle struct {
+	Version int      `json:"version"`
+	Kind    string   `json:"kind"`
+	Func    string   `json:"func,omitempty"`   // failing function ("" = whole program)
+	Pass    string   `json:"pass,omitempty"`   // pass that failed or first broke an invariant
+	Level   string   `json:"level,omitempty"`  // degradation rung active during the attempt
+	Passes  []string `json:"passes,omitempty"` // pass sequence that was attempted, in order
+
+	// Program is the full ILOC text of the input (pre-failure). Bundles
+	// carry the whole program, not just the failing function, so replays
+	// see identical call-graph context.
+	Program string `json:"program"`
+
+	// Config is the JSON encoding of the configuration the failure
+	// occurred under (a pipeline.Config for compile bundles, a simulator
+	// config for run bundles). Kept as raw JSON so this package stays
+	// import-free; the replayer unmarshals it into the concrete type.
+	Config json.RawMessage `json:"config,omitempty"`
+
+	Error string `json:"error"`
+	Stack string `json:"stack,omitempty"` // goroutine stack when the failure was a panic
+}
+
+// Filename returns the canonical, content-addressed name for the bundle:
+// <kind>-<func|prog>-<sha256/8>.repro.json. Writing the same failure twice
+// therefore overwrites rather than accumulates.
+func (b *Bundle) Filename() string {
+	who := b.Func
+	if who == "" {
+		who = "prog"
+	}
+	who = sanitize(who)
+	h := sha256.Sum256([]byte(b.Kind + "\x00" + b.Func + "\x00" + b.Pass + "\x00" + b.Program + "\x00" + b.Error))
+	return fmt.Sprintf("%s-%s-%s.repro.json", b.Kind, who, hex.EncodeToString(h[:4]))
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// Write marshals b into dir (creating it if needed) and returns the path
+// of the file written.
+func Write(dir string, b *Bundle) (string, error) {
+	if b.Version == 0 {
+		b.Version = Version
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("repro: %w", err)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("repro: marshal bundle: %w", err)
+	}
+	path := filepath.Join(dir, b.Filename())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("repro: %w", err)
+	}
+	return path, nil
+}
+
+// Load reads one bundle.
+func Load(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("repro: %s: %w", path, err)
+	}
+	if b.Version > Version {
+		return nil, fmt.Errorf("repro: %s: bundle version %d is newer than supported %d", path, b.Version, Version)
+	}
+	if b.Kind == "" {
+		return nil, fmt.Errorf("repro: %s: bundle has no kind", path)
+	}
+	return &b, nil
+}
+
+// LoadDir reads every *.repro.json bundle under dir, sorted by filename.
+// A missing directory is not an error: it returns an empty slice, so
+// replay tests pass on a fresh checkout.
+func LoadDir(dir string) ([]*Bundle, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".repro.json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Bundle, 0, len(names))
+	for _, n := range names {
+		b, err := Load(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

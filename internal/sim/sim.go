@@ -78,6 +78,11 @@ type Config struct {
 	// number of lines (default 10000 when tracing).
 	Trace      io.Writer
 	TraceLimit int64
+
+	// Err carries a configuration error from an option constructor that
+	// has no error return of its own (e.g. a malformed cache config); New
+	// reports it instead of running.
+	Err error
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +185,9 @@ type Machine struct {
 // New resolves a program against a configuration. The program must be
 // phi-free and structurally valid (run ir.VerifyProgram first).
 func New(p *ir.Program, cfg Config) (*Machine, error) {
+	if cfg.Err != nil {
+		return nil, fmt.Errorf("sim: %w", cfg.Err)
+	}
 	cfg = cfg.withDefaults()
 	if cfg.CCMBytes%ir.WordBytes != 0 || cfg.CCMBytes < 0 {
 		return nil, fmt.Errorf("sim: CCMBytes %d must be a non-negative multiple of %d", cfg.CCMBytes, ir.WordBytes)

@@ -7,6 +7,71 @@ import (
 	"ccmem/internal/ir"
 )
 
+// Options parameterize the random-program generator. The generated
+// program is a pure function of the Options value: the pseudo-random
+// stream is seeded from Seed alone, and the remaining fields shape the
+// draws, so equal Options always yield byte-identical programs and no
+// global or time-derived state is consulted.
+type Options struct {
+	// Seed selects the pseudo-random stream.
+	Seed int64
+
+	// MaxLeafFuncs bounds the number of generated leaf functions: the
+	// program draws a count in [0, MaxLeafFuncs). Default 3.
+	MaxLeafFuncs int
+
+	// MinDepth and MaxDepth bound main's statement-tree depth; the
+	// program draws a depth in [MinDepth, MaxDepth]. Defaults 2 and 4.
+	MinDepth int
+	MaxDepth int
+
+	// ArrayWords sizes the shared global array all memory traffic is
+	// masked into; it must be a power of two ≥ 2 (the generator masks
+	// indices with ArrayWords-1 to stay in bounds). Default 64.
+	ArrayWords int
+}
+
+// withDefaults fills unset (zero) fields with the classic generator
+// parameters, under which Generate(Options{Seed: s}) reproduces
+// RandomProgram(s) exactly.
+func (o Options) withDefaults() Options {
+	if o.MaxLeafFuncs == 0 {
+		o.MaxLeafFuncs = 3
+	}
+	if o.MinDepth == 0 {
+		o.MinDepth = 2
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 4
+	}
+	if o.ArrayWords == 0 {
+		o.ArrayWords = 64
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.MaxLeafFuncs < 0 {
+		return fmt.Errorf("workload: MaxLeafFuncs %d must be ≥ 0", o.MaxLeafFuncs)
+	}
+	if o.MinDepth < 1 {
+		return fmt.Errorf("workload: MinDepth %d must be ≥ 1", o.MinDepth)
+	}
+	if o.MaxDepth < o.MinDepth {
+		return fmt.Errorf("workload: MaxDepth %d must be ≥ MinDepth %d", o.MaxDepth, o.MinDepth)
+	}
+	if o.MaxDepth > 8 {
+		return fmt.Errorf("workload: MaxDepth %d must be ≤ 8 (program size is exponential in depth)", o.MaxDepth)
+	}
+	if o.ArrayWords < 2 || o.ArrayWords&(o.ArrayWords-1) != 0 {
+		return fmt.Errorf("workload: ArrayWords %d must be a power of two ≥ 2", o.ArrayWords)
+	}
+	if o.ArrayWords > 1<<20 {
+		return fmt.Errorf("workload: ArrayWords %d must be ≤ %d", o.ArrayWords, 1<<20)
+	}
+	return nil
+}
+
 // RandomProgram generates a deterministic pseudo-random program from the
 // seed: structured control flow (nested bounded loops, diamonds), integer
 // and float arithmetic over growing variable pools, guarded divisions,
@@ -15,43 +80,67 @@ import (
 // drain. Every program terminates and never faults, so it can serve as a
 // semantic oracle for the whole compilation pipeline: any transformation
 // must preserve the emit trace bit for bit.
+//
+// RandomProgram is Generate with the default Options, which cannot fail.
 func RandomProgram(seed int64) *ir.Program {
-	g := &randGen{rng: rand.New(rand.NewSource(seed))}
+	p, err := Generate(Options{Seed: seed})
+	if err != nil {
+		panic(err) // unreachable: default options are valid, and the generator is self-verifying
+	}
+	return p
+}
+
+// Generate builds a random program from opts. Invalid parameters are
+// reported as errors (never panics); zero fields take their defaults.
+func Generate(opts Options) (*ir.Program, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := &randGen{rng: rand.New(rand.NewSource(opts.Seed)), opts: opts}
 	return g.program()
 }
 
 type randGen struct {
 	rng   *rand.Rand
+	opts  Options
 	prog  *ir.Program
 	leafs []string
 }
 
-const randArrayWords = 64
-
-func (g *randGen) program() *ir.Program {
+func (g *randGen) program() (*ir.Program, error) {
 	g.prog = &ir.Program{}
-	if err := g.prog.AddGlobal(&ir.Global{Name: "mem", Words: randArrayWords}); err != nil {
-		panic(err)
+	if err := g.prog.AddGlobal(&ir.Global{Name: "mem", Words: g.opts.ArrayWords}); err != nil {
+		return nil, err
 	}
-	nLeaf := g.rng.Intn(3)
+	nLeaf := g.rng.Intn(g.opts.MaxLeafFuncs)
 	for i := 0; i < nLeaf; i++ {
 		name := fmt.Sprintf("leaf%d", i)
 		g.leafs = append(g.leafs, name)
-		if err := g.prog.AddFunc(g.leaf(name)); err != nil {
-			panic(err)
+		f, err := g.leaf(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.prog.AddFunc(f); err != nil {
+			return nil, err
 		}
 	}
-	if err := g.prog.AddFunc(g.fn("main", 2+g.rng.Intn(3))); err != nil {
-		panic(err)
+	depth := g.opts.MinDepth + g.rng.Intn(g.opts.MaxDepth-g.opts.MinDepth+1)
+	f, err := g.fn("main", depth)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.prog.AddFunc(f); err != nil {
+		return nil, err
 	}
 	if err := ir.VerifyProgram(g.prog, ir.VerifyOptions{}); err != nil {
-		panic(fmt.Sprintf("random program invalid (seed bug): %v\n%s", err, g.prog))
+		return nil, fmt.Errorf("workload: random program invalid (generator bug): %w\n%s", err, g.prog)
 	}
-	return g.prog
+	return g.prog, nil
 }
 
 // leaf generates a small straight-line function with 1-2 parameters.
-func (g *randGen) leaf(name string) *ir.Func {
+func (g *randGen) leaf(name string) (*ir.Func, error) {
 	b := ir.NewBuilder(name, ir.ClassInt)
 	st := &randState{g: g, b: b}
 	p0 := b.Param(ir.ClassInt, "a")
@@ -67,11 +156,11 @@ func (g *randGen) leaf(name string) *ir.Func {
 		st.arith()
 	}
 	b.RetVal(st.anyInt())
-	return b.MustFinish()
+	return b.Finish()
 }
 
 // fn generates main: a statement tree of the given depth budget.
-func (g *randGen) fn(name string, depth int) *ir.Func {
+func (g *randGen) fn(name string, depth int) (*ir.Func, error) {
 	b := ir.NewBuilder(name, ir.ClassNone)
 	st := &randState{g: g, b: b}
 	b.Label("entry")
@@ -91,7 +180,7 @@ func (g *randGen) fn(name string, depth int) *ir.Func {
 	}
 	b.Emit(accF)
 	b.Ret()
-	return b.MustFinish()
+	return b.Finish()
 }
 
 // randState carries the variable pools of one function body.
@@ -222,7 +311,7 @@ func (s *randState) arith() {
 func (s *randState) memory() {
 	g := s.g
 	b := s.b
-	idx := b.And(s.anyInt(), b.ConstI(randArrayWords-1))
+	idx := b.And(s.anyInt(), b.ConstI(int64(s.g.opts.ArrayWords-1)))
 	addr := b.Add(s.base, b.Mul(idx, b.ConstI(ir.WordBytes)))
 	if g.rng.Intn(2) == 0 {
 		s.ints = append(s.ints, b.Load(addr))

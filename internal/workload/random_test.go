@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ccmem/internal/sim"
+)
+
+func TestGenerateDefaultsMatchRandomProgram(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		a := RandomProgram(seed).String()
+		b, err := Generate(Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if b.String() != a {
+			t.Fatalf("seed %d: Generate with default options diverges from RandomProgram", seed)
+		}
+	}
+}
+
+func TestGenerateIsPureFunctionOfOptions(t *testing.T) {
+	opts := Options{Seed: 42, MaxLeafFuncs: 2, MinDepth: 1, MaxDepth: 3, ArrayWords: 32}
+	a, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("equal Options produced different programs")
+	}
+	c, err := Generate(Options{Seed: 42, MaxLeafFuncs: 2, MinDepth: 1, MaxDepth: 3, ArrayWords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() == a.String() {
+		t.Fatal("changing ArrayWords did not change the program")
+	}
+}
+
+func TestGenerateRejectsInvalidOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"negative leafs", Options{MaxLeafFuncs: -1}, "MaxLeafFuncs"},
+		{"negative depth", Options{MinDepth: -2, MaxDepth: 3}, "MinDepth"},
+		{"inverted depths", Options{MinDepth: 4, MaxDepth: 2}, "MaxDepth"},
+		{"huge depth", Options{MinDepth: 2, MaxDepth: 40}, "MaxDepth"},
+		{"odd array", Options{ArrayWords: 48}, "ArrayWords"},
+		{"tiny array", Options{ArrayWords: 1}, "ArrayWords"},
+		{"giant array", Options{ArrayWords: 1 << 22}, "ArrayWords"},
+	}
+	for _, tc := range cases {
+		_, err := Generate(tc.opts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGenerateCustomOptionsRunnable(t *testing.T) {
+	p, err := Generate(Options{Seed: 5, MaxLeafFuncs: 1, MinDepth: 1, MaxDepth: 2, ArrayWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(p, "main", sim.Config{}); err != nil {
+		t.Fatalf("generated program does not run: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package ccm
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ccmem/internal/pipeline"
+	"ccmem/internal/repro"
+)
+
+// TestReproCorpusReplays replays every committed crash repro bundle in
+// testdata/repros — the regression corpus accumulated from fuzz findings
+// and recovered pipeline faults. A replay passes when the toolchain now
+// handles the historical crasher gracefully: either cleanly (the bug is
+// fixed) or as a structured, attributed *pipeline.CompileError (the fault
+// is contained). Anything else — an unstructured error, or a panic — is a
+// regression.
+func TestReproCorpusReplays(t *testing.T) {
+	bundles, err := repro.LoadDir(filepath.Join("testdata", "repros"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("regression corpus testdata/repros is empty; it ships with curated bundles")
+	}
+	kinds := map[string]bool{}
+	for _, b := range bundles {
+		kinds[b.Kind] = true
+		t.Run(b.Filename(), func(t *testing.T) {
+			if b.Kind == repro.KindRun {
+				replayRunBundle(t, b)
+				return
+			}
+			err := pipeline.Replay(b)
+			if err == nil {
+				return
+			}
+			var cerr *pipeline.CompileError
+			if !errors.As(err, &cerr) {
+				t.Errorf("replay failed without a structured CompileError: %v", err)
+			}
+		})
+	}
+	for _, want := range []string{repro.KindParse, repro.KindCompile} {
+		if !kinds[want] {
+			t.Errorf("corpus has no %s-kind bundle; the curated seeds cover both", want)
+		}
+	}
+}
+
+// replayRunBundle replays a simulator-fault bundle through the public
+// facade: the program must parse and execute (or be rejected) without a
+// panic; any graceful error is a pass.
+func replayRunBundle(t *testing.T, b *repro.Bundle) {
+	prog, err := ParseProgram(b.Program)
+	if err != nil {
+		return
+	}
+	entry := b.Func
+	if entry == "" {
+		entry = "main"
+	}
+	_, _ = prog.Run(entry)
+}
