@@ -112,6 +112,12 @@ type Config struct {
 	// ReproDir, when non-empty, receives a replayable crash repro bundle
 	// for every recovered or fatal pass fault.
 	ReproDir string
+	// DiffCheck runs the differential-execution miscompile oracle: the
+	// compiled program is executed against the input on deterministic
+	// argument vectors and any divergence is bisected to the pass that
+	// introduced it, then quarantined via the degradation ladder (or
+	// fatal under Strict). See CompileReport.Divergences.
+	DiffCheck bool
 }
 
 // CompileReport summarizes one compilation.
@@ -122,6 +128,10 @@ type CompileReport struct {
 	// shipped below the configured fidelity (see FuncReport.Degraded).
 	Failures int64
 	Degraded int64
+	// Divergences counts miscompiles the differential oracle detected
+	// (Config.DiffCheck); each was quarantined before the compile
+	// returned, so the shipped program matches the input semantics.
+	Divergences int64
 	// Repros lists the crash repro bundles written (Config.ReproDir).
 	Repros []string
 }
@@ -179,6 +189,15 @@ func (pr *Program) Clone() *Program {
 // Text renders the program in parseable ILOC text.
 func (pr *Program) Text() string { return pr.p.String() }
 
+// diffMode maps the facade's boolean oracle switch onto the driver's
+// mode; the facade only exposes the final-program check.
+func diffMode(on bool) pipeline.DiffCheck {
+	if on {
+		return pipeline.DiffFinal
+	}
+	return pipeline.DiffOff
+}
+
 // pipelineStrategy maps the facade strategy onto the driver's.
 func pipelineStrategy(s Strategy) pipeline.Strategy {
 	switch s {
@@ -229,15 +248,17 @@ func (pr *Program) CompileContext(ctx context.Context, cfg Config) (*CompileRepo
 		FuncTimeout:       cfg.FuncTimeout,
 		Strict:            cfg.Strict,
 		ReproDir:          cfg.ReproDir,
+		DiffCheck:         diffMode(cfg.DiffCheck),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ccm: %w", err)
 	}
 	rep := &CompileReport{
-		PerFunc:  map[string]FuncReport{},
-		Failures: prep.Failures,
-		Degraded: prep.Degraded,
-		Repros:   prep.Repros,
+		PerFunc:     map[string]FuncReport{},
+		Failures:    prep.Failures,
+		Degraded:    prep.Degraded,
+		Divergences: prep.Divergences,
+		Repros:      prep.Repros,
 	}
 	for name, fr := range prep.PerFunc {
 		rep.PerFunc[name] = FuncReport{
@@ -269,8 +290,14 @@ func WithCCMBytes(n int64) RunOption { return func(s *sim.Config) { s.CCMBytes =
 // WithCCMBase sets the per-process CCM base register (paper §2.1).
 func WithCCMBase(n int64) RunOption { return func(s *sim.Config) { s.CCMBase = n } }
 
-// WithMaxSteps bounds the dynamic instruction count.
+// WithMaxSteps bounds the dynamic instruction count; exceeding it is a
+// structured resource-limit fault, so a nonterminating program cannot
+// hang the caller.
 func WithMaxSteps(n int64) RunOption { return func(s *sim.Config) { s.MaxSteps = n } }
+
+// WithMaxDepth bounds the call-stack depth; exceeding it is a structured
+// resource-limit fault attributed to the function that recursed.
+func WithMaxDepth(n int) RunOption { return func(s *sim.Config) { s.MaxDepth = n } }
 
 // WithTrace streams one line per executed instruction to w (at most limit
 // lines; 0 means the default cap), a debugging aid.

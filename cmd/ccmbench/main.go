@@ -14,6 +14,11 @@
 // bundle for any pass fault. Benchmarks always compile in strict mode —
 // silently degraded code would skew the tables — so a fault aborts the
 // run (after writing its bundle) rather than polluting the measurements.
+// For the same reason the differential miscompile oracle is always on:
+// every measured compile is executed against its input on deterministic
+// argument vectors, and a divergence — wrong code that parses, verifies,
+// and runs — aborts the run with the first divergent pass named instead
+// of silently skewing a table.
 //
 // Without selection flags it prints everything. Every measurement runs
 // through one shared compilation driver (internal/pipeline), so compile
@@ -53,6 +58,8 @@ func main() {
 	cfg.FuncTimeout = *timeout
 	cfg.ReproDir = *reproDir
 	cfg.Strict = true
+	// Strict benchmarking distrusts wrong code as much as crashed code.
+	cfg.DiffCheck = pipeline.DiffFinal
 	defer func() {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stderr)

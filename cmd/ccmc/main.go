@@ -8,6 +8,7 @@
 //	ccmc [-strategy none|postpass|postpass-ipa|integrated] [-ccm BYTES]
 //	     [-regs N] [-no-opt] [-no-compact] [-cleanup] [-workers N]
 //	     [-verify-passes] [-timeout D] [-strict] [-repro-dir DIR]
+//	     [-diff-check off|final|per-stage] [-diff-vectors N]
 //	     [-stats] [-json] [-o out.iloc] in.iloc
 //
 // -cleanup runs the post-allocation spill-code peephole. -stats prints
@@ -25,10 +26,30 @@
 // crash repro bundle for every fault. Recovered faults are summarized on
 // stderr and make ccmc exit 3 so scripted callers can tell a degraded
 // compile from a clean one.
+//
+// -diff-check runs the differential-execution miscompile oracle: the
+// compiled program is executed against the input on deterministic
+// seed-derived argument vectors and any behavioral divergence — wrong
+// code, not just crashed code — is bisected to the first
+// semantically-divergent pass, quarantined via the degradation ladder
+// (or fatal under -strict), and written to -repro-dir as a replayable
+// miscompile bundle. "final" checks the finished program once;
+// "per-stage" also checks at each stage boundary. -diff-vectors sets
+// the argument vectors tried per entry function.
+//
+// Exit codes:
+//
+//	0  clean compile
+//	1  fatal error (parse failure, invalid flags, strict-mode pass fault)
+//	2  usage error
+//	3  compile succeeded but pass faults were recovered by degradation
+//	4  miscompile: the oracle observed a divergence (detected-and-
+//	   quarantined in the default mode, fatal under -strict)
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +71,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-function compile attempt timeout (0 = none)")
 	strict := flag.Bool("strict", false, "fail on the first pass fault instead of degrading")
 	reproDir := flag.String("repro-dir", "", "write crash repro bundles for pass faults to this directory")
+	diffCheck := flag.String("diff-check", "off", "differential miscompile oracle: off, final, per-stage")
+	diffVectors := flag.Int("diff-vectors", 0, "argument vectors per entry function for -diff-check (0 = default)")
 	stats := flag.Bool("stats", false, "print per-function spill statistics to stderr")
 	jsonOut := flag.Bool("json", false, "print the pipeline report as JSON to stderr")
 	out := flag.String("o", "", "output file (default stdout)")
@@ -72,6 +95,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	diff, err := pipeline.ParseDiffCheck(*diffCheck)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := pipeline.Config{
 		Strategy:          strat,
 		IntRegs:           *regs,
@@ -83,6 +110,8 @@ func main() {
 		FuncTimeout:       *timeout,
 		Strict:            *strict,
 		ReproDir:          *reproDir,
+		DiffCheck:         diff,
+		DiffVectors:       *diffVectors,
 	}
 	if strat != pipeline.NoCCM {
 		cfg.CCMBytes = *ccmBytes
@@ -90,6 +119,14 @@ func main() {
 	drv := pipeline.New(pipeline.Options{Workers: *workers})
 	report, err := drv.Compile(prog.IR(), cfg)
 	if err != nil {
+		var me *pipeline.MiscompileError
+		if errors.As(err, &me) {
+			fmt.Fprintln(os.Stderr, "ccmc:", me)
+			if me.ReproPath != "" {
+				fmt.Fprintf(os.Stderr, "  repro bundle: %s\n", me.ReproPath)
+			}
+			os.Exit(4)
+		}
 		fatal(err)
 	}
 	if *stats {
@@ -119,9 +156,15 @@ func main() {
 	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fatal(err)
 	}
-	if report.Failures > 0 {
-		fmt.Fprintf(os.Stderr, "ccmc: %d pass fault(s) recovered; %d function(s) degraded\n",
-			report.Failures, report.Degraded)
+	if report.Failures > 0 || report.Divergences > 0 {
+		if report.Divergences > 0 {
+			fmt.Fprintf(os.Stderr, "ccmc: %d miscompile(s) detected and quarantined (first divergent passes: %v)\n",
+				report.Divergences, report.DivergentPasses)
+		}
+		if report.Failures > 0 {
+			fmt.Fprintf(os.Stderr, "ccmc: %d pass fault(s) recovered; %d function(s) degraded\n",
+				report.Failures, report.Degraded)
+		}
 		names := make([]string, 0, len(report.PerFunc))
 		for n := range report.PerFunc {
 			names = append(names, n)
@@ -138,6 +181,9 @@ func main() {
 		}
 		if report.ReproError != "" {
 			fmt.Fprintf(os.Stderr, "  repro bundles incomplete: %s\n", report.ReproError)
+		}
+		if report.Divergences > 0 {
+			os.Exit(4)
 		}
 		os.Exit(3)
 	}

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	ccmsim [-entry main] [-ccm BYTES] [-memcost N] [-trace] [-perfunc]
-//	       [-cache SETSxWAYSxLINE] [-repro-dir DIR] prog.iloc
+//	       [-cache SETSxWAYSxLINE] [-max-steps N] [-max-depth N]
+//	       [-repro-dir DIR] prog.iloc
 //
-// -repro-dir captures a replayable crash repro bundle (the program text,
-// entry point, and error) whenever execution fails, in the same format
-// the compiler pipeline uses for pass faults.
+// -max-steps and -max-depth bound the dynamic instruction count and the
+// call-stack depth; exceeding either is a structured resource-limit
+// fault, so a nonterminating or runaway-recursive program exits cleanly
+// instead of hanging the shell. -repro-dir captures a replayable crash
+// repro bundle (the program text, entry point, and error) whenever
+// execution fails, in the same format the compiler pipeline uses for
+// pass faults.
 package main
 
 import (
@@ -31,6 +36,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print the emit trace")
 	perFunc := flag.Bool("perfunc", false, "print per-function cycle attribution")
 	cacheSpec := flag.String("cache", "", "attach a data cache, e.g. 32x1x32 (sets x ways x line bytes)")
+	maxSteps := flag.Int64("max-steps", 0, "bound the dynamic instruction count (0 = default)")
+	maxDepth := flag.Int("max-depth", 0, "bound the call-stack depth (0 = default)")
 	debug := flag.Int64("debug", 0, "trace the first N executed instructions to stderr")
 	reproDir := flag.String("repro-dir", "", "write a crash repro bundle to this directory if the run fails")
 	flag.Parse()
@@ -50,6 +57,12 @@ func main() {
 	}
 
 	opts := []ccm.RunOption{ccm.WithMemCost(*memCost), ccm.WithCCMBytes(*ccmBytes)}
+	if *maxSteps > 0 {
+		opts = append(opts, ccm.WithMaxSteps(*maxSteps))
+	}
+	if *maxDepth > 0 {
+		opts = append(opts, ccm.WithMaxDepth(*maxDepth))
+	}
 	if *debug > 0 {
 		opts = append(opts, ccm.WithTrace(os.Stderr, *debug))
 	}

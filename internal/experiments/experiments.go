@@ -85,6 +85,13 @@ type Config struct {
 	// ReproDir receives crash repro bundles for any pass fault.
 	FuncTimeout time.Duration
 	ReproDir    string
+
+	// DiffCheck runs the differential-execution miscompile oracle on
+	// every measured compile: wrong code would skew the tables as
+	// silently as degraded code, so benchmarking wants it on (with
+	// Strict, a divergence aborts the run as a *pipeline.MiscompileError
+	// rather than quarantining).
+	DiffCheck pipeline.DiffCheck
 }
 
 // Default returns the paper's configuration.
@@ -200,6 +207,7 @@ func compileWith(drv *pipeline.Driver, p *ir.Program, strat Strategy, ccmBytes i
 		Strict:            cfg.Strict,
 		FuncTimeout:       cfg.FuncTimeout,
 		ReproDir:          cfg.ReproDir,
+		DiffCheck:         cfg.DiffCheck,
 	})
 }
 

@@ -1,0 +1,245 @@
+package oracle
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/workload"
+)
+
+func mustParse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func mustCheck(t *testing.T, pre, post *ir.Program, opts Options) *Result {
+	t.Helper()
+	res, err := Check(context.Background(), pre, post, opts)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+// TestIdenticalProgramsEquivalent: a program checked against its own clone
+// is equivalent — zero false positives on the identity transform, over
+// the full random-workload generator.
+func TestIdenticalProgramsEquivalent(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := workload.RandomProgram(seed)
+		res := mustCheck(t, p, p.Clone(), Options{Seed: uint64(seed)})
+		if !res.Equivalent() {
+			t.Errorf("seed %d: identity transform flagged divergent: %v", seed, res.Divergence)
+		}
+		if res.Entries == 0 || res.Runs == 0 {
+			t.Errorf("seed %d: nothing was checked (entries=%d runs=%d)", seed, res.Entries, res.Runs)
+		}
+	}
+}
+
+// TestTraceDivergenceDetected: changing one emitted constant is caught as
+// a trace divergence naming the entry and the first differing index.
+func TestTraceDivergenceDetected(t *testing.T) {
+	pre := mustParse(t, `func main() {
+entry:
+	r0 = loadi 1
+	r1 = loadi 2
+	emit r0
+	emit r1
+	ret
+}
+`)
+	post := pre.Clone()
+	// The miscompile: the second emitted value silently changes.
+	post.Funcs[0].Blocks[0].Instrs[1].Imm = 3
+	res := mustCheck(t, pre, post, Options{})
+	d := res.Divergence
+	if d == nil {
+		t.Fatal("mutated emit not detected")
+	}
+	if d.Kind != "trace" || d.Entry != "main" {
+		t.Errorf("divergence = %+v, want trace divergence in main", d)
+	}
+	if !strings.Contains(d.Detail, "trace[1]") {
+		t.Errorf("detail %q does not name the first differing index", d.Detail)
+	}
+}
+
+// TestRetDivergenceDetected: a changed return value with an identical
+// trace is still a divergence (kind "ret").
+func TestRetDivergenceDetected(t *testing.T) {
+	pre := mustParse(t, `func main() int {
+entry:
+	r0 = loadi 7
+	ret r0
+}
+`)
+	post := pre.Clone()
+	post.Funcs[0].Blocks[0].Instrs[0].Imm = 8
+	res := mustCheck(t, pre, post, Options{})
+	if res.Divergence == nil || res.Divergence.Kind != "ret" {
+		t.Fatalf("divergence = %+v, want a ret divergence", res.Divergence)
+	}
+}
+
+// TestFaultEquivalence: both sides faulting identically is equivalent;
+// only one side faulting is a divergence of kind "fault".
+func TestFaultEquivalence(t *testing.T) {
+	faulty := `func main() {
+entry:
+	r0 = loadi 0
+	r1 = load r0
+	ret
+}
+`
+	pre := mustParse(t, faulty)
+	if res := mustCheck(t, pre, pre.Clone(), Options{}); !res.Equivalent() {
+		t.Errorf("matched faults flagged divergent: %v", res.Divergence)
+	}
+
+	clean := mustParse(t, `func main() {
+entry:
+	r0 = loadi 8
+	ret
+}
+`)
+	res := mustCheck(t, pre, clean, Options{})
+	if res.Divergence == nil || res.Divergence.Kind != "fault" {
+		t.Fatalf("fault asymmetry not detected: %+v", res.Divergence)
+	}
+}
+
+// TestLeafEntryCoverage: a miscompile in a leaf function that main never
+// calls is still caught, because every shared function is an entry point.
+func TestLeafEntryCoverage(t *testing.T) {
+	src := `func dead(r0) int {
+entry:
+	r1 = add r0, r0
+	ret r1
+}
+func main() {
+entry:
+	r0 = loadi 5
+	emit r0
+	ret
+}
+`
+	pre := mustParse(t, src)
+	post := pre.Clone()
+	post.Funcs[0].Blocks[0].Instrs[0].Op = ir.OpSub // dead: a+a -> a-a
+	res := mustCheck(t, pre, post, Options{Vectors: 3})
+	d := res.Divergence
+	if d == nil {
+		t.Fatal("miscompile in uncalled leaf not detected")
+	}
+	if d.Entry != "dead" {
+		t.Errorf("divergence attributed to entry %q, want dead", d.Entry)
+	}
+	// Vector 0 is all zeros, where a+a == a-a; the all-ones vector must
+	// be the one that exposes it.
+	if d.Vector != 1 {
+		t.Errorf("exposing vector = %d, want 1 (all ones)", d.Vector)
+	}
+}
+
+// TestLimitInconclusive: a candidate that stops terminating hits the fuel
+// bound and is reported inconclusive — never a hang, and never a false
+// "divergence" from an asymmetric resource fault.
+func TestLimitInconclusive(t *testing.T) {
+	pre := mustParse(t, `func main() {
+entry:
+	r0 = loadi 1
+	emit r0
+	ret
+}
+`)
+	post := mustParse(t, `func main() {
+entry:
+	r0 = loadi 1
+	emit r0
+	jmp entry
+}
+`)
+	res := mustCheck(t, pre, post, Options{MaxSteps: 1000})
+	if res.Divergence != nil {
+		t.Errorf("fuel exhaustion misreported as divergence: %v", res.Divergence)
+	}
+	if res.Inconclusive == 0 {
+		t.Error("nonterminating candidate not counted inconclusive")
+	}
+}
+
+// TestCancellationPropagates: a cancelled context aborts the check with
+// the context error instead of a verdict.
+func TestCancellationPropagates(t *testing.T) {
+	p := mustParse(t, `func main() {
+loop:
+	jmp loop
+}
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Check(ctx, p, p.Clone(), Options{})
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("got %v, want the context error", err)
+	}
+}
+
+// TestDeterministicVectors: equal (seed, programs, options) produce
+// identical results — including the argument vectors on the divergence —
+// and different seeds produce different later vectors.
+func TestDeterministicVectors(t *testing.T) {
+	pre := mustParse(t, `func f(r0) int {
+entry:
+	r1 = loadi 3
+	r2 = mul r0, r1
+	ret r2
+}
+`)
+	post := pre.Clone()
+	post.Funcs[0].Blocks[0].Instrs[0].Imm = 4
+	a := mustCheck(t, pre, post, Options{Seed: 99})
+	b := mustCheck(t, pre, post, Options{Seed: 99})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	v1 := argVector(1, "f", 2, pre.Funcs[0])
+	v2 := argVector(2, "f", 2, pre.Funcs[0])
+	if reflect.DeepEqual(v1, v2) {
+		t.Error("different seeds produced identical random vectors")
+	}
+}
+
+// TestDerivedCCMCapacity: with CCMBytes unset, a post program that uses
+// the CCM gets a derived capacity instead of faulting on "no CCM".
+func TestDerivedCCMCapacity(t *testing.T) {
+	pre := mustParse(t, `func main() {
+entry:
+	r0 = loadi 9
+	spill r0, 0
+	r1 = restore 0
+	emit r1
+	ret
+}
+`)
+	post := mustParse(t, `func main() {
+entry:
+	r0 = loadi 9
+	ccmspill r0, 16
+	r1 = ccmrestore 16
+	emit r1
+	ret
+}
+`)
+	res := mustCheck(t, pre, post, Options{})
+	if !res.Equivalent() {
+		t.Errorf("CCM-promoted equivalent flagged divergent: %v", res.Divergence)
+	}
+}

@@ -1,0 +1,345 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/oracle"
+	"ccmem/internal/repro"
+)
+
+// DiffCheck selects when the differential-execution miscompile oracle
+// (internal/oracle) runs during a Compile. Structural verification
+// (Config.VerifyPasses, the final VerifyProgram) proves the output is
+// well-formed ILOC; the oracle proves it still computes what the input
+// computed, by executing both on deterministic seed-derived argument
+// vectors and comparing traces, return values, and fault behavior.
+type DiffCheck int
+
+const (
+	// DiffOff disables differential checking (the default).
+	DiffOff DiffCheck = iota
+	// DiffFinal checks the fully compiled program against the input once,
+	// after the final verify. Divergences are attributed to the first
+	// semantically-divergent pass by bisecting per-pass snapshots.
+	DiffFinal
+	// DiffPerStage additionally checks at each stage boundary (after the
+	// parallel front stage and after the interprocedural barrier), so a
+	// miscompile surfaces at the earliest boundary that exposes it.
+	DiffPerStage
+)
+
+func (d DiffCheck) String() string {
+	switch d {
+	case DiffOff:
+		return "off"
+	case DiffFinal:
+		return "final"
+	case DiffPerStage:
+		return "per-stage"
+	}
+	return fmt.Sprintf("DiffCheck(%d)", int(d))
+}
+
+// ParseDiffCheck converts a command-line name into a DiffCheck mode.
+func ParseDiffCheck(s string) (DiffCheck, error) {
+	switch s {
+	case "off", "":
+		return DiffOff, nil
+	case "final":
+		return DiffFinal, nil
+	case "per-stage", "perstage":
+		return DiffPerStage, nil
+	}
+	return DiffOff, fmt.Errorf("unknown diff-check mode %q (want off, final, per-stage)", s)
+}
+
+// MiscompileError reports that the compiled program computes something
+// different from its input. It carries the bisected attribution — the
+// first pass whose output diverges semantically — and the oracle's
+// witness (entry, argument vector, first observable difference). It is
+// returned as the compile error in Strict mode or when degradation
+// cannot quarantine the culprit; otherwise it is recorded and the
+// compile retries with the culprit forced down the degradation ladder.
+type MiscompileError struct {
+	Stage      string             // boundary that detected it: "front", "postpass", or "final"
+	Pass       string             // first semantically-divergent pass ("" when bisection had no snapshots)
+	Func       string             // function that pass was compiling ("" for whole-program passes)
+	Divergence *oracle.Divergence // the witness
+	ReproPath  string             // bundle written for it, when Config.ReproDir is set
+}
+
+func (e *MiscompileError) Error() string {
+	pass := e.Pass
+	if pass == "" {
+		pass = "<unattributed>"
+	}
+	where := e.Func
+	if where == "" {
+		where = "<program>"
+	}
+	return fmt.Sprintf("pipeline: miscompile detected at %s stage, first divergent pass %s on %s: %v",
+		e.Stage, pass, where, e.Divergence)
+}
+
+// passSnap is the body of one function as one pass left it. Snapshots
+// are recorded only under DiffCheck; applying a prefix of the ordered
+// snapshot list to the input program reconstructs every intermediate
+// compilation state, which is what bisection binary-searches over.
+//
+// Snapshots from the interprocedural barrier are recorded per function
+// even though the barrier is a whole-program pass: CCM promotion assigns
+// each function a region disjoint from every function it can interleave
+// with, so applying a subset of the barrier's rewrites only reduces CCM
+// contention and cannot itself introduce a divergence.
+type passSnap struct {
+	pass string
+	fn   string   // function name, for attribution
+	idx  int      // index into Program.Funcs
+	body *ir.Func // clone taken immediately after the pass ran
+}
+
+// snapRecorder accumulates snapshots across the stages of one compile
+// attempt. Front and back slots are indexed by function so parallel
+// workers write disjoint entries; the barrier appends sequentially.
+type snapRecorder struct {
+	front   [][]passSnap
+	barrier []passSnap
+	back    [][]passSnap
+}
+
+func newSnapRecorder(n int) *snapRecorder {
+	return &snapRecorder{front: make([][]passSnap, n), back: make([][]passSnap, n)}
+}
+
+// upTo returns the deterministic global snapshot order for everything
+// recorded through the given stage: front snapshots in (function, pass)
+// order, then barrier, then back. The order is the bisection axis, so it
+// must not depend on worker scheduling.
+func (r *snapRecorder) upTo(stage string) []passSnap {
+	var out []passSnap
+	for _, snaps := range r.front {
+		out = append(out, snaps...)
+	}
+	if stage == diffStageFront {
+		return out
+	}
+	out = append(out, r.barrier...)
+	if stage == diffStagePostPass {
+		return out
+	}
+	for _, snaps := range r.back {
+		out = append(out, snaps...)
+	}
+	return out
+}
+
+const (
+	diffStageFront    = "front"
+	diffStagePostPass = "postpass"
+	diffStageFinal    = "final"
+)
+
+// forcedDegrade is the quarantine state the divergence-handling retry
+// loop accumulates: per-function forcings that strip exactly the
+// machinery the bisected culprit pass belongs to. Each escalation
+// strictly increases a finite per-function lattice, so the retry loop
+// terminates.
+type forcedDegrade struct {
+	level     map[string]degradeLevel // front-stage rung to start at
+	noCCM     map[string]bool         // exclude from post-pass CCM promotion
+	noCompact map[string]bool         // skip the back stage
+	reason    map[string]*MiscompileError
+}
+
+func newForcedDegrade() *forcedDegrade {
+	return &forcedDegrade{
+		level:     map[string]degradeLevel{},
+		noCCM:     map[string]bool{},
+		noCompact: map[string]bool{},
+		reason:    map[string]*MiscompileError{},
+	}
+}
+
+// escalate records the quarantine for one bisected miscompile and
+// reports whether anything was left to strip. A false return means the
+// divergence survived maximal degradation of its function — the compile
+// must fail rather than ship wrong code.
+func (fd *forcedDegrade) escalate(me *MiscompileError, cfg Config) bool {
+	fn := me.Func
+	ok := false
+	switch me.Pass {
+	case PassOptimize:
+		ok = fd.raiseLevel(fn, levelNoOpt) || fd.raiseLevel(fn, levelBaseline)
+	case PassRegalloc:
+		ok = fd.raiseLevel(fn, levelBaseline)
+	case PassPostPass:
+		if fn != "" && !fd.noCCM[fn] {
+			fd.noCCM[fn] = true
+			ok = true
+		}
+	case PassCleanup, PassCompact:
+		if fn != "" && !fd.noCompact[fn] {
+			fd.noCompact[fn] = true
+			ok = true
+		}
+	default:
+		// An injected experimental pass: levelNoOpt drops all of them.
+		for _, ip := range cfg.InjectFront {
+			if ip.Name == me.Pass {
+				ok = fd.raiseLevel(fn, levelNoOpt) || fd.raiseLevel(fn, levelBaseline)
+				break
+			}
+		}
+	}
+	if ok && fn != "" {
+		fd.reason[fn] = me
+	}
+	return ok
+}
+
+func (fd *forcedDegrade) raiseLevel(fn string, to degradeLevel) bool {
+	if fn == "" || fd.level[fn] >= to {
+		return false
+	}
+	fd.level[fn] = to
+	return true
+}
+
+// diffOracle drives the oracle for one compile: it owns the pristine
+// input clone, the derived seed, and the diff counters. Everything here
+// runs sequentially on the goroutine that called Compile — never inside
+// the worker pool — so its results are identical for any worker count.
+type diffOracle struct {
+	pre  *ir.Program // input captured before any pass ran
+	seed uint64
+	opts oracle.Options
+
+	funcsChecked    int64
+	runs            int64
+	inconclusive    int64
+	divergences     int64
+	divergentPasses map[string]int64
+}
+
+func newDiffOracle(p *ir.Program, cfg Config) *diffOracle {
+	seed := programSeed(p, cfg)
+	return &diffOracle{
+		pre:  p.Clone(),
+		seed: seed,
+		opts: oracle.Options{
+			Seed:     seed,
+			Vectors:  cfg.DiffVectors,
+			CCMBytes: cfg.CCMBytes,
+		},
+		divergentPasses: map[string]int64{},
+	}
+}
+
+// check compares the input against the current compilation state at one
+// stage boundary. On divergence it bisects the recorded snapshots to the
+// first semantically-divergent pass and returns the attributed
+// MiscompileError; nil means this boundary is clean.
+func (do *diffOracle) check(ctx context.Context, post *ir.Program, stage string, snaps []passSnap) (*MiscompileError, error) {
+	res, err := oracle.Check(ctx, do.pre, post, do.opts)
+	if err != nil {
+		return nil, err
+	}
+	do.funcsChecked += int64(res.Entries)
+	do.runs += int64(res.Runs)
+	do.inconclusive += int64(res.Inconclusive)
+	if res.Equivalent() {
+		return nil, nil
+	}
+	do.divergences++
+	me := &MiscompileError{Stage: stage, Divergence: res.Divergence}
+	me.Pass, me.Func, err = do.bisect(ctx, snaps)
+	if err != nil {
+		return nil, err
+	}
+	do.divergentPasses[histKey(me)]++
+	return me, nil
+}
+
+// bisect binary-searches the snapshot prefix order for the first
+// candidate program that diverges from the input, attributing the
+// miscompile to the snapshot that tipped it. The full prefix is the
+// divergent program just checked, so the invariant "hi diverges" holds
+// at entry; the empty prefix is the input itself, which trivially
+// agrees.
+func (do *diffOracle) bisect(ctx context.Context, snaps []passSnap) (pass, fn string, err error) {
+	if len(snaps) == 0 {
+		return "", "", nil
+	}
+	lo, hi := 0, len(snaps)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		res, err := oracle.Check(ctx, do.pre, do.candidate(snaps, mid), do.opts)
+		if err != nil {
+			return "", "", err
+		}
+		do.funcsChecked += int64(res.Entries)
+		do.runs += int64(res.Runs)
+		do.inconclusive += int64(res.Inconclusive)
+		if res.Equivalent() {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return snaps[lo].pass, snaps[lo].fn, nil
+}
+
+// candidate reconstructs the intermediate program with snapshots [0, k]
+// applied to the input. Function bodies are shared, not cloned: the
+// simulator never mutates the program it resolves.
+func (do *diffOracle) candidate(snaps []passSnap, k int) *ir.Program {
+	cand := &ir.Program{
+		Globals: do.pre.Globals,
+		Funcs:   append([]*ir.Func(nil), do.pre.Funcs...),
+	}
+	for j := 0; j <= k; j++ {
+		cand.Funcs[snaps[j].idx] = snaps[j].body
+	}
+	return cand
+}
+
+// histKey is the first-divergent-pass histogram bucket.
+func histKey(me *MiscompileError) string {
+	if me.Pass == "" {
+		return "unattributed"
+	}
+	return me.Pass
+}
+
+// recordMiscompile writes the extended repro bundle for one detected
+// divergence: both programs, the seed, and the witnessing entry, so
+// Replay can re-run the exact differential check offline.
+func (cs *compileState) recordMiscompile(me *MiscompileError, post *ir.Program, do *diffOracle) {
+	if cs.cfg.ReproDir == "" {
+		return
+	}
+	b := &repro.Bundle{
+		Kind:    repro.KindMiscompile,
+		Func:    me.Func,
+		Pass:    me.Pass,
+		Program: cs.inputText,
+		Post:    post.String(),
+		Seed:    do.seed,
+		Entry:   me.Divergence.Entry,
+		Config:  marshalConfig(cs.cfg),
+		Error:   me.Error(),
+	}
+	path, err := repro.Write(cs.cfg.ReproDir, b)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err != nil {
+		if cs.reproErr == nil {
+			cs.reproErr = err
+		}
+		return
+	}
+	me.ReproPath = path
+	cs.repros = append(cs.repros, path)
+}

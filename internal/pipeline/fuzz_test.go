@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/repro"
+	"ccmem/internal/workload"
+)
+
+// reproCorpusDir is the repository-level crash-repro regression corpus
+// replayed by the root package's TestReproCorpusReplays (relative to
+// this package; the go tool runs tests with the package directory as
+// cwd).
+const reproCorpusDir = "../../testdata/repros"
+
+// FuzzDifferential hunts for miscompiles rather than crashes: any input
+// that parses and verifies is compiled under every strategy with the
+// differential oracle in strict mode, so a compile whose output
+// diverges from the input on the oracle's argument vectors fails the
+// target with the first divergent pass named. Ordinary compile errors
+// on degenerate inputs are not findings — wrong code is. A finding is
+// written to the shared repro corpus as a replayable miscompile bundle
+// before the test fails, joining the Replay regression suite.
+func FuzzDifferential(f *testing.F) {
+	f.Add("func main() {\nentry:\n\tr0 = loadi 5\n\temit r0\n\tret\n}\n")
+	f.Add("func helper(r0) int {\nentry:\n\tr1 = loadi 3\n\tr2 = mul r0, r1\n\tret r2\n}\nfunc main() {\nentry:\n\tr0 = loadi 5\n\tr1 = call helper(r0)\n\temit r1\n\tret\n}\n")
+	f.Add("func main() {\nentry:\n\tr0 = loadi 1\n\tcbr r0, a, b\na:\n\tr1 = loadi 7\n\temit r1\n\tjmp c\nb:\n\tr2 = loadi 9\n\temit r2\n\tjmp c\nc:\n\tret\n}\n")
+	f.Add("global G 8 = i 11 22\nfunc main() {\nentry:\n\tr0 = addr G, 4\n\tr1 = load r0\n\temit r1\n\tret\n}\n")
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(workload.RandomProgram(seed).String())
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		p, err := ir.Parse(src)
+		if err != nil {
+			return
+		}
+		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+			return
+		}
+		for _, strat := range allStrategies {
+			cfg := detConfig(strat)
+			cfg.DiffCheck = DiffFinal
+			cfg.Strict = true
+			d := New(Options{DisableCache: true})
+			if _, err := d.Compile(p.Clone(), cfg); err != nil {
+				var me *MiscompileError
+				if !errors.As(err, &me) {
+					// Degenerate inputs may fail to compile; only wrong
+					// code that compiled cleanly is a finding here.
+					continue
+				}
+				b := &repro.Bundle{
+					Kind:    repro.KindMiscompile,
+					Func:    me.Func,
+					Pass:    me.Pass,
+					Program: src,
+					Error:   me.Error(),
+				}
+				if path, werr := repro.Write(reproCorpusDir, b); werr != nil {
+					t.Logf("could not write repro bundle: %v", werr)
+				} else {
+					t.Logf("repro bundle: %s", path)
+				}
+				t.Fatalf("strategy %v miscompiled the input: %v", strat, me)
+			}
+		}
+	})
+}

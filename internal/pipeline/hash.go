@@ -15,7 +15,7 @@ import (
 const (
 	frontKeyTag   = "ccm-pipeline-front-v2"
 	backKeyTag    = "ccm-pipeline-back-v2"
-	programKeyTag = "ccm-pipeline-prog-v2"
+	programKeyTag = "ccm-pipeline-prog-v3" // v3: DiffCheck/DiffVectors entered the key
 )
 
 // hasher streams a canonical binary encoding of IR and Config into
@@ -145,6 +145,11 @@ func programKey(p *ir.Program, cfg Config) digest {
 	h.bool(cfg.DisableCompaction)
 	h.bool(cfg.CleanupSpills)
 	h.bool(cfg.VerifyPasses)
+	// Differential checking can change the shipped program (divergence
+	// quarantine degrades functions), so checked and unchecked compiles
+	// must not share artifacts.
+	h.int(int(cfg.DiffCheck))
+	h.int(cfg.DiffVectors)
 	h.int(len(p.Globals))
 	for _, g := range p.Globals {
 		h.str(g.Name)
@@ -159,4 +164,13 @@ func programKey(p *ir.Program, cfg Config) digest {
 		h.fn(f)
 	}
 	return h.sum()
+}
+
+// programSeed derives the differential oracle's argument-vector seed
+// from the same content hash that addresses the program in the cache:
+// re-checking an identical (program, Config) pair replays identical
+// vectors, with no wall-clock randomness anywhere.
+func programSeed(p *ir.Program, cfg Config) uint64 {
+	k := programKey(p, cfg)
+	return binary.LittleEndian.Uint64(k[:8])
 }

@@ -152,6 +152,21 @@ type Config struct {
 	// pass disables the compile cache for the whole Compile.
 	InjectFront []InjectedPass `json:"-"`
 
+	// DiffCheck runs the differential-execution miscompile oracle
+	// (internal/oracle) against the input program: DiffFinal once on the
+	// compiled output, DiffPerStage additionally at each stage boundary.
+	// A divergence is bisected across per-pass snapshots to the first
+	// semantically-divergent pass; in Strict mode it fails the compile
+	// with a *MiscompileError, otherwise the culprit function is forced
+	// down the degradation ladder and the compile retries. Per-function
+	// caching is disabled while checking (snapshots must be recorded),
+	// but whole-program cache entries — stored only for divergence-free
+	// compiles — are still served.
+	DiffCheck DiffCheck
+	// DiffVectors is the number of argument vectors per checked entry
+	// function (0 = the oracle default of 3).
+	DiffVectors int
+
 	// postPassHook is a test seam: it is invoked with each function name
 	// as the interprocedural barrier reaches it, and may panic to
 	// simulate a mid-walk allocator fault.
@@ -183,6 +198,12 @@ func (c Config) validate() error {
 			return fmt.Errorf("pipeline: injected pass must have a name and a body")
 		}
 	}
+	if c.DiffCheck < DiffOff || c.DiffCheck > DiffPerStage {
+		return fmt.Errorf("pipeline: unknown DiffCheck mode %d", int(c.DiffCheck))
+	}
+	if c.DiffVectors < 0 {
+		return fmt.Errorf("pipeline: DiffVectors must be >= 0, got %d", c.DiffVectors)
+	}
 	return nil
 }
 
@@ -212,6 +233,13 @@ type Driver struct {
 	programHits int64
 	failures    int64
 	degraded    int64
+
+	// Cumulative differential-oracle totals across compiles.
+	diffChecked      int64
+	diffRuns         int64
+	diffInconclusive int64
+	divergences      int64
+	divergentPasses  map[string]int64
 }
 
 // New builds a Driver.
@@ -220,7 +248,7 @@ func New(opts Options) *Driver {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	d := &Driver{workers: w, cum: newMetrics()}
+	d := &Driver{workers: w, cum: newMetrics(), divergentPasses: map[string]int64{}}
 	if !opts.DisableCache {
 		d.cache = opts.Cache
 		if d.cache == nil {
@@ -250,6 +278,11 @@ type funcState struct {
 type compileState struct {
 	cfg       Config
 	inputText string // program text captured before any pass ran ("" when no ReproDir)
+
+	// snaps records per-pass function snapshots for the current attempt
+	// when the differential oracle is on (nil otherwise). Front and back
+	// slots are per-function, so parallel workers write disjoint entries.
+	snaps *snapRecorder
 
 	failures atomic.Int64
 	degraded atomic.Int64
@@ -319,6 +352,15 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 	if len(cfg.InjectFront) > 0 {
 		cache = nil
 	}
+	// Per-function caching is incompatible with the differential oracle:
+	// a front or back hit skips exactly the passes whose snapshots
+	// bisection reconstructs. The whole-program tier stays on — entries
+	// are stored only for divergence-free compiles under a key that
+	// includes the diff configuration.
+	fnCache := cache
+	if cfg.DiffCheck != DiffOff {
+		fnCache = nil
+	}
 	cs := &compileState{cfg: cfg}
 	if cfg.ReproDir != "" {
 		// Captured before any pass mutates the program: bundles must carry
@@ -342,55 +384,133 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 				rep.PerFunc[name] = fr
 			}
 			rep.ProgramCacheHit = true
-			d.finish(rep, cs, m, start, true)
+			d.finish(rep, cs, nil, m, start, true)
 			return rep, nil
 		}
 	}
 
-	states := make([]funcState, len(p.Funcs))
-
-	// Front stage (parallel): scalar optimization, injected experimental
-	// passes, and register allocation, each function isolated under the
-	// degradation ladder. Each worker touches only p.Funcs[i], so
-	// scheduling cannot change the output.
-	err := d.forEach(ctx, len(p.Funcs), func(i int) error {
-		return d.compileFront(ctx, p, i, cfg, cache, m, cs, &states[i])
-	})
-	if err != nil {
-		return nil, err
+	var do *diffOracle
+	if cfg.DiffCheck != DiffOff {
+		do = newDiffOracle(p, cfg)
 	}
+	forced := newForcedDegrade()
+	// Each retry strictly escalates one function's quarantine, so the
+	// loop terminates; the cap is a backstop, not a policy.
+	maxAttempts := 4*len(p.Funcs) + 4
 
-	// Interprocedural barrier (sequential): the post-pass CCM allocator
-	// walks the call graph bottom-up, so every function's allocated body
-	// must be final before any promotion decision is made. Functions that
-	// degraded to the baseline rung keep their spill-to-RAM code and are
-	// excluded from promotion.
-	if cfg.Strategy == PostPass || cfg.Strategy == PostPassInterproc {
-		if err := d.postPassBarrier(ctx, p, cfg, m, cs, states); err != nil {
-			d.foldCounters(cs)
-			return nil, err
+	var states []funcState
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// Quarantine retry: recompile the pristine input with the
+			// forced degradations in place. The degraded counter restarts
+			// so the report describes the program actually shipped;
+			// failures and divergence counters accumulate.
+			for i := range p.Funcs {
+				p.Funcs[i] = do.pre.Funcs[i].Clone()
+			}
+			cs.degraded.Store(0)
 		}
-	}
+		states = make([]funcState, len(p.Funcs))
+		cs.snaps = nil
+		if do != nil {
+			cs.snaps = newSnapRecorder(len(p.Funcs))
+		}
 
-	// Back stage (parallel): spill-code cleanup and spill-memory
-	// compaction, both strictly per-function. A fault here degrades to
-	// shipping the function with its uncompacted post-barrier body.
-	if cfg.CleanupSpills || !cfg.DisableCompaction {
-		err = d.forEach(ctx, len(p.Funcs), func(i int) error {
-			return d.compileBack(ctx, p, i, cfg, cache, m, cs, &states[i])
+		// check runs the oracle at one boundary; a true retry means a
+		// divergence was bisected, quarantined, and the compile should
+		// restart. All oracle work happens here, on the calling
+		// goroutine, after the parallel stages have joined — worker
+		// count cannot influence the verdict or the counters.
+		check := func(stage string) (retry bool, err error) {
+			me, err := do.check(ctx, p, stage, cs.snaps.upTo(stage))
+			if err != nil {
+				d.foldCounters(cs, do)
+				return false, err
+			}
+			if me == nil {
+				return false, nil
+			}
+			cs.recordMiscompile(me, p, do)
+			if cfg.Strict || attempt+1 >= maxAttempts || !forced.escalate(me, cfg) {
+				d.foldCounters(cs, do)
+				return false, me
+			}
+			return true, nil
+		}
+
+		// Front stage (parallel): scalar optimization, injected
+		// experimental passes, and register allocation, each function
+		// isolated under the degradation ladder. Each worker touches only
+		// p.Funcs[i], so scheduling cannot change the output.
+		err := d.forEach(ctx, len(p.Funcs), func(i int) error {
+			return d.compileFront(ctx, p, i, cfg, fnCache, m, cs, &states[i], forced)
 		})
 		if err != nil {
 			return nil, err
 		}
-	}
-
-	{
-		n := totalInstrs(p)
-		t := time.Now()
-		if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
-			return nil, fmt.Errorf("pipeline: post-compile verification failed: %w", err)
+		if cfg.DiffCheck == DiffPerStage {
+			retry, err := check(diffStageFront)
+			if err != nil {
+				return nil, err
+			}
+			if retry {
+				continue
+			}
 		}
-		m.pass(PassVerify, time.Since(t), n, n)
+
+		// Interprocedural barrier (sequential): the post-pass CCM
+		// allocator walks the call graph bottom-up, so every function's
+		// allocated body must be final before any promotion decision is
+		// made. Functions that degraded to the baseline rung keep their
+		// spill-to-RAM code and are excluded from promotion.
+		if cfg.Strategy == PostPass || cfg.Strategy == PostPassInterproc {
+			if err := d.postPassBarrier(ctx, p, cfg, m, cs, states, forced); err != nil {
+				d.foldCounters(cs, do)
+				return nil, err
+			}
+			if cfg.DiffCheck == DiffPerStage {
+				retry, err := check(diffStagePostPass)
+				if err != nil {
+					return nil, err
+				}
+				if retry {
+					continue
+				}
+			}
+		}
+
+		// Back stage (parallel): spill-code cleanup and spill-memory
+		// compaction, both strictly per-function. A fault here degrades
+		// to shipping the function with its uncompacted post-barrier
+		// body.
+		if cfg.CleanupSpills || !cfg.DisableCompaction {
+			err = d.forEach(ctx, len(p.Funcs), func(i int) error {
+				return d.compileBack(ctx, p, i, cfg, fnCache, m, cs, &states[i], forced)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		{
+			n := totalInstrs(p)
+			t := time.Now()
+			if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
+				return nil, fmt.Errorf("pipeline: post-compile verification failed: %w", err)
+			}
+			m.pass(PassVerify, time.Since(t), n, n)
+		}
+
+		if do != nil {
+			retry, err := check(diffStageFinal)
+			if err != nil {
+				return nil, err
+			}
+			if retry {
+				continue
+			}
+		}
+		break
 	}
 
 	for i, f := range p.Funcs {
@@ -398,13 +518,18 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		st.fr.Instrs = f.NumInstrs()
 		st.fr.FrontCacheHit = st.frontHit
 		st.fr.BackCacheHit = st.backHit
+		if me := forced.reason[f.Name]; me != nil && st.fr.Error == "" {
+			st.fr.FailedPass = me.Pass
+			st.fr.Error = "miscompile: " + me.Divergence.Detail
+		}
 		rep.PerFunc[f.Name] = st.fr
 	}
 
-	// A program artifact is cached only for fault-free compiles: degraded
-	// output is correct but below configured fidelity, and must not be
-	// served to a later compile whose faults might have been fixed.
-	if cache != nil && cs.failures.Load() == 0 {
+	// A program artifact is cached only for fault-free, divergence-free
+	// compiles: degraded output is correct but below configured fidelity,
+	// and must not be served to a later compile whose faults might have
+	// been fixed.
+	if cache != nil && cs.failures.Load() == 0 && (do == nil || do.divergences == 0) {
 		art := &programArtifact{
 			funcs:   make([]*ir.Func, len(p.Funcs)),
 			perFunc: make(map[string]FuncReport, len(rep.PerFunc)),
@@ -420,7 +545,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		cache.put(progKey, art)
 	}
 
-	d.finish(rep, cs, m, start, false)
+	d.finish(rep, cs, do, m, start, false)
 	return rep, nil
 }
 
@@ -431,11 +556,26 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 // skip set, and the walk retries. One bad function therefore loses only
 // its own promotion; attribution failures degrade the whole barrier to
 // the heavyweight spill path instead of failing the program.
-func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config, m *metrics, cs *compileState, states []funcState) error {
+func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config, m *metrics, cs *compileState, states []funcState, forced *forcedDegrade) error {
 	skip := map[string]bool{}
 	for i, f := range p.Funcs {
 		if states[i].level >= levelBaseline {
 			skip[f.Name] = true
+		}
+	}
+	// Functions quarantined by the miscompile oracle keep their
+	// spill-to-RAM code: the oracle bisected a previous divergence to the
+	// promotion of exactly these functions.
+	for i, f := range p.Funcs {
+		if forced.noCCM[f.Name] && !skip[f.Name] {
+			skip[f.Name] = true
+			st := &states[i]
+			if st.fr.Degraded == "" {
+				st.fr.Degraded = "no-ccm"
+				cs.degraded.Add(1)
+			} else {
+				st.fr.Degraded += "+no-ccm"
+			}
 		}
 	}
 	// The allocator rewrites functions as it walks; recovery from a
@@ -492,6 +632,9 @@ func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config,
 				if fp := res.PerFunc[f.Name]; fp != nil {
 					states[i].fr.PromotedWebs = fp.Promoted
 					states[i].fr.CCMBytes = fp.CCMBytes
+				}
+				if cs.snaps != nil && !skip[f.Name] {
+					cs.snaps.barrier = append(cs.snaps.barrier, passSnap{PassPostPass, f.Name, i, f.Clone()})
 				}
 			}
 			return nil
@@ -572,7 +715,7 @@ func passNames(passes []frontPass) []string {
 // degradation ladder on faults. It returns an error only when the
 // compile as a whole must stop: context cancellation, Strict mode, or an
 // exhausted ladder.
-func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState) error {
+func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState, forced *forcedDegrade) error {
 	f := p.Funcs[i]
 	var key digest
 	if cache != nil {
@@ -587,12 +730,16 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 	}
 
 	// The ladder re-runs the stage from pristine input, so failed
-	// attempts must not leak partial rewrites.
+	// attempts must not leak partial rewrites. A function quarantined by
+	// the miscompile oracle starts at its forced rung.
 	pristine := p.Funcs[i].Clone()
-	level := levelFull
+	level := forced.level[f.Name]
 	retries := cfg.FuncRetries
 	for {
-		cerr := d.frontAttempt(ctx, p.Funcs[i], cfg, level, m, st)
+		if cs.snaps != nil {
+			cs.snaps.front[i] = cs.snaps.front[i][:0]
+		}
+		cerr := d.frontAttempt(ctx, p.Funcs[i], cfg, level, m, st, cs.snaps, i)
 		if cerr == nil {
 			break
 		}
@@ -633,7 +780,7 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 // frontAttempt makes one pass over the front-stage sequence at the given
 // rung: deadline check, guarded execution, optional checkpoint, for each
 // pass in turn.
-func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level degradeLevel, m *metrics, st *funcState) *CompileError {
+func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level degradeLevel, m *metrics, st *funcState, snaps *snapRecorder, fnIdx int) *CompileError {
 	fctx := ctx
 	if cfg.FuncTimeout > 0 {
 		var cancel context.CancelFunc
@@ -662,6 +809,9 @@ func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level
 				return cerr
 			}
 		}
+		if snaps != nil {
+			snaps.front[fnIdx] = append(snaps.front[fnIdx], passSnap{pass.name, f.Name, fnIdx, f.Clone()})
+		}
 	}
 	return nil
 }
@@ -669,8 +819,19 @@ func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level
 // compileBack runs the back stage for p.Funcs[i]. A fault degrades to
 // shipping the uncompacted post-barrier body rather than failing the
 // compile.
-func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState) error {
+func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState, forced *forcedDegrade) error {
 	f := p.Funcs[i]
+	if forced.noCompact[f.Name] {
+		// Quarantined by the miscompile oracle: ship the post-barrier
+		// body untouched.
+		if st.fr.Degraded == "" {
+			st.fr.Degraded = "no-compact"
+			cs.degraded.Add(1)
+		} else {
+			st.fr.Degraded += "+no-compact"
+		}
+		return nil
+	}
 	var key digest
 	if cache != nil {
 		key = backKey(f, cfg)
@@ -713,6 +874,9 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 					return cerr
 				}
 			}
+			if cs.snaps != nil {
+				cs.snaps.back[i] = append(cs.snaps.back[i], passSnap{PassCleanup, f.Name, i, f.Clone()})
+			}
 		}
 		if !cfg.DisableCompaction {
 			if cerr := ctxErr(fctx, PassCompact, f.Name, st.level); cerr != nil {
@@ -737,6 +901,9 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 					return cerr
 				}
 			}
+			if cs.snaps != nil {
+				cs.snaps.back[i] = append(cs.snaps.back[i], passSnap{PassCompact, f.Name, i, f.Clone()})
+			}
 		}
 		return nil
 	}
@@ -746,6 +913,11 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 			return cerr
 		}
 		p.Funcs[i] = pristine
+		if cs.snaps != nil {
+			// The shipped body is the post-barrier one; snapshots from the
+			// failed attempt no longer describe it.
+			cs.snaps.back[i] = nil
+		}
 		st.fr.SpillBytesCompacted = 0
 		st.fr.SpillWebs = 0
 		st.fr.FailedPass = cerr.Pass
@@ -768,9 +940,9 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 	return nil
 }
 
-// finish stamps wall time, cache and fault stats on rep and folds the
-// compile into the driver's cumulative metrics.
-func (d *Driver) finish(rep *Report, cs *compileState, m *metrics, start time.Time, programHit bool) {
+// finish stamps wall time, cache, fault, and differential-oracle stats
+// on rep and folds the compile into the driver's cumulative metrics.
+func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metrics, start time.Time, programHit bool) {
 	rep.WallNanos = time.Since(start).Nanoseconds()
 	rep.Passes = m.stats()
 	if d.cache != nil {
@@ -778,6 +950,18 @@ func (d *Driver) finish(rep *Report, cs *compileState, m *metrics, start time.Ti
 	}
 	rep.Failures = cs.failures.Load()
 	rep.Degraded = cs.degraded.Load()
+	if do != nil {
+		rep.DiffFuncsChecked = do.funcsChecked
+		rep.DiffRuns = do.runs
+		rep.DiffInconclusive = do.inconclusive
+		rep.Divergences = do.divergences
+		if len(do.divergentPasses) > 0 {
+			rep.DivergentPasses = make(map[string]int64, len(do.divergentPasses))
+			for k, v := range do.divergentPasses {
+				rep.DivergentPasses[k] = v
+			}
+		}
+	}
 	cs.mu.Lock()
 	sort.Strings(cs.repros)
 	rep.Repros = cs.repros
@@ -795,16 +979,31 @@ func (d *Driver) finish(rep *Report, cs *compileState, m *metrics, start time.Ti
 	}
 	d.failures += rep.Failures
 	d.degraded += rep.Degraded
+	d.foldDiffLocked(do)
 	d.cum.merge(m)
 }
 
-// foldCounters folds fault counters into the driver on the error path,
-// where finish never runs.
-func (d *Driver) foldCounters(cs *compileState) {
+// foldCounters folds fault and oracle counters into the driver on the
+// error path, where finish never runs.
+func (d *Driver) foldCounters(cs *compileState, do *diffOracle) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failures += cs.failures.Load()
 	d.degraded += cs.degraded.Load()
+	d.foldDiffLocked(do)
+}
+
+func (d *Driver) foldDiffLocked(do *diffOracle) {
+	if do == nil {
+		return
+	}
+	d.diffChecked += do.funcsChecked
+	d.diffRuns += do.runs
+	d.diffInconclusive += do.inconclusive
+	d.divergences += do.divergences
+	for k, v := range do.divergentPasses {
+		d.divergentPasses[k] += v
+	}
 }
 
 // Metrics returns the driver's cumulative totals across every Compile:
@@ -815,15 +1014,25 @@ func (d *Driver) Metrics() *Report {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	rep := &Report{
-		Strategy:    "(cumulative)",
-		Workers:     d.workers,
-		Compiles:    d.compiles,
-		Funcs:       int(d.funcsTotal),
-		WallNanos:   d.wallTotal,
-		ProgramHits: d.programHits,
-		Failures:    d.failures,
-		Degraded:    d.degraded,
-		Passes:      d.cum.stats(),
+		Strategy:         "(cumulative)",
+		Workers:          d.workers,
+		Compiles:         d.compiles,
+		Funcs:            int(d.funcsTotal),
+		WallNanos:        d.wallTotal,
+		ProgramHits:      d.programHits,
+		Failures:         d.failures,
+		Degraded:         d.degraded,
+		DiffFuncsChecked: d.diffChecked,
+		DiffRuns:         d.diffRuns,
+		DiffInconclusive: d.diffInconclusive,
+		Divergences:      d.divergences,
+		Passes:           d.cum.stats(),
+	}
+	if len(d.divergentPasses) > 0 {
+		rep.DivergentPasses = make(map[string]int64, len(d.divergentPasses))
+		for k, v := range d.divergentPasses {
+			rep.DivergentPasses[k] = v
+		}
 	}
 	if d.cache != nil {
 		rep.Cache = d.cache.Stats()

@@ -1,10 +1,12 @@
 package pipeline
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
 	"ccmem/internal/ir"
+	"ccmem/internal/oracle"
 	"ccmem/internal/repro"
 )
 
@@ -71,6 +73,38 @@ func Replay(b *repro.Bundle) error {
 		d := New(Options{Workers: 1, DisableCache: true})
 		_, err = d.Compile(p, cfg)
 		return err
+	case repro.KindMiscompile:
+		// The finding was "these two programs compute different things":
+		// re-run the exact differential check that fired. The divergence
+		// re-confirming is the pass; a clean check means the recorded
+		// miscompile is no longer observable, which a regression corpus
+		// must flag.
+		pre, err := ir.Parse(b.Program)
+		if err != nil {
+			return fmt.Errorf("replay: bundle pre program does not parse: %w", err)
+		}
+		post, err := ir.Parse(b.Post)
+		if err != nil {
+			return fmt.Errorf("replay: bundle post program does not parse: %w", err)
+		}
+		var cfg Config
+		if len(b.Config) > 0 {
+			if err := json.Unmarshal(b.Config, &cfg); err != nil {
+				return fmt.Errorf("replay: bundle config: %w", err)
+			}
+		}
+		res, err := oracle.Check(context.Background(), pre, post, oracle.Options{
+			Seed:     b.Seed,
+			Vectors:  cfg.DiffVectors,
+			CCMBytes: cfg.CCMBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("replay: differential check: %w", err)
+		}
+		if res.Equivalent() {
+			return fmt.Errorf("replay: recorded miscompile no longer reproduces (programs now agree on %d runs)", res.Runs)
+		}
+		return nil
 	case repro.KindRun:
 		return fmt.Errorf("replay: run bundles replay through the ccm facade, not the pipeline")
 	}

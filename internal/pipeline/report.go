@@ -86,6 +86,18 @@ type Report struct {
 	Degraded   int64    `json:"degraded,omitempty"`
 	Repros     []string `json:"repros,omitempty"`
 	ReproError string   `json:"repro_error,omitempty"`
+
+	// Differential-oracle counters (Config.DiffCheck). DiffFuncsChecked
+	// counts entry functions executed on both sides (bisection re-checks
+	// included), DiffRuns the conclusive (entry, vector) executions,
+	// DiffInconclusive the runs skipped on a resource limit. Divergences
+	// counts detected miscompiles; DivergentPasses is the histogram of
+	// the first semantically-divergent pass each bisected to.
+	DiffFuncsChecked int64            `json:"diff_funcs_checked,omitempty"`
+	DiffRuns         int64            `json:"diff_runs,omitempty"`
+	DiffInconclusive int64            `json:"diff_inconclusive,omitempty"`
+	Divergences      int64            `json:"divergences,omitempty"`
+	DivergentPasses  map[string]int64 `json:"divergent_passes,omitempty"`
 }
 
 // metrics accumulates per-pass statistics; safe for concurrent workers.

@@ -23,14 +23,18 @@ import (
 )
 
 // Version is the current bundle-format version; Load rejects bundles
-// from a newer format than it understands.
-const Version = 1
+// from a newer format than it understands, and bundles that carry no
+// version at all. Version 2 added the differential-execution fields
+// (Post, Seed, Entry) and the miscompile kind; version-1 bundles remain
+// loadable.
+const Version = 2
 
 // Bundle kinds: which stage of the toolchain the failure occurred in.
 const (
-	KindCompile = "compile" // a pipeline pass failed, panicked, or broke an invariant
-	KindParse   = "parse"   // the textual front end failed (fuzzer finding)
-	KindRun     = "run"     // the simulator rejected or faulted on a program
+	KindCompile    = "compile"    // a pipeline pass failed, panicked, or broke an invariant
+	KindParse      = "parse"      // the textual front end failed (fuzzer finding)
+	KindRun        = "run"        // the simulator rejected or faulted on a program
+	KindMiscompile = "miscompile" // the differential oracle observed wrong code (internal/oracle)
 )
 
 // Bundle is one replayable failure.
@@ -46,6 +50,14 @@ type Bundle struct {
 	// carry the whole program, not just the failing function, so replays
 	// see identical call-graph context.
 	Program string `json:"program"`
+
+	// Miscompile bundles additionally carry the divergent compiled
+	// program, the argument-vector seed, and the entry function whose
+	// execution exposed the divergence, so a replay re-runs the exact
+	// differential check that fired.
+	Post  string `json:"post,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Entry string `json:"entry,omitempty"`
 
 	// Config is the JSON encoding of the configuration the failure
 	// occurred under (a pipeline.Config for compile bundles, a simulator
@@ -110,8 +122,11 @@ func Load(path string) (*Bundle, error) {
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("repro: %s: %w", path, err)
 	}
+	if b.Version == 0 {
+		return nil, fmt.Errorf("repro: %s: bundle has no version (want 1..%d)", path, Version)
+	}
 	if b.Version > Version {
-		return nil, fmt.Errorf("repro: %s: bundle version %d is newer than supported %d", path, b.Version, Version)
+		return nil, fmt.Errorf("repro: %s: bundle version %d is newer than supported %d; upgrade the toolchain to replay it", path, b.Version, Version)
 	}
 	if b.Kind == "" {
 		return nil, fmt.Errorf("repro: %s: bundle has no kind", path)

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteLoadRoundtrip: Write stamps the current format version and
+// Load returns the bundle unchanged, including the version-2
+// differential fields.
+func TestWriteLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	b := &Bundle{
+		Kind:    KindMiscompile,
+		Func:    "main",
+		Pass:    "optimize",
+		Program: "func main() {\nentry:\n\tret\n}\n",
+		Post:    "func main() {\nentry:\n\tret\n}\n",
+		Seed:    0xdeadbeef,
+		Entry:   "main",
+		Error:   "trace[0] = 1 vs 2",
+	}
+	path, err := Write(dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version {
+		t.Errorf("Version = %d, want %d", got.Version, Version)
+	}
+	if got.Kind != KindMiscompile || got.Post != b.Post || got.Seed != b.Seed || got.Entry != b.Entry {
+		t.Errorf("differential fields did not round-trip: %+v", got)
+	}
+}
+
+func writeRaw(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadVersionRange: version 1 bundles stay loadable, missing and
+// future versions are rejected with errors that say what to do.
+func TestLoadVersionRange(t *testing.T) {
+	if b, err := Load(writeRaw(t, "v1.repro.json",
+		`{"version":1,"kind":"parse","program":"x","error":"e"}`)); err != nil || b.Version != 1 {
+		t.Errorf("version-1 bundle rejected: %v", err)
+	}
+	if _, err := Load(writeRaw(t, "v0.repro.json",
+		`{"kind":"parse","program":"x","error":"e"}`)); err == nil || !strings.Contains(err.Error(), "no version") {
+		t.Errorf("versionless bundle accepted (err=%v)", err)
+	}
+	if _, err := Load(writeRaw(t, "v99.repro.json",
+		`{"version":99,"kind":"parse","program":"x","error":"e"}`)); err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Errorf("future-version bundle accepted (err=%v)", err)
+	}
+}

@@ -13,13 +13,18 @@ type execState struct {
 	ccm    []uint64
 	st     *Stats
 	frames []frame
-	sp     int64 // next free stack byte
-	limit  int64 // first byte past addressable memory
+	sp     int64           // next free stack byte
+	limit  int64           // first byte past addressable memory
+	done   <-chan struct{} // context cancellation; nil when not cancellable
 	ret    Value
 	hasRet bool
 }
 
 func (ex *execState) fault(fr *frame, format string, args ...any) error {
+	return ex.faultKind(fr, FaultSemantic, format, args...)
+}
+
+func (ex *execState) faultKind(fr *frame, kind FaultKind, format string, args ...any) error {
 	block := "?"
 	if int(fr.pc) < len(fr.fn.blockOf) {
 		block = fr.fn.blockOf[fr.pc]
@@ -28,6 +33,21 @@ func (ex *execState) fault(fr *frame, format string, args ...any) error {
 		Func:  fr.fn.f.Name,
 		Block: block,
 		Msg:   fmt.Sprintf(format, args...),
+		Kind:  kind,
+	}
+}
+
+// cancelled polls the context's done channel; block boundaries call it so
+// a cancelled run unwinds within one basic block plus one instruction.
+func (ex *execState) cancelled() bool {
+	if ex.done == nil {
+		return false
+	}
+	select {
+	case <-ex.done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -64,7 +84,7 @@ func (ex *execState) run(f0 frame) error {
 			in := &code[fr.pc]
 			steps++
 			if steps > cfg.MaxSteps {
-				return ex.faultAt(fr, "instruction budget exhausted (%d)", cfg.MaxSteps)
+				return ex.faultKind(fr, FaultLimit, "instruction budget exhausted (%d)", cfg.MaxSteps)
 			}
 			if cfg.Trace != nil && steps <= cfg.TraceLimit {
 				fmt.Fprintf(cfg.Trace, "%s %s\t%s\n",
@@ -237,11 +257,17 @@ func (ex *execState) run(f0 frame) error {
 				st.CCMOps++
 
 			case ir.OpJmp:
+				if ex.cancelled() {
+					return ex.faultKind(fr, FaultCancelled, "execution cancelled")
+				}
 				st.Cycles++
 				fstats.Cycles++
 				fr.pc = in.t0
 				continue inner
 			case ir.OpCBr:
+				if ex.cancelled() {
+					return ex.faultKind(fr, FaultCancelled, "execution cancelled")
+				}
 				st.Cycles++
 				fstats.Cycles++
 				if regs[in.a0] != 0 {
@@ -252,14 +278,17 @@ func (ex *execState) run(f0 frame) error {
 				continue inner
 
 			case ir.OpCall:
+				if ex.cancelled() {
+					return ex.faultKind(fr, FaultCancelled, "execution cancelled")
+				}
 				st.Cycles++
 				fstats.Cycles++
 				callee := in.callee
 				if len(ex.frames) >= cfg.MaxDepth {
-					return ex.faultAt(fr, "call depth limit %d exceeded", cfg.MaxDepth)
+					return ex.faultKind(fr, FaultLimit, "call depth limit %d exceeded", cfg.MaxDepth)
 				}
 				if ex.sp+callee.frameBytes > ex.limit {
-					return ex.faultAt(fr, "stack overflow: %d bytes needed", callee.frameBytes)
+					return ex.faultKind(fr, FaultLimit, "stack overflow: %d bytes needed", callee.frameBytes)
 				}
 				nf := frame{
 					fn:     callee,

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -139,11 +140,46 @@ type Stats struct {
 	HasRet bool
 }
 
+// FaultKind classifies a runtime fault. The distinction matters to the
+// differential-execution oracle (internal/oracle): two semantically
+// identical programs must fault together or not at all, but a resource
+// limit (fuel, call depth, cancellation) says nothing about semantics —
+// a transformed program legitimately executes a different number of
+// instructions, so limit faults are inconclusive rather than divergent.
+type FaultKind int
+
+const (
+	// FaultSemantic is a genuine runtime error the program itself caused:
+	// out-of-bounds or unaligned access, divide by zero, a bad return.
+	FaultSemantic FaultKind = iota
+	// FaultLimit is a resource bound imposed by the configuration: the
+	// instruction budget (MaxSteps), the call-depth limit (MaxDepth), or
+	// stack exhaustion.
+	FaultLimit
+	// FaultCancelled is a cooperative stop: the context passed to
+	// RunContext was cancelled and the interpreter unwound at the next
+	// block boundary.
+	FaultCancelled
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSemantic:
+		return "semantic"
+	case FaultLimit:
+		return "limit"
+	case FaultCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
 // Fault describes a runtime error with source context.
 type Fault struct {
 	Func  string
 	Block string
 	Msg   string
+	Kind  FaultKind
 }
 
 func (f *Fault) Error() string {
@@ -306,6 +342,16 @@ type frame struct {
 
 // Run executes entry(args...) and returns the instrumented statistics.
 func (m *Machine) Run(entry string, args ...Value) (*Stats, error) {
+	return m.RunContext(context.Background(), entry, args...)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// at block boundaries (branches and calls), so a nonterminating program —
+// straight-line stretches are already bounded by MaxSteps — unwinds into
+// a structured *Fault of kind FaultCancelled instead of hanging its
+// goroutine. Combined with MaxSteps and MaxDepth this makes every
+// execution bounded: fuel, depth, and wall-clock (via a deadline context).
+func (m *Machine) RunContext(ctx context.Context, entry string, args ...Value) (*Stats, error) {
 	rf, ok := m.funcs[entry]
 	if !ok {
 		return nil, fmt.Errorf("sim: no function %q", entry)
@@ -343,6 +389,7 @@ func (m *Machine) Run(entry string, args ...Value) (*Stats, error) {
 		st:    st,
 		sp:    m.globalEnd,
 		limit: int64(m.memWords) * ir.WordBytes,
+		done:  ctx.Done(),
 	}
 	f0 := frame{fn: rf, regs: make([]uint64, rf.nregs), base: ex.sp, retDst: ir.NoReg}
 	ex.sp += rf.frameBytes

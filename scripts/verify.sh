@@ -1,0 +1,27 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate.
+#
+# Runs tier-1 (build, vet, full test suite), then the race-detector
+# suites the ROADMAP requires for the concurrent driver and the
+# miscompile oracle. Intended for CI and for humans before committing:
+#
+#	./scripts/verify.sh
+#
+# Exits nonzero at the first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== tier-1: go build ./...'
+go build ./...
+
+echo '== tier-1: go vet ./...'
+go vet ./...
+
+echo '== tier-1: go test ./...'
+go test ./...
+
+echo '== race: go test -race ./internal/pipeline/... ./internal/oracle/...'
+go test -race ./internal/pipeline/... ./internal/oracle/...
+
+echo '== verify.sh: all green'
