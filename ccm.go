@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"ccmem/internal/ir"
@@ -118,6 +119,17 @@ type Config struct {
 	// introduced it, then quarantined via the degradation ladder (or
 	// fatal under Strict). See CompileReport.Divergences.
 	DiffCheck bool
+
+	// CacheDir enables the persistent artifact cache: compiled artifacts
+	// are stored crash-safely under this directory and verified (SHA-256)
+	// on the way back, so identical compiles are answered across process
+	// restarts. A missing or corrupt directory never fails a compile —
+	// the driver falls back to memory-only caching (see
+	// CompileReport.CacheWarning). Empty = memory-only.
+	CacheDir string
+	// CacheBytes bounds the persistent tier (LRU-by-access eviction);
+	// <= 0 uses the default budget.
+	CacheBytes int64
 }
 
 // CompileReport summarizes one compilation.
@@ -134,6 +146,9 @@ type CompileReport struct {
 	Divergences int64
 	// Repros lists the crash repro bundles written (Config.ReproDir).
 	Repros []string
+	// CacheWarning is non-empty when Config.CacheDir was set but the
+	// persistent tier could not be opened; the compile ran memory-only.
+	CacheWarning string
 }
 
 // FuncReport is the per-function compilation summary.
@@ -218,6 +233,33 @@ func pipelineStrategy(s Strategy) pipeline.Strategy {
 // so neither parallelism nor caching can change the output.
 var defaultDriver = pipeline.New(pipeline.Options{})
 
+// diskDrivers holds one long-lived driver per (CacheDir, CacheBytes)
+// pair, so every compile against a cache directory shares its disk
+// handle, its LRU accounting, and its in-memory tier — opening a fresh
+// handle per Compile would reset the access order and race the sweeps.
+var (
+	diskDriverMu sync.Mutex
+	diskDrivers  = map[string]*pipeline.Driver{}
+)
+
+// driverFor returns the process-wide driver serving cfg's cache
+// location: the shared default driver when CacheDir is empty, a
+// per-directory driver otherwise.
+func driverFor(cfg Config) *pipeline.Driver {
+	if cfg.CacheDir == "" {
+		return defaultDriver
+	}
+	key := fmt.Sprintf("%s\x00%d", cfg.CacheDir, cfg.CacheBytes)
+	diskDriverMu.Lock()
+	defer diskDriverMu.Unlock()
+	d, ok := diskDrivers[key]
+	if !ok {
+		d = pipeline.New(pipeline.Options{CacheDir: cfg.CacheDir, CacheBytes: cfg.CacheBytes})
+		diskDrivers[key] = d
+	}
+	return d
+}
+
 // Compile runs the full pipeline in place. The work is delegated to the
 // internal/pipeline driver; use that package directly (via IR) for
 // per-pass timings, cache statistics, worker control, and experimental
@@ -236,7 +278,8 @@ func (pr *Program) CompileContext(ctx context.Context, cfg Config) (*CompileRepo
 	if cfg.Strategy != NoCCM && cfg.CCMBytes <= 0 {
 		return nil, fmt.Errorf("ccm: strategy %v requires CCMBytes > 0", cfg.Strategy)
 	}
-	prep, err := defaultDriver.CompileContext(ctx, pr.p, pipeline.Config{
+	driver := driverFor(cfg)
+	prep, err := driver.CompileContext(ctx, pr.p, pipeline.Config{
 		Strategy:          pipelineStrategy(cfg.Strategy),
 		CCMBytes:          cfg.CCMBytes,
 		IntRegs:           cfg.IntRegs,
@@ -259,6 +302,9 @@ func (pr *Program) CompileContext(ctx context.Context, cfg Config) (*CompileRepo
 		Degraded:    prep.Degraded,
 		Divergences: prep.Divergences,
 		Repros:      prep.Repros,
+	}
+	if err := driver.DiskCacheErr(); err != nil {
+		rep.CacheWarning = err.Error()
 	}
 	for name, fr := range prep.PerFunc {
 		rep.PerFunc[name] = FuncReport{

@@ -1,6 +1,8 @@
 package ccm
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -210,5 +212,46 @@ func TestCompileReportShapes(t *testing.T) {
 	}
 	if fr.CCMBytes == 0 || fr.CCMBytes > 1024 {
 		t.Fatalf("ccm bytes = %d", fr.CCMBytes)
+	}
+}
+
+// TestFacadeCacheDir: Config.CacheDir persists compile artifacts across
+// facade compiles, a broken directory degrades to memory-only via
+// CacheWarning, and the compiled text is identical either way.
+func TestFacadeCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Strategy: Integrated, CCMBytes: 512, CacheDir: dir}
+
+	p1, _ := ParseProgram(apiSrc)
+	rep1, err := p1.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CacheWarning != "" {
+		t.Fatalf("healthy cache dir produced a warning: %s", rep1.CacheWarning)
+	}
+
+	p2, _ := ParseProgram(apiSrc)
+	if _, err := p2.Compile(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Text() != p1.Text() {
+		t.Error("cache-served compile differs from the original")
+	}
+
+	bad := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3, _ := ParseProgram(apiSrc)
+	rep3, err := p3.Compile(Config{Strategy: Integrated, CCMBytes: 512, CacheDir: bad})
+	if err != nil {
+		t.Fatalf("unusable cache dir failed the compile: %v", err)
+	}
+	if rep3.CacheWarning == "" {
+		t.Error("unusable cache dir produced no warning")
+	}
+	if p3.Text() != p1.Text() {
+		t.Error("memory-only fallback changed the output")
 	}
 }

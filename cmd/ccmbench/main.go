@@ -7,6 +7,7 @@
 //	ccmbench [-table N] [-figure N] [-ablation] [-multiproc] [-markdown]
 //	         [-memcost N] [-workers N] [-json]
 //	         [-verify-passes] [-timeout D] [-repro-dir DIR]
+//	         [-cache-dir DIR] [-cache-bytes N]
 //
 // The fault-isolation flags harden long benchmark runs: -verify-passes
 // checkpoints compiler invariants after every pass, -timeout bounds each
@@ -22,9 +23,12 @@
 //
 // Without selection flags it prints everything. Every measurement runs
 // through one shared compilation driver (internal/pipeline), so compile
-// artifacts are cached across tables and figures; -json prints the
-// driver's cumulative report (per-pass wall time, cache hit/miss
-// counters) to stderr after the run.
+// artifacts are cached across tables and figures; -cache-dir extends
+// that cache across ccmbench invocations via the crash-safe persistent
+// tier (integrity-verified, LRU-bounded by -cache-bytes), so a repeat
+// run skips every compile that hasn't changed. -json prints the
+// driver's cumulative report (per-pass wall time, per-tier cache
+// hit/miss counters and the computed hit rate) to stderr after the run.
 package main
 
 import (
@@ -49,11 +53,16 @@ func main() {
 	verifyPasses := flag.Bool("verify-passes", false, "verify IR and liveness invariants after every compilation pass")
 	timeout := flag.Duration("timeout", 0, "per-function compile attempt timeout (0 = none)")
 	reproDir := flag.String("repro-dir", "", "write crash repro bundles for pass faults to this directory")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.MemCost = *memCost
-	cfg.Driver = pipeline.New(pipeline.Options{Workers: *workers})
+	cfg.Driver = pipeline.New(pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes})
+	if err := cfg.Driver.DiskCacheErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "ccmbench: warning: persistent cache disabled: %v\n", err)
+	}
 	cfg.VerifyPasses = *verifyPasses
 	cfg.FuncTimeout = *timeout
 	cfg.ReproDir = *reproDir

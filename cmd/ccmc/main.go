@@ -9,6 +9,7 @@
 //	     [-regs N] [-no-opt] [-no-compact] [-cleanup] [-workers N]
 //	     [-verify-passes] [-timeout D] [-strict] [-repro-dir DIR]
 //	     [-diff-check off|final|per-stage] [-diff-vectors N]
+//	     [-cache-dir DIR] [-cache-bytes N]
 //	     [-stats] [-json] [-o out.iloc] in.iloc
 //
 // -cleanup runs the post-allocation spill-code peephole. -stats prints
@@ -36,6 +37,16 @@
 // miscompile bundle. "final" checks the finished program once;
 // "per-stage" also checks at each stage boundary. -diff-vectors sets
 // the argument vectors tried per entry function.
+//
+// -cache-dir enables the crash-safe persistent artifact cache: compiled
+// artifacts are written atomically with SHA-256 integrity trailers and
+// verified on the way back, so identical compiles are answered across
+// ccmc invocations. Corrupt or torn entries are quarantined and
+// recompiled — a sick cache directory can slow ccmc down but never
+// change its output — and an unusable directory degrades to memory-only
+// caching with a warning. -cache-bytes bounds the directory (LRU
+// eviction; 0 = 256 MiB). Cache hit rates and corruption counters
+// appear in the -json report's "cache" block.
 //
 // Exit codes:
 //
@@ -73,6 +84,8 @@ func main() {
 	reproDir := flag.String("repro-dir", "", "write crash repro bundles for pass faults to this directory")
 	diffCheck := flag.String("diff-check", "off", "differential miscompile oracle: off, final, per-stage")
 	diffVectors := flag.Int("diff-vectors", 0, "argument vectors per entry function for -diff-check (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	stats := flag.Bool("stats", false, "print per-function spill statistics to stderr")
 	jsonOut := flag.Bool("json", false, "print the pipeline report as JSON to stderr")
 	out := flag.String("o", "", "output file (default stdout)")
@@ -116,7 +129,11 @@ func main() {
 	if strat != pipeline.NoCCM {
 		cfg.CCMBytes = *ccmBytes
 	}
-	drv := pipeline.New(pipeline.Options{Workers: *workers})
+	drv := pipeline.New(pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes})
+	if err := drv.DiskCacheErr(); err != nil {
+		// A broken cache directory costs speed, never the compile.
+		fmt.Fprintf(os.Stderr, "ccmc: warning: persistent cache disabled: %v\n", err)
+	}
 	report, err := drv.Compile(prog.IR(), cfg)
 	if err != nil {
 		var me *pipeline.MiscompileError

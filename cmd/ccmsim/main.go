@@ -6,7 +6,7 @@
 //
 //	ccmsim [-entry main] [-ccm BYTES] [-memcost N] [-trace] [-perfunc]
 //	       [-cache SETSxWAYSxLINE] [-max-steps N] [-max-depth N]
-//	       [-repro-dir DIR] prog.iloc
+//	       [-repro-dir DIR] [-cache-dir DIR] [-cache-bytes N] prog.iloc
 //
 // -max-steps and -max-depth bound the dynamic instruction count and the
 // call-stack depth; exceeding either is a structured resource-limit
@@ -15,9 +15,21 @@
 // repro bundle (the program text, entry point, and error) whenever
 // execution fails, in the same format the compiler pipeline uses for
 // pass faults.
+//
+// -cache-dir enables a persistent run-result cache: the instrumented
+// statistics of a successful run are stored (crash-safely, with
+// integrity trailers — the same store the compiler pipeline uses for
+// artifacts) under a key covering the program text, entry point, and
+// every cost-relevant knob, so re-simulating an unchanged program is
+// answered from disk. Execution is deterministic, so a verified cached
+// result is byte-identical to a fresh run; corrupt entries are
+// quarantined and re-simulated. -debug bypasses the cache (its
+// instruction trace is a side effect only a real run produces).
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +37,14 @@ import (
 	"strings"
 
 	ccm "ccmem"
+	"ccmem/internal/diskcache"
 	"ccmem/internal/memsys"
 	"ccmem/internal/repro"
 )
+
+// runResultKind tags ccmsim's run-result entries in the shared
+// diskcache format, distinct from the pipeline's artifact kinds.
+const runResultKind uint32 = 0x52554e31 // "RUN1"
 
 func main() {
 	entry := flag.String("entry", "main", "entry function")
@@ -40,6 +57,8 @@ func main() {
 	maxDepth := flag.Int("max-depth", 0, "bound the call-stack depth (0 = default)")
 	debug := flag.Int64("debug", 0, "trace the first N executed instructions to stderr")
 	reproDir := flag.String("repro-dir", "", "write a crash repro bundle to this directory if the run fails")
+	cacheDir := flag.String("cache-dir", "", "persistent run-result cache directory (empty = off)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -76,6 +95,33 @@ func main() {
 		}))
 	}
 
+	// Persistent run-result cache: execution is deterministic, so the
+	// stats are a pure function of the program text and the cost knobs.
+	// -debug runs bypass it (the trace is a side effect of real runs).
+	var rcache *diskcache.Cache
+	var rkey diskcache.Key
+	if *cacheDir != "" && *debug == 0 {
+		var cerr error
+		rcache, cerr = diskcache.Open(*cacheDir, diskcache.Options{MaxBytes: *cacheBytes})
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "ccmsim: warning: run-result cache disabled: %v\n", cerr)
+		} else {
+			h := sha256.New()
+			fmt.Fprintf(h, "ccmsim-run-v1\x00%s\x00%s\x00%d\x00%d\x00%s\x00%d\x00%d\x00",
+				src, *entry, *ccmBytes, *memCost, *cacheSpec, *maxSteps, *maxDepth)
+			rkey = diskcache.Key(h.Sum(nil))
+			if payload, ok := rcache.Get(rkey, runResultKind); ok {
+				var cached ccm.RunStats
+				if jerr := json.Unmarshal(payload, &cached); jerr == nil {
+					printStats(&cached, *perFunc, *trace)
+					return
+				}
+				// Verified bytes, garbage payload: withdraw and re-run.
+				rcache.ReportDecodeFailure(rkey)
+			}
+		}
+	}
+
 	st, err := prog.Run(*entry, opts...)
 	if err != nil {
 		if *reproDir != "" {
@@ -94,13 +140,22 @@ func main() {
 		}
 		fatal(err)
 	}
+	if rcache != nil {
+		if payload, jerr := json.Marshal(st); jerr == nil {
+			rcache.Put(rkey, runResultKind, payload)
+		}
+	}
+	printStats(st, *perFunc, *trace)
+}
+
+func printStats(st *ccm.RunStats, perFunc, trace bool) {
 	fmt.Printf("instructions:     %d\n", st.Instrs)
 	fmt.Printf("cycles:           %d\n", st.Cycles)
 	fmt.Printf("memory-op cycles: %d\n", st.MemOpCycles)
 	fmt.Printf("main-memory ops:  %d\n", st.MainMemOps)
 	fmt.Printf("ccm ops:          %d (spills %d, restores %d)\n", st.CCMOps, st.CCMSpills, st.CCMRestores)
 	fmt.Printf("heavyweight:      spills %d, restores %d\n", st.SpillStores, st.SpillLoads)
-	if *perFunc {
+	if perFunc {
 		names := make([]string, 0, len(st.PerFunc))
 		for n := range st.PerFunc {
 			names = append(names, n)
@@ -116,7 +171,7 @@ func main() {
 			fmt.Printf("  %-20s calls=%-6d cycles=%-10d mem-cycles=%d\n", n, fs.Calls, fs.Cycles, fs.MemOpCycles)
 		}
 	}
-	if *trace {
+	if trace {
 		for _, v := range st.Output {
 			fmt.Println(v)
 		}

@@ -1,0 +1,91 @@
+package diskcache
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// On-disk entry layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "ccmdcas\x00"
+//	8       4     format version (currently 1)
+//	12      4     artifact kind (caller-defined namespace)
+//	16      32    content-address key (must match the filename)
+//	48      8     payload length
+//	56      n     payload
+//	56+n    32    SHA-256 over bytes [0, 56+n)
+//
+// The trailer checksum covers the header too, so a bit flip anywhere in
+// the file — not just the payload — is detected. The embedded key defends
+// against a valid entry renamed (or hard-linked) under the wrong address:
+// such a file is internally consistent but must still read as corrupt.
+const (
+	// Version is the current entry-format version. Decode rejects any
+	// other value: an unknown schema, newer or older, is a quarantine,
+	// never a guess.
+	Version = 1
+
+	headerSize  = 56
+	trailerSize = sha256.Size
+	magic       = "ccmdcas\x00"
+)
+
+// Key is a 32-byte content address (SHA-256 produced by the caller).
+type Key [32]byte
+
+// ErrCorrupt is wrapped by every decode failure: truncation, bad magic,
+// unknown version, length mismatch, or checksum mismatch. Callers treat
+// any ErrCorrupt as (miss, quarantine).
+var ErrCorrupt = errors.New("diskcache: corrupt entry")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// EncodeEntry renders one cache entry in the on-disk format.
+func EncodeEntry(kind uint32, key Key, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+trailerSize)
+	copy(buf[0:8], magic)
+	binary.LittleEndian.PutUint32(buf[8:12], Version)
+	binary.LittleEndian.PutUint32(buf[12:16], kind)
+	copy(buf[16:48], key[:])
+	binary.LittleEndian.PutUint64(buf[48:56], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	sum := sha256.Sum256(buf[:headerSize+len(payload)])
+	copy(buf[headerSize+len(payload):], sum[:])
+	return buf
+}
+
+// DecodeEntry parses and integrity-checks one on-disk entry. On success
+// the returned payload aliases data. Any malformation — truncation, junk,
+// a flipped bit, an unknown version — returns an error wrapping
+// ErrCorrupt; DecodeEntry never panics and never returns a payload whose
+// checksum did not verify.
+func DecodeEntry(data []byte) (kind uint32, key Key, payload []byte, err error) {
+	if len(data) < headerSize+trailerSize {
+		return 0, Key{}, nil, corruptf("truncated: %d bytes, header+trailer need %d", len(data), headerSize+trailerSize)
+	}
+	if string(data[0:8]) != magic {
+		return 0, Key{}, nil, corruptf("bad magic %q", data[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != Version {
+		return 0, Key{}, nil, corruptf("unknown format version %d (supported: %d)", v, Version)
+	}
+	kind = binary.LittleEndian.Uint32(data[12:16])
+	copy(key[:], data[16:48])
+	plen := binary.LittleEndian.Uint64(data[48:56])
+	if plen != uint64(len(data)-headerSize-trailerSize) {
+		return 0, Key{}, nil, corruptf("length field says %d payload bytes, file has %d", plen, len(data)-headerSize-trailerSize)
+	}
+	body := data[:headerSize+int(plen)]
+	want := data[headerSize+int(plen):]
+	sum := sha256.Sum256(body)
+	if subtle.ConstantTimeCompare(sum[:], want) != 1 {
+		return 0, Key{}, nil, corruptf("checksum mismatch")
+	}
+	return kind, key, data[headerSize : headerSize+int(plen)], nil
+}

@@ -1,0 +1,301 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestENOSPCDegradesToMemory: persistent ENOSPC counts write errors and,
+// after writeFailureLimit consecutive failures, shuts the write path off
+// while reads keep working.
+func TestENOSPCDegradesToMemory(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	c := mustOpen(t, t.TempDir(), Options{FS: ffs})
+	warm := keyOf("written-before-the-disk-filled")
+	c.Put(warm, 1, []byte("safe"))
+
+	ffs.SetWriteBudget(0) // disk is full from here on
+	for i := 0; i < writeFailureLimit+2; i++ {
+		c.Put(keyOf(fmt.Sprintf("doomed-%d", i)), 1, []byte("never lands"))
+	}
+
+	st := c.Stats()
+	if st.WriteErrors != writeFailureLimit {
+		t.Errorf("WriteErrors = %d, want %d (degradation must stop the failure stream)",
+			st.WriteErrors, writeFailureLimit)
+	}
+	if !st.Degraded || st.DegradedToMemory != 1 {
+		t.Errorf("tier not degraded after %d consecutive failures: %+v", writeFailureLimit, st)
+	}
+	if writes, _ := ffs.Faults(); writes != writeFailureLimit {
+		t.Errorf("injected write faults = %d, want %d", writes, writeFailureLimit)
+	}
+	// Reads still served while degraded.
+	if got, ok := c.Get(warm, 1); !ok || string(got) != "safe" {
+		t.Errorf("read path broken while degraded: %q, %v", got, ok)
+	}
+}
+
+// TestENOSPCSingleFailureRecovers: one failed write followed by
+// successes does not degrade the tier — the limit is on *consecutive*
+// failures.
+func TestENOSPCSingleFailureRecovers(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	c := mustOpen(t, t.TempDir(), Options{FS: ffs})
+
+	ffs.SetWriteBudget(0)
+	c.Put(keyOf("doomed"), 1, []byte("x"))
+	ffs.SetWriteBudget(-1) // space freed
+
+	for i := 0; i < writeFailureLimit; i++ {
+		c.Put(keyOf(fmt.Sprintf("fine-%d", i)), 1, []byte("y"))
+	}
+	st := c.Stats()
+	if st.Degraded {
+		t.Errorf("tier degraded after a single transient failure: %+v", st)
+	}
+	if st.WriteErrors != 1 || st.Writes != writeFailureLimit {
+		t.Errorf("counters after recovery: %+v", st)
+	}
+}
+
+// TestEIOOnReadIsMiss: an injected EIO reads as a miss with a ReadErrors
+// count; the entry is NOT quarantined (the medium failed, not the
+// entry), so it is served again once the fault clears.
+func TestEIOOnReadIsMiss(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	c := mustOpen(t, t.TempDir(), Options{FS: ffs})
+	k := keyOf("flaky-medium")
+	c.Put(k, 1, []byte("intact on disk"))
+
+	ffs.SetReadHook(func(string, []byte) ([]byte, error) { return nil, ErrIO })
+	if _, ok := c.Get(k, 1); ok {
+		t.Fatal("Get succeeded through an EIO")
+	}
+	st := c.Stats()
+	if st.ReadErrors != 1 || st.Misses != 1 || st.Quarantines != 0 {
+		t.Errorf("stats after EIO: %+v", st)
+	}
+
+	ffs.SetReadHook(nil)
+	if got, ok := c.Get(k, 1); !ok || string(got) != "intact on disk" {
+		t.Errorf("entry lost to a transient EIO: %q, %v", got, ok)
+	}
+}
+
+// TestReadHookBitFlip: every bit of a small entry, flipped one at a
+// time through the read hook, must read as a miss — never as a payload
+// that differs from what was stored.
+func TestReadHookBitFlip(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	c := mustOpen(t, t.TempDir(), Options{FS: ffs})
+	k := keyOf("exhaustive")
+	want := []byte("p")
+	c.Put(k, 1, want)
+
+	var flipByte int
+	var flipBit uint
+	ffs.SetReadHook(func(_ string, data []byte) ([]byte, error) {
+		out := bytes.Clone(data)
+		out[flipByte] ^= 1 << flipBit
+		return out, nil
+	})
+	total := len(EncodeEntry(1, k, want))
+	for flipByte = 0; flipByte < total; flipByte++ {
+		for flipBit = 0; flipBit < 8; flipBit++ {
+			got, ok := c.Get(k, 1)
+			if ok {
+				t.Fatalf("flip byte %d bit %d: served %q", flipByte, flipBit, got)
+			}
+			// Quarantine removed the real file; put it back for the next flip.
+			ffs.SetReadHook(nil)
+			os.Remove(filepath.Join(c.Dir(), entryName(k)+quarantineSuffix))
+			c.Put(k, 1, want)
+			ffs.SetReadHook(func(_ string, data []byte) ([]byte, error) {
+				out := bytes.Clone(data)
+				out[flipByte] ^= 1 << flipBit
+				return out, nil
+			})
+		}
+	}
+	ffs.SetReadHook(nil)
+	if got, ok := c.Get(k, 1); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("pristine entry at the end: %q, %v", got, ok)
+	}
+}
+
+// TestTornWriteCrashRecovery simulates the core crash-safety scenario: a
+// process dies partway through writing an entry. The visible state must
+// be the complete old state plus a dead temp file; a second handle on
+// the same directory sweeps the temp and serves every entry that was
+// fully committed.
+func TestTornWriteCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	c1 := mustOpen(t, dir, Options{FS: ffs})
+	committed := keyOf("fully-committed")
+	c1.Put(committed, 1, []byte("survives the crash"))
+
+	// Crash 10 bytes into the next entry's temp-file write.
+	ffs.CrashAfterBytes(10)
+	torn := keyOf("torn")
+	c1.Put(torn, 1, []byte("this write is interrupted"))
+	if st := c1.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("torn write not counted: %+v", st)
+	}
+
+	// The torn prefix must be visible only as a temp file, never under an
+	// entry name the read path would consult.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var temps, arts int
+	for _, e := range names {
+		switch {
+		case strings.HasSuffix(e.Name(), tempSuffix):
+			temps++
+		case strings.HasSuffix(e.Name(), entrySuffix):
+			arts++
+		}
+	}
+	if temps != 1 || arts != 1 {
+		t.Fatalf("post-crash dir: %d temps, %d entries; want 1 and 1", temps, arts)
+	}
+
+	// "Restart": new handle, healthy disk.
+	c2 := mustOpen(t, dir, Options{})
+	if st := c2.Stats(); st.SweptTemps != 1 {
+		t.Errorf("restart swept %d temps, want 1", st.SweptTemps)
+	}
+	if got, ok := c2.Get(committed, 1); !ok || string(got) != "survives the crash" {
+		t.Errorf("committed entry lost: %q, %v", got, ok)
+	}
+	if _, ok := c2.Get(torn, 1); ok {
+		t.Error("torn entry visible after restart")
+	}
+}
+
+// TestCrashDuringRename: crash armed so the temp write completes but the
+// filesystem dies before (or at) the rename. Either outcome — entry
+// fully present or only a temp — must leave the second handle
+// consistent.
+func TestCrashDuringRename(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	c1 := mustOpen(t, dir, Options{FS: ffs})
+	k := keyOf("rename-race")
+	payload := []byte("payload for the rename crash")
+	// Let the whole temp write through, then die at the very next
+	// operation (the rename's dead() check).
+	data := EncodeEntry(1, k, payload)
+	ffs.CrashAfterBytes(int64(len(data)) + 1)
+	ffs.SetWriteBudget(-1)
+	c1.Put(k, 1, payload)
+	// Force the crash if Put's write did not cross the threshold.
+	ffs.CrashAfterBytes(0)
+	c1.Put(keyOf("post-crash"), 1, []byte("dead on arrival"))
+
+	c2 := mustOpen(t, dir, Options{})
+	if got, ok := c2.Get(k, 1); ok && !bytes.Equal(got, payload) {
+		t.Fatalf("rename crash surfaced a wrong artifact: %q", got)
+	}
+	if _, ok := c2.Get(keyOf("post-crash"), 1); ok {
+		t.Error("entry written after the crash is visible")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"+tempSuffix))
+	if err != nil || len(left) != 0 {
+		t.Errorf("temps after restart: %v (%v)", left, err)
+	}
+}
+
+// TestOpenOnCrashedFS: Open against a dead filesystem fails cleanly with
+// an error rather than panicking or returning a half-built handle.
+func TestOpenOnCrashedFS(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.CrashAfterBytes(0)
+	ffs.SetWriteBudget(-1)
+	// Trip the crash.
+	f, err := ffs.Create(filepath.Join(t.TempDir(), "x.tmp"))
+	if err == nil {
+		f.Write([]byte("boom"))
+		f.Close()
+	}
+	if _, err := Open(t.TempDir(), Options{FS: ffs}); err == nil {
+		t.Fatal("Open on a crashed filesystem succeeded")
+	}
+}
+
+// TestFaultSoak drives many put/get cycles across every fault knob at
+// deterministic intervals and asserts the global invariant: a Get either
+// misses or returns exactly the bytes that were stored. Gated behind
+// -short because it iterates the whole matrix.
+func TestFaultSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault soak skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	c := mustOpen(t, dir, Options{FS: ffs})
+
+	payloadFor := func(i int) []byte {
+		return bytes.Repeat([]byte{byte(i)}, 16+i%64)
+	}
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		// Deterministic fault schedule: cycle through ENOSPC windows, EIO
+		// windows, bit-flip windows, crash/restart, and healthy stretches.
+		switch i % 40 {
+		case 10:
+			ffs.SetWriteBudget(5)
+		case 14:
+			ffs.SetWriteBudget(-1)
+		case 20:
+			ffs.SetReadHook(func(string, []byte) ([]byte, error) { return nil, ErrIO })
+		case 23:
+			ffs.SetReadHook(func(_ string, data []byte) ([]byte, error) {
+				out := bytes.Clone(data)
+				out[len(out)/2] ^= 0x40
+				return out, nil
+			})
+		case 26:
+			ffs.SetReadHook(nil)
+		case 30:
+			ffs.CrashAfterBytes(int64(i % 70))
+		case 33:
+			// Restart on the same directory.
+			ffs.Revive()
+			c = mustOpen(t, dir, Options{FS: ffs})
+		}
+
+		k := keyOf(fmt.Sprintf("soak-%d", i%50))
+		c.Put(k, 1, payloadFor(i%50))
+		for j := 0; j <= i%3; j++ {
+			probe := (i + j*7) % 50
+			got, ok := c.Get(keyOf(fmt.Sprintf("soak-%d", probe)), 1)
+			if ok && !bytes.Equal(got, payloadFor(probe)) {
+				t.Fatalf("round %d: wrong artifact for soak-%d: %q", i, probe, got)
+			}
+		}
+	}
+
+	// Whatever the fault history, a healthy reopen ends consistent: no
+	// temps, every surviving entry intact.
+	ffs.Revive()
+	ffs.SetReadHook(nil)
+	ffs.SetWriteBudget(-1)
+	final := mustOpen(t, dir, Options{})
+	for i := 0; i < 50; i++ {
+		got, ok := final.Get(keyOf(fmt.Sprintf("soak-%d", i)), 1)
+		if ok && !bytes.Equal(got, payloadFor(i)) {
+			t.Fatalf("after soak: wrong artifact for soak-%d: %q", i, got)
+		}
+	}
+	if temps, _ := filepath.Glob(filepath.Join(dir, "*"+tempSuffix)); len(temps) != 0 {
+		t.Errorf("temps survived the final reopen: %v", temps)
+	}
+}

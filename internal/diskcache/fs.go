@@ -1,0 +1,260 @@
+package diskcache
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// FS is the filesystem surface the cache runs on. Every byte the cache
+// reads or writes goes through one of these methods, so tests can swap in
+// a FaultFS and deterministically inject the failure modes a real disk
+// tier brings: ENOSPC mid-write, EIO on read, torn writes (a crash after
+// a partial write), and bit rot.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+}
+
+// File is the writable-file surface used by the crash-safe write
+// protocol: write everything, fsync, close, then rename into place.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error)   { return os.ReadDir(path) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Injected-fault sentinels. The cache never branches on the concrete
+// error — any I/O failure degrades the same way — but tests assert on
+// these to prove the right knob fired.
+var (
+	// ErrNoSpace simulates ENOSPC: the write that exceeds the budget
+	// fails after persisting nothing.
+	ErrNoSpace = errors.New("diskcache: injected ENOSPC: no space left on device")
+	// ErrIO simulates EIO on a read.
+	ErrIO = errors.New("diskcache: injected EIO: input/output error")
+	// ErrCrashed is returned by every operation after a simulated crash:
+	// the bytes written before the crash point are persisted (a torn
+	// write), everything after is lost, and the process must "restart"
+	// (open a fresh Cache) to continue.
+	ErrCrashed = errors.New("diskcache: injected crash: filesystem is gone")
+)
+
+// FaultFS wraps another FS (the real one by default) with deterministic
+// fault injection. All knobs are safe for concurrent use; counters make
+// assertions on how often each fault fired possible.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	writeBudget int64 // bytes still writable; -1 = unlimited
+	crashAfter  int64 // bytes until the simulated crash; -1 = off
+	crashed     bool
+	readHook    func(path string, data []byte) ([]byte, error)
+
+	writeFaults int64
+	readFaults  int64
+}
+
+// NewFaultFS wraps inner (nil wraps the real filesystem) with no faults
+// armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS()
+	}
+	return &FaultFS{inner: inner, writeBudget: -1, crashAfter: -1}
+}
+
+// SetWriteBudget arms ENOSPC: after n more bytes have been written, every
+// further write fails with ErrNoSpace. Negative disarms.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// CrashAfterBytes arms the torn-write crash: the write that crosses n
+// cumulative bytes persists only its prefix up to the crash point, then
+// the whole filesystem dies (every subsequent operation returns
+// ErrCrashed) until Revive. Negative disarms.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfter = n
+	f.crashed = false
+}
+
+// Revive clears the crashed state, simulating a process restart on the
+// same (now healthy) disk.
+func (f *FaultFS) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.crashAfter = -1
+}
+
+// SetReadHook intercepts every ReadFile: the hook receives the path and
+// the real bytes and returns what the caller should see (possibly
+// bit-flipped) or an error (EIO). nil disarms.
+func (f *FaultFS) SetReadHook(h func(path string, data []byte) ([]byte, error)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readHook = h
+}
+
+// Faults reports how many injected write and read faults have fired.
+func (f *FaultFS) Faults() (writes, reads int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeFaults, f.readFaults
+}
+
+func (f *FaultFS) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(path)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	data, err := f.inner.ReadFile(path)
+	f.mu.Lock()
+	hook := f.readHook
+	f.mu.Unlock()
+	if err != nil || hook == nil {
+		return data, err
+	}
+	data, err = hook(path, data)
+	if err != nil {
+		f.mu.Lock()
+		f.readFaults++
+		f.mu.Unlock()
+	}
+	return data, err
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// faultFile meters every write against the armed faults.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if f.crashAfter >= 0 && int64(len(p)) > f.crashAfter {
+		// Torn write: persist the prefix up to the crash point, then die.
+		keep := f.crashAfter
+		f.crashAfter = 0
+		f.crashed = true
+		f.writeFaults++
+		f.mu.Unlock()
+		if keep > 0 {
+			ff.inner.Write(p[:keep]) // best effort; the "machine" is dying
+		}
+		ff.inner.Close()
+		return int(keep), ErrCrashed
+	}
+	if f.crashAfter >= 0 {
+		f.crashAfter -= int64(len(p))
+	}
+	if f.writeBudget >= 0 && int64(len(p)) > f.writeBudget {
+		f.writeFaults++
+		f.mu.Unlock()
+		return 0, ErrNoSpace
+	}
+	if f.writeBudget >= 0 {
+		f.writeBudget -= int64(len(p))
+	}
+	f.mu.Unlock()
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.dead(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Close always reaches the real file so descriptors are never leaked,
+	// even on a crashed filesystem.
+	err := ff.inner.Close()
+	if derr := ff.fs.dead(); derr != nil {
+		return derr
+	}
+	return err
+}

@@ -1,0 +1,35 @@
+package diskcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDiskEntryDecode is the corrupt-entry oracle: DecodeEntry over
+// arbitrary bytes must never panic and must never return a wrong
+// artifact. The only legal outcomes are an ErrCorrupt miss or a decode
+// whose canonical re-encoding reproduces the input byte-for-byte — i.e.
+// the input really was a well-formed entry for exactly that payload.
+func FuzzDiskEntryDecode(f *testing.F) {
+	k := keyOf("fuzz-seed")
+	valid := EncodeEntry(3, k, []byte("seed payload"))
+	f.Add(valid)
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(bytes.Repeat([]byte{0xFF}, headerSize+40))
+	flipped := bytes.Clone(valid)
+	flipped[headerSize] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, key, payload, err := DecodeEntry(data)
+		if err != nil {
+			return // a miss/quarantine is always a legal outcome
+		}
+		if !bytes.Equal(EncodeEntry(kind, key, payload), data) {
+			t.Fatalf("decode accepted bytes that are not the canonical encoding of its result: kind=%d key=%x payload=%q", kind, key[:4], payload)
+		}
+	})
+}

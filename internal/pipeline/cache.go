@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"ccmem/internal/diskcache"
 	"ccmem/internal/ir"
 )
 
@@ -18,13 +19,22 @@ const DefaultCacheEntries = 4096
 type digest [32]byte
 
 // Cache is a bounded, thread-safe, content-addressed artifact store with
-// LRU eviction. Artifacts are stored and returned as deep copies by the
-// driver, so cached state is never aliased by a live compilation.
+// LRU eviction, optionally backed by a persistent disk tier
+// (internal/diskcache). The read path is memory → disk → miss: a disk
+// hit is decoded, verified, and promoted into memory; a decode failure
+// quarantines the on-disk entry and reads as a miss. The write path is
+// write-through: artifacts are stored in memory and, when a disk tier is
+// attached and healthy, persisted crash-safely. A failing disk therefore
+// degrades this cache to exactly its memory-only behavior.
+//
+// Artifacts are stored and returned as deep copies by the driver, so
+// cached state is never aliased by a live compilation.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[digest]*list.Element
 	lru     *list.List // front = most recently used
+	disk    *diskcache.Cache
 
 	hits      int64
 	misses    int64
@@ -49,22 +59,73 @@ func NewCache(maxEntries int) *Cache {
 	}
 }
 
-func (c *Cache) get(k digest) (any, bool) {
+// AttachDisk backs the cache with a persistent tier. Safe to call on a
+// cache already in use; passing nil detaches.
+func (c *Cache) AttachDisk(d *diskcache.Cache) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[k]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.lru.MoveToFront(e)
-	return e.Value.(*cacheItem).val, true
+	c.disk = d
 }
 
-func (c *Cache) put(k digest, v any) {
+// Disk returns the attached persistent tier (nil when memory-only).
+func (c *Cache) Disk() *diskcache.Cache {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.disk
+}
+
+func (c *Cache) get(k digest, kind uint32) (any, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.hits++
+		c.lru.MoveToFront(e)
+		v := e.Value.(*cacheItem).val
+		c.mu.Unlock()
+		return v, true
+	}
+	c.misses++
+	disk := c.disk
+	c.mu.Unlock()
+	if disk == nil {
+		return nil, false
+	}
+	payload, ok := disk.Get(diskcache.Key(k), kind)
+	if !ok {
+		return nil, false
+	}
+	v, err := decodeArtifact(kind, payload)
+	if err != nil {
+		// The entry's bytes verified but its payload is garbage: a
+		// foreign or buggy writer. Withdraw it and read as a miss.
+		disk.ReportDecodeFailure(diskcache.Key(k))
+		return nil, false
+	}
+	// Promote into memory so repeat lookups skip the disk; no counters —
+	// the disk tier already recorded the hit.
+	c.mu.Lock()
+	c.insertLocked(k, v)
+	c.mu.Unlock()
+	return v, true
+}
+
+func (c *Cache) put(k digest, kind uint32, v any) {
+	c.mu.Lock()
+	c.insertLocked(k, v)
+	disk := c.disk
+	c.mu.Unlock()
+	if disk == nil {
+		return
+	}
+	payload, err := encodeArtifact(kind, v)
+	if err != nil {
+		return // unencodable artifact: memory-only, by design
+	}
+	disk.Put(diskcache.Key(k), kind, payload)
+}
+
+// insertLocked adds or refreshes a memory entry and evicts over the
+// bound. Caller holds c.mu.
+func (c *Cache) insertLocked(k digest, v any) {
 	if e, ok := c.entries[k]; ok {
 		e.Value.(*cacheItem).val = v
 		c.lru.MoveToFront(e)
@@ -79,23 +140,61 @@ func (c *Cache) put(k digest, v any) {
 	}
 }
 
-// Len returns the number of cached artifacts.
+// Len returns the number of artifacts in the memory tier.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
 }
 
-// Stats returns a counter snapshot.
+// Stats returns a counter snapshot across both tiers. The top-level
+// Hits/Misses describe the cache as a whole (an artifact served from
+// either tier is a hit; a miss means it had to be compiled), while
+// Memory and Disk break each tier out. HitRate is Hits/(Hits+Misses),
+// 0 when the cache has never been consulted.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
+	st := CacheStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Entries:   c.lru.Len(),
+		Memory: TierStats{
+			Hits:      c.hits,
+			Misses:    c.misses,
+			Evictions: c.evictions,
+			Entries:   c.lru.Len(),
+		},
 	}
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		st.Disk = DiskTierStats{
+			TierStats: TierStats{
+				Hits:      ds.Hits,
+				Misses:    ds.Misses,
+				Evictions: ds.Evictions,
+				Entries:   ds.Entries,
+			},
+			Writes:           ds.Writes,
+			Corruptions:      ds.Corruptions,
+			Quarantines:      ds.Quarantines,
+			ReadErrors:       ds.ReadErrors,
+			WriteErrors:      ds.WriteErrors,
+			SweptTemps:       ds.SweptTemps,
+			DegradedToMemory: ds.DegradedToMemory,
+			Bytes:            ds.Bytes,
+			Degraded:         ds.Degraded,
+		}
+		// Every memory miss consulted the disk; what the disk also missed
+		// is the cache's true miss count.
+		st.Hits += ds.Hits
+		st.Misses = ds.Misses
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		st.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	return st
 }
 
 // frontArtifact is a function after the front stage (optimize +

@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ccmem/internal/ir"
+)
+
+// Artifact kinds namespace the disk tier: an entry of one kind can never
+// be decoded as another, even if a key collision were engineered, because
+// the kind is stored in the verified entry header and checked on read.
+// The values are part of the on-disk format — append, never renumber.
+const (
+	diskKindFront   uint32 = 1
+	diskKindBack    uint32 = 2
+	diskKindProgram uint32 = 3
+)
+
+// The disk payloads are the JSON encodings of these shadow structs. The
+// IR types are plain exported data, so encoding/json round-trips them
+// exactly — including the post-allocation metadata (Allocated, frame and
+// CCM sizes, physical register counts, diagnostic register names) that
+// the textual ILOC form deliberately omits. JSON rather than ILOC text is
+// therefore not a convenience: a text round trip would silently strip the
+// metadata the cache keys hash over.
+type diskFront struct {
+	Func   *ir.Func   `json:"func"`
+	Report FuncReport `json:"report"`
+}
+
+type diskBack struct {
+	Func         *ir.Func `json:"func"`
+	CompactAfter int64    `json:"compact_after"`
+	Webs         int      `json:"webs"`
+}
+
+type diskProgram struct {
+	Funcs   []*ir.Func            `json:"funcs"`
+	PerFunc map[string]FuncReport `json:"per_func"`
+}
+
+// encodeArtifact renders a cache artifact for the disk tier. An encoding
+// failure (e.g. a NaN float immediate, which JSON cannot carry) is not an
+// event worth failing anything over: the caller skips the disk write and
+// the artifact lives in memory only.
+func encodeArtifact(kind uint32, v any) ([]byte, error) {
+	switch kind {
+	case diskKindFront:
+		a := v.(*frontArtifact)
+		return json.Marshal(&diskFront{Func: a.fn, Report: a.fr})
+	case diskKindBack:
+		a := v.(*backArtifact)
+		return json.Marshal(&diskBack{Func: a.fn, CompactAfter: a.compactAfter, Webs: a.webs})
+	case diskKindProgram:
+		a := v.(*programArtifact)
+		return json.Marshal(&diskProgram{Funcs: a.funcs, PerFunc: a.perFunc})
+	}
+	return nil, fmt.Errorf("pipeline: unknown disk artifact kind %d", kind)
+}
+
+// decodeArtifact parses a checksum-verified disk payload back into the
+// in-memory artifact form. The checksum guarantees the bytes are what a
+// writer produced, not that the writer was sane, so the decoded shape is
+// still validated: a malformed payload is an error, which the caller
+// turns into (miss, quarantine) — never a wrong artifact.
+func decodeArtifact(kind uint32, payload []byte) (any, error) {
+	switch kind {
+	case diskKindFront:
+		var d diskFront
+		if err := json.Unmarshal(payload, &d); err != nil {
+			return nil, err
+		}
+		if err := checkFunc(d.Func); err != nil {
+			return nil, err
+		}
+		return &frontArtifact{fn: d.Func, fr: d.Report}, nil
+	case diskKindBack:
+		var d diskBack
+		if err := json.Unmarshal(payload, &d); err != nil {
+			return nil, err
+		}
+		if err := checkFunc(d.Func); err != nil {
+			return nil, err
+		}
+		return &backArtifact{fn: d.Func, compactAfter: d.CompactAfter, webs: d.Webs}, nil
+	case diskKindProgram:
+		var d diskProgram
+		if err := json.Unmarshal(payload, &d); err != nil {
+			return nil, err
+		}
+		if len(d.Funcs) == 0 {
+			return nil, fmt.Errorf("pipeline: disk program artifact has no functions")
+		}
+		for _, f := range d.Funcs {
+			if err := checkFunc(f); err != nil {
+				return nil, err
+			}
+		}
+		if d.PerFunc == nil {
+			d.PerFunc = map[string]FuncReport{}
+		}
+		return &programArtifact{funcs: d.Funcs, perFunc: d.PerFunc}, nil
+	}
+	return nil, fmt.Errorf("pipeline: unknown disk artifact kind %d", kind)
+}
+
+// checkFunc rejects structurally hollow decoded functions and rebuilds
+// the block indices, the one piece of derived state in the IR.
+func checkFunc(f *ir.Func) error {
+	if f == nil {
+		return fmt.Errorf("pipeline: disk artifact has a nil function")
+	}
+	if f.Name == "" || len(f.Blocks) == 0 {
+		return fmt.Errorf("pipeline: disk artifact function %q is hollow", f.Name)
+	}
+	for _, b := range f.Blocks {
+		if b == nil {
+			return fmt.Errorf("pipeline: disk artifact function %q has a nil block", f.Name)
+		}
+	}
+	f.Renumber()
+	return nil
+}

@@ -12,7 +12,11 @@
 //   - a content-addressed compile cache keyed by SHA-256 over a canonical
 //     encoding of (function IR, relevant Config fields), with whole-program
 //     entries layered on top, so repeated compiles — the dominant cost in
-//     experiment sweeps — are near-free;
+//     experiment sweeps — are near-free; Options.CacheDir adds a
+//     crash-safe persistent disk tier (internal/diskcache) behind the
+//     memory LRU, so artifacts also survive process restarts, with
+//     integrity verified on every read and corruption degrading to a
+//     recompile, never to wrong output;
 //   - observability: per-pass wall time, instruction deltas, per-function
 //     spill statistics and cache hit/miss counters, exported as a
 //     structured Report that the CLIs print as JSON;
@@ -46,6 +50,7 @@ import (
 	"time"
 
 	"ccmem/internal/core"
+	"ccmem/internal/diskcache"
 	"ccmem/internal/ir"
 	"ccmem/internal/opt"
 	"ccmem/internal/regalloc"
@@ -215,8 +220,23 @@ type Options struct {
 	// nil creates a private cache of DefaultCacheEntries; to share one
 	// cache across drivers, pass the same *Cache to each.
 	Cache *Cache
-	// DisableCache turns content-addressed caching off entirely.
+	// DisableCache turns content-addressed caching off entirely
+	// (including the disk tier).
 	DisableCache bool
+
+	// CacheDir enables the persistent disk tier (internal/diskcache)
+	// under the given directory: artifacts survive process restarts, and
+	// a second driver opened on the same directory serves them without
+	// recompiling. Opening the tier can fail (unwritable path, sick
+	// disk); the driver then runs memory-only and reports the cause via
+	// DiskCacheErr — a broken disk tier never fails compilation.
+	CacheDir string
+	// CacheBytes is the disk tier's byte budget, evicted LRU-by-access;
+	// <= 0 uses diskcache.DefaultMaxBytes.
+	CacheBytes int64
+	// DiskFS overrides the filesystem the disk tier runs on — the fault
+	// injection seam (diskcache.FaultFS). nil uses the real filesystem.
+	DiskFS diskcache.FS
 }
 
 // Driver is a reusable compilation pipeline. It is safe for concurrent
@@ -224,6 +244,7 @@ type Options struct {
 type Driver struct {
 	workers int
 	cache   *Cache // nil when caching is disabled
+	diskErr error  // why the disk tier failed to open (nil when absent or healthy)
 
 	mu          sync.Mutex
 	cum         *metrics // cumulative per-pass totals across compiles
@@ -254,6 +275,19 @@ func New(opts Options) *Driver {
 		if d.cache == nil {
 			d.cache = NewCache(DefaultCacheEntries)
 		}
+		if opts.CacheDir != "" {
+			dc, err := diskcache.Open(opts.CacheDir, diskcache.Options{
+				MaxBytes: opts.CacheBytes,
+				FS:       opts.DiskFS,
+			})
+			if err != nil {
+				// The disk tier is an accelerator, not a dependency: if it
+				// cannot open, compile memory-only and say why on request.
+				d.diskErr = err
+			} else {
+				d.cache.AttachDisk(dc)
+			}
+		}
 	}
 	return d
 }
@@ -263,6 +297,11 @@ func (d *Driver) Workers() int { return d.workers }
 
 // Cache returns the driver's artifact store (nil when disabled).
 func (d *Driver) Cache() *Cache { return d.cache }
+
+// DiskCacheErr reports why the persistent tier requested via
+// Options.CacheDir could not be opened; nil when it is healthy or was
+// never requested. The driver compiles either way.
+func (d *Driver) DiskCacheErr() error { return d.diskErr }
 
 // funcState carries per-function results from stage to stage.
 type funcState struct {
@@ -373,7 +412,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 	var progKey digest
 	if cache != nil {
 		progKey = programKey(p, cfg)
-		if v, ok := cache.get(progKey); ok {
+		if v, ok := cache.get(progKey, diskKindProgram); ok {
 			art := v.(*programArtifact)
 			for i := range p.Funcs {
 				p.Funcs[i] = art.funcs[i].Clone()
@@ -542,7 +581,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 			fr.BackCacheHit = false
 			art.perFunc[name] = fr
 		}
-		cache.put(progKey, art)
+		cache.put(progKey, diskKindProgram, art)
 	}
 
 	d.finish(rep, cs, do, m, start, false)
@@ -720,7 +759,7 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 	var key digest
 	if cache != nil {
 		key = frontKey(f, cfg)
-		if v, ok := cache.get(key); ok {
+		if v, ok := cache.get(key, diskKindFront); ok {
 			art := v.(*frontArtifact)
 			p.Funcs[i] = art.fn.Clone()
 			st.fr = art.fr
@@ -772,7 +811,7 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 		st.fr.Degraded = level.String()
 		cs.degraded.Add(1)
 	} else if cache != nil && st.fr.Attempts == 1 {
-		cache.put(key, &frontArtifact{fn: p.Funcs[i].Clone(), fr: st.fr})
+		cache.put(key, diskKindFront, &frontArtifact{fn: p.Funcs[i].Clone(), fr: st.fr})
 	}
 	return nil
 }
@@ -835,7 +874,7 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 	var key digest
 	if cache != nil {
 		key = backKey(f, cfg)
-		if v, ok := cache.get(key); ok {
+		if v, ok := cache.get(key, diskKindBack); ok {
 			art := v.(*backArtifact)
 			p.Funcs[i] = art.fn.Clone()
 			st.fr.SpillBytesCompacted = art.compactAfter
@@ -931,7 +970,7 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 		return nil
 	}
 	if cache != nil && st.fr.Degraded == "" && st.fr.Attempts <= 1 {
-		cache.put(key, &backArtifact{
+		cache.put(key, diskKindBack, &backArtifact{
 			fn:           p.Funcs[i].Clone(),
 			compactAfter: st.fr.SpillBytesCompacted,
 			webs:         st.fr.SpillWebs,

@@ -34,12 +34,46 @@ type PassStat struct {
 	InstrsAfter  int64  `json:"instrs_after"`
 }
 
-// CacheStats is a snapshot of the content-addressed cache's counters.
-type CacheStats struct {
+// TierStats counts one tier of the two-tier artifact cache.
+type TierStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
+}
+
+// DiskTierStats is the persistent tier's TierStats plus its robustness
+// counters: integrity failures detected (corruptions), entries withdrawn
+// from the read path (quarantines), I/O errors, dead temp files swept
+// after a crash, and how many times the tier shut its write path off
+// after persistent failures (degraded-to-memory). Zero-valued when no
+// disk tier is attached.
+type DiskTierStats struct {
+	TierStats
+	Writes           int64 `json:"writes"`
+	Corruptions      int64 `json:"corruptions"`
+	Quarantines      int64 `json:"quarantines"`
+	ReadErrors       int64 `json:"read_errors"`
+	WriteErrors      int64 `json:"write_errors"`
+	SweptTemps       int64 `json:"swept_temps"`
+	DegradedToMemory int64 `json:"degraded_to_memory"`
+	Bytes            int64 `json:"bytes"`
+	Degraded         bool  `json:"degraded,omitempty"`
+}
+
+// CacheStats is a snapshot of the content-addressed cache's counters
+// across both tiers. Hits counts artifacts served from either tier,
+// Misses lookups that had to fall through to a real compile; HitRate is
+// the precomputed ratio. Evictions and Entries describe the memory tier
+// (the historical meaning); Memory and Disk break each tier out.
+type CacheStats struct {
+	Hits      int64         `json:"hits"`
+	Misses    int64         `json:"misses"`
+	Evictions int64         `json:"evictions"`
+	Entries   int           `json:"entries"`
+	HitRate   float64       `json:"hit_rate"`
+	Memory    TierStats     `json:"memory"`
+	Disk      DiskTierStats `json:"disk"`
 }
 
 // FuncReport is the per-function compilation summary.

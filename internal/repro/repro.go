@@ -92,6 +92,42 @@ func sanitize(s string) string {
 	}, s)
 }
 
+// Error reason classifications: stable strings a caller (or a script
+// driving a replay tool) can branch on without parsing messages.
+const (
+	ReasonMissing     = "missing"     // the path does not exist
+	ReasonUnreadable  = "unreadable"  // the path exists but could not be read
+	ReasonMalformed   = "malformed"   // the file is not bundle JSON
+	ReasonUnversioned = "unversioned" // the bundle carries no format version
+	ReasonTooNew      = "too-new"     // the bundle's format postdates this toolchain
+	ReasonKindless    = "kindless"    // the bundle does not say which stage failed
+)
+
+// Error is the structured failure for bundle I/O. Every path Load,
+// LoadDir, and Write can fail on returns one, so callers distinguish "the
+// repro directory isn't there" from "a bundle inside it is broken"
+// without matching on os error strings.
+type Error struct {
+	Op     string // "load", "load-dir", or "write"
+	Path   string // the file or directory the failure is about
+	Reason string // one of the Reason constants
+	Detail string // human-readable specifics (what to do about it)
+	Err    error  // underlying cause, when one exists
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("repro: %s %s: %s", e.Op, e.Path, e.Reason)
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
 // Write marshals b into dir (creating it if needed) and returns the path
 // of the file written.
 func Write(dir string, b *Bundle) (string, error) {
@@ -99,51 +135,61 @@ func Write(dir string, b *Bundle) (string, error) {
 		b.Version = Version
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("repro: %w", err)
+		return "", &Error{Op: "write", Path: dir, Reason: ReasonUnreadable, Detail: "cannot create repro directory", Err: err}
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
-		return "", fmt.Errorf("repro: marshal bundle: %w", err)
+		return "", &Error{Op: "write", Path: dir, Reason: ReasonMalformed, Detail: "cannot marshal bundle", Err: err}
 	}
 	path := filepath.Join(dir, b.Filename())
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return "", fmt.Errorf("repro: %w", err)
+		return "", &Error{Op: "write", Path: path, Reason: ReasonUnreadable, Err: err}
 	}
 	return path, nil
 }
 
-// Load reads one bundle.
+// Load reads one bundle. Failures are *Error values classifying what
+// went wrong: the file is missing, unreadable, not bundle JSON, or a
+// bundle this toolchain cannot replay.
 func Load(path string) (*Bundle, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
+		reason := ReasonUnreadable
+		if os.IsNotExist(err) {
+			reason = ReasonMissing
+		}
+		return nil, &Error{Op: "load", Path: path, Reason: reason, Err: err}
 	}
 	var b Bundle
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("repro: %s: %w", path, err)
+		return nil, &Error{Op: "load", Path: path, Reason: ReasonMalformed, Detail: "not a repro bundle", Err: err}
 	}
 	if b.Version == 0 {
-		return nil, fmt.Errorf("repro: %s: bundle has no version (want 1..%d)", path, Version)
+		return nil, &Error{Op: "load", Path: path, Reason: ReasonUnversioned,
+			Detail: fmt.Sprintf("bundle has no version (want 1..%d)", Version)}
 	}
 	if b.Version > Version {
-		return nil, fmt.Errorf("repro: %s: bundle version %d is newer than supported %d; upgrade the toolchain to replay it", path, b.Version, Version)
+		return nil, &Error{Op: "load", Path: path, Reason: ReasonTooNew,
+			Detail: fmt.Sprintf("bundle version %d is newer than supported %d; upgrade the toolchain to replay it", b.Version, Version)}
 	}
 	if b.Kind == "" {
-		return nil, fmt.Errorf("repro: %s: bundle has no kind", path)
+		return nil, &Error{Op: "load", Path: path, Reason: ReasonKindless, Detail: "bundle has no kind"}
 	}
 	return &b, nil
 }
 
 // LoadDir reads every *.repro.json bundle under dir, sorted by filename.
-// A missing directory is not an error: it returns an empty slice, so
-// replay tests pass on a fresh checkout.
+// A missing directory is a *Error with ReasonMissing — a replay pointed
+// at the wrong path should say so rather than report an empty corpus —
+// and any unreadable bundle inside aborts the load with its own *Error.
 func LoadDir(dir string) ([]*Bundle, error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, &Error{Op: "load-dir", Path: dir, Reason: ReasonMissing,
+			Detail: "repro directory does not exist", Err: err}
 	}
 	if err != nil {
-		return nil, fmt.Errorf("repro: %w", err)
+		return nil, &Error{Op: "load-dir", Path: dir, Reason: ReasonUnreadable, Err: err}
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -61,5 +62,85 @@ func TestLoadVersionRange(t *testing.T) {
 	if _, err := Load(writeRaw(t, "v99.repro.json",
 		`{"version":99,"kind":"parse","program":"x","error":"e"}`)); err == nil || !strings.Contains(err.Error(), "newer than supported") {
 		t.Errorf("future-version bundle accepted (err=%v)", err)
+	}
+}
+
+// reasonOf asserts err is a structured *Error and returns its Reason.
+func reasonOf(t *testing.T, err error) string {
+	t.Helper()
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("error is not a structured *repro.Error: %v", err)
+	}
+	return re.Reason
+}
+
+// TestStructuredErrors: every failure path returns a *Error whose
+// Op/Path/Reason classify it — never a bare os error a caller would have
+// to string-match.
+func TestStructuredErrors(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-written.repro.json")
+	if _, err := Load(missing); reasonOf(t, err) != ReasonMissing {
+		t.Errorf("missing file: reason = %q, want %q", reasonOf(t, err), ReasonMissing)
+	}
+
+	if _, err := Load(writeRaw(t, "junk.repro.json", "{not json")); reasonOf(t, err) != ReasonMalformed {
+		t.Errorf("malformed file: reason = %q, want %q", reasonOf(t, err), ReasonMalformed)
+	}
+
+	if _, err := Load(writeRaw(t, "v0.repro.json",
+		`{"kind":"parse","program":"x","error":"e"}`)); reasonOf(t, err) != ReasonUnversioned {
+		t.Errorf("versionless bundle: reason = %q, want %q", reasonOf(t, err), ReasonUnversioned)
+	}
+	if _, err := Load(writeRaw(t, "v99.repro.json",
+		`{"version":99,"kind":"parse","program":"x","error":"e"}`)); reasonOf(t, err) != ReasonTooNew {
+		t.Errorf("future bundle: reason = %q, want %q", reasonOf(t, err), ReasonTooNew)
+	}
+	if _, err := Load(writeRaw(t, "nokind.repro.json",
+		`{"version":1,"program":"x","error":"e"}`)); reasonOf(t, err) != ReasonKindless {
+		t.Errorf("kindless bundle: reason = %q, want %q", reasonOf(t, err), ReasonKindless)
+	}
+}
+
+// TestLoadDirMissingIsStructured: pointing a replay at a directory that
+// does not exist is a classified error, not an empty corpus and not a
+// bare os.ErrNotExist.
+func TestLoadDirMissingIsStructured(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "no-such-corpus")
+	bundles, err := LoadDir(dir)
+	if err == nil {
+		t.Fatalf("LoadDir(%s) = %d bundles, nil error; want a structured error", dir, len(bundles))
+	}
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("LoadDir error is not a *repro.Error: %v", err)
+	}
+	if re.Op != "load-dir" || re.Reason != ReasonMissing || re.Path != dir {
+		t.Errorf("error fields: %+v", re)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Error("underlying os cause not preserved for errors.Is")
+	}
+}
+
+// TestLoadDirBrokenBundle: a corpus containing one broken bundle aborts
+// with that bundle's structured error (naming the file), rather than
+// silently skipping it.
+func TestLoadDirBrokenBundle(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, &Bundle{Kind: KindParse, Program: "x", Error: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "broken.repro.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDir(dir)
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("broken bundle error is not structured: %v", err)
+	}
+	if re.Path != bad || re.Reason != ReasonMalformed {
+		t.Errorf("error fields: %+v", re)
 	}
 }

@@ -2,8 +2,11 @@
 # verify.sh — the repository's full verification gate.
 #
 # Runs tier-1 (build, vet, full test suite), then the race-detector
-# suites the ROADMAP requires for the concurrent driver and the
-# miscompile oracle. Intended for CI and for humans before committing:
+# suites the ROADMAP requires for the concurrent driver, the miscompile
+# oracle, and the persistent disk cache. The long fault-injection soak
+# is part of the default run; pass short=1 in the environment to gate it
+# off (go test -short). Intended for CI and for humans before
+# committing:
 #
 #	./scripts/verify.sh
 #
@@ -23,5 +26,15 @@ go test ./...
 
 echo '== race: go test -race ./internal/pipeline/... ./internal/oracle/...'
 go test -race ./internal/pipeline/... ./internal/oracle/...
+
+# The diskcache suite includes the deterministic fault-injection soak
+# (TestFaultSoak), which is skipped under -short; the race run below
+# executes it in full unless short=1.
+SHORTFLAG=''
+if [ "${short:-0}" = 1 ]; then
+	SHORTFLAG='-short'
+fi
+echo "== race: go test -race $SHORTFLAG ./internal/diskcache/..."
+go test -race $SHORTFLAG ./internal/diskcache/...
 
 echo '== verify.sh: all green'
