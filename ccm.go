@@ -28,6 +28,7 @@ import (
 
 	"ccmem/internal/ir"
 	"ccmem/internal/memsys"
+	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
 	"ccmem/internal/sim"
 )
@@ -130,6 +131,33 @@ type Config struct {
 	// CacheBytes bounds the persistent tier (LRU-by-access eviction);
 	// <= 0 uses the default budget.
 	CacheBytes int64
+
+	// Trace, when non-nil, receives the compile's span trace as Chrome
+	// trace-event JSON (load it at https://ui.perfetto.dev): one span per
+	// pass, stage, cache lookup, and oracle run, with per-worker rows.
+	Trace io.Writer
+	// Metrics enables the metrics registry for this compile; the
+	// resulting counter/gauge/histogram snapshot is returned in
+	// CompileReport.Metrics.
+	Metrics bool
+}
+
+// MetricsSnapshot is the public mirror of the driver's metrics registry
+// at compile end. Counters and gauges are deterministic across worker
+// counts; histogram quantiles measure wall clock and are not.
+type MetricsSnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSummary
+}
+
+// HistogramSummary summarizes one latency histogram. Count is exact;
+// the quantiles are fixed-bucket upper-bound estimates (-1 = overflow).
+type HistogramSummary struct {
+	Count    int64
+	SumNanos int64
+	P50Nanos int64
+	P95Nanos int64
 }
 
 // CompileReport summarizes one compilation.
@@ -149,6 +177,11 @@ type CompileReport struct {
 	// CacheWarning is non-empty when Config.CacheDir was set but the
 	// persistent tier could not be opened; the compile ran memory-only.
 	CacheWarning string
+	// Spans is the number of trace spans recorded (Config.Trace).
+	Spans int64
+	// Metrics is the registry snapshot for this compile (Config.Metrics;
+	// nil otherwise).
+	Metrics *MetricsSnapshot
 }
 
 // FuncReport is the per-function compilation summary.
@@ -278,7 +311,24 @@ func (pr *Program) CompileContext(ctx context.Context, cfg Config) (*CompileRepo
 	if cfg.Strategy != NoCCM && cfg.CCMBytes <= 0 {
 		return nil, fmt.Errorf("ccm: strategy %v requires CCMBytes > 0", cfg.Strategy)
 	}
-	driver := driverFor(cfg)
+	base := driverFor(cfg)
+	driver := base
+	var tracer *obs.Tracer
+	if cfg.Trace != nil || cfg.Metrics {
+		// Observability is per-compile: build a private driver that shares
+		// the base driver's artifact cache (so hit rates and disk LRU state
+		// stay process-wide) but owns its tracer and registry, so
+		// concurrent Compiles never mix spans or counters.
+		opts := pipeline.Options{Cache: base.Cache(), PprofLabels: true}
+		if cfg.Trace != nil {
+			tracer = obs.NewTracer()
+			opts.Tracer = tracer
+		}
+		if cfg.Metrics {
+			opts.Metrics = obs.NewRegistry()
+		}
+		driver = pipeline.New(opts)
+	}
 	prep, err := driver.CompileContext(ctx, pr.p, pipeline.Config{
 		Strategy:          pipelineStrategy(cfg.Strategy),
 		CCMBytes:          cfg.CCMBytes,
@@ -302,9 +352,30 @@ func (pr *Program) CompileContext(ctx context.Context, cfg Config) (*CompileRepo
 		Degraded:    prep.Degraded,
 		Divergences: prep.Divergences,
 		Repros:      prep.Repros,
+		Spans:       prep.Spans,
 	}
-	if err := driver.DiskCacheErr(); err != nil {
+	if prep.Metrics != nil {
+		ms := &MetricsSnapshot{Counters: prep.Metrics.Counters, Gauges: prep.Metrics.Gauges}
+		if len(prep.Metrics.Histograms) > 0 {
+			ms.Histograms = make(map[string]HistogramSummary, len(prep.Metrics.Histograms))
+			for name, h := range prep.Metrics.Histograms {
+				ms.Histograms[name] = HistogramSummary{
+					Count:    h.Count,
+					SumNanos: h.SumNanos,
+					P50Nanos: h.P50Nanos,
+					P95Nanos: h.P95Nanos,
+				}
+			}
+		}
+		rep.Metrics = ms
+	}
+	if err := base.DiskCacheErr(); err != nil {
 		rep.CacheWarning = err.Error()
+	}
+	if tracer != nil {
+		if werr := tracer.WriteChromeTrace(cfg.Trace); werr != nil {
+			return nil, fmt.Errorf("ccm: writing trace: %w", werr)
+		}
 	}
 	for name, fr := range prep.PerFunc {
 		rep.PerFunc[name] = FuncReport{

@@ -1,6 +1,8 @@
 package ccm
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -253,5 +255,54 @@ func TestFacadeCacheDir(t *testing.T) {
 	}
 	if p3.Text() != p1.Text() {
 		t.Error("memory-only fallback changed the output")
+	}
+}
+
+// TestConfigTraceAndMetrics exercises the facade's observability knobs:
+// Config.Trace receives valid Chrome trace-event JSON, Config.Metrics
+// fills the report's snapshot, and the counters in it are consistent
+// with the per-function report. A plain compile must carry neither.
+func TestConfigTraceAndMetrics(t *testing.T) {
+	p, err := ParseProgram(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	rep, err := p.Compile(Config{Strategy: PostPass, CCMBytes: 256, Trace: &trace, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans == 0 {
+		t.Error("no spans reported")
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &decoded); err != nil {
+		t.Fatalf("Config.Trace output is not valid JSON: %v", err)
+	}
+	if int64(len(decoded.TraceEvents)) != rep.Spans {
+		t.Errorf("trace has %d events, report says %d spans", len(decoded.TraceEvents), rep.Spans)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("Config.Metrics produced no snapshot")
+	}
+	if got := rep.Metrics.Counters["pipeline.funcs"]; got != int64(len(rep.PerFunc)) {
+		t.Errorf("pipeline.funcs counter = %d, want %d", got, len(rep.PerFunc))
+	}
+	if len(rep.Metrics.Histograms) == 0 {
+		t.Error("no pass histograms in snapshot")
+	}
+
+	p2, _ := ParseProgram(apiSrc)
+	plain, err := p2.Compile(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Spans != 0 || plain.Metrics != nil {
+		t.Errorf("uninstrumented compile carries observability: spans=%d metrics=%v", plain.Spans, plain.Metrics)
 	}
 }

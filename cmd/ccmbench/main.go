@@ -8,6 +8,7 @@
 //	         [-memcost N] [-workers N] [-json]
 //	         [-verify-passes] [-timeout D] [-repro-dir DIR]
 //	         [-cache-dir DIR] [-cache-bytes N]
+//	         [-trace out.json] [-metrics-out BENCH_pipeline.json]
 //
 // The fault-isolation flags harden long benchmark runs: -verify-passes
 // checkpoints compiler invariants after every pass, -timeout bounds each
@@ -29,6 +30,14 @@
 // run skips every compile that hasn't changed. -json prints the
 // driver's cumulative report (per-pass wall time, per-tier cache
 // hit/miss counters and the computed hit rate) to stderr after the run.
+//
+// -metrics-out writes that same cumulative report — plus the metrics
+// registry snapshot (pass-latency histograms, allocator and CCM
+// counters) — to a file, the machine-readable benchmark artifact
+// (conventionally BENCH_pipeline.json). -trace records a span for every
+// compile, pass, cache lookup, and oracle run across the whole
+// evaluation and writes Chrome trace-event JSON viewable at
+// https://ui.perfetto.dev.
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"os"
 
 	"ccmem/internal/experiments"
+	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
 )
 
@@ -55,11 +65,22 @@ func main() {
 	reproDir := flag.String("repro-dir", "", "write crash repro bundles for pass faults to this directory")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON span trace of every compile to this file")
+	metricsOut := flag.String("metrics-out", "", "write the cumulative pipeline report (pass wall times, cache hit rates, counters) as JSON to this file, e.g. BENCH_pipeline.json")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.MemCost = *memCost
-	cfg.Driver = pipeline.New(pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes})
+	popts := pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes}
+	if *traceOut != "" {
+		popts.Tracer = obs.NewTracer()
+		popts.PprofLabels = true
+	}
+	if *metricsOut != "" {
+		popts.Metrics = obs.NewRegistry()
+		popts.PprofLabels = true
+	}
+	cfg.Driver = pipeline.New(popts)
 	if err := cfg.Driver.DiskCacheErr(); err != nil {
 		fmt.Fprintf(os.Stderr, "ccmbench: warning: persistent cache disabled: %v\n", err)
 	}
@@ -74,6 +95,28 @@ func main() {
 			enc := json.NewEncoder(os.Stderr)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(cfg.Driver.Metrics()); err != nil {
+				fatal(err)
+			}
+		}
+		if *metricsOut != "" {
+			buf, err := json.MarshalIndent(cfg.Driver.Metrics(), "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cfg.Driver.Tracer().WriteChromeTrace(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
 				fatal(err)
 			}
 		}

@@ -10,6 +10,7 @@
 //	     [-verify-passes] [-timeout D] [-strict] [-repro-dir DIR]
 //	     [-diff-check off|final|per-stage] [-diff-vectors N]
 //	     [-cache-dir DIR] [-cache-bytes N]
+//	     [-trace out.json] [-metrics]
 //	     [-stats] [-json] [-o out.iloc] in.iloc
 //
 // -cleanup runs the post-allocation spill-code peephole. -stats prints
@@ -48,6 +49,17 @@
 // eviction; 0 = 256 MiB). Cache hit rates and corruption counters
 // appear in the -json report's "cache" block.
 //
+// -trace records a span for every compile, stage, pass, cache lookup,
+// and oracle run, and writes them as Chrome trace-event JSON — open the
+// file at https://ui.perfetto.dev to see the per-worker timeline.
+// -metrics collects named counters, gauges, and pass-latency histograms
+// (register-allocator spills and coalesces, CCM promotions, cache and
+// oracle activity); the snapshot appears in the -json report under
+// "metrics". Counters are deterministic across -workers settings;
+// span timestamps and histogram quantiles measure wall clock and are
+// not. Both flags also label worker goroutines with the function and
+// pass being compiled, so CPU profiles attribute samples per pass.
+//
 // Exit codes:
 //
 //	0  clean compile
@@ -67,6 +79,7 @@ import (
 	"sort"
 
 	ccm "ccmem"
+	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
 )
 
@@ -88,6 +101,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	stats := flag.Bool("stats", false, "print per-function spill statistics to stderr")
 	jsonOut := flag.Bool("json", false, "print the pipeline report as JSON to stderr")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (view at ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "collect pass/cache/allocator metrics (reported in -json under \"metrics\")")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -129,15 +144,41 @@ func main() {
 	if strat != pipeline.NoCCM {
 		cfg.CCMBytes = *ccmBytes
 	}
-	drv := pipeline.New(pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes})
+	popts := pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes}
+	if *traceOut != "" {
+		popts.Tracer = obs.NewTracer()
+		popts.PprofLabels = true
+	}
+	if *metrics {
+		popts.Metrics = obs.NewRegistry()
+		popts.PprofLabels = true
+	}
+	drv := pipeline.New(popts)
 	if err := drv.DiskCacheErr(); err != nil {
 		// A broken cache directory costs speed, never the compile.
 		fmt.Fprintf(os.Stderr, "ccmc: warning: persistent cache disabled: %v\n", err)
+	}
+	writeTrace := func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := drv.Tracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	report, err := drv.Compile(prog.IR(), cfg)
 	if err != nil {
 		var me *pipeline.MiscompileError
 		if errors.As(err, &me) {
+			writeTrace() // the spans up to the divergence are still useful
 			fmt.Fprintln(os.Stderr, "ccmc:", me)
 			if me.ReproPath != "" {
 				fmt.Fprintf(os.Stderr, "  repro bundle: %s\n", me.ReproPath)
@@ -146,6 +187,7 @@ func main() {
 		}
 		fatal(err)
 	}
+	writeTrace()
 	if *stats {
 		names := make([]string, 0, len(report.PerFunc))
 		for n := range report.PerFunc {

@@ -6,7 +6,8 @@
 //
 //	ccmsim [-entry main] [-ccm BYTES] [-memcost N] [-trace] [-perfunc]
 //	       [-cache SETSxWAYSxLINE] [-max-steps N] [-max-depth N]
-//	       [-repro-dir DIR] [-cache-dir DIR] [-cache-bytes N] prog.iloc
+//	       [-repro-dir DIR] [-cache-dir DIR] [-cache-bytes N]
+//	       [-metrics-out FILE] prog.iloc
 //
 // -max-steps and -max-depth bound the dynamic instruction count and the
 // call-stack depth; exceeding either is a structured resource-limit
@@ -25,6 +26,12 @@
 // result is byte-identical to a fresh run; corrupt entries are
 // quarantined and re-simulated. -debug bypasses the cache (its
 // instruction trace is a side effect only a real run produces).
+//
+// -metrics-out writes the run's dynamic costs — and, with -cache, the
+// data-cache model's hit/miss/eviction counters — as a JSON gauge
+// snapshot, the machine-readable companion to the human-readable stats
+// on stdout. It also bypasses the run-result cache: the model's
+// counters only exist after a real run.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	ccm "ccmem"
 	"ccmem/internal/diskcache"
 	"ccmem/internal/memsys"
+	"ccmem/internal/obs"
 	"ccmem/internal/repro"
 )
 
@@ -59,6 +67,7 @@ func main() {
 	reproDir := flag.String("repro-dir", "", "write a crash repro bundle to this directory if the run fails")
 	cacheDir := flag.String("cache-dir", "", "persistent run-result cache directory (empty = off)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
+	metricsOut := flag.String("metrics-out", "", "write run and memory-hierarchy metrics as a JSON gauge snapshot to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -85,22 +94,35 @@ func main() {
 	if *debug > 0 {
 		opts = append(opts, ccm.WithTrace(os.Stderr, *debug))
 	}
+	// With -metrics-out the data-cache model is built explicitly so its
+	// hit/miss statistics can be read back after the run; WithCache hides
+	// the model inside the simulator.
+	var memModel memsys.Model
 	if *cacheSpec != "" {
 		var sets, ways, line int
 		if _, err := fmt.Sscanf(strings.ReplaceAll(*cacheSpec, "x", " "), "%d %d %d", &sets, &ways, &line); err != nil {
 			fatal(fmt.Errorf("bad -cache %q: %w", *cacheSpec, err))
 		}
-		opts = append(opts, ccm.WithCache(memsys.CacheConfig{
-			Sets: sets, Ways: ways, LineBytes: line, HitCost: 1, MissCost: 8,
-		}))
+		cc := memsys.CacheConfig{Sets: sets, Ways: ways, LineBytes: line, HitCost: 1, MissCost: 8}
+		if *metricsOut != "" {
+			c, cerr := memsys.NewCache(cc)
+			if cerr != nil {
+				fatal(fmt.Errorf("bad -cache %q: %w", *cacheSpec, cerr))
+			}
+			memModel = c
+			opts = append(opts, ccm.WithMemory(c))
+		} else {
+			opts = append(opts, ccm.WithCache(cc))
+		}
 	}
 
 	// Persistent run-result cache: execution is deterministic, so the
 	// stats are a pure function of the program text and the cost knobs.
-	// -debug runs bypass it (the trace is a side effect of real runs).
+	// -debug and -metrics-out runs bypass it (the trace and the model's
+	// hit/miss counters are side effects only a real run produces).
 	var rcache *diskcache.Cache
 	var rkey diskcache.Key
-	if *cacheDir != "" && *debug == 0 {
+	if *cacheDir != "" && *debug == 0 && *metricsOut == "" {
 		var cerr error
 		rcache, cerr = diskcache.Open(*cacheDir, diskcache.Options{MaxBytes: *cacheBytes})
 		if cerr != nil {
@@ -145,7 +167,36 @@ func main() {
 			rcache.Put(rkey, runResultKind, payload)
 		}
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, st, memModel); err != nil {
+			fatal(err)
+		}
+	}
 	printStats(st, *perFunc, *trace)
+}
+
+// writeMetrics publishes the run's dynamic costs (and, when a -cache
+// model ran, its hit/miss statistics) into a metrics registry and writes
+// the snapshot as JSON. Execution is deterministic, so the file is too.
+func writeMetrics(path string, st *ccm.RunStats, model memsys.Model) error {
+	reg := obs.NewRegistry()
+	reg.Gauge("sim.instrs").Set(st.Instrs)
+	reg.Gauge("sim.cycles").Set(st.Cycles)
+	reg.Gauge("sim.memop_cycles").Set(st.MemOpCycles)
+	reg.Gauge("sim.main_mem_ops").Set(st.MainMemOps)
+	reg.Gauge("sim.ccm_ops").Set(st.CCMOps)
+	reg.Gauge("sim.spill_stores").Set(st.SpillStores)
+	reg.Gauge("sim.spill_loads").Set(st.SpillLoads)
+	reg.Gauge("sim.ccm_spills").Set(st.CCMSpills)
+	reg.Gauge("sim.ccm_restores").Set(st.CCMRestores)
+	if model != nil {
+		model.Stats().Publish(reg, "memsys")
+	}
+	buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func printStats(st *ccm.RunStats, perFunc, trace bool) {

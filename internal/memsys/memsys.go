@@ -6,7 +6,11 @@
 // buffer / victim cache" against the CCM.
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"ccmem/internal/obs"
+)
 
 // Model prices one memory access. Access returns the cycle cost of a
 // load (store=false) or store (store=true) at the given byte address.
@@ -23,6 +27,20 @@ type Stats struct {
 	Misses     int64
 	VictimHits int64
 	Evictions  int64
+}
+
+// Publish copies the snapshot into reg as gauges named
+// "<prefix>.accesses", "<prefix>.hits", and so on. A simulation is
+// deterministic, so the published values are too. No-op when reg is nil.
+func (s Stats) Publish(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix + ".accesses").Set(s.Accesses)
+	reg.Gauge(prefix + ".hits").Set(s.Hits)
+	reg.Gauge(prefix + ".misses").Set(s.Misses)
+	reg.Gauge(prefix + ".victim_hits").Set(s.VictimHits)
+	reg.Gauge(prefix + ".evictions").Set(s.Evictions)
 }
 
 // CacheConfig describes a set-associative, write-allocate, LRU data cache.

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named counters, gauges, and latency histograms.
+// Instruments are created on first reference and live for the registry's
+// lifetime; every accessor is nil-safe (a nil *Registry hands out nil
+// instruments, and recording through a nil instrument is a no-op), so
+// callers never branch on whether metrics are enabled.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the latency histogram registered under name,
+// creating it (with DefaultBuckets) on first use. Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Counter is a monotonically increasing value. All methods are nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins value. All methods are nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last stored value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultBuckets are the histogram upper bounds: exponential from 1µs to
+// ~4s (doubling), chosen to straddle the pipeline's pass latencies
+// (sub-microsecond cache probes up to multi-second whole-program
+// compiles). Fixed at package level so every histogram in every run is
+// bucket-compatible: summaries from different runs can be compared or
+// merged without bucket alignment.
+var DefaultBuckets = func() []time.Duration {
+	var b []time.Duration
+	for d := time.Microsecond; d <= 4*time.Second; d *= 2 {
+		b = append(b, d)
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram over DefaultBuckets,
+// with an implicit +Inf overflow bucket. Observe is atomic per field and
+// lock-free; Count and Sum are exact, bucket placement is by upper
+// bound. All methods are nil-safe.
+type Histogram struct {
+	buckets []atomic.Int64 // one per DefaultBuckets entry, plus +Inf at the end
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(DefaultBuckets)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(DefaultBuckets), func(i int) bool { return d <= DefaultBuckets[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// summary computes the exportable view. Quantiles are estimated as the
+// upper bound of the bucket containing the target rank — coarse but
+// monotone and stable, which is all a fixed-bucket histogram can offer.
+func (h *Histogram) summary() HistogramSummary {
+	s := HistogramSummary{Count: h.count.Load(), SumNanos: h.sum.Load()}
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50Nanos = quantileUpperBound(counts, s.Count, 0.50)
+	s.P95Nanos = quantileUpperBound(counts, s.Count, 0.95)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bc := BucketCount{Count: c}
+		if i < len(DefaultBuckets) {
+			bc.LENanos = DefaultBuckets[i].Nanoseconds()
+		} else {
+			bc.LENanos = -1 // +Inf
+		}
+		s.Buckets = append(s.Buckets, bc)
+	}
+	return s
+}
+
+func quantileUpperBound(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	// rank is the smallest position covering quantile q (ceiling), so
+	// p95 of 10 observations is the 10th, not the 9th.
+	rank := int64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	} else if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i < len(DefaultBuckets) {
+				return DefaultBuckets[i].Nanoseconds()
+			}
+			return -1 // +Inf bucket
+		}
+	}
+	return -1
+}
+
+// BucketCount is one non-empty histogram bucket: observations with
+// duration <= LENanos (LENanos -1 means +Inf, the overflow bucket).
+type BucketCount struct {
+	LENanos int64 `json:"le_ns"`
+	Count   int64 `json:"count"`
+}
+
+// HistogramSummary is the exportable view of one histogram. Count and
+// SumNanos are exact; the quantiles are bucket-upper-bound estimates.
+type HistogramSummary struct {
+	Count    int64         `json:"count"`
+	SumNanos int64         `json:"sum_ns"`
+	P50Nanos int64         `json:"p50_ns"`
+	P95Nanos int64         `json:"p95_ns"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// shaped for JSON reports. Counters and gauges are deterministic across
+// worker counts; histogram Count values are deterministic but the bucket
+// distribution and quantiles measure wall clock and are not.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]int64            `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every instrument. Returns nil on
+// a nil registry. Safe to call concurrently with recording; values are
+// read atomically per instrument.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSummary, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.summary()
+		}
+	}
+	return s
+}

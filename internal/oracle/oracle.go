@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"ccmem/internal/ir"
+	"ccmem/internal/obs"
 	"ccmem/internal/sim"
 )
 
@@ -62,6 +63,11 @@ type Options struct {
 	// capacity from the larger CCM footprint of the two programs, so a
 	// post-promotion candidate never faults on a missing CCM.
 	CCMBytes int64
+
+	// Obs, when non-nil, receives the check's counters (oracle.entries,
+	// oracle.runs, oracle.inconclusive, oracle.divergences). The verdict
+	// and counters are deterministic, so the totals are too.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults(pre, post *ir.Program) Options {
@@ -135,6 +141,19 @@ func Check(ctx context.Context, pre, post *ir.Program, opts Options) (*Result, e
 	}
 
 	res := &Result{}
+	// Counters are published once per Check on the conclusive paths
+	// (error returns publish nothing: the check didn't finish).
+	publish := func() {
+		if opts.Obs == nil {
+			return
+		}
+		opts.Obs.Counter("oracle.entries").Add(int64(res.Entries))
+		opts.Obs.Counter("oracle.runs").Add(int64(res.Runs))
+		opts.Obs.Counter("oracle.inconclusive").Add(int64(res.Inconclusive))
+		if res.Divergence != nil {
+			opts.Obs.Counter("oracle.divergences").Inc()
+		}
+	}
 	for _, entry := range entries {
 		ef := pre.Func(entry)
 		pf := post.Func(entry)
@@ -180,15 +199,17 @@ func Check(ctx context.Context, pre, post *ir.Program, opts Options) (*Result, e
 					Kind:   kind,
 					Detail: d,
 				}
+				publish()
 				return res, nil
 			}
 		}
 	}
+	publish()
 	return res, nil
 }
 
-// obs is the observable outcome of one execution.
-type obs struct {
+// observation is the observable outcome of one execution.
+type observation struct {
 	out     []sim.Value
 	ret     sim.Value
 	hasRet  bool
@@ -199,9 +220,9 @@ type obs struct {
 // observe runs one (machine, entry, args) triple and classifies the
 // outcome. Resource-limit faults mark the observation inconclusive;
 // cancellation propagates as the context's error.
-func observe(ctx context.Context, m *sim.Machine, entry string, args []sim.Value) (*obs, error) {
+func observe(ctx context.Context, m *sim.Machine, entry string, args []sim.Value) (*observation, error) {
 	st, err := m.RunContext(ctx, entry, args...)
-	o := &obs{}
+	o := &observation{}
 	if st != nil {
 		o.out = st.Output
 		o.ret, o.hasRet = st.Ret, st.HasRet
@@ -233,7 +254,7 @@ func observe(ctx context.Context, m *sim.Machine, entry string, args []sim.Value
 // legitimately differ, since the transformed code faults from rewritten
 // instructions. Output emitted before a shared fault is still observable
 // and must match.
-func compare(pre, post *obs) string {
+func compare(pre, post *observation) string {
 	if (pre.fault != nil) != (post.fault != nil) {
 		if pre.fault != nil {
 			return fmt.Sprintf("fault only in pre (%v); post terminated cleanly", pre.fault)

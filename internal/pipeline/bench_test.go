@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"io"
 	"testing"
 
 	"ccmem/internal/ir"
+	"ccmem/internal/obs"
 	"ccmem/internal/workload"
 )
 
@@ -61,4 +63,43 @@ func BenchmarkPipelineCached(b *testing.B) {
 	st := d.Cache().Stats()
 	b.ReportMetric(float64(st.Hits), "cache-hits")
 	b.ReportMetric(float64(st.Misses), "cache-misses")
+}
+
+// BenchmarkPipelineObsOff is the overhead baseline for the pair below:
+// identical to BenchmarkPipelineCold, re-declared so the two rows sit
+// together in benchstat output. The acceptance bar for the subsystem is
+// that this row and the instrumented one differ within noise only when
+// observability is disabled — the nil-check fast paths must keep the
+// uninstrumented pipeline free.
+func BenchmarkPipelineObsOff(b *testing.B) {
+	progs := benchSuite(b)
+	d := New(Options{DisableCache: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, d, progs)
+	}
+}
+
+// BenchmarkPipelineObsOn measures the full cost of spans + metrics +
+// pprof labels on a cold compile of the same suite, draining the tracer
+// between iterations so the span buffers do not saturate.
+func BenchmarkPipelineObsOn(b *testing.B) {
+	progs := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(Options{
+			DisableCache: true,
+			Tracer:       obs.NewTracer(),
+			Metrics:      obs.NewRegistry(),
+			PprofLabels:  true,
+		})
+		compileSuite(b, d, progs)
+	}
+	b.StopTimer()
+	// Keep the export path honest without timing it.
+	d := New(Options{DisableCache: true, Tracer: obs.NewTracer()})
+	compileSuite(b, d, progs)
+	if err := d.Tracer().WriteChromeTrace(io.Discard); err != nil {
+		b.Fatal(err)
+	}
 }

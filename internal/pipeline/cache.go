@@ -3,9 +3,12 @@ package pipeline
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ccmem/internal/diskcache"
 	"ccmem/internal/ir"
+	"ccmem/internal/obs"
 )
 
 // DefaultCacheEntries bounds a driver's private cache. Each entry is one
@@ -39,6 +42,16 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// Whole-cache outcome counters, recorded at lookup resolution: a
+	// lookup served from either tier is one wholeHit, a lookup that fell
+	// through both tiers (or whose disk payload failed to decode) is one
+	// wholeMiss. Kept separately from the per-tier counters because no
+	// combination of tier counters reconstructs them: the disk tier can
+	// attach late, detach, or degrade to memory-only mid-run, and its
+	// counters then stop describing this cache's lookups.
+	wholeHits   atomic.Int64
+	wholeMisses atomic.Int64
 }
 
 type cacheItem struct {
@@ -74,23 +87,65 @@ func (c *Cache) Disk() *diskcache.Cache {
 	return c.disk
 }
 
-func (c *Cache) get(k digest, kind uint32) (any, bool) {
+// kindName labels an artifact kind in spans.
+func kindName(kind uint32) string {
+	switch kind {
+	case diskKindFront:
+		return "front"
+	case diskKindBack:
+		return "back"
+	case diskKindProgram:
+		return "program"
+	}
+	return "unknown"
+}
+
+// get looks k up memory-first, then disk. sh, when non-nil, receives one
+// span per tier consulted ("cache:mem", "cache:disk") with kind and
+// result attributes.
+func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
+	var t0 time.Time
+	if sh != nil {
+		t0 = time.Now()
+	}
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.hits++
+		c.wholeHits.Add(1)
 		c.lru.MoveToFront(e)
 		v := e.Value.(*cacheItem).val
 		c.mu.Unlock()
+		if sh != nil {
+			sh.Record("cache:mem", "cache", t0, time.Since(t0),
+				obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: "hit"})
+		}
 		return v, true
 	}
 	c.misses++
 	disk := c.disk
 	c.mu.Unlock()
+	if sh != nil {
+		sh.Record("cache:mem", "cache", t0, time.Since(t0),
+			obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: "miss"})
+	}
 	if disk == nil {
+		c.wholeMisses.Add(1)
 		return nil, false
+	}
+	var t1 time.Time
+	if sh != nil {
+		t1 = time.Now()
+	}
+	diskSpan := func(result string) {
+		if sh != nil {
+			sh.Record("cache:disk", "cache", t1, time.Since(t1),
+				obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: result})
+		}
 	}
 	payload, ok := disk.Get(diskcache.Key(k), kind)
 	if !ok {
+		c.wholeMisses.Add(1)
+		diskSpan("miss")
 		return nil, false
 	}
 	v, err := decodeArtifact(kind, payload)
@@ -98,8 +153,12 @@ func (c *Cache) get(k digest, kind uint32) (any, bool) {
 		// The entry's bytes verified but its payload is garbage: a
 		// foreign or buggy writer. Withdraw it and read as a miss.
 		disk.ReportDecodeFailure(diskcache.Key(k))
+		c.wholeMisses.Add(1)
+		diskSpan("miss")
 		return nil, false
 	}
+	c.wholeHits.Add(1)
+	diskSpan("hit")
 	// Promote into memory so repeat lookups skip the disk; no counters —
 	// the disk tier already recorded the hit.
 	c.mu.Lock()
@@ -149,15 +208,20 @@ func (c *Cache) Len() int {
 
 // Stats returns a counter snapshot across both tiers. The top-level
 // Hits/Misses describe the cache as a whole (an artifact served from
-// either tier is a hit; a miss means it had to be compiled), while
-// Memory and Disk break each tier out. HitRate is Hits/(Hits+Misses),
-// 0 when the cache has never been consulted.
+// either tier is a hit; a miss means it had to be compiled) and come
+// from dedicated per-lookup counters rather than from re-deriving them
+// out of tier counters: the disk tier's own counters stop describing
+// this cache's lookups once the tier degrades to memory-only mid-run
+// (or attaches late), which used to erase memory-tier misses and
+// inflate HitRate. Memory and Disk break each tier out; Evictions and
+// Entries keep their historical memory-tier meaning. HitRate is
+// Hits/(Hits+Misses), 0 when the cache has never been consulted.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
+		Hits:      c.wholeHits.Load(),
+		Misses:    c.wholeMisses.Load(),
 		Evictions: c.evictions,
 		Entries:   c.lru.Len(),
 		Memory: TierStats{
@@ -186,10 +250,6 @@ func (c *Cache) Stats() CacheStats {
 			Bytes:            ds.Bytes,
 			Degraded:         ds.Degraded,
 		}
-		// Every memory miss consulted the disk; what the disk also missed
-		// is the cache's true miss count.
-		st.Hits += ds.Hits
-		st.Misses = ds.Misses
 	}
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		st.HitRate = float64(st.Hits) / float64(lookups)

@@ -3,8 +3,10 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ccmem/internal/ir"
+	"ccmem/internal/obs"
 	"ccmem/internal/oracle"
 	"ccmem/internal/repro"
 )
@@ -223,7 +225,7 @@ type diffOracle struct {
 	divergentPasses map[string]int64
 }
 
-func newDiffOracle(p *ir.Program, cfg Config) *diffOracle {
+func newDiffOracle(p *ir.Program, cfg Config, reg *obs.Registry) *diffOracle {
 	seed := programSeed(p, cfg)
 	return &diffOracle{
 		pre:  p.Clone(),
@@ -232,6 +234,7 @@ func newDiffOracle(p *ir.Program, cfg Config) *diffOracle {
 			Seed:     seed,
 			Vectors:  cfg.DiffVectors,
 			CCMBytes: cfg.CCMBytes,
+			Obs:      reg,
 		},
 		divergentPasses: map[string]int64{},
 	}
@@ -315,8 +318,9 @@ func histKey(me *MiscompileError) string {
 
 // recordMiscompile writes the extended repro bundle for one detected
 // divergence: both programs, the seed, and the witnessing entry, so
-// Replay can re-run the exact differential check offline.
-func (cs *compileState) recordMiscompile(me *MiscompileError, post *ir.Program, do *diffOracle) {
+// Replay can re-run the exact differential check offline. sh, when
+// non-nil, receives a "repro:write" span.
+func (cs *compileState) recordMiscompile(me *MiscompileError, post *ir.Program, do *diffOracle, sh *obs.Shard) {
 	if cs.cfg.ReproDir == "" {
 		return
 	}
@@ -331,7 +335,15 @@ func (cs *compileState) recordMiscompile(me *MiscompileError, post *ir.Program, 
 		Config:  marshalConfig(cs.cfg),
 		Error:   me.Error(),
 	}
+	var t0 time.Time
+	if sh != nil {
+		t0 = time.Now()
+	}
 	path, err := repro.Write(cs.cfg.ReproDir, b)
+	if sh != nil {
+		sh.Record("repro:write", "repro", t0, time.Since(t0),
+			obs.Attr{Key: "func", Value: me.Func}, obs.Attr{Key: "pass", Value: me.Pass})
+	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if err != nil {

@@ -44,6 +44,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,7 @@ import (
 	"ccmem/internal/core"
 	"ccmem/internal/diskcache"
 	"ccmem/internal/ir"
+	"ccmem/internal/obs"
 	"ccmem/internal/opt"
 	"ccmem/internal/regalloc"
 	"ccmem/internal/repro"
@@ -237,6 +239,25 @@ type Options struct {
 	// DiskFS overrides the filesystem the disk tier runs on — the fault
 	// injection seam (diskcache.FaultFS). nil uses the real filesystem.
 	DiskFS diskcache.FS
+
+	// Tracer, when non-nil, records a span for every compile, stage,
+	// pass, cache lookup, oracle run, and repro write on this driver.
+	// Workers record into lock-free per-worker shards; export the merged,
+	// deterministically ordered result with Tracer.WriteChromeTrace after
+	// the compiles of interest have returned. nil disables tracing at
+	// ~zero cost.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives named counters, gauges, and
+	// per-pass latency histograms from every subsystem the driver runs
+	// (regalloc, CCM promotion, compaction, opt, oracle, both cache
+	// tiers). Counter and gauge values are deterministic across worker
+	// counts; histogram bucket placements are wall-clock and are not.
+	// nil disables metrics at ~zero cost.
+	Metrics *obs.Registry
+	// PprofLabels runs every pass body under runtime/pprof.Do with
+	// ccm_func/ccm_pass labels, so CPU profiles attribute samples to
+	// passes and functions.
+	PprofLabels bool
 }
 
 // Driver is a reusable compilation pipeline. It is safe for concurrent
@@ -245,6 +266,10 @@ type Driver struct {
 	workers int
 	cache   *Cache // nil when caching is disabled
 	diskErr error  // why the disk tier failed to open (nil when absent or healthy)
+
+	tracer *obs.Tracer   // nil when tracing is off
+	reg    *obs.Registry // nil when metrics are off
+	labels bool          // run pass bodies under pprof labels
 
 	mu          sync.Mutex
 	cum         *metrics // cumulative per-pass totals across compiles
@@ -269,7 +294,14 @@ func New(opts Options) *Driver {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	d := &Driver{workers: w, cum: newMetrics(), divergentPasses: map[string]int64{}}
+	d := &Driver{
+		workers:         w,
+		cum:             newMetrics(nil), // cumulative totals never re-observe histograms
+		divergentPasses: map[string]int64{},
+		tracer:          opts.Tracer,
+		reg:             opts.Metrics,
+		labels:          opts.PprofLabels,
+	}
 	if !opts.DisableCache {
 		d.cache = opts.Cache
 		if d.cache == nil {
@@ -303,6 +335,26 @@ func (d *Driver) Cache() *Cache { return d.cache }
 // never requested. The driver compiles either way.
 func (d *Driver) DiskCacheErr() error { return d.diskErr }
 
+// Tracer returns the span tracer this driver records into (nil when
+// tracing is off).
+func (d *Driver) Tracer() *obs.Tracer { return d.tracer }
+
+// Registry returns the metrics registry this driver records into (nil
+// when metrics are off).
+func (d *Driver) Registry() *obs.Registry { return d.reg }
+
+// labeled runs body under pprof labels naming the function and pass,
+// when Options.PprofLabels is on; otherwise it calls body directly. The
+// labeled context is handed to body so injected passes (and nested
+// pprof.Do calls) observe the labels.
+func (d *Driver) labeled(ctx context.Context, fn, pass string, body func(context.Context)) {
+	if !d.labels {
+		body(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("ccm_func", fn, "ccm_pass", pass), body)
+}
+
 // funcState carries per-function results from stage to stage.
 type funcState struct {
 	fr       FuncReport
@@ -332,8 +384,9 @@ type compileState struct {
 }
 
 // recordFailure counts one failed attempt and, when a repro directory is
-// configured, writes the replayable bundle for it.
-func (cs *compileState) recordFailure(cerr *CompileError, passes []string) {
+// configured, writes the replayable bundle for it (emitting a
+// "repro:write" span on sh).
+func (cs *compileState) recordFailure(cerr *CompileError, passes []string, sh *obs.Shard) {
 	cs.failures.Add(1)
 	if cs.cfg.ReproDir == "" {
 		return
@@ -349,7 +402,15 @@ func (cs *compileState) recordFailure(cerr *CompileError, passes []string) {
 		Error:   cerr.Err.Error(),
 		Stack:   string(cerr.Stack),
 	}
+	var t0 time.Time
+	if sh != nil {
+		t0 = time.Now()
+	}
 	path, err := repro.Write(cs.cfg.ReproDir, b)
+	if sh != nil {
+		sh.Record("repro:write", "repro", t0, time.Since(t0),
+			obs.Attr{Key: "func", Value: cerr.Func}, obs.Attr{Key: "pass", Value: cerr.Pass})
+	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if err != nil {
@@ -378,7 +439,25 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		return nil, err
 	}
 	start := time.Now()
-	m := newMetrics()
+	m := newMetrics(d.reg)
+	// One span shard per logical worker, all per-compile: the main
+	// goroutine records into tid 0, pool worker w into tid w+1. Shards
+	// are single-owner, so recording is lock-free; concurrent Compiles
+	// each get their own set.
+	mainSh := d.tracer.NewShard(0)
+	var workerShards []*obs.Shard
+	if d.tracer != nil {
+		workerShards = make([]*obs.Shard, d.workers)
+		for w := range workerShards {
+			workerShards[w] = d.tracer.NewShard(w + 1)
+		}
+	}
+	shardFor := func(w int) *obs.Shard {
+		if workerShards == nil {
+			return nil
+		}
+		return workerShards[w]
+	}
 	rep := &Report{
 		Strategy: cfg.Strategy.String(),
 		Workers:  d.workers,
@@ -412,7 +491,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 	var progKey digest
 	if cache != nil {
 		progKey = programKey(p, cfg)
-		if v, ok := cache.get(progKey, diskKindProgram); ok {
+		if v, ok := cache.get(progKey, diskKindProgram, mainSh); ok {
 			art := v.(*programArtifact)
 			for i := range p.Funcs {
 				p.Funcs[i] = art.funcs[i].Clone()
@@ -423,14 +502,14 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 				rep.PerFunc[name] = fr
 			}
 			rep.ProgramCacheHit = true
-			d.finish(rep, cs, nil, m, start, true)
+			d.finish(rep, cs, nil, m, start, true, mainSh)
 			return rep, nil
 		}
 	}
 
 	var do *diffOracle
 	if cfg.DiffCheck != DiffOff {
-		do = newDiffOracle(p, cfg)
+		do = newDiffOracle(p, cfg, d.reg)
 	}
 	forced := newForcedDegrade()
 	// Each retry strictly escalates one function's quarantine, so the
@@ -461,7 +540,14 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		// goroutine, after the parallel stages have joined — worker
 		// count cannot influence the verdict or the counters.
 		check := func(stage string) (retry bool, err error) {
+			var t0 time.Time
+			if mainSh != nil {
+				t0 = time.Now()
+			}
 			me, err := do.check(ctx, p, stage, cs.snaps.upTo(stage))
+			if mainSh != nil {
+				mainSh.Record("oracle:"+stage, "oracle", t0, time.Since(t0))
+			}
 			if err != nil {
 				d.foldCounters(cs, do)
 				return false, err
@@ -469,7 +555,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 			if me == nil {
 				return false, nil
 			}
-			cs.recordMiscompile(me, p, do)
+			cs.recordMiscompile(me, p, do, mainSh)
 			if cfg.Strict || attempt+1 >= maxAttempts || !forced.escalate(me, cfg) {
 				d.foldCounters(cs, do)
 				return false, me
@@ -481,8 +567,8 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		// experimental passes, and register allocation, each function
 		// isolated under the degradation ladder. Each worker touches only
 		// p.Funcs[i], so scheduling cannot change the output.
-		err := d.forEach(ctx, len(p.Funcs), func(i int) error {
-			return d.compileFront(ctx, p, i, cfg, fnCache, m, cs, &states[i], forced)
+		err := d.forEach(ctx, len(p.Funcs), func(w, i int) error {
+			return d.compileFront(ctx, p, i, cfg, fnCache, m, cs, &states[i], forced, shardFor(w))
 		})
 		if err != nil {
 			return nil, err
@@ -503,7 +589,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		// made. Functions that degraded to the baseline rung keep their
 		// spill-to-RAM code and are excluded from promotion.
 		if cfg.Strategy == PostPass || cfg.Strategy == PostPassInterproc {
-			if err := d.postPassBarrier(ctx, p, cfg, m, cs, states, forced); err != nil {
+			if err := d.postPassBarrier(ctx, p, cfg, m, cs, states, forced, mainSh); err != nil {
 				d.foldCounters(cs, do)
 				return nil, err
 			}
@@ -523,8 +609,8 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		// to shipping the function with its uncompacted post-barrier
 		// body.
 		if cfg.CleanupSpills || !cfg.DisableCompaction {
-			err = d.forEach(ctx, len(p.Funcs), func(i int) error {
-				return d.compileBack(ctx, p, i, cfg, fnCache, m, cs, &states[i], forced)
+			err = d.forEach(ctx, len(p.Funcs), func(w, i int) error {
+				return d.compileBack(ctx, p, i, cfg, fnCache, m, cs, &states[i], forced, shardFor(w))
 			})
 			if err != nil {
 				return nil, err
@@ -537,7 +623,11 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 			if err := ir.VerifyProgram(p, ir.VerifyOptions{}); err != nil {
 				return nil, fmt.Errorf("pipeline: post-compile verification failed: %w", err)
 			}
-			m.pass(PassVerify, time.Since(t), n, n)
+			dur := time.Since(t)
+			m.pass(PassVerify, dur, n, n)
+			if mainSh != nil {
+				mainSh.Record("pass:"+PassVerify, "pass", t, dur)
+			}
 		}
 
 		if do != nil {
@@ -584,7 +674,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		cache.put(progKey, diskKindProgram, art)
 	}
 
-	d.finish(rep, cs, do, m, start, false)
+	d.finish(rep, cs, do, m, start, false, mainSh)
 	return rep, nil
 }
 
@@ -595,7 +685,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 // skip set, and the walk retries. One bad function therefore loses only
 // its own promotion; attribution failures degrade the whole barrier to
 // the heavyweight spill path instead of failing the program.
-func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config, m *metrics, cs *compileState, states []funcState, forced *forcedDegrade) error {
+func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config, m *metrics, cs *compileState, states []funcState, forced *forcedDegrade, sh *obs.Shard) error {
 	skip := map[string]bool{}
 	for i, f := range p.Funcs {
 		if states[i].level >= levelBaseline {
@@ -650,36 +740,50 @@ func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config,
 		t := time.Now()
 		var res *core.PostPassResult
 		var last string // function the walk was processing when it faulted
-		cerr := runGuarded(PassPostPass, "", levelFull, func() error {
-			var err error
-			res, err = core.PostPass(p, core.PostPassOptions{
-				CCMBytes:        cfg.CCMBytes,
-				Interprocedural: cfg.Strategy == PostPassInterproc,
-				Skip:            skip,
-				OnFunc: func(name string) {
-					last = name
-					if cfg.postPassHook != nil {
-						cfg.postPassHook(name)
-					}
-				},
+		var cerr *CompileError
+		d.labeled(ctx, "", PassPostPass, func(context.Context) {
+			cerr = runGuarded(PassPostPass, "", levelFull, func() error {
+				var err error
+				res, err = core.PostPass(p, core.PostPassOptions{
+					CCMBytes:        cfg.CCMBytes,
+					Interprocedural: cfg.Strategy == PostPassInterproc,
+					Skip:            skip,
+					OnFunc: func(name string) {
+						last = name
+						if cfg.postPassHook != nil {
+							cfg.postPassHook(name)
+						}
+					},
+				})
+				return err
 			})
-			return err
 		})
 		if cerr == nil {
-			m.pass(PassPostPass, time.Since(t), before, totalInstrs(p))
+			dur := time.Since(t)
+			m.pass(PassPostPass, dur, before, totalInstrs(p))
+			if sh != nil {
+				sh.Record("pass:"+PassPostPass, "pass", t, dur)
+			}
+			var promoted, ccmBytes int64
 			for i, f := range p.Funcs {
 				if fp := res.PerFunc[f.Name]; fp != nil {
 					states[i].fr.PromotedWebs = fp.Promoted
 					states[i].fr.CCMBytes = fp.CCMBytes
+					promoted += int64(fp.Promoted)
+					ccmBytes += fp.CCMBytes
 				}
 				if cs.snaps != nil && !skip[f.Name] {
 					cs.snaps.barrier = append(cs.snaps.barrier, passSnap{PassPostPass, f.Name, i, f.Clone()})
 				}
 			}
+			if d.reg != nil {
+				d.reg.Counter("ccm.promoted_webs").Add(promoted)
+				d.reg.Counter("ccm.bytes_used").Add(ccmBytes)
+			}
 			return nil
 		}
 		cerr.Func = last
-		cs.recordFailure(cerr, []string{PassPostPass})
+		cs.recordFailure(cerr, []string{PassPostPass}, sh)
 		if cfg.Strict {
 			return cerr
 		}
@@ -715,8 +819,20 @@ func (d *Driver) frontPasses(cfg Config, level degradeLevel, st *funcState) []fr
 	var passes []frontPass
 	if !cfg.DisableOptimizer && level < levelNoOpt {
 		passes = append(passes, frontPass{PassOptimize, func(_ context.Context, f *ir.Func) error {
-			_, err := opt.Optimize(f)
-			return err
+			s, err := opt.Optimize(f)
+			if err != nil {
+				return err
+			}
+			if d.reg != nil {
+				d.reg.Counter("opt.value_numbered").Add(int64(s.ValueNumbered))
+				d.reg.Counter("opt.constants_folded").Add(int64(s.ConstantsFolded))
+				d.reg.Counter("opt.branches_folded").Add(int64(s.BranchesFolded))
+				d.reg.Counter("opt.hoisted").Add(int64(s.Hoisted))
+				d.reg.Counter("opt.dead_removed").Add(int64(s.DeadRemoved))
+				d.reg.Counter("opt.blocks_merged").Add(int64(s.BlocksMerged))
+				d.reg.Counter("opt.blocks_removed").Add(int64(s.BlocksRemoved))
+			}
+			return nil
 		}})
 	}
 	if level < levelNoOpt {
@@ -724,7 +840,7 @@ func (d *Driver) frontPasses(cfg Config, level degradeLevel, st *funcState) []fr
 			passes = append(passes, frontPass{ip.Name, ip.Fn})
 		}
 	}
-	ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs}
+	ra := regalloc.Options{IntRegs: cfg.IntRegs, FloatRegs: cfg.FloatRegs, Obs: d.reg}
 	if cfg.Strategy == Integrated && level < levelBaseline {
 		ra.CCMBytes = cfg.CCMBytes
 	}
@@ -754,12 +870,18 @@ func passNames(passes []frontPass) []string {
 // degradation ladder on faults. It returns an error only when the
 // compile as a whole must stop: context cancellation, Strict mode, or an
 // exhausted ladder.
-func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState, forced *forcedDegrade) error {
+func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState, forced *forcedDegrade, sh *obs.Shard) error {
 	f := p.Funcs[i]
+	if sh != nil {
+		fstart := time.Now()
+		defer func() {
+			sh.Record("front", "stage", fstart, time.Since(fstart), obs.Attr{Key: "func", Value: f.Name})
+		}()
+	}
 	var key digest
 	if cache != nil {
 		key = frontKey(f, cfg)
-		if v, ok := cache.get(key, diskKindFront); ok {
+		if v, ok := cache.get(key, diskKindFront, sh); ok {
 			art := v.(*frontArtifact)
 			p.Funcs[i] = art.fn.Clone()
 			st.fr = art.fr
@@ -778,14 +900,14 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 		if cs.snaps != nil {
 			cs.snaps.front[i] = cs.snaps.front[i][:0]
 		}
-		cerr := d.frontAttempt(ctx, p.Funcs[i], cfg, level, m, st, cs.snaps, i)
+		cerr := d.frontAttempt(ctx, p.Funcs[i], cfg, level, m, st, cs.snaps, i, sh)
 		if cerr == nil {
 			break
 		}
 		st.fr.Attempts++
 		st.fr.FailedPass = cerr.Pass
 		st.fr.Error = cerr.Err.Error()
-		cs.recordFailure(cerr, passNames(d.frontPasses(cfg, level, st)))
+		cs.recordFailure(cerr, passNames(d.frontPasses(cfg, level, st)), sh)
 		if ctx.Err() != nil {
 			// The compile itself was cancelled: abort, don't degrade.
 			return cerr
@@ -819,7 +941,7 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 // frontAttempt makes one pass over the front-stage sequence at the given
 // rung: deadline check, guarded execution, optional checkpoint, for each
 // pass in turn.
-func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level degradeLevel, m *metrics, st *funcState, snaps *snapRecorder, fnIdx int) *CompileError {
+func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level degradeLevel, m *metrics, st *funcState, snaps *snapRecorder, fnIdx int, sh *obs.Shard) *CompileError {
 	fctx := ctx
 	if cfg.FuncTimeout > 0 {
 		var cancel context.CancelFunc
@@ -839,10 +961,19 @@ func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level
 		}
 		before := f.NumInstrs()
 		t := time.Now()
-		if cerr := runGuarded(pass.name, f.Name, level, func() error { return pass.run(fctx, f) }); cerr != nil {
+		var cerr *CompileError
+		d.labeled(fctx, f.Name, pass.name, func(lctx context.Context) {
+			cerr = runGuarded(pass.name, f.Name, level, func() error { return pass.run(lctx, f) })
+		})
+		if cerr != nil {
 			return cerr
 		}
-		m.pass(pass.name, time.Since(t), before, f.NumInstrs())
+		dur := time.Since(t)
+		m.pass(pass.name, dur, before, f.NumInstrs())
+		if sh != nil {
+			sh.Record("pass:"+pass.name, "pass", t, dur,
+				obs.Attr{Key: "func", Value: f.Name}, obs.Attr{Key: "level", Value: level.String()})
+		}
 		if cfg.VerifyPasses {
 			if cerr := checkpoint(pass.name, f, level, false); cerr != nil {
 				return cerr
@@ -858,8 +989,14 @@ func (d *Driver) frontAttempt(ctx context.Context, f *ir.Func, cfg Config, level
 // compileBack runs the back stage for p.Funcs[i]. A fault degrades to
 // shipping the uncompacted post-barrier body rather than failing the
 // compile.
-func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState, forced *forcedDegrade) error {
+func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Config, cache *Cache, m *metrics, cs *compileState, st *funcState, forced *forcedDegrade, sh *obs.Shard) error {
 	f := p.Funcs[i]
+	if sh != nil {
+		bstart := time.Now()
+		defer func() {
+			sh.Record("back", "stage", bstart, time.Since(bstart), obs.Attr{Key: "func", Value: f.Name})
+		}()
+	}
 	if forced.noCompact[f.Name] {
 		// Quarantined by the miscompile oracle: ship the post-barrier
 		// body untouched.
@@ -874,7 +1011,7 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 	var key digest
 	if cache != nil {
 		key = backKey(f, cfg)
-		if v, ok := cache.get(key, diskKindBack); ok {
+		if v, ok := cache.get(key, diskKindBack, sh); ok {
 			art := v.(*backArtifact)
 			p.Funcs[i] = art.fn.Clone()
 			st.fr.SpillBytesCompacted = art.compactAfter
@@ -901,13 +1038,21 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 			}
 			before := f.NumInstrs()
 			t := time.Now()
-			if cerr := runGuarded(PassCleanup, f.Name, st.level, func() error {
-				regalloc.CleanupSpillCode(f)
-				return nil
-			}); cerr != nil {
+			var cerr *CompileError
+			d.labeled(fctx, f.Name, PassCleanup, func(context.Context) {
+				cerr = runGuarded(PassCleanup, f.Name, st.level, func() error {
+					regalloc.CleanupSpillCode(f)
+					return nil
+				})
+			})
+			if cerr != nil {
 				return cerr
 			}
-			m.pass(PassCleanup, time.Since(t), before, f.NumInstrs())
+			dur := time.Since(t)
+			m.pass(PassCleanup, dur, before, f.NumInstrs())
+			if sh != nil {
+				sh.Record("pass:"+PassCleanup, "pass", t, dur, obs.Attr{Key: "func", Value: f.Name})
+			}
 			if cfg.VerifyPasses {
 				if cerr := checkpoint(PassCleanup, f, st.level, false); cerr != nil {
 					return cerr
@@ -923,18 +1068,31 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 			}
 			before := f.NumInstrs()
 			t := time.Now()
-			if cerr := runGuarded(PassCompact, f.Name, st.level, func() error {
-				cres, err := core.CompactSpills(f)
-				if err != nil {
-					return err
-				}
-				st.fr.SpillBytesCompacted = cres.AfterBytes
-				st.fr.SpillWebs = cres.Webs
-				return nil
-			}); cerr != nil {
+			var cerr *CompileError
+			d.labeled(fctx, f.Name, PassCompact, func(context.Context) {
+				cerr = runGuarded(PassCompact, f.Name, st.level, func() error {
+					cres, err := core.CompactSpills(f)
+					if err != nil {
+						return err
+					}
+					st.fr.SpillBytesCompacted = cres.AfterBytes
+					st.fr.SpillWebs = cres.Webs
+					if d.reg != nil {
+						d.reg.Counter("compact.webs").Add(int64(cres.Webs))
+						d.reg.Counter("compact.bytes_before").Add(cres.BeforeBytes)
+						d.reg.Counter("compact.bytes_after").Add(cres.AfterBytes)
+					}
+					return nil
+				})
+			})
+			if cerr != nil {
 				return cerr
 			}
-			m.pass(PassCompact, time.Since(t), before, f.NumInstrs())
+			dur := time.Since(t)
+			m.pass(PassCompact, dur, before, f.NumInstrs())
+			if sh != nil {
+				sh.Record("pass:"+PassCompact, "pass", t, dur, obs.Attr{Key: "func", Value: f.Name})
+			}
 			if cfg.VerifyPasses {
 				if cerr := checkpoint(PassCompact, f, st.level, false); cerr != nil {
 					return cerr
@@ -947,7 +1105,7 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 		return nil
 	}
 	if cerr := attempt(); cerr != nil {
-		cs.recordFailure(cerr, []string{PassCleanup, PassCompact})
+		cs.recordFailure(cerr, []string{PassCleanup, PassCompact}, sh)
 		if ctx.Err() != nil || cfg.Strict {
 			return cerr
 		}
@@ -979,14 +1137,52 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 	return nil
 }
 
-// finish stamps wall time, cache, fault, and differential-oracle stats
-// on rep and folds the compile into the driver's cumulative metrics.
-func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metrics, start time.Time, programHit bool) {
+// finish stamps wall time, cache, fault, differential-oracle, and
+// observability stats on rep and folds the compile into the driver's
+// cumulative metrics.
+func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metrics, start time.Time, programHit bool, sh *obs.Shard) {
 	rep.WallNanos = time.Since(start).Nanoseconds()
 	rep.Passes = m.stats()
 	if d.cache != nil {
 		rep.Cache = d.cache.Stats()
 	}
+	if sh != nil {
+		sh.Record("compile", "pipeline", start, time.Since(start),
+			obs.Attr{Key: "strategy", Value: rep.Strategy},
+			obs.Attr{Key: "funcs", Value: fmt.Sprint(rep.Funcs)})
+	}
+	if d.reg != nil {
+		d.reg.Counter("pipeline.compiles").Inc()
+		d.reg.Counter("pipeline.funcs").Add(int64(rep.Funcs))
+		d.reg.Counter("pipeline.failures").Add(cs.failures.Load())
+		d.reg.Counter("pipeline.degraded").Add(cs.degraded.Load())
+		if programHit {
+			d.reg.Counter("pipeline.program_hits").Inc()
+		}
+		if d.cache != nil {
+			// Gauges mirror the cache's cumulative counters so a metrics
+			// snapshot is self-contained; the disk block surfaces the
+			// persistent tier's robustness counters.
+			cst := rep.Cache
+			d.reg.Gauge("cache.hits").Set(cst.Hits)
+			d.reg.Gauge("cache.misses").Set(cst.Misses)
+			d.reg.Gauge("cache.entries").Set(int64(cst.Entries))
+			d.reg.Gauge("cache.evictions").Set(cst.Evictions)
+			d.reg.Gauge("diskcache.hits").Set(cst.Disk.Hits)
+			d.reg.Gauge("diskcache.misses").Set(cst.Disk.Misses)
+			d.reg.Gauge("diskcache.writes").Set(cst.Disk.Writes)
+			d.reg.Gauge("diskcache.corruptions").Set(cst.Disk.Corruptions)
+			d.reg.Gauge("diskcache.quarantines").Set(cst.Disk.Quarantines)
+			d.reg.Gauge("diskcache.read_errors").Set(cst.Disk.ReadErrors)
+			d.reg.Gauge("diskcache.write_errors").Set(cst.Disk.WriteErrors)
+			d.reg.Gauge("diskcache.swept_temps").Set(cst.Disk.SweptTemps)
+			d.reg.Gauge("diskcache.degraded_to_memory").Set(cst.Disk.DegradedToMemory)
+			d.reg.Gauge("diskcache.bytes").Set(cst.Disk.Bytes)
+			d.reg.Gauge("diskcache.entries").Set(int64(cst.Disk.Entries))
+		}
+	}
+	rep.Spans = d.tracer.Count()
+	rep.Metrics = d.reg.Snapshot()
 	rep.Failures = cs.failures.Load()
 	rep.Degraded = cs.degraded.Load()
 	if do != nil {
@@ -1076,14 +1272,17 @@ func (d *Driver) Metrics() *Report {
 	if d.cache != nil {
 		rep.Cache = d.cache.Stats()
 	}
+	rep.Spans = d.tracer.Count()
+	rep.Metrics = d.reg.Snapshot()
 	return rep
 }
 
-// forEach runs fn(i) for i in [0,n) on the worker pool, checking ctx
-// between items. With one worker (or one item) it degenerates to a plain
-// loop; results are identical either way because each fn touches only its
-// own index.
-func (d *Driver) forEach(ctx context.Context, n int, fn func(int) error) error {
+// forEach runs fn(worker, i) for i in [0,n) on the worker pool, checking
+// ctx between items; worker identifies which pool slot ran the item (0
+// on the sequential path), so callers can select per-worker span shards.
+// With one worker (or one item) it degenerates to a plain loop; results
+// are identical either way because each fn touches only its own index.
+func (d *Driver) forEach(ctx context.Context, n int, fn func(worker, i int) error) error {
 	workers := d.workers
 	if workers > n {
 		workers = n
@@ -1093,7 +1292,7 @@ func (d *Driver) forEach(ctx context.Context, n int, fn func(int) error) error {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("pipeline: %w", err)
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -1117,7 +1316,7 @@ func (d *Driver) forEach(ctx context.Context, n int, fn func(int) error) error {
 	next.Store(-1)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
@@ -1128,12 +1327,12 @@ func (d *Driver) forEach(ctx context.Context, n int, fn func(int) error) error {
 					fail(fmt.Errorf("pipeline: %w", err))
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return first

@@ -1,8 +1,11 @@
 package pipeline
 
 import (
+	"sort"
 	"sync"
 	"time"
+
+	"ccmem/internal/obs"
 )
 
 // Pass names, in pipeline order. PassInput is not a pass: it names the
@@ -132,19 +135,34 @@ type Report struct {
 	DiffInconclusive int64            `json:"diff_inconclusive,omitempty"`
 	Divergences      int64            `json:"divergences,omitempty"`
 	DivergentPasses  map[string]int64 `json:"divergent_passes,omitempty"`
+
+	// Observability (Options.Tracer / Options.Metrics). Spans is the
+	// total span count recorded on the driver's tracer; Metrics is a
+	// point-in-time snapshot of the driver's registry — counters and
+	// gauges are deterministic across worker counts, histogram bucket
+	// placements (wall clock) are not. Both are zero/nil when the
+	// corresponding option is off.
+	Spans   int64         `json:"spans,omitempty"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // metrics accumulates per-pass statistics; safe for concurrent workers.
+// When reg is non-nil, every recorded pass also feeds a per-pass latency
+// histogram ("pass.<name>") in the registry.
 type metrics struct {
 	mu     sync.Mutex
+	reg    *obs.Registry
 	passes map[string]*PassStat
 }
 
-func newMetrics() *metrics {
-	return &metrics{passes: make(map[string]*PassStat, len(passOrder))}
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{reg: reg, passes: make(map[string]*PassStat, len(passOrder))}
 }
 
 func (m *metrics) pass(name string, d time.Duration, before, after int) {
+	if m.reg != nil {
+		m.reg.Histogram("pass." + name).Observe(d)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p := m.passes[name]
@@ -177,15 +195,30 @@ func (m *metrics) merge(o *metrics) {
 	}
 }
 
-// stats returns the accumulated passes in pipeline order.
+// stats returns the accumulated passes in pipeline order. Passes whose
+// names are not in passOrder — injected experimental passes
+// (Config.InjectFront) — follow the canonical ones in sorted-name order,
+// so their timings are reported rather than silently dropped.
 func (m *metrics) stats() []PassStat {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]PassStat, 0, len(m.passes))
+	canonical := make(map[string]bool, len(passOrder))
 	for _, name := range passOrder {
+		canonical[name] = true
 		if p, ok := m.passes[name]; ok {
 			out = append(out, *p)
 		}
+	}
+	extra := make([]string, 0, len(m.passes))
+	for name := range m.passes {
+		if !canonical[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		out = append(out, *m.passes[name])
 	}
 	return out
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ccmem/internal/ir"
+	"ccmem/internal/obs"
 	"ccmem/internal/ssa"
 )
 
@@ -42,6 +43,13 @@ type Options struct {
 	// Heuristic selects how the spill candidate is chosen when simplify
 	// blocks (default: Chaitin's cost/degree).
 	Heuristic SpillHeuristic
+
+	// Obs, when non-nil, receives allocation counters (regalloc.spills,
+	// regalloc.coalesces, regalloc.remat, regalloc.rounds,
+	// regalloc.frame_ranges, regalloc.ccm_ranges) for every successful
+	// Allocate. The counters are a pure function of (f, Options), so
+	// their totals are identical however calls are scheduled.
+	Obs *obs.Registry
 }
 
 // SpillHeuristic orders spill candidates when the graph is stuck.
@@ -165,5 +173,13 @@ func Allocate(f *ir.Func, opts Options) (*Result, error) {
 	}
 	res.FrameBytes = f.FrameBytes
 	res.CCMBytesUsed = f.CCMBytes
+	if opts.Obs != nil {
+		opts.Obs.Counter("regalloc.spills").Add(int64(res.SpilledRanges))
+		opts.Obs.Counter("regalloc.coalesces").Add(int64(res.CopiesCoalesced))
+		opts.Obs.Counter("regalloc.remat").Add(int64(res.Rematerialized))
+		opts.Obs.Counter("regalloc.rounds").Add(int64(res.Rounds))
+		opts.Obs.Counter("regalloc.frame_ranges").Add(int64(res.FrameRanges))
+		opts.Obs.Counter("regalloc.ccm_ranges").Add(int64(res.CCMRanges))
+	}
 	return res, nil
 }

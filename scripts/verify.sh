@@ -27,6 +27,12 @@ go test ./...
 echo '== race: go test -race ./internal/pipeline/... ./internal/oracle/...'
 go test -race ./internal/pipeline/... ./internal/oracle/...
 
+# The observability subsystem's whole point is concurrent-safe counters
+# and per-worker span shards, so its suite always runs under the race
+# detector.
+echo '== race: go test -race ./internal/obs/...'
+go test -race ./internal/obs/...
+
 # The diskcache suite includes the deterministic fault-injection soak
 # (TestFaultSoak), which is skipped under -short; the race run below
 # executes it in full unless short=1.
