@@ -23,6 +23,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +34,51 @@ import (
 	"ccmem/internal/pipeline"
 	"ccmem/internal/sim"
 )
+
+// Version reports the toolchain build identity, derived from
+// runtime/debug.ReadBuildInfo: module version (or the VCS revision and
+// commit time when built from a checkout) plus the Go toolchain. Every
+// binary in this module answers -version — and the compile service
+// answers GET /version — with exactly this string, so a fleet operator
+// can tell which build produced which artifact.
+func Version() string {
+	var b strings.Builder
+	b.WriteString("ccmem")
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		b.WriteString(" (no build info)")
+		return b.String()
+	}
+	if v := bi.Main.Version; v != "" {
+		b.WriteString(" " + v)
+	}
+	var rev, t, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			t = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = " dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString(" rev " + rev + dirty)
+		if t != "" {
+			b.WriteString(" (" + t + ")")
+		}
+	}
+	if bi.GoVersion != "" {
+		b.WriteString(" " + bi.GoVersion)
+	}
+	return b.String()
+}
 
 // Strategy selects how register spills are placed.
 type Strategy int

@@ -38,14 +38,24 @@
 // compile, pass, cache lookup, and oracle run across the whole
 // evaluation and writes Chrome trace-event JSON viewable at
 // https://ui.perfetto.dev.
+//
+// SIGINT/SIGTERM cancels the run cooperatively: in-flight compiles stop
+// at the next pass boundary and ccmbench exits 1 instead of running the
+// remaining tables. -version prints the build identity (module version,
+// VCS revision, toolchain) and exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	ccm "ccmem"
 	"ccmem/internal/experiments"
 	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
@@ -67,9 +77,21 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON span trace of every compile to this file")
 	metricsOut := flag.String("metrics-out", "", "write the cumulative pipeline report (pass wall times, cache hit rates, counters) as JSON to this file, e.g. BENCH_pipeline.json")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(ccm.Version())
+		return
+	}
+
+	// Ctrl-C stops the evaluation at the next pass boundary instead of
+	// leaving half a table on a dead terminal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.Default()
+	cfg.Ctx = ctx
 	cfg.MemCost = *memCost
 	popts := pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes}
 	if *traceOut != "" {
@@ -185,6 +207,10 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ccmbench:", err)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ccmbench: interrupted")
+	} else {
+		fmt.Fprintln(os.Stderr, "ccmbench:", err)
+	}
 	os.Exit(1)
 }

@@ -11,7 +11,7 @@
 //	     [-diff-check off|final|per-stage] [-diff-vectors N]
 //	     [-cache-dir DIR] [-cache-bytes N]
 //	     [-trace out.json] [-metrics]
-//	     [-stats] [-json] [-o out.iloc] in.iloc
+//	     [-stats] [-json] [-o out.iloc] [-version] in.iloc
 //
 // -cleanup runs the post-allocation spill-code peephole. -stats prints
 // per-function spill statistics to stderr; -json emits the pipeline's
@@ -71,12 +71,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	ccm "ccmem"
 	"ccmem/internal/obs"
@@ -104,8 +107,13 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (view at ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "collect pass/cache/allocator metrics (reported in -json under \"metrics\")")
 	out := flag.String("o", "", "output file (default stdout)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(ccm.Version())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccmc [flags] input.iloc")
 		flag.Usage()
@@ -174,8 +182,16 @@ func main() {
 			fatal(err)
 		}
 	}
-	report, err := drv.Compile(prog.IR(), cfg)
+	// Ctrl-C cancels cooperatively: in-flight functions stop at the next
+	// pass boundary and ccmc exits 1 without emitting partial output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := drv.CompileContext(ctx, prog.IR(), cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ccmc: interrupted")
+			os.Exit(1)
+		}
 		var me *pipeline.MiscompileError
 		if errors.As(err, &me) {
 			writeTrace() // the spans up to the divergence are still useful

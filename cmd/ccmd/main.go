@@ -1,0 +1,131 @@
+// Command ccmd is the long-running compile service: a daemon that keeps
+// one shared pipeline driver — and with it one two-tier artifact cache
+// and one metrics registry — warm across many compile requests, served
+// over HTTP+JSON.
+//
+// Usage:
+//
+//	ccmd [-addr HOST:PORT] [-workers N]
+//	     [-cache-dir DIR] [-cache-bytes N] [-repro-dir DIR]
+//	     [-max-inflight N] [-max-queue N] [-retry-after D]
+//	     [-drain-timeout D] [-max-program-bytes N] [-version]
+//
+// Endpoints:
+//
+//	POST /compile   compile one ILOC program; body {"program", "config", "options", "tenant"}
+//	POST /run       execute one program on the instrumented simulator
+//	GET  /report    the shared driver's cumulative pipeline report
+//	GET  /metrics   service admission counters + obs registry snapshot + driver report
+//	GET  /trace     Chrome trace-event JSON of recent traced requests (one PID each)
+//	GET  /healthz   liveness + storage health ("ok" or "degraded")
+//	GET  /readyz    readiness; 503 while draining or with a broken disk cache
+//	GET  /version   build identity (same string as ccmc -version)
+//
+// Admission is a bounded queue: at most -max-inflight requests compile
+// at once, at most -max-queue wait, and beyond that the service answers
+// 429 with Retry-After. Under sustained pressure it sheds auxiliary
+// work (verification passes, then the miscompile oracle and tracing)
+// before it sheds requests; shedding never changes the bytes a request
+// gets back. SIGINT/SIGTERM starts a graceful drain: readiness flips,
+// new work gets 503, and in-flight compiles finish within
+// -drain-timeout before the process exits.
+//
+// Every compile response's "output" is byte-identical to what a solo
+// ccmc run of the same program and configuration prints.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ccm "ccmem"
+	"ccmem/internal/ccmd"
+	"ccmem/internal/obs"
+	"ccmem/internal/pipeline"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
+	workers := flag.Int("workers", 0, "shared driver worker pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
+	reproDir := flag.String("repro-dir", "", "base directory for per-tenant crash/miscompile repro bundles (empty = disabled)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently running requests (0 = worker pool size)")
+	maxQueue := flag.Int("max-queue", 0, "max queued requests before 429 (0 = 4x max-inflight)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 429/503 responses (0 = 2s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	maxProgram := flag.Int64("max-program-bytes", 0, "max ILOC program size per request (0 = 1 MiB)")
+	version := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(ccm.Version())
+		return
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ccmd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	drv := pipeline.New(pipeline.Options{
+		Workers:     *workers,
+		CacheDir:    *cacheDir,
+		CacheBytes:  *cacheBytes,
+		Metrics:     obs.NewRegistry(),
+		PprofLabels: true,
+	})
+	if err := drv.DiskCacheErr(); err != nil {
+		// Degraded, not dead: compiles fall back to the memory tier and
+		// /healthz reports why.
+		logger.Printf("ccmd: warning: persistent cache disabled: %v", err)
+	}
+	svc, err := ccmd.NewService(ccmd.Config{
+		Driver:          drv,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		RetryAfter:      *retryAfter,
+		ReproDir:        *reproDir,
+		MaxProgramBytes: *maxProgram,
+	})
+	if err != nil {
+		logger.Fatalf("ccmd: %v", err)
+	}
+	srv, err := ccmd.NewServer(svc, ccmd.ServerConfig{
+		Addr:         *addr,
+		Version:      ccm.Version(),
+		DrainTimeout: *drainTimeout,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("ccmd: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			logger.Fatalf("ccmd: %v", err)
+		}
+		return
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		logger.Printf("ccmd: shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil {
+		logger.Fatalf("ccmd: %v", err)
+	}
+}

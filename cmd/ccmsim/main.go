@@ -7,7 +7,7 @@
 //	ccmsim [-entry main] [-ccm BYTES] [-memcost N] [-trace] [-perfunc]
 //	       [-cache SETSxWAYSxLINE] [-max-steps N] [-max-depth N]
 //	       [-repro-dir DIR] [-cache-dir DIR] [-cache-bytes N]
-//	       [-metrics-out FILE] prog.iloc
+//	       [-metrics-out FILE] [-version] prog.iloc
 //
 // -max-steps and -max-depth bound the dynamic instruction count and the
 // call-stack depth; exceeding either is a structured resource-limit
@@ -68,8 +68,13 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent run-result cache directory (empty = off)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	metricsOut := flag.String("metrics-out", "", "write run and memory-hierarchy metrics as a JSON gauge snapshot to this file")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(ccm.Version())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccmsim [flags] prog.iloc")
 		flag.Usage()

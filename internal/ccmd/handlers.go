@@ -1,0 +1,141 @@
+package ccmd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ccmem/internal/obs"
+)
+
+// Handler builds the service's HTTP surface. The handlers are a thin
+// transport skin over Service: decode with strict validation (unknown
+// fields are 400s, bodies are size-bounded before they reach the JSON
+// decoder), call the service, encode the typed result. Every error
+// travels as {"error": APIError}; 429 and 503 carry Retry-After.
+func Handler(s *Service, version string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
+		var req CompileRequest
+		if apiErr := decodeJSON(w, r, s.cfg.MaxProgramBytes+64*1024, &req); apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		resp, apiErr := s.Compile(r.Context(), &req)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		if apiErr := decodeJSON(w, r, s.cfg.MaxProgramBytes+64*1024, &req); apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		resp, apiErr := s.Run(r.Context(), &req)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Report())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		resp := MetricsResponse{Service: s.Stats(), Driver: s.Report()}
+		if snap := s.Metrics(); snap != nil {
+			if raw, err := json.Marshal(snap); err == nil {
+				resp.Registry = raw
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WriteChromeTraceSpans(w, s.TraceSpans())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness plus storage health: the daemon serves compiles even
+		// with a broken persistent tier (the driver falls back to the
+		// memory tier), but operators should see "degraded" and the why.
+		if err := s.Driver().DiskCacheErr(); err != nil {
+			writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded",
+				Detail: "disk cache unavailable: " + err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness gates traffic: draining or a broken persistent tier
+		// means "send new work elsewhere" (503), though in-flight and
+		// retried requests still complete.
+		if s.Draining() {
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+			return
+		}
+		if err := s.Driver().DiskCacheErr(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded",
+				Detail: "disk cache unavailable: " + err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	})
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, VersionResponse{Version: version})
+	})
+	return mux
+}
+
+// decodeJSON reads one JSON body with a hard size bound and strict
+// field checking, mapping every decode failure onto a 400 APIError.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) *APIError {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, _ := strings.Cut(ct, ";"); strings.TrimSpace(mt) != "application/json" {
+			return &APIError{Status: http.StatusUnsupportedMediaType, Code: CodeBadRequest,
+				Message: fmt.Sprintf("unsupported Content-Type %q (want application/json)", ct)}
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return &APIError{Status: http.StatusRequestEntityTooLarge, Code: CodeBadRequest,
+				Message: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return &APIError{Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: "malformed request body: " + err.Error()}
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return &APIError{Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: "request body must be a single JSON object"}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *APIError) {
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	writeJSON(w, e.Status, struct {
+		Error *APIError `json:"error"`
+	}{e})
+}

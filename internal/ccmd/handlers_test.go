@@ -1,0 +1,386 @@
+package ccmd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccmem/internal/pipeline"
+)
+
+func newTestHTTP(t *testing.T, mut func(*Config)) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := newTestService(t, mut)
+	ts := httptest.NewServer(Handler(svc, "test-version"))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+type errEnvelope struct {
+	Error *APIError `json:"error"`
+}
+
+func TestHTTPCompile(t *testing.T) {
+	_, ts := newTestHTTP(t, nil)
+	text := testProgram(t, 11)
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{
+		Program: text,
+		Config:  RequestConfig{Strategy: "postpass", CCMBytes: 512},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decodeBody[CompileResponse](t, resp)
+	want := soloCompile(t, text, pipelineConfigFor(t, "postpass", 512))
+	if out.Output != want {
+		t.Fatalf("HTTP output differs from solo compile")
+	}
+	if out.Report == nil {
+		t.Fatalf("no report in response")
+	}
+}
+
+func pipelineConfigFor(t *testing.T, strategy string, ccm int64) pipeline.Config {
+	t.Helper()
+	svc := newTestService(t, nil)
+	pc, apiErr := svc.pipelineConfig(&CompileRequest{
+		Config: RequestConfig{Strategy: strategy, CCMBytes: ccm},
+	}, shedNone)
+	if apiErr != nil {
+		t.Fatalf("pipelineConfig: %v", apiErr)
+	}
+	return pc
+}
+
+func TestHTTPValidation(t *testing.T) {
+	_, ts := newTestHTTP(t, nil)
+
+	// Unknown fields are 400s, not silent drops.
+	resp, err := http.Post(ts.URL+"/compile", "application/json",
+		strings.NewReader(`{"program": "x", "turbo": true}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	if e := decodeBody[errEnvelope](t, resp); e.Error == nil || e.Error.Code != CodeBadRequest {
+		t.Fatalf("unknown field error: %+v", e.Error)
+	}
+
+	// Wrong content type.
+	resp, err = http.Post(ts.URL+"/compile", "text/plain", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("content type: status %d, want 415", resp.StatusCode)
+	}
+
+	// Unparseable program is a 422 with the typed code.
+	resp = postJSON(t, ts.URL+"/compile", CompileRequest{Program: "definitely not iloc"})
+	if resp.StatusCode != 422 {
+		t.Fatalf("bad program: status %d, want 422", resp.StatusCode)
+	}
+	if e := decodeBody[errEnvelope](t, resp); e.Error == nil || e.Error.Code != CodeBadProgram {
+		t.Fatalf("bad program error: %+v", e.Error)
+	}
+
+	// Trailing garbage after the JSON object.
+	resp, err = http.Post(ts.URL+"/compile", "application/json",
+		strings.NewReader(`{"program": "x"} extra`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("trailing garbage: status %d, want 400", resp.StatusCode)
+	}
+
+	// GET on a POST route is a 405 from the method-aware mux.
+	getResp, err := http.Get(ts.URL + "/compile")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	io.Copy(io.Discard, getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /compile: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestHTTPBodyTooLarge(t *testing.T) {
+	_, ts := newTestHTTP(t, func(c *Config) { c.MaxProgramBytes = 128 })
+	big := strings.Repeat("a", 64*1024+256)
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{Program: big})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func TestHTTPRun(t *testing.T) {
+	_, ts := newTestHTTP(t, nil)
+	resp := postJSON(t, ts.URL+"/run", RunRequest{Program: testProgram(t, 12), CCMBytes: 256})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decodeBody[RunResponse](t, resp)
+	if out.Instrs == 0 || out.Cycles == 0 {
+		t.Fatalf("empty run stats: %+v", out)
+	}
+}
+
+func TestHTTPHealthAndVersion(t *testing.T) {
+	svc, ts := newTestHTTP(t, nil)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if h := decodeBody[HealthResponse](t, resp); h.Status != "ok" {
+			t.Fatalf("GET %s: status %q", path, h.Status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatalf("GET /version: %v", err)
+	}
+	if v := decodeBody[VersionResponse](t, resp); v.Version != "test-version" {
+		t.Fatalf("version %q", v.Version)
+	}
+
+	// Draining flips readiness to 503 but leaves liveness at 200.
+	svc.BeginDrain()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatalf("draining /readyz has no Retry-After")
+	}
+	if h := decodeBody[HealthResponse](t, resp); h.Status != "draining" {
+		t.Fatalf("draining /readyz body: %q", h.Status)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("draining /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestHTTPMetricsAndTrace(t *testing.T) {
+	_, ts := newTestHTTP(t, nil)
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{
+		Program: testProgram(t, 13),
+		Options: RequestOptions{Trace: true},
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("compile: status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	m := decodeBody[MetricsResponse](t, mresp)
+	if m.Service.Requests != 1 || m.Service.TraceRequests != 1 {
+		t.Fatalf("service stats: %+v", m.Service)
+	}
+	if m.Driver == nil || len(m.Registry) == 0 {
+		t.Fatalf("metrics response missing driver report or registry snapshot")
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(m.Registry, &snap); err != nil {
+		t.Fatalf("registry snapshot: %v", err)
+	}
+	if snap.Counters["ccmd.requests"] != 1 {
+		t.Fatalf("ccmd.requests = %d in snapshot", snap.Counters["ccmd.requests"])
+	}
+
+	tresp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	body, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if err := json.Unmarshal(body, &trace); err != nil {
+		t.Fatalf("GET /trace is not Chrome trace JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatalf("GET /trace has no events after a traced compile")
+	}
+
+	rresp, err := http.Get(ts.URL + "/report")
+	if err != nil {
+		t.Fatalf("GET /report: %v", err)
+	}
+	var rep map[string]any
+	if err := json.NewDecoder(rresp.Body).Decode(&rep); err != nil {
+		t.Fatalf("GET /report: %v", err)
+	}
+	rresp.Body.Close()
+	if rep["funcs"] == nil {
+		t.Fatalf("GET /report missing funcs: %v", rep)
+	}
+}
+
+// TestHTTPSaturation proves the 429 + Retry-After contract end to end:
+// with one slot and a one-deep queue held busy, the next request over
+// the wire bounces with the typed saturation error.
+func TestHTTPSaturation(t *testing.T) {
+	svc, ts := newTestHTTP(t, func(c *Config) {
+		c.MaxInflight = 1
+		c.MaxQueue = 1
+		c.RetryAfter = 3 * time.Second
+	})
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	svc.testCompileHook = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	text := testProgram(t, 14)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/compile", CompileRequest{Program: text})
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("held request: status %d", resp.StatusCode)
+			}
+		}()
+	}
+	<-entered // one inflight
+	waitFor(t, func() bool { return svc.Stats().Queued == 1 })
+
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{Program: text})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	if e := decodeBody[errEnvelope](t, resp); e.Error == nil || e.Error.Code != CodeSaturated {
+		t.Fatalf("saturation error: %+v", e.Error)
+	}
+
+	close(hold)
+	wg.Wait()
+}
+
+// TestServerDrain exercises the Server wrapper: serve on an ephemeral
+// port, then Shutdown drains in-flight work before returning.
+func TestServerDrain(t *testing.T) {
+	svc := newTestService(t, nil)
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	srv, err := NewServer(svc, ServerConfig{
+		Addr:         "127.0.0.1:0",
+		Version:      "test",
+		DrainTimeout: 10 * time.Second,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			fmt.Fprintf(&logBuf, format+"\n", args...)
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	url := "http://" + srv.Addr()
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	svc.testCompileHook = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	compiled := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, url+"/compile", CompileRequest{Program: testProgram(t, 15)})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		compiled <- resp.StatusCode
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+	waitFor(t, func() bool { return svc.Draining() })
+
+	// The in-flight request survives the drain window and completes.
+	close(hold)
+	if code := <-compiled; code != 200 {
+		t.Fatalf("in-flight request during drain: status %d", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
+	}
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logs, "listening on") || !strings.Contains(logs, "drained cleanly") {
+		t.Fatalf("server log missing lifecycle lines:\n%s", logs)
+	}
+}

@@ -1,0 +1,100 @@
+package ccmd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server owns the daemon's HTTP lifecycle around one Service: bind,
+// serve, and the two-phase graceful shutdown the systemd/SIGTERM
+// contract wants — stop accepting (readiness flips, new work gets 503),
+// drain in-flight requests against a deadline, then close hard if the
+// deadline passes.
+type Server struct {
+	svc          *Service
+	http         *http.Server
+	ln           net.Listener
+	drainTimeout time.Duration
+	logf         func(format string, args ...any)
+}
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	Addr         string        // listen address, e.g. ":8347" or "127.0.0.1:0"
+	Version      string        // served on GET /version
+	DrainTimeout time.Duration // graceful-shutdown deadline; 0 means 30s
+	// Logf receives the server's operational log lines ("listening on
+	// ..." and shutdown progress). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// NewServer binds the listen address immediately (so the caller learns
+// the real port of ":0" before any traffic) and returns a server ready
+// for Serve.
+func NewServer(svc *Service, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("ccmd: listen %s: %w", cfg.Addr, err)
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		svc: svc,
+		http: &http.Server{
+			Handler:           Handler(svc, cfg.Version),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		ln:           ln,
+		drainTimeout: cfg.DrainTimeout,
+		logf:         logf,
+	}, nil
+}
+
+// Addr is the bound listen address (with the real port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve blocks serving requests until Shutdown (returns nil) or a
+// listener failure (returns the error).
+func (s *Server) Serve() error {
+	s.logf("ccmd: listening on %s", s.Addr())
+	err := s.http.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown runs the drain protocol: flip the service to draining (new
+// requests get 503 + Retry-After; /readyz reports draining), wait up to
+// the drain timeout for in-flight requests and open connections to
+// finish, then force-close whatever remains. Returns nil on a clean
+// drain and the deadline error when work was cut off.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.svc.BeginDrain()
+	s.logf("ccmd: draining (timeout %s)", s.drainTimeout)
+	dctx, cancel := context.WithTimeout(ctx, s.drainTimeout)
+	defer cancel()
+	err := s.http.Shutdown(dctx)
+	if err != nil {
+		s.logf("ccmd: drain deadline exceeded; closing %d in-flight", s.svc.Stats().Inflight)
+		_ = s.http.Close()
+		return err
+	}
+	// The HTTP layer is quiet; make sure the service agrees (admitted
+	// work outlives its handler only if a handler leaked a goroutine,
+	// which Drain would catch here).
+	if err := s.svc.Drain(dctx); err != nil {
+		return err
+	}
+	s.logf("ccmd: drained cleanly")
+	return nil
+}

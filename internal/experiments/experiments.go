@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,6 +93,20 @@ type Config struct {
 	// Strict, a divergence aborts the run as a *pipeline.MiscompileError
 	// rather than quarantining).
 	DiffCheck pipeline.DiffCheck
+
+	// Ctx, when non-nil, cancels in-flight measurements cooperatively at
+	// pass boundaries (ccmbench binds it to SIGINT/SIGTERM so an
+	// interrupted sweep stops cleanly at the next boundary instead of
+	// dying mid-write). Nil means never cancelled.
+	Ctx context.Context
+}
+
+// ctx returns the configured cancellation context or Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // Default returns the paper's configuration.
@@ -197,7 +212,7 @@ type SuiteResults struct {
 // multi-process studies skip compaction so the spill address streams
 // their cache models observe match the paper-faithful harness.
 func compileWith(drv *pipeline.Driver, p *ir.Program, strat Strategy, ccmBytes int64, cfg Config, compact bool) (*pipeline.Report, error) {
-	return drv.Compile(p, pipeline.Config{
+	return drv.CompileContext(cfg.ctx(), p, pipeline.Config{
 		Strategy:          strat.pipelineStrategy(),
 		CCMBytes:          ccmBytes,
 		IntRegs:           cfg.IntRegs,

@@ -302,3 +302,36 @@ func TestSnapshotJSONShape(t *testing.T) {
 		t.Fatalf("histograms = %+v", hists)
 	}
 }
+
+// TestWriteChromeTraceSpansPID: the standalone span exporter stamps
+// each span's PID into its event (zero exporting as process 1), so an
+// aggregator holding batches from many requests renders one process
+// row per request.
+func TestWriteChromeTraceSpansPID(t *testing.T) {
+	spans := []Span{
+		{Name: "a", Cat: "compile", TID: 1},
+		{Name: "b", Cat: "compile", TID: 2, PID: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].PID != 1 {
+		t.Fatalf("zero PID exported as %d, want 1", doc.TraceEvents[0].PID)
+	}
+	if doc.TraceEvents[1].PID != 7 {
+		t.Fatalf("explicit PID exported as %d, want 7", doc.TraceEvents[1].PID)
+	}
+}

@@ -51,10 +51,15 @@ type Attr struct {
 // Span is one completed timed region. StartNanos is relative to the
 // tracer's epoch (its creation time), so spans from one tracer share a
 // timeline; TID is the logical worker that ran the region (0 = the
-// goroutine driving the compile, 1..N = pool workers).
+// goroutine driving the compile, 1..N = pool workers). PID groups spans
+// into separate process rows in the exported trace — a tracer records
+// PID 0 (exported as process 1), and an aggregator merging spans from
+// several tracers (one per request, say) stamps each batch with its own
+// PID before export so the viewer shows one process group per batch.
 type Span struct {
 	Name       string `json:"name"`
 	Cat        string `json:"cat"`
+	PID        int    `json:"pid,omitempty"`
 	TID        int    `json:"tid"`
 	Seq        int64  `json:"seq"` // per-shard record order
 	StartNanos int64  `json:"start_ns"`
@@ -215,16 +220,30 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		return fmt.Errorf("obs: WriteChromeTrace on a nil Tracer")
 	}
-	spans := t.Spans()
+	return WriteChromeTraceSpans(w, t.Spans())
+}
+
+// WriteChromeTraceSpans exports an arbitrary span slice as Chrome
+// trace-event JSON. It is the export path for callers that aggregate
+// spans from more than one tracer (the compile service merges one
+// tracer per traced request): stamp each batch's Span.PID before
+// appending and every batch renders as its own process group. A zero
+// PID exports as process 1, so single-tracer traces look as they always
+// have.
+func WriteChromeTraceSpans(w io.Writer, spans []Span) error {
 	events := make([]chromeEvent, 0, len(spans))
 	for _, sp := range spans {
+		pid := sp.PID
+		if pid == 0 {
+			pid = 1
+		}
 		ev := chromeEvent{
 			Name: sp.Name,
 			Cat:  sp.Cat,
 			Ph:   "X",
 			TS:   float64(sp.StartNanos) / 1e3,
 			Dur:  float64(sp.DurNanos) / 1e3,
-			PID:  1,
+			PID:  pid,
 			TID:  sp.TID,
 		}
 		if len(sp.Attrs) > 0 {

@@ -434,6 +434,25 @@ func (d *Driver) Compile(p *ir.Program, cfg Config) (*Report, error) {
 // fail their next boundary check) and the first context error is
 // returned; no goroutines outlive the call.
 func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) (*Report, error) {
+	return d.compile(ctx, p, cfg, d.tracer)
+}
+
+// CompileTraced is CompileContext with a per-compile tracer: spans for
+// this compile alone are recorded into tr instead of the driver's
+// tracer, while the cache, metrics registry, and cumulative totals stay
+// shared. This is how a long-running service traces one request through
+// a shared driver without either exporting every other request's spans
+// or racing a live tracer's shards at export time — the caller owns tr,
+// and once this call returns no shard of it is recording, so exporting
+// it is safe. A nil tr falls back to the driver's tracer.
+func (d *Driver) CompileTraced(ctx context.Context, p *ir.Program, cfg Config, tr *obs.Tracer) (*Report, error) {
+	if tr == nil {
+		tr = d.tracer
+	}
+	return d.compile(ctx, p, cfg, tr)
+}
+
+func (d *Driver) compile(ctx context.Context, p *ir.Program, cfg Config, tracer *obs.Tracer) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -444,12 +463,12 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 	// goroutine records into tid 0, pool worker w into tid w+1. Shards
 	// are single-owner, so recording is lock-free; concurrent Compiles
 	// each get their own set.
-	mainSh := d.tracer.NewShard(0)
+	mainSh := tracer.NewShard(0)
 	var workerShards []*obs.Shard
-	if d.tracer != nil {
+	if tracer != nil {
 		workerShards = make([]*obs.Shard, d.workers)
 		for w := range workerShards {
-			workerShards[w] = d.tracer.NewShard(w + 1)
+			workerShards[w] = tracer.NewShard(w + 1)
 		}
 	}
 	shardFor := func(w int) *obs.Shard {
@@ -502,7 +521,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 				rep.PerFunc[name] = fr
 			}
 			rep.ProgramCacheHit = true
-			d.finish(rep, cs, nil, m, start, true, mainSh)
+			d.finish(rep, cs, nil, m, start, true, mainSh, tracer)
 			return rep, nil
 		}
 	}
@@ -674,7 +693,7 @@ func (d *Driver) CompileContext(ctx context.Context, p *ir.Program, cfg Config) 
 		cache.put(progKey, diskKindProgram, art)
 	}
 
-	d.finish(rep, cs, do, m, start, false, mainSh)
+	d.finish(rep, cs, do, m, start, false, mainSh, tracer)
 	return rep, nil
 }
 
@@ -1139,8 +1158,9 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 
 // finish stamps wall time, cache, fault, differential-oracle, and
 // observability stats on rep and folds the compile into the driver's
-// cumulative metrics.
-func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metrics, start time.Time, programHit bool, sh *obs.Shard) {
+// cumulative metrics. tracer is the tracer this compile recorded into
+// (the driver's, unless CompileTraced overrode it).
+func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metrics, start time.Time, programHit bool, sh *obs.Shard, tracer *obs.Tracer) {
 	rep.WallNanos = time.Since(start).Nanoseconds()
 	rep.Passes = m.stats()
 	if d.cache != nil {
@@ -1181,7 +1201,7 @@ func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metric
 			d.reg.Gauge("diskcache.entries").Set(int64(cst.Disk.Entries))
 		}
 	}
-	rep.Spans = d.tracer.Count()
+	rep.Spans = tracer.Count()
 	rep.Metrics = d.reg.Snapshot()
 	rep.Failures = cs.failures.Load()
 	rep.Degraded = cs.degraded.Load()

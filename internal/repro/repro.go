@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -92,6 +93,36 @@ func sanitize(s string) string {
 	}, s)
 }
 
+// tenantRE constrains tenant names to a single safe path component: it
+// must start with an alphanumeric and may continue with alphanumerics,
+// dots, dashes, and underscores — which structurally rules out path
+// separators, "..", and hidden-file prefixes.
+var tenantRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidTenant reports whether name is usable as a tenant namespace: a
+// single path component, 1-64 characters, starting alphanumeric and
+// containing only [A-Za-z0-9._-].
+func ValidTenant(name string) bool { return tenantRE.MatchString(name) }
+
+// TenantDir maps a tenant name onto its isolated bundle namespace under
+// base: base/<tenant>. Multi-tenant callers (the compile service) route
+// each tenant's crash and miscompile bundles through this so one
+// tenant's failures never land in — or overwrite content-addressed
+// names in — another tenant's directory. The tenant name is validated,
+// never interpreted: anything that could escape the base directory or
+// collide with another namespace is rejected as a *Error.
+func TenantDir(base, tenant string) (string, error) {
+	if base == "" {
+		return "", &Error{Op: "tenant-dir", Path: base, Reason: ReasonMalformed,
+			Detail: "empty base directory"}
+	}
+	if !ValidTenant(tenant) {
+		return "", &Error{Op: "tenant-dir", Path: base, Reason: ReasonMalformed,
+			Detail: fmt.Sprintf("invalid tenant %q (want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric)", tenant)}
+	}
+	return filepath.Join(base, tenant), nil
+}
+
 // Error reason classifications: stable strings a caller (or a script
 // driving a replay tool) can branch on without parsing messages.
 const (
@@ -108,7 +139,7 @@ const (
 // repro directory isn't there" from "a bundle inside it is broken"
 // without matching on os error strings.
 type Error struct {
-	Op     string // "load", "load-dir", or "write"
+	Op     string // "load", "load-dir", "write", or "tenant-dir"
 	Path   string // the file or directory the failure is about
 	Reason string // one of the Reason constants
 	Detail string // human-readable specifics (what to do about it)

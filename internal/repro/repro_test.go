@@ -144,3 +144,40 @@ func TestLoadDirBrokenBundle(t *testing.T) {
 		t.Errorf("error fields: %+v", re)
 	}
 }
+
+// TestTenantDir pins the tenant-isolation contract: a tenant name is a
+// single validated path component under the base directory — nothing a
+// request sends can step outside it.
+func TestTenantDir(t *testing.T) {
+	dir, err := TenantDir("/bundles", "team-a")
+	if err != nil {
+		t.Fatalf("TenantDir: %v", err)
+	}
+	if want := filepath.Join("/bundles", "team-a"); dir != want {
+		t.Fatalf("dir = %q, want %q", dir, want)
+	}
+	for _, bad := range []string{
+		"", ".", "..", "../x", "a/b", `a\b`, "-lead", ".hidden",
+		"has space", "x\x00y", strings.Repeat("a", 65),
+	} {
+		if ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true", bad)
+		}
+		if _, err := TenantDir("/bundles", bad); err == nil {
+			t.Errorf("TenantDir(%q) accepted", bad)
+		}
+	}
+	for _, good := range []string{"a", "team-a", "A.B_c-9", strings.Repeat("a", 64)} {
+		if !ValidTenant(good) {
+			t.Errorf("ValidTenant(%q) = false", good)
+		}
+	}
+	if _, err := TenantDir("", "team-a"); err == nil {
+		t.Errorf("TenantDir with empty base accepted")
+	}
+	var re *Error
+	_, err = TenantDir("/bundles", "../x")
+	if !errors.As(err, &re) || re.Op != "tenant-dir" || re.Reason != ReasonMalformed {
+		t.Fatalf("TenantDir error not structured: %v", err)
+	}
+}

@@ -43,4 +43,16 @@ fi
 echo "== race: go test -race $SHORTFLAG ./internal/diskcache/..."
 go test -race $SHORTFLAG ./internal/diskcache/...
 
+# The compile service multiplexes concurrent clients over one shared
+# driver; its suite (admission backpressure, shedding, drain, the
+# N-client byte-identity matrix) always runs under the race detector.
+echo '== race: go test -race ./internal/ccmd/...'
+go test -race ./internal/ccmd/...
+
+# Daemon e2e smoke: build the real ccmd binary, serve on an ephemeral
+# port, compile over HTTP (bytes must match a solo ccmc compile), scrape
+# /metrics and /version, SIGTERM, and assert a clean drain.
+echo '== e2e: go test -race -run TestDaemonSmoke ./cmd/ccmd/'
+go test -race -run TestDaemonSmoke ./cmd/ccmd/
+
 echo '== verify.sh: all green'
