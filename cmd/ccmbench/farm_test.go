@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFarmMatchesSolo is the farm-mode end-to-end check against the
+// real binaries: start a ccmcached, run the table-1 suite solo and as
+// `-farm 4` sharing that server, and require byte-identical tables. A
+// second (warm) farm pass must serve every artifact from the remote
+// tier — nonzero hit rate in BENCH_farm.json. scripts/verify.sh runs
+// this via the ccmbench package tests.
+func TestFarmMatchesSolo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping farm e2e in -short mode")
+	}
+	dir := t.TempDir()
+	benchBin := filepath.Join(dir, "ccmbench")
+	cachedBin := filepath.Join(dir, "ccmcached")
+	for bin, pkg := range map[string]string{benchBin: "./cmd/ccmbench", cachedBin: "./cmd/ccmcached"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	daemon := exec.Command(cachedBin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(dir, "store"))
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting ccmcached: %v", err)
+	}
+	defer daemon.Process.Kill()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := strings.TrimSpace(line[i+len("listening on "):])
+				if j := strings.Index(rest, " "); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	var remoteURL string
+	select {
+	case addr := <-addrCh:
+		remoteURL = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("ccmcached never logged its listen address")
+	}
+
+	// The reference table: one process, no remote tier.
+	solo, err := exec.Command(benchBin, "-table", "1").Output()
+	if err != nil {
+		t.Fatalf("solo ccmbench: %v", err)
+	}
+
+	runFarm := func(out string) []byte {
+		t.Helper()
+		cmd := exec.Command(benchBin,
+			"-farm", "4",
+			"-table", "1",
+			"-remote-url", remoteURL,
+			"-farm-out", out)
+		var errBuf bytes.Buffer
+		cmd.Stderr = &errBuf
+		got, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("ccmbench -farm 4: %v\n%s", err, errBuf.String())
+		}
+		return got
+	}
+
+	coldOut := filepath.Join(dir, "BENCH_farm_cold.json")
+	warmOut := filepath.Join(dir, "BENCH_farm_warm.json")
+	cold := runFarm(coldOut)
+	warm := runFarm(warmOut)
+
+	if !bytes.Equal(solo, cold) {
+		t.Fatalf("farm table differs from solo table:\n--- solo ---\n%s\n--- farm ---\n%s", solo, cold)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm farm table differs from cold farm table")
+	}
+
+	var reports [2]struct {
+		FarmWorkers int `json:"farm_workers"`
+		Workers     []struct {
+			Routines int `json:"routines"`
+		} `json:"workers"`
+		Merged struct {
+			Routines      int     `json:"routines"`
+			Funcs         int     `json:"funcs"`
+			RemoteHits    int64   `json:"remote_hits"`
+			RemoteMisses  int64   `json:"remote_misses"`
+			RemoteHitRate float64 `json:"remote_hit_rate"`
+		} `json:"merged"`
+	}
+	for i, path := range []string{coldOut, warmOut} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("farm report: %v", err)
+		}
+		if err := json.Unmarshal(raw, &reports[i]); err != nil {
+			t.Fatalf("farm report %s: %v", path, err)
+		}
+	}
+	coldRep, warmRep := reports[0], reports[1]
+	if coldRep.FarmWorkers != 4 || len(coldRep.Workers) != 4 {
+		t.Fatalf("cold report has %d/%d workers, want 4", coldRep.FarmWorkers, len(coldRep.Workers))
+	}
+	if coldRep.Merged.Funcs == 0 {
+		t.Fatalf("cold report merged zero funcs")
+	}
+	// Cold pass populates the shared server; warm pass must hit it.
+	if coldRep.Merged.RemoteHits != 0 {
+		t.Fatalf("cold farm pass claims %d remote hits against an empty server", coldRep.Merged.RemoteHits)
+	}
+	if warmRep.Merged.RemoteHits == 0 || warmRep.Merged.RemoteHitRate == 0 {
+		t.Fatalf("warm farm pass has no remote hits: %+v", warmRep.Merged)
+	}
+	if warmRep.Merged.RemoteMisses != 0 {
+		t.Fatalf("warm farm pass missed %d lookups on a fully-seeded server", warmRep.Merged.RemoteMisses)
+	}
+}

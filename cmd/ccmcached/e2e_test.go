@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ccmem/internal/diskcache"
+	"ccmem/internal/remotecache"
+)
+
+// TestCacheDaemonSmoke is the end-to-end lifecycle check against the
+// real binary: build ccmcached, start it on an ephemeral port, round-
+// trip an entry byte-identically, confirm a corrupt upload is rejected
+// with a structured error (and nothing stored), then SIGTERM and assert
+// a clean drain. scripts/verify.sh runs this.
+func TestCacheDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon e2e in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ccmcached")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ccmcached")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ccmcached: %v\n%s", err, out)
+	}
+
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-dir", filepath.Join(dir, "store"),
+		"-drain-timeout", "30s")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting ccmcached: %v", err)
+	}
+	var logMu sync.Mutex
+	var stderrBuf bytes.Buffer
+	logText := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return stderrBuf.String()
+	}
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			stderrBuf.WriteString(line + "\n")
+			logMu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := strings.TrimSpace(line[i+len("listening on "):])
+				if j := strings.Index(rest, " "); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	defer daemon.Process.Kill()
+
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("ccmcached never logged its listen address:\n%s", logText())
+	}
+
+	// Round trip: upload a self-verifying entry, read it back, compare
+	// payload bytes exactly.
+	payload := []byte("iloc artifact bytes for the farm")
+	key := diskcache.Key(sha256.Sum256(payload))
+	entry := diskcache.EncodeEntry(7, key, payload)
+	url := base + "/entry/" + hex.EncodeToString(key[:]) + "?kind=7"
+
+	put, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatalf("PUT entry: %v", err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT entry: status %d, want 204", presp.StatusCode)
+	}
+	gresp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET entry: %v", err)
+	}
+	got, err := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	if err != nil || gresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET entry: status %d, err %v", gresp.StatusCode, err)
+	}
+	_, gotKey, gotPayload, err := diskcache.DecodeEntry(got)
+	if err != nil {
+		t.Fatalf("served entry failed verification: %v", err)
+	}
+	if gotKey != key || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("round trip not byte-identical: got %q", gotPayload)
+	}
+
+	// A bit-flipped upload must be rejected with the structured
+	// corrupt-entry error, and the flipped key must stay absent.
+	bad := append([]byte(nil), entry...)
+	bad[len(bad)/2] ^= 0x40
+	badKey := diskcache.Key(sha256.Sum256([]byte("elsewhere")))
+	badURL := base + "/entry/" + hex.EncodeToString(badKey[:]) + "?kind=7"
+	bput, err := http.NewRequest(http.MethodPut, badURL, bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp, err := http.DefaultClient.Do(bput)
+	if err != nil {
+		t.Fatalf("PUT corrupt entry: %v", err)
+	}
+	var apiErr struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(bresp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("PUT corrupt entry: status %d, want 422", bresp.StatusCode)
+	}
+	if apiErr.Error.Code != remotecache.CodeCorruptEntry {
+		t.Fatalf("error code %q, want %q", apiErr.Error.Code, remotecache.CodeCorruptEntry)
+	}
+	if code := getStatus(t, badURL); code != http.StatusNotFound {
+		t.Fatalf("rejected upload is servable: GET = %d, want 404", code)
+	}
+
+	// /stats shows the rejection; /version matches the binary.
+	sresp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	var stats remotecache.ServerStats
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decoding /stats: %v", err)
+	}
+	sresp.Body.Close()
+	if stats.Puts != 2 || stats.Rejected != 1 || stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("stats = %+v, want puts=2 rejected=1 hits=1 misses=1", stats)
+	}
+	vrefOut, err := exec.Command(bin, "-version").Output()
+	if err != nil {
+		t.Fatalf("ccmcached -version: %v", err)
+	}
+	vresp, err := http.Get(base + "/version")
+	if err != nil {
+		t.Fatalf("GET /version: %v", err)
+	}
+	var ver struct {
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(vresp.Body).Decode(&ver); err != nil {
+		t.Fatalf("decoding /version: %v", err)
+	}
+	vresp.Body.Close()
+	if ver.Version != strings.TrimSpace(string(vrefOut)) {
+		t.Fatalf("GET /version %q != ccmcached -version %q", ver.Version, strings.TrimSpace(string(vrefOut)))
+	}
+
+	// SIGTERM drains and exits 0. Drain stderr to EOF before Wait —
+	// Wait closes the pipe and would discard the final shutdown lines.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case <-scanDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("ccmcached did not exit within 30s of SIGTERM:\n%s", logText())
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("ccmcached exited uncleanly after SIGTERM: %v\n%s", err, logText())
+	}
+	if logs := logText(); !strings.Contains(logs, "drained cleanly") {
+		t.Fatalf("shutdown log missing clean-drain line:\n%s", logs)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

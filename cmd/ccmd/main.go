@@ -6,9 +6,16 @@
 // Usage:
 //
 //	ccmd [-addr HOST:PORT] [-workers N]
-//	     [-cache-dir DIR] [-cache-bytes N] [-repro-dir DIR]
+//	     [-cache-dir DIR] [-cache-bytes N] [-remote-url URL] [-repro-dir DIR]
 //	     [-max-inflight N] [-max-queue N] [-retry-after D]
 //	     [-drain-timeout D] [-max-program-bytes N] [-version]
+//
+// -remote-url attaches a shared remote cache tier (a ccmcached server)
+// behind the memory and disk tiers. The tier is an accelerator, never a
+// dependency: timeouts, corruption, and outages are absorbed by a
+// circuit breaker, and /readyz keeps answering 200 with status
+// "degraded" while the breaker is open — the daemon compiles locally
+// either way.
 //
 // Endpoints:
 //
@@ -55,6 +62,7 @@ func main() {
 	workers := flag.Int("workers", 0, "shared driver worker pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
+	remoteURL := flag.String("remote-url", "", "shared remote cache server base URL (empty = no remote tier)")
 	reproDir := flag.String("repro-dir", "", "base directory for per-tenant crash/miscompile repro bundles (empty = disabled)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently running requests (0 = worker pool size)")
 	maxQueue := flag.Int("max-queue", 0, "max queued requests before 429 (0 = 4x max-inflight)")
@@ -79,6 +87,7 @@ func main() {
 		Workers:     *workers,
 		CacheDir:    *cacheDir,
 		CacheBytes:  *cacheBytes,
+		RemoteURL:   *remoteURL,
 		Metrics:     obs.NewRegistry(),
 		PprofLabels: true,
 	})
@@ -86,6 +95,9 @@ func main() {
 		// Degraded, not dead: compiles fall back to the memory tier and
 		// /healthz reports why.
 		logger.Printf("ccmd: warning: persistent cache disabled: %v", err)
+	}
+	if err := drv.RemoteCacheErr(); err != nil {
+		logger.Printf("ccmd: warning: remote cache disabled: %v", err)
 	}
 	svc, err := ccmd.NewService(ccmd.Config{
 		Driver:          drv,
@@ -125,6 +137,13 @@ func main() {
 		logger.Printf("ccmd: shutdown: %v", err)
 		os.Exit(1)
 	}
+	// Flush the remote tier's write-behind queue so artifacts compiled in
+	// this daemon's final moments still reach the fleet.
+	fctx, fcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := drv.CloseRemote(fctx); err != nil {
+		logger.Printf("ccmd: warning: remote cache flush: %v", err)
+	}
+	fcancel()
 	if err := <-errc; err != nil {
 		logger.Fatalf("ccmd: %v", err)
 	}

@@ -183,4 +183,9 @@ type ServiceStats struct {
 	ShedDiff          int64 `json:"shed_diff"`
 	TraceRequests     int64 `json:"trace_requests"`
 	Draining          bool  `json:"draining"`
+	// RemoteCircuit is the remote cache tier's breaker state ("closed",
+	// "half-open", "open"; "" when no remote tier is configured). An
+	// open circuit degrades the service — lookups skip the tier — but
+	// never fails readiness.
+	RemoteCircuit string `json:"remote_circuit,omitempty"`
 }

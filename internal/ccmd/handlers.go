@@ -71,6 +71,11 @@ func Handler(s *Service, version string) http.Handler {
 				Detail: "disk cache unavailable: " + err.Error()})
 			return
 		}
+		if state := s.Driver().RemoteCircuit(); state == "open" {
+			writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded",
+				Detail: "remote cache circuit open: tier skipped until the breaker recovers"})
+			return
+		}
 		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
@@ -85,6 +90,16 @@ func Handler(s *Service, version string) http.Handler {
 		if err := s.Driver().DiskCacheErr(); err != nil {
 			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded",
 				Detail: "disk cache unavailable: " + err.Error()})
+			return
+		}
+		// An open remote-cache circuit is degraded, NOT dead: compiles
+		// keep flowing (the tier is skipped and every lookup falls through
+		// to a local compile), so readiness stays 200 and the state rides
+		// along for operators. Failing readiness here would take capacity
+		// offline exactly when the fleet's shared cache already is.
+		if state := s.Driver().RemoteCircuit(); state == "open" {
+			writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded",
+				Detail: "remote cache circuit open: tier skipped until the breaker recovers"})
 			return
 		}
 		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})

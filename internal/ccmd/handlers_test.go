@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
+	"ccmem/internal/remotecache"
 )
 
 func newTestHTTP(t *testing.T, mut func(*Config)) (*Service, *httptest.Server) {
@@ -382,5 +385,77 @@ func TestServerDrain(t *testing.T) {
 	logMu.Unlock()
 	if !strings.Contains(logs, "listening on") || !strings.Contains(logs, "drained cleanly") {
 		t.Fatalf("server log missing lifecycle lines:\n%s", logs)
+	}
+}
+
+// TestHTTPRemoteCircuitDegradedNotDead pins the operational contract
+// for the remote cache tier: when its circuit breaker opens, the
+// service reports "degraded" on /healthz and /readyz and exposes the
+// breaker state in /metrics — but readiness stays 200. An open circuit
+// means the shared cache is being skipped, not that this daemon cannot
+// compile; failing readiness would drain capacity exactly when the
+// fleet's cache is already down.
+func TestHTTPRemoteCircuitDegradedNotDead(t *testing.T) {
+	// A just-closed listener: connections are refused deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	svc, ts := newTestHTTP(t, func(c *Config) {
+		c.Driver = pipeline.New(pipeline.Options{
+			Workers:   2,
+			Metrics:   obs.NewRegistry(),
+			RemoteURL: dead,
+			RemoteTuning: remotecache.Tuning{
+				RequestTimeout: 100 * time.Millisecond,
+				Retries:        -1,
+				TripAfter:      1, // first refused connection opens the circuit
+				HalfOpenAfter:  time.Hour,
+				Sleep:          func(time.Duration) {},
+			},
+		})
+	})
+	if err := svc.Driver().RemoteCacheErr(); err != nil {
+		t.Fatalf("remote tier failed to attach: %v", err)
+	}
+
+	// One compile drives lookups into the dead tier and trips the breaker.
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{Program: testProgram(t, 16)})
+	if resp.StatusCode != 200 {
+		t.Fatalf("compile with dead remote: status %d, want 200", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if state := svc.Driver().RemoteCircuit(); state != "open" {
+		t.Fatalf("circuit %q after compile against dead server, want open", state)
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d, want 200 (degraded, not dead)", path, resp.StatusCode)
+		}
+		h := decodeBody[HealthResponse](t, resp)
+		if h.Status != "degraded" || !strings.Contains(h.Detail, "circuit open") {
+			t.Fatalf("GET %s: %+v, want degraded/circuit open", path, h)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	m := decodeBody[MetricsResponse](t, mresp)
+	if m.Service.RemoteCircuit != "open" {
+		t.Fatalf("service.remote_circuit = %q, want open", m.Service.RemoteCircuit)
+	}
+	if m.Driver == nil || m.Driver.Cache.Remote.Circuit != "open" {
+		t.Fatalf("driver report does not carry the open circuit")
 	}
 }

@@ -666,6 +666,7 @@ func (s *Service) Stats() ServiceStats {
 		ShedDiff:          s.shedDiffN.Load(),
 		TraceRequests:     s.traceRequests.Load(),
 		Draining:          s.Draining(),
+		RemoteCircuit:     s.drv.RemoteCircuit(),
 	}
 }
 

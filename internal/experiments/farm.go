@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccmem/internal/workload"
+)
+
+// This file is the farm-mode wire protocol: RoutineResult keys its
+// measurements by a struct (Key{Strategy, CCMBytes}), which JSON cannot
+// encode, so worker processes ship their shard of the routine suite as
+// WireRoutine values and the parent merges them back into one
+// SuiteResults in canonical workload order. Every measurement is
+// simulated cycles — a pure function of (routine, strategy, CCM size) —
+// so the merged tables are byte-identical to a solo run no matter how
+// the suite was partitioned.
+
+// WireMeasurement is one (strategy, CCM size) cell of a routine's
+// results.
+type WireMeasurement struct {
+	Strategy int   `json:"strategy"`
+	CCMBytes int64 `json:"ccm_bytes"`
+	Cycles   int64 `json:"cycles"`
+	Mem      int64 `json:"mem"`
+	Promo    int   `json:"promo"`
+}
+
+// WireRoutine is the JSON-safe encoding of one RoutineResult.
+type WireRoutine struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+
+	SpillBefore int64 `json:"spill_before"`
+	SpillAfter  int64 `json:"spill_after"`
+	Webs        int   `json:"webs"`
+
+	BaseCycles int64 `json:"base_cycles"`
+	BaseMem    int64 `json:"base_mem"`
+
+	Measurements []WireMeasurement `json:"measurements"`
+}
+
+// Wire flattens r for transport. Measurements are emitted in the
+// deterministic (CCM size, strategy) sweep order RunRoutineSuite uses.
+func (r *RoutineResult) Wire(sizes []int64) WireRoutine {
+	w := WireRoutine{
+		Name:        r.Name,
+		Family:      r.Family,
+		SpillBefore: r.SpillBefore,
+		SpillAfter:  r.SpillAfter,
+		Webs:        r.Webs,
+		BaseCycles:  r.Base.Cycles,
+		BaseMem:     r.Base.Mem,
+	}
+	for _, size := range sizes {
+		for _, strat := range Strategies {
+			k := Key{strat, size}
+			pair, ok := r.Strat[k]
+			if !ok {
+				continue
+			}
+			w.Measurements = append(w.Measurements, WireMeasurement{
+				Strategy: int(strat),
+				CCMBytes: size,
+				Cycles:   pair.Cycles,
+				Mem:      pair.Mem,
+				Promo:    r.Promo[k],
+			})
+		}
+	}
+	return w
+}
+
+// Result rebuilds the keyed RoutineResult from its wire form.
+func (w WireRoutine) Result() *RoutineResult {
+	r := &RoutineResult{
+		Name:        w.Name,
+		Family:      w.Family,
+		SpillBefore: w.SpillBefore,
+		SpillAfter:  w.SpillAfter,
+		Webs:        w.Webs,
+		Base:        CycPair{Cycles: w.BaseCycles, Mem: w.BaseMem},
+		Strat:       map[Key]CycPair{},
+		Promo:       map[Key]int{},
+	}
+	for _, m := range w.Measurements {
+		k := Key{Strategy(m.Strategy), m.CCMBytes}
+		r.Strat[k] = CycPair{Cycles: m.Cycles, Mem: m.Mem}
+		r.Promo[k] = m.Promo
+	}
+	return r
+}
+
+// WireRoutines flattens a completed routine suite for transport.
+func (s *SuiteResults) WireRoutines() []WireRoutine {
+	out := make([]WireRoutine, 0, len(s.Routines))
+	for _, r := range s.Routines {
+		out = append(out, r.Wire(s.Config.CCMSizes))
+	}
+	return out
+}
+
+// MergeRoutineShards reassembles worker shards into one SuiteResults,
+// ordered canonically by workload.All(). It fails loudly on an
+// incomplete partition — a routine measured twice or not at all means
+// the shards were misconfigured, and a silently partial table would
+// masquerade as a complete run.
+func MergeRoutineShards(cfg Config, shards [][]WireRoutine) (*SuiteResults, error) {
+	byName := make(map[string]*RoutineResult)
+	for _, shard := range shards {
+		for _, w := range shard {
+			if _, dup := byName[w.Name]; dup {
+				return nil, fmt.Errorf("experiments: routine %q measured by more than one shard", w.Name)
+			}
+			byName[w.Name] = w.Result()
+		}
+	}
+	res := &SuiteResults{Config: cfg}
+	for _, r := range workload.All() {
+		rr, ok := byName[r.Name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: routine %q missing from every shard", r.Name)
+		}
+		delete(byName, r.Name)
+		res.Routines = append(res.Routines, rr)
+	}
+	for name := range byName {
+		return nil, fmt.Errorf("experiments: shard measured unknown routine %q", name)
+	}
+	return res, nil
+}

@@ -9,6 +9,7 @@ import (
 	"ccmem/internal/diskcache"
 	"ccmem/internal/ir"
 	"ccmem/internal/obs"
+	"ccmem/internal/remotecache"
 )
 
 // DefaultCacheEntries bounds a driver's private cache. Each entry is one
@@ -23,12 +24,14 @@ type digest [32]byte
 
 // Cache is a bounded, thread-safe, content-addressed artifact store with
 // LRU eviction, optionally backed by a persistent disk tier
-// (internal/diskcache). The read path is memory → disk → miss: a disk
-// hit is decoded, verified, and promoted into memory; a decode failure
-// quarantines the on-disk entry and reads as a miss. The write path is
-// write-through: artifacts are stored in memory and, when a disk tier is
-// attached and healthy, persisted crash-safely. A failing disk therefore
-// degrades this cache to exactly its memory-only behavior.
+// (internal/diskcache) and a remote HTTP tier (internal/remotecache).
+// The read path is memory → disk → remote → miss: a lower-tier hit is
+// decoded, verified, and promoted into every tier above it; a decode
+// failure withdraws the entry (disk quarantine / remote reclassify) and
+// reads as a miss. The write path is write-through to memory and disk
+// and write-behind to the remote tier (asynchronous, bounded, never
+// blocking a compile). A failing disk or a sick remote tier therefore
+// degrades this cache to exactly its upper-tier behavior.
 //
 // Artifacts are stored and returned as deep copies by the driver, so
 // cached state is never aliased by a live compilation.
@@ -38,6 +41,7 @@ type Cache struct {
 	entries map[digest]*list.Element
 	lru     *list.List // front = most recently used
 	disk    *diskcache.Cache
+	remote  *remotecache.Client
 
 	hits      int64
 	misses    int64
@@ -87,6 +91,21 @@ func (c *Cache) Disk() *diskcache.Cache {
 	return c.disk
 }
 
+// AttachRemote backs the cache with a remote HTTP tier, consulted after
+// a disk miss. Safe to call on a cache already in use; nil detaches.
+func (c *Cache) AttachRemote(r *remotecache.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.remote = r
+}
+
+// Remote returns the attached remote tier (nil when none).
+func (c *Cache) Remote() *remotecache.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
+}
+
 // kindName labels an artifact kind in spans.
 func kindName(kind uint32) string {
 	switch kind {
@@ -100,9 +119,9 @@ func kindName(kind uint32) string {
 	return "unknown"
 }
 
-// get looks k up memory-first, then disk. sh, when non-nil, receives one
-// span per tier consulted ("cache:mem", "cache:disk") with kind and
-// result attributes.
+// get looks k up memory-first, then disk, then remote. sh, when
+// non-nil, receives one span per tier consulted ("cache:mem",
+// "cache:disk", "cache:remote") with kind and result attributes.
 func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
 	var t0 time.Time
 	if sh != nil {
@@ -123,47 +142,85 @@ func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
 	}
 	c.misses++
 	disk := c.disk
+	remote := c.remote
 	c.mu.Unlock()
 	if sh != nil {
 		sh.Record("cache:mem", "cache", t0, time.Since(t0),
 			obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: "miss"})
 	}
-	if disk == nil {
+	if disk != nil {
+		var t1 time.Time
+		if sh != nil {
+			t1 = time.Now()
+		}
+		diskSpan := func(result string) {
+			if sh != nil {
+				sh.Record("cache:disk", "cache", t1, time.Since(t1),
+					obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: result})
+			}
+		}
+		payload, ok := disk.Get(diskcache.Key(k), kind)
+		if ok {
+			v, err := decodeArtifact(kind, payload)
+			if err != nil {
+				// The entry's bytes verified but its payload is garbage: a
+				// foreign or buggy writer. Withdraw it and read as a miss
+				// (the remote tier may still have a good copy below).
+				disk.ReportDecodeFailure(diskcache.Key(k))
+				diskSpan("miss")
+			} else {
+				c.wholeHits.Add(1)
+				diskSpan("hit")
+				// Promote into memory so repeat lookups skip the disk; no
+				// counters — the disk tier already recorded the hit.
+				c.mu.Lock()
+				c.insertLocked(k, v)
+				c.mu.Unlock()
+				return v, true
+			}
+		} else {
+			diskSpan("miss")
+		}
+	}
+	if remote == nil {
 		c.wholeMisses.Add(1)
 		return nil, false
 	}
-	var t1 time.Time
+	var t2 time.Time
 	if sh != nil {
-		t1 = time.Now()
+		t2 = time.Now()
 	}
-	diskSpan := func(result string) {
+	remoteSpan := func(result string) {
 		if sh != nil {
-			sh.Record("cache:disk", "cache", t1, time.Since(t1),
+			sh.Record("cache:remote", "cache", t2, time.Since(t2),
 				obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: result})
 		}
 	}
-	payload, ok := disk.Get(diskcache.Key(k), kind)
+	payload, ok := remote.Get(diskcache.Key(k), kind)
 	if !ok {
 		c.wholeMisses.Add(1)
-		diskSpan("miss")
+		remoteSpan("miss")
 		return nil, false
 	}
 	v, err := decodeArtifact(kind, payload)
 	if err != nil {
-		// The entry's bytes verified but its payload is garbage: a
-		// foreign or buggy writer. Withdraw it and read as a miss.
-		disk.ReportDecodeFailure(diskcache.Key(k))
+		// Checksum-consistent bytes from a buggy writer: reclassify the
+		// remote hit as a miss and fall through to a real compile.
+		remote.ReportDecodeFailure()
 		c.wholeMisses.Add(1)
-		diskSpan("miss")
+		remoteSpan("miss")
 		return nil, false
 	}
 	c.wholeHits.Add(1)
-	diskSpan("hit")
-	// Promote into memory so repeat lookups skip the disk; no counters —
-	// the disk tier already recorded the hit.
+	remoteSpan("hit")
+	// Promote into memory and disk so repeat lookups — and future
+	// process restarts — stop paying for the network.
 	c.mu.Lock()
 	c.insertLocked(k, v)
 	c.mu.Unlock()
+	if disk != nil {
+		disk.Put(diskcache.Key(k), kind, payload)
+	}
 	return v, true
 }
 
@@ -171,15 +228,22 @@ func (c *Cache) put(k digest, kind uint32, v any) {
 	c.mu.Lock()
 	c.insertLocked(k, v)
 	disk := c.disk
+	remote := c.remote
 	c.mu.Unlock()
-	if disk == nil {
+	if disk == nil && remote == nil {
 		return
 	}
 	payload, err := encodeArtifact(kind, v)
 	if err != nil {
 		return // unencodable artifact: memory-only, by design
 	}
-	disk.Put(diskcache.Key(k), kind, payload)
+	if disk != nil {
+		disk.Put(diskcache.Key(k), kind, payload)
+	}
+	if remote != nil {
+		// Write-behind: queued, never blocking the compile.
+		remote.Put(diskcache.Key(k), kind, payload)
+	}
 }
 
 // insertLocked adds or refreshes a memory entry and evicts over the
@@ -206,14 +270,16 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
-// Stats returns a counter snapshot across both tiers. The top-level
+// Stats returns a counter snapshot across all tiers. The top-level
 // Hits/Misses describe the cache as a whole (an artifact served from
-// either tier is a hit; a miss means it had to be compiled) and come
+// any tier is a hit; a miss means it had to be compiled) and come
 // from dedicated per-lookup counters rather than from re-deriving them
 // out of tier counters: the disk tier's own counters stop describing
 // this cache's lookups once the tier degrades to memory-only mid-run
 // (or attaches late), which used to erase memory-tier misses and
-// inflate HitRate. Memory and Disk break each tier out; Evictions and
+// inflate HitRate. Memory, Disk, and Remote break each tier out, and
+// because every resolved lookup lands in exactly one tier's counters,
+// Hits == Memory.Hits + Disk.Hits + Remote.Hits. Evictions and
 // Entries keep their historical memory-tier meaning. HitRate is
 // Hits/(Hits+Misses), 0 when the cache has never been consulted.
 func (c *Cache) Stats() CacheStats {
@@ -249,6 +315,28 @@ func (c *Cache) Stats() CacheStats {
 			DegradedToMemory: ds.DegradedToMemory,
 			Bytes:            ds.Bytes,
 			Degraded:         ds.Degraded,
+		}
+	}
+	if c.remote != nil {
+		rs := c.remote.Stats()
+		st.Remote = RemoteTierStats{
+			Hits:        rs.Hits,
+			Misses:      rs.Misses,
+			Puts:        rs.Puts,
+			PutDrops:    rs.PutDrops,
+			PutErrors:   rs.PutErrors,
+			Retries:     rs.Retries,
+			Timeouts:    rs.Timeouts,
+			NetErrors:   rs.NetErrors,
+			HTTPErrors:  rs.HTTPErrors,
+			Corruptions: rs.Corruptions,
+			Skipped:     rs.Skipped,
+			Trips:       rs.Trips,
+			Probes:      rs.Probes,
+			Circuit:     rs.Circuit,
+		}
+		if lookups := rs.Hits + rs.Misses; lookups > 0 {
+			st.Remote.HitRate = float64(rs.Hits) / float64(lookups)
 		}
 	}
 	if lookups := st.Hits + st.Misses; lookups > 0 {

@@ -43,6 +43,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -56,6 +57,7 @@ import (
 	"ccmem/internal/obs"
 	"ccmem/internal/opt"
 	"ccmem/internal/regalloc"
+	"ccmem/internal/remotecache"
 	"ccmem/internal/repro"
 )
 
@@ -240,6 +242,23 @@ type Options struct {
 	// injection seam (diskcache.FaultFS). nil uses the real filesystem.
 	DiskFS diskcache.FS
 
+	// RemoteURL enables the remote HTTP tier (internal/remotecache): a
+	// shared cache server consulted after a disk miss, with hits promoted
+	// into the upper tiers and stores written behind asynchronously. Like
+	// the disk tier it is an accelerator, not a dependency — a sick or
+	// absent server costs time, never bytes, and never fails a compile
+	// (the client's circuit breaker stops paying for a dead server after
+	// a few failures). Empty disables the tier; a malformed URL is
+	// reported via RemoteCacheErr and the driver runs without the tier.
+	RemoteURL string
+	// RemoteFaultRT overrides the remote client's HTTP transport — the
+	// network fault-injection seam (remotecache.FaultRT). nil uses the
+	// real transport.
+	RemoteFaultRT http.RoundTripper
+	// RemoteTuning adjusts the remote client's hardening knobs (timeouts,
+	// retries, breaker thresholds); zero fields take remotecache defaults.
+	RemoteTuning remotecache.Tuning
+
 	// Tracer, when non-nil, records a span for every compile, stage,
 	// pass, cache lookup, oracle run, and repro write on this driver.
 	// Workers record into lock-free per-worker shards; export the merged,
@@ -263,9 +282,10 @@ type Options struct {
 // Driver is a reusable compilation pipeline. It is safe for concurrent
 // use; the cache and cumulative metrics are shared across Compile calls.
 type Driver struct {
-	workers int
-	cache   *Cache // nil when caching is disabled
-	diskErr error  // why the disk tier failed to open (nil when absent or healthy)
+	workers   int
+	cache     *Cache // nil when caching is disabled
+	diskErr   error  // why the disk tier failed to open (nil when absent or healthy)
+	remoteErr error  // why the remote tier failed to build (nil when absent or healthy)
 
 	tracer *obs.Tracer   // nil when tracing is off
 	reg    *obs.Registry // nil when metrics are off
@@ -320,6 +340,20 @@ func New(opts Options) *Driver {
 				d.cache.AttachDisk(dc)
 			}
 		}
+		if opts.RemoteURL != "" {
+			rc, err := remotecache.NewClient(remotecache.Options{
+				BaseURL:      opts.RemoteURL,
+				RoundTripper: opts.RemoteFaultRT,
+				Obs:          opts.Metrics,
+				Tuning:       opts.RemoteTuning,
+			})
+			if err != nil {
+				// Same contract as the disk tier: no remote, no failure.
+				d.remoteErr = err
+			} else {
+				d.cache.AttachRemote(rc)
+			}
+		}
 	}
 	return d
 }
@@ -334,6 +368,47 @@ func (d *Driver) Cache() *Cache { return d.cache }
 // Options.CacheDir could not be opened; nil when it is healthy or was
 // never requested. The driver compiles either way.
 func (d *Driver) DiskCacheErr() error { return d.diskErr }
+
+// RemoteCacheErr reports why the remote tier requested via
+// Options.RemoteURL could not be built; nil when it is attached or was
+// never requested. The driver compiles either way.
+func (d *Driver) RemoteCacheErr() error { return d.remoteErr }
+
+// RemoteCircuit reports the remote tier's circuit-breaker state
+// ("closed", "half-open", or "open"); "" when no remote tier is
+// attached. Operators read this off /metrics and /readyz — an open
+// circuit means the tier is being skipped, not that the service is
+// down.
+func (d *Driver) RemoteCircuit() string {
+	if d.cache == nil {
+		return ""
+	}
+	rc := d.cache.Remote()
+	if rc == nil {
+		return ""
+	}
+	return rc.Stats().Circuit
+}
+
+// CloseRemote drains the remote tier's write-behind queue (bounded by
+// ctx) and shuts its worker down — the exit barrier a process runs so
+// its artifacts reach the fleet before it reports. Safe to call when no
+// remote tier is attached; compiles after CloseRemote still read from
+// the tier but no longer store into it.
+func (d *Driver) CloseRemote(ctx context.Context) error {
+	if d.cache == nil {
+		return nil
+	}
+	rc := d.cache.Remote()
+	if rc == nil {
+		return nil
+	}
+	err := rc.Flush(ctx)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Tracer returns the span tracer this driver records into (nil when
 // tracing is off).
@@ -1199,6 +1274,24 @@ func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metric
 			d.reg.Gauge("diskcache.degraded_to_memory").Set(cst.Disk.DegradedToMemory)
 			d.reg.Gauge("diskcache.bytes").Set(cst.Disk.Bytes)
 			d.reg.Gauge("diskcache.entries").Set(int64(cst.Disk.Entries))
+			if d.cache.Remote() != nil {
+				// The remote block surfaces the network tier's hardening
+				// counters; remotecache.circuit_state is set live by the
+				// breaker itself on every transition.
+				d.reg.Gauge("remotecache.hits").Set(cst.Remote.Hits)
+				d.reg.Gauge("remotecache.misses").Set(cst.Remote.Misses)
+				d.reg.Gauge("remotecache.puts").Set(cst.Remote.Puts)
+				d.reg.Gauge("remotecache.put_drops").Set(cst.Remote.PutDrops)
+				d.reg.Gauge("remotecache.put_errors").Set(cst.Remote.PutErrors)
+				d.reg.Gauge("remotecache.retries").Set(cst.Remote.Retries)
+				d.reg.Gauge("remotecache.timeouts").Set(cst.Remote.Timeouts)
+				d.reg.Gauge("remotecache.net_errors").Set(cst.Remote.NetErrors)
+				d.reg.Gauge("remotecache.http_errors").Set(cst.Remote.HTTPErrors)
+				d.reg.Gauge("remotecache.corruptions").Set(cst.Remote.Corruptions)
+				d.reg.Gauge("remotecache.skipped").Set(cst.Remote.Skipped)
+				d.reg.Gauge("remotecache.trips").Set(cst.Remote.Trips)
+				d.reg.Gauge("remotecache.probes").Set(cst.Remote.Probes)
+			}
 		}
 	}
 	rep.Spans = tracer.Count()

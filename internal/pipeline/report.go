@@ -64,19 +64,52 @@ type DiskTierStats struct {
 	Degraded         bool  `json:"degraded,omitempty"`
 }
 
+// RemoteTierStats is the remote HTTP tier's hit/miss accounting plus
+// its robustness counters: write-behind activity (puts, queue-overflow
+// drops, failed stores), failure classification for lookups that never
+// reached a healthy server (retries, timeouts, transport errors, HTTP
+// errors, responses that failed re-verification), lookups skipped
+// outright by an open circuit, and the circuit breaker's trip/probe
+// history with its current position ("closed", "half-open", "open").
+// HitRate is Hits/(Hits+Misses), 0 when the tier was never consulted.
+// Zero-valued when no remote tier is attached.
+type RemoteTierStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+
+	Puts      int64 `json:"puts"`
+	PutDrops  int64 `json:"put_drops"`
+	PutErrors int64 `json:"put_errors"`
+
+	Retries     int64 `json:"retries"`
+	Timeouts    int64 `json:"timeouts"`
+	NetErrors   int64 `json:"net_errors"`
+	HTTPErrors  int64 `json:"http_errors"`
+	Corruptions int64 `json:"corruptions"`
+	Skipped     int64 `json:"skipped"`
+
+	Trips   int64  `json:"trips"`
+	Probes  int64  `json:"probes"`
+	Circuit string `json:"circuit,omitempty"`
+}
+
 // CacheStats is a snapshot of the content-addressed cache's counters
-// across both tiers. Hits counts artifacts served from either tier,
-// Misses lookups that had to fall through to a real compile; HitRate is
-// the precomputed ratio. Evictions and Entries describe the memory tier
-// (the historical meaning); Memory and Disk break each tier out.
+// across all tiers. Hits counts artifacts served from any tier, Misses
+// lookups that had to fall through to a real compile; HitRate is the
+// precomputed ratio, and Hits == Memory.Hits + Disk.Hits + Remote.Hits
+// (every resolved lookup lands in exactly one tier's counters).
+// Evictions and Entries describe the memory tier (the historical
+// meaning); Memory, Disk, and Remote break each tier out.
 type CacheStats struct {
-	Hits      int64         `json:"hits"`
-	Misses    int64         `json:"misses"`
-	Evictions int64         `json:"evictions"`
-	Entries   int           `json:"entries"`
-	HitRate   float64       `json:"hit_rate"`
-	Memory    TierStats     `json:"memory"`
-	Disk      DiskTierStats `json:"disk"`
+	Hits      int64           `json:"hits"`
+	Misses    int64           `json:"misses"`
+	Evictions int64           `json:"evictions"`
+	Entries   int             `json:"entries"`
+	HitRate   float64         `json:"hit_rate"`
+	Memory    TierStats       `json:"memory"`
+	Disk      DiskTierStats   `json:"disk"`
+	Remote    RemoteTierStats `json:"remote"`
 }
 
 // FuncReport is the per-function compilation summary.

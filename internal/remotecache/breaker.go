@@ -1,0 +1,138 @@
+package remotecache
+
+import (
+	"sync"
+	"time"
+
+	"ccmem/internal/obs"
+)
+
+// State is the circuit breaker's position. The numeric values are the
+// wire/metric encoding (the remotecache.circuit_state gauge), chosen so
+// "bigger is sicker": 0 closed (healthy), 1 half-open (probing), 2 open
+// (remote tier skipped).
+type State int32
+
+const (
+	StateClosed State = iota
+	StateHalfOpen
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is a classic three-state circuit breaker over whole remote
+// operations (a Get or a write-behind Put, retries included): TripAfter
+// consecutive operation failures open the circuit, an open circuit
+// fast-fails every operation for the cooldown, and after the cooldown a
+// single half-open probe decides between closing (success) and
+// re-opening (failure). The breaker exists so a dead remote tier costs
+// one failure burst and then ~nothing — not a timeout per lookup.
+type breaker struct {
+	tripAfter int
+	cooldown  time.Duration
+	now       func() time.Time
+	gauge     *obs.Gauge // remotecache.circuit_state (nil-safe)
+
+	mu       sync.Mutex
+	state    State
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+	trips    int64
+	probes   int64
+}
+
+func newBreaker(tripAfter int, cooldown time.Duration, now func() time.Time, gauge *obs.Gauge) *breaker {
+	b := &breaker{tripAfter: tripAfter, cooldown: cooldown, now: now, gauge: gauge}
+	gauge.Set(int64(StateClosed))
+	return b
+}
+
+// allow reports whether one operation may touch the remote tier now.
+// In half-open it admits exactly one probe; callers that are refused
+// must treat the lookup as a miss without any network activity.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setLocked(StateHalfOpen)
+		b.probing = true
+		b.probes++
+		return true
+	case StateHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+	return false
+}
+
+// success records a completed operation (a 404 counts: the server
+// answered). Any success fully closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	b.probing = false
+	if b.state != StateClosed {
+		b.setLocked(StateClosed)
+	}
+}
+
+// failure records an operation that exhausted its retries.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		// The probe failed: back to open for another cooldown.
+		b.probing = false
+		b.openedAt = b.now()
+		b.trips++
+		b.setLocked(StateOpen)
+	case StateClosed:
+		b.consec++
+		if b.consec >= b.tripAfter {
+			b.openedAt = b.now()
+			b.trips++
+			b.setLocked(StateOpen)
+		}
+	}
+}
+
+func (b *breaker) setLocked(s State) {
+	b.state = s
+	b.gauge.Set(int64(s))
+}
+
+func (b *breaker) current() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *breaker) counters() (trips, probes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.probes
+}

@@ -1,0 +1,146 @@
+package remotecache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// FaultKind selects what FaultRT does to a request — the FaultFS fault
+// menu translated to the network.
+type FaultKind int
+
+const (
+	// FaultNone passes requests through untouched.
+	FaultNone FaultKind = iota
+	// FaultTimeout fails every request with a timeout error without
+	// touching the wire (the server never sees it).
+	FaultTimeout
+	// FaultRefused fails every request with a connection-refused-style
+	// transport error.
+	FaultRefused
+	// FaultTruncate performs the real round trip, then cuts the response
+	// body in half — a torn read.
+	FaultTruncate
+	// FaultBitFlip performs the real round trip, then flips one bit in
+	// the middle of the response body — silent corruption in flight.
+	FaultBitFlip
+	// FaultSlow blocks until the request's context gives up (the
+	// per-request timeout fires) and returns its error — a hung server,
+	// exercised without any wall-clock sleeping of our own.
+	FaultSlow
+	// Fault5xx answers every request with a synthesized 500 without
+	// touching the wire.
+	Fault5xx
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultTimeout:
+		return "timeout"
+	case FaultRefused:
+		return "refused"
+	case FaultTruncate:
+		return "truncate"
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultSlow:
+		return "slow"
+	case Fault5xx:
+		return "5xx"
+	}
+	return "unknown"
+}
+
+// netErr is a transport error that satisfies net.Error, so the client
+// classifies injected faults exactly like real ones.
+type netErr struct {
+	msg     string
+	timeout bool
+}
+
+func (e *netErr) Error() string   { return e.msg }
+func (e *netErr) Timeout() bool   { return e.timeout }
+func (e *netErr) Temporary() bool { return true }
+
+// FaultRT is a deterministic fault-injecting http.RoundTripper — the
+// FaultFS methodology applied to the network. It wraps a real transport
+// and, while armed, makes every request fail the same way: no
+// randomness, no races with the scheduler, so a fault-matrix test run
+// is exactly reproducible. Arm/Disarm are safe to call concurrently
+// with in-flight requests.
+type FaultRT struct {
+	// Base does the real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+
+	kind     atomic.Int64
+	injected atomic.Int64
+}
+
+// Arm switches every subsequent request to fail with kind
+// (FaultNone disarms).
+func (f *FaultRT) Arm(kind FaultKind) { f.kind.Store(int64(kind)) }
+
+// Disarm restores pass-through behavior.
+func (f *FaultRT) Disarm() { f.kind.Store(int64(FaultNone)) }
+
+// Injected reports how many requests were given a fault.
+func (f *FaultRT) Injected() int64 { return f.injected.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (f *FaultRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind := FaultKind(f.kind.Load())
+	if kind == FaultNone {
+		return f.base().RoundTrip(req)
+	}
+	f.injected.Add(1)
+	switch kind {
+	case FaultTimeout:
+		return nil, &netErr{msg: "faultrt: injected timeout", timeout: true}
+	case FaultRefused:
+		return nil, &netErr{msg: "faultrt: injected connection refused"}
+	case FaultSlow:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case Fault5xx:
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Status:     "500 Internal Server Error",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(bytes.NewReader(nil)),
+			Request: req,
+		}, nil
+	case FaultTruncate, FaultBitFlip:
+		resp, err := f.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if kind == FaultTruncate {
+			body = body[:len(body)/2]
+		} else if len(body) > 0 {
+			body[len(body)/2] ^= 0x40
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Set("Content-Length", fmt.Sprint(len(body)))
+		return resp, nil
+	}
+	return nil, &netErr{msg: fmt.Sprintf("faultrt: unknown fault kind %d", kind)}
+}
+
+func (f *FaultRT) base() http.RoundTripper {
+	if f.Base != nil {
+		return f.Base
+	}
+	return http.DefaultTransport
+}

@@ -1,0 +1,207 @@
+package remotecache
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"ccmem/internal/diskcache"
+	"ccmem/internal/obs"
+)
+
+// Server error codes — the same stable-string convention as ccmd: every
+// non-2xx body is {"error":{code,message}} and clients branch on the
+// code, not the prose.
+const (
+	CodeBadRequest   = "bad-request"   // 400: malformed key, kind, or body framing
+	CodeNotFound     = "not-found"     // 404: no verified entry under (key, kind)
+	CodeCorruptEntry = "corrupt-entry" // 422: upload failed verification; nothing was stored
+	CodeTooLarge     = "too-large"     // 413: upload exceeds the entry-size cap
+)
+
+type apiError struct {
+	status  int
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ServerOptions configure NewServer.
+type ServerOptions struct {
+	// MaxBytes is the store's LRU byte budget (diskcache semantics;
+	// 0 = unlimited).
+	MaxBytes int64
+	// MaxEntryBytes caps one uploaded entry (default 64 MiB).
+	MaxEntryBytes int64
+	// Obs receives remotecached.* counters. nil disables.
+	Obs *obs.Registry
+}
+
+// ServerStats is the /stats snapshot: the HTTP skin's own counters plus
+// the backing store's.
+type ServerStats struct {
+	Gets     int64 `json:"gets"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Puts     int64 `json:"puts"`
+	Rejected int64 `json:"rejected"` // uploads refused by verification or caps
+
+	Store diskcache.Stats `json:"store"`
+}
+
+// Server is the cache daemon's core: GET/PUT of self-verifying entries
+// over one diskcache store. The store supplies the integrity discipline
+// — verify on read with quarantine of anything corrupt, crash-safe
+// atomic writes — and the skin adds verify-on-ingest: an upload is
+// decoded and checksummed BEFORE it is stored, so a corrupt entry is
+// rejected at the door instead of poisoning the fleet.
+type Server struct {
+	dc       *diskcache.Cache
+	maxEntry int64
+	reg      *obs.Registry
+
+	gets, hits, misses atomic.Int64
+	puts, rejected     atomic.Int64
+}
+
+// NewServer opens (or creates) the entry store under dir.
+func NewServer(dir string, opts ServerOptions) (*Server, error) {
+	if opts.MaxEntryBytes <= 0 {
+		opts.MaxEntryBytes = 64 << 20
+	}
+	dc, err := diskcache.Open(dir, diskcache.Options{MaxBytes: opts.MaxBytes})
+	if err != nil {
+		return nil, fmt.Errorf("remotecache: open store: %w", err)
+	}
+	return &Server{dc: dc, maxEntry: opts.MaxEntryBytes, reg: opts.Obs}, nil
+}
+
+// Store exposes the backing cache (tests reach through to seed or
+// inspect entries).
+func (s *Server) Store() *diskcache.Cache { return s.dc }
+
+// Stats returns a counter snapshot.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Gets:     s.gets.Load(),
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Puts:     s.puts.Load(),
+		Rejected: s.rejected.Load(),
+		Store:    s.dc.Stats(),
+	}
+}
+
+// Handler builds the daemon's routing table. version is served on
+// GET /version (ccm.Version() in cmd/ccmcached).
+func (s *Server) Handler(version string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /entry/{key}", s.handleGet)
+	mux.HandleFunc("PUT /entry/{key}", s.handlePut)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"version": version})
+	})
+	return mux
+}
+
+// entryAddr parses the (key, kind) address out of the request.
+func entryAddr(r *http.Request) (diskcache.Key, uint32, *apiError) {
+	var key diskcache.Key
+	raw, err := hex.DecodeString(r.PathValue("key"))
+	if err != nil || len(raw) != len(key) {
+		return key, 0, &apiError{status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: fmt.Sprintf("key must be %d hex bytes", len(key))}
+	}
+	copy(key[:], raw)
+	kind, err := strconv.ParseUint(r.URL.Query().Get("kind"), 10, 32)
+	if err != nil {
+		return key, 0, &apiError{status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: "kind must be an unsigned integer query parameter"}
+	}
+	return key, uint32(kind), nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.gets.Add(1)
+	s.reg.Counter("remotecached.gets").Add(1)
+	key, kind, aerr := entryAddr(r)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	payload, ok := s.dc.Get(key, kind) // verifies; quarantines corruption
+	if !ok {
+		s.misses.Add(1)
+		s.reg.Counter("remotecached.misses").Add(1)
+		writeError(w, &apiError{status: http.StatusNotFound, Code: CodeNotFound,
+			Message: "no entry under that key and kind"})
+		return
+	}
+	s.hits.Add(1)
+	s.reg.Counter("remotecached.hits").Add(1)
+	data := diskcache.EncodeEntry(kind, key, payload)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.puts.Add(1)
+	s.reg.Counter("remotecached.puts").Add(1)
+	key, kind, aerr := entryAddr(r)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	data, err := readCapped(r.Body, s.maxEntry)
+	if err != nil {
+		s.rejected.Add(1)
+		s.reg.Counter("remotecached.rejected").Add(1)
+		writeError(w, &apiError{status: http.StatusRequestEntityTooLarge, Code: CodeTooLarge,
+			Message: err.Error()})
+		return
+	}
+	// Verify on ingest: decode + checksum, and the embedded address must
+	// match the one in the URL — an entry that lies about its own key
+	// would serve the wrong artifact to every later reader.
+	gotKind, gotKey, payload, err := diskcache.DecodeEntry(data)
+	if err != nil {
+		s.rejected.Add(1)
+		s.reg.Counter("remotecached.rejected").Add(1)
+		writeError(w, &apiError{status: http.StatusUnprocessableEntity, Code: CodeCorruptEntry,
+			Message: fmt.Sprintf("entry failed verification: %v", err)})
+		return
+	}
+	if gotKey != key || gotKind != kind {
+		s.rejected.Add(1)
+		s.reg.Counter("remotecached.rejected").Add(1)
+		writeError(w, &apiError{status: http.StatusUnprocessableEntity, Code: CodeCorruptEntry,
+			Message: "entry's embedded key/kind does not match the request address"})
+		return
+	}
+	s.dc.Put(key, kind, payload)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, map[string]*apiError{"error": e})
+}

@@ -55,4 +55,22 @@ go test -race ./internal/ccmd/...
 echo '== e2e: go test -race -run TestDaemonSmoke ./cmd/ccmd/'
 go test -race -run TestDaemonSmoke ./cmd/ccmd/
 
+# The remote cache tier (client breaker/retries/verification, server
+# ingest verification, fault-injecting RoundTripper) is concurrent by
+# construction; its suite always runs under the race detector.
+echo '== race: go test -race ./internal/remotecache/...'
+go test -race ./internal/remotecache/...
+
+# Cache-daemon e2e smoke: build the real ccmcached binary, round-trip an
+# entry byte-identically, reject a corrupt upload at the door, SIGTERM,
+# and assert a clean drain.
+echo '== e2e: go test -race -run TestCacheDaemonSmoke ./cmd/ccmcached/'
+go test -race -run TestCacheDaemonSmoke ./cmd/ccmcached/
+
+# Farm e2e: 4 ccmbench worker processes sharing one ccmcached must
+# reproduce the solo table byte-identically, and a warm second pass must
+# serve every artifact from the remote tier.
+echo '== e2e: go test -run TestFarmMatchesSolo ./cmd/ccmbench/'
+go test -run TestFarmMatchesSolo ./cmd/ccmbench/
+
 echo '== verify.sh: all green'
