@@ -12,6 +12,44 @@ import (
 	"time"
 )
 
+// TestFarmWorkerFailureFailsLoudly kills one shard worker mid-run (via
+// the CCMBENCH_FARM_FAIL_SHARD test hook) and requires the farm parent
+// to fail the whole run: non-zero exit naming the dead worker, no table
+// on stdout, and no farm report artifact — a partial merge must never
+// masquerade as a result.
+func TestFarmWorkerFailureFailsLoudly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping farm e2e in -short mode")
+	}
+	dir := t.TempDir()
+	benchBin := filepath.Join(dir, "ccmbench")
+	build := exec.Command("go", "build", "-o", benchBin, "./cmd/ccmbench")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ccmbench: %v\n%s", err, out)
+	}
+
+	farmOut := filepath.Join(dir, "BENCH_farm.json")
+	cmd := exec.Command(benchBin, "-farm", "2", "-table", "1", "-farm-out", farmOut)
+	cmd.Env = append(os.Environ(), "CCMBENCH_FARM_FAIL_SHARD=1")
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("farm run with a dead worker exited 0\nstdout:\n%s", outBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "farm worker 1") {
+		t.Fatalf("parent did not name the dead worker:\n%s", errBuf.String())
+	}
+	if outBuf.Len() != 0 {
+		t.Fatalf("partial table printed despite worker failure:\n%s", outBuf.String())
+	}
+	if _, err := os.Stat(farmOut); !os.IsNotExist(err) {
+		t.Fatalf("farm report artifact written despite worker failure (stat err %v)", err)
+	}
+}
+
 // TestFarmMatchesSolo is the farm-mode end-to-end check against the
 // real binaries: start a ccmcached, run the table-1 suite solo and as
 // `-farm 4` sharing that server, and require byte-identical tables. A

@@ -92,6 +92,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	remoteURL := flag.String("remote-url", "", "remote cache server base URL (a ccmcached instance; empty = no remote tier)")
+	remoteToken := flag.String("remote-token", "", "bearer token for the remote cache server (empty = none)")
 	farm := flag.Int("farm", 0, "run the table suite as N worker processes sharing the -remote-url cache server")
 	farmOut := flag.String("farm-out", "BENCH_farm.json", "farm-mode report artifact (per-process and merged throughput, remote hit rate)")
 	shardIndex := flag.Int("farm-shard-index", 0, "internal: this worker's shard index")
@@ -119,7 +120,8 @@ func main() {
 			fatal(fmt.Errorf("-farm serves the table suite only (tables 1-4)"))
 		}
 		if err := runFarm(ctx, *farm, *table, farmFlags{
-			remoteURL: *remoteURL, workers: *workers, memCost: *memCost,
+			remoteURL: *remoteURL, remoteToken: *remoteToken,
+			workers: *workers, memCost: *memCost,
 			verifyPasses: *verifyPasses, timeout: *timeout,
 			cacheDir: *cacheDir, cacheBytes: *cacheBytes, out: *farmOut,
 		}); err != nil {
@@ -131,7 +133,7 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Ctx = ctx
 	cfg.MemCost = *memCost
-	popts := pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes, RemoteURL: *remoteURL}
+	popts := pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes, RemoteURL: *remoteURL, RemoteToken: *remoteToken}
 	if *traceOut != "" {
 		popts.Tracer = obs.NewTracer()
 		popts.PprofLabels = true
@@ -198,6 +200,11 @@ func main() {
 		// the wire-encoded results to the parent.
 		if *shardOut == "" {
 			fatal(fmt.Errorf("-farm-shard-out is required with -farm-shard-count"))
+		}
+		if fail := os.Getenv("CCMBENCH_FARM_FAIL_SHARD"); fail == strconv.Itoa(*shardIndex) {
+			// Test hook: die mid-run the way a worker OOM-killed or
+			// power-cycled would, before any results are written.
+			fatal(fmt.Errorf("farm worker %d: injected failure (CCMBENCH_FARM_FAIL_SHARD)", *shardIndex))
 		}
 		cfg.ShardIndex = *shardIndex
 		cfg.ShardCount = *shardCount
@@ -295,6 +302,7 @@ func fatal(err error) {
 // farmFlags are the settings the farm parent forwards to its workers.
 type farmFlags struct {
 	remoteURL    string
+	remoteToken  string
 	workers      int
 	memCost      int
 	verifyPasses bool
@@ -379,6 +387,9 @@ func runFarm(ctx context.Context, n, table int, ff farmFlags) error {
 		}
 		if ff.remoteURL != "" {
 			args = append(args, "-remote-url", ff.remoteURL)
+		}
+		if ff.remoteToken != "" {
+			args = append(args, "-remote-token", ff.remoteToken)
 		}
 		if ff.workers != 0 {
 			args = append(args, "-workers", strconv.Itoa(ff.workers))

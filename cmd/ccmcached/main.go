@@ -5,7 +5,9 @@
 // Usage:
 //
 //	ccmcached [-addr HOST:PORT] [-dir DIR] [-max-bytes N]
-//	          [-max-entry-bytes N] [-drain-timeout D] [-version]
+//	          [-max-entry-bytes N] [-auth-token TOK | -auth-file PATH]
+//	          [-entry-ttl D] [-gc-interval D]
+//	          [-drain-timeout D] [-version]
 //
 // Endpoints:
 //
@@ -13,6 +15,7 @@
 //	PUT  /entry/{key}?kind=N   store one entry; verified before storing
 //	GET  /stats                server + store counters (JSON)
 //	GET  /healthz              liveness
+//	GET  /readyz               readiness + store/GC detail; 503 when the disk degraded
 //	GET  /version              build identity (same string as ccmc -version)
 //
 // The wire format is the disk-cache entry encoding: versioned header,
@@ -21,6 +24,16 @@
 // 422 and never touch the store) and reads are verified again by the
 // backing store, which quarantines anything that rotted on disk.
 // SIGINT/SIGTERM drains in-flight requests before exiting.
+//
+// -auth-token/-auth-file gate the data endpoints (/entry/*, /stats)
+// behind a shared-secret bearer token; health probes stay open. Fleet
+// clients (ccmd -remote-token, ccmbench -remote-token) present the same
+// secret.
+//
+// -entry-ttl bounds how long a stored entry stays servable: expired
+// entries read as misses (deleted lazily) and a background sweep every
+// -gc-interval reclaims the rest, so an abandoned fleet's artifacts do
+// not sit on disk forever. TTL 0 keeps entries until LRU eviction.
 package main
 
 import (
@@ -37,6 +50,7 @@ import (
 	"time"
 
 	ccm "ccmem"
+	"ccmem/internal/authtoken"
 	"ccmem/internal/remotecache"
 )
 
@@ -45,6 +59,10 @@ func main() {
 	dir := flag.String("dir", "", "entry store directory (required)")
 	maxBytes := flag.Int64("max-bytes", 0, "store LRU byte budget (0 = unlimited)")
 	maxEntry := flag.Int64("max-entry-bytes", 0, "max uploaded entry size (0 = 64 MiB)")
+	authToken := flag.String("auth-token", "", "bearer token required on data endpoints (empty = auth off)")
+	authFile := flag.String("auth-file", "", "file holding the bearer token for data endpoints")
+	entryTTL := flag.Duration("entry-ttl", 0, "how long a stored entry stays servable (0 = forever)")
+	gcInterval := flag.Duration("gc-interval", time.Minute, "TTL sweep period (with -entry-ttl)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -60,9 +78,15 @@ func main() {
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
+	token, err := authtoken.Load(*authToken, *authFile)
+	if err != nil {
+		logger.Fatalf("ccmcached: %v", err)
+	}
 	srv, err := remotecache.NewServer(*dir, remotecache.ServerOptions{
 		MaxBytes:      *maxBytes,
 		MaxEntryBytes: *maxEntry,
+		AuthToken:     token,
+		EntryTTL:      *entryTTL,
 	})
 	if err != nil {
 		logger.Fatalf("ccmcached: %v", err)
@@ -78,6 +102,27 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// TTL reaper: a periodic sweep deletes entries the lazy read-path
+	// expiry never touches. Stopped by the same signal context that
+	// starts the drain.
+	if *entryTTL > 0 && *gcInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*gcInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n := srv.GC(); n > 0 {
+						logger.Printf("ccmcached: gc: expired %d entries", n)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		logger.Printf("ccmcached: listening on %s (store %s)", ln.Addr(), *dir)

@@ -7,6 +7,10 @@
 //
 //	ccmd [-addr HOST:PORT] [-workers N]
 //	     [-cache-dir DIR] [-cache-bytes N] [-remote-url URL] [-repro-dir DIR]
+//	     [-auth-token TOK | -auth-file PATH]
+//	     [-remote-token TOK | -remote-token-file PATH]
+//	     [-tenant-rate N] [-tenant-burst N]
+//	     [-journal-dir DIR] [-journal-bytes N]
 //	     [-max-inflight N] [-max-queue N] [-retry-after D]
 //	     [-drain-timeout D] [-max-program-bytes N] [-version]
 //
@@ -15,7 +19,25 @@
 // dependency: timeouts, corruption, and outages are absorbed by a
 // circuit breaker, and /readyz keeps answering 200 with status
 // "degraded" while the breaker is open — the daemon compiles locally
-// either way.
+// either way. -remote-token (or -remote-token-file) is the bearer token
+// for a ccmcached running with -auth-token.
+//
+// -auth-token/-auth-file gate this daemon's own data endpoints behind a
+// shared-secret bearer token: requests without "Authorization: Bearer
+// <token>" get a structured 401. Health probes stay open. -tenant-rate
+// and -tenant-burst bound each tenant's request rate (token bucket,
+// 429 rate-limited with Retry-After when exceeded); a hot tenant is
+// also capped to its fair share of the admission queue so it cannot
+// starve the rest of the fleet into 429 saturated.
+//
+// -journal-dir enables the durable request journal: every admitted
+// compile request is appended (CRC-framed, fsynced) before it runs, and
+// on startup the journal is replayed to re-warm the artifact cache —
+// a crashed daemon comes back remembering what its tenants were
+// compiling. Corrupt journal segments are quarantined, torn tails from
+// a mid-append crash are truncated to the committed prefix, and
+// -journal-bytes bounds the journal's disk footprint (oldest segments
+// dropped first).
 //
 // Endpoints:
 //
@@ -52,7 +74,9 @@ import (
 	"time"
 
 	ccm "ccmem"
+	"ccmem/internal/authtoken"
 	"ccmem/internal/ccmd"
+	"ccmem/internal/journal"
 	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
 )
@@ -63,6 +87,14 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
 	remoteURL := flag.String("remote-url", "", "shared remote cache server base URL (empty = no remote tier)")
+	remoteToken := flag.String("remote-token", "", "bearer token for the remote cache server (empty = none)")
+	remoteTokenFile := flag.String("remote-token-file", "", "file holding the remote cache bearer token")
+	authToken := flag.String("auth-token", "", "bearer token required on data endpoints (empty = auth off)")
+	authFile := flag.String("auth-file", "", "file holding the bearer token for data endpoints")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant steady-state requests/sec (0 = rate limiting off)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst size (0 = ceil(tenant-rate))")
+	journalDir := flag.String("journal-dir", "", "durable request journal directory (empty = journaling off)")
+	journalBytes := flag.Int64("journal-bytes", 0, "journal disk budget in bytes (0 = 64 MiB)")
 	reproDir := flag.String("repro-dir", "", "base directory for per-tenant crash/miscompile repro bundles (empty = disabled)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently running requests (0 = worker pool size)")
 	maxQueue := flag.Int("max-queue", 0, "max queued requests before 429 (0 = 4x max-inflight)")
@@ -83,11 +115,21 @@ func main() {
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
+	token, err := authtoken.Load(*authToken, *authFile)
+	if err != nil {
+		logger.Fatalf("ccmd: %v", err)
+	}
+	rtoken, err := authtoken.Load(*remoteToken, *remoteTokenFile)
+	if err != nil {
+		logger.Fatalf("ccmd: %v", err)
+	}
+
 	drv := pipeline.New(pipeline.Options{
 		Workers:     *workers,
 		CacheDir:    *cacheDir,
 		CacheBytes:  *cacheBytes,
 		RemoteURL:   *remoteURL,
+		RemoteToken: rtoken,
 		Metrics:     obs.NewRegistry(),
 		PprofLabels: true,
 	})
@@ -99,6 +141,19 @@ func main() {
 	if err := drv.RemoteCacheErr(); err != nil {
 		logger.Printf("ccmd: warning: remote cache disabled: %v", err)
 	}
+	// Open the journal before the service: Open returns the records that
+	// survived the last process (torn tails truncated, corrupt segments
+	// quarantined), and the service replays them below to re-warm the
+	// cache before traffic arrives.
+	var jrnl *journal.Journal
+	var recovered [][]byte
+	if *journalDir != "" {
+		jrnl, recovered, err = journal.Open(*journalDir, journal.Options{MaxBytes: *journalBytes})
+		if err != nil {
+			logger.Fatalf("ccmd: journal: %v", err)
+		}
+		defer jrnl.Close()
+	}
 	svc, err := ccmd.NewService(ccmd.Config{
 		Driver:          drv,
 		MaxInflight:     *maxInflight,
@@ -106,14 +161,22 @@ func main() {
 		RetryAfter:      *retryAfter,
 		ReproDir:        *reproDir,
 		MaxProgramBytes: *maxProgram,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
+		Journal:         jrnl,
 	})
 	if err != nil {
 		logger.Fatalf("ccmd: %v", err)
+	}
+	if len(recovered) > 0 {
+		replayed, skipped := svc.ReplayJournal(context.Background(), recovered)
+		logger.Printf("ccmd: journal: replayed %d recovered requests (%d skipped)", replayed, skipped)
 	}
 	srv, err := ccmd.NewServer(svc, ccmd.ServerConfig{
 		Addr:         *addr,
 		Version:      ccm.Version(),
 		DrainTimeout: *drainTimeout,
+		AuthToken:    token,
 		Logf:         logger.Printf,
 	})
 	if err != nil {

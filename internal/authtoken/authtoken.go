@@ -1,0 +1,83 @@
+// Package authtoken is the fleet's shared-secret authentication
+// primitive: one bearer token, distributed out of band, presented on
+// every request between fleet members (clients of ccmd, and ccmd /
+// ccmbench workers talking to ccmcached).
+//
+// The scheme is deliberately minimal — a single shared secret compared
+// in constant time — because the threat model is "keep strangers and
+// misconfigured processes out of the fleet", not per-user identity.
+// What the package does guarantee:
+//
+//   - the comparison is constant-time (crypto/subtle), so the check
+//     leaks nothing about the token through timing;
+//   - tokens loaded from a file are trimmed of trailing whitespace, so
+//     `echo secret > tokenfile` works, and an empty resolved token is an
+//     explicit configuration error rather than silently-open access;
+//   - extraction is strict: only a well-formed "Authorization: Bearer
+//     <token>" header matches — a malformed header is simply absent.
+package authtoken
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Load resolves the -auth-token / -auth-file flag pair every daemon and
+// client exposes: at most one may be set, and a file's content is
+// trimmed of surrounding whitespace (one trailing newline is how tokens
+// land in files). An empty result with file set is an error — an empty
+// token file almost certainly means a provisioning step failed, and
+// treating it as "no auth" would silently open the daemon.
+func Load(token, file string) (string, error) {
+	if token != "" && file != "" {
+		return "", fmt.Errorf("authtoken: set a literal token or a token file, not both")
+	}
+	if file == "" {
+		return token, nil
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return "", fmt.Errorf("authtoken: read token file: %w", err)
+	}
+	tok := strings.TrimSpace(string(raw))
+	if tok == "" {
+		return "", fmt.Errorf("authtoken: token file %s is empty", file)
+	}
+	return tok, nil
+}
+
+// Equal compares a presented token against the configured one in
+// constant time. An empty want never matches — callers gate on want !=
+// "" before enforcing, and this keeps a missing header from matching a
+// missing configuration.
+func Equal(got, want string) bool {
+	if want == "" {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
+// FromRequest extracts the bearer token from r's Authorization header,
+// or "" when the header is absent or not a bearer credential. The
+// scheme comparison is case-insensitive per RFC 6750; the token itself
+// is returned verbatim.
+func FromRequest(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	scheme, token, ok := strings.Cut(auth, " ")
+	if !ok || !strings.EqualFold(scheme, "Bearer") {
+		return ""
+	}
+	return strings.TrimSpace(token)
+}
+
+// Authorize reports whether r may pass a check against want. An empty
+// want means authentication is disabled and everything passes.
+func Authorize(r *http.Request, want string) bool {
+	if want == "" {
+		return true
+	}
+	return Equal(FromRequest(r), want)
+}

@@ -1,0 +1,88 @@
+package authtoken
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "token")
+	if err := os.WriteFile(path, []byte("s3cret\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load("", path)
+	if err != nil || got != "s3cret" {
+		t.Fatalf("Load(file) = %q, %v; want s3cret", got, err)
+	}
+	got, err = Load("literal", "")
+	if err != nil || got != "literal" {
+		t.Fatalf("Load(literal) = %q, %v", got, err)
+	}
+	if got, err = Load("", ""); err != nil || got != "" {
+		t.Fatalf("Load(none) = %q, %v; want empty, nil", got, err)
+	}
+	if _, err = Load("both", path); err == nil {
+		t.Fatalf("Load with both sources should fail")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, []byte(" \n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = Load("", empty); err == nil {
+		t.Fatalf("empty token file should be a configuration error, not open access")
+	}
+	if _, err = Load("", filepath.Join(dir, "missing")); err == nil {
+		t.Fatalf("missing token file should error")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal("abc", "abc") {
+		t.Fatalf("equal tokens must match")
+	}
+	if Equal("abc", "abd") || Equal("", "abc") || Equal("ab", "abc") {
+		t.Fatalf("unequal tokens must not match")
+	}
+	// An empty configured token matches nothing, not everything.
+	if Equal("", "") || Equal("x", "") {
+		t.Fatalf("empty want must never match")
+	}
+}
+
+func TestFromRequestAndAuthorize(t *testing.T) {
+	cases := []struct {
+		header string
+		want   string
+	}{
+		{"Bearer tok", "tok"},
+		{"bearer tok", "tok"}, // scheme is case-insensitive
+		{"Bearer  tok", "tok"},
+		{"Basic dXNlcg==", ""},
+		{"Bearer", ""}, // no token part
+		{"", ""},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest("GET", "/", nil)
+		if c.header != "" {
+			r.Header.Set("Authorization", c.header)
+		}
+		if got := FromRequest(r); got != c.want {
+			t.Errorf("FromRequest(%q) = %q, want %q", c.header, got, c.want)
+		}
+	}
+
+	r := httptest.NewRequest("GET", "/", nil)
+	if !Authorize(r, "") {
+		t.Fatalf("disabled auth (empty want) must pass everything")
+	}
+	if Authorize(r, "tok") {
+		t.Fatalf("missing header must fail against a configured token")
+	}
+	r.Header.Set("Authorization", "Bearer tok")
+	if !Authorize(r, "tok") {
+		t.Fatalf("correct bearer token must pass")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"ccmem/internal/pipeline"
+	"ccmem/internal/ratelimit"
 )
 
 // Error codes: stable strings clients branch on without parsing
@@ -14,11 +15,13 @@ import (
 // table spells out the correspondence.
 const (
 	CodeBadRequest   = "bad-request"   // 400: malformed JSON, unknown field, invalid value
+	CodeUnauthorized = "unauthorized"  // 401: missing or wrong bearer token
 	CodeBadProgram   = "bad-program"   // 422: program text fails to parse or verify
 	CodeCompileFault = "compile-fault" // 422: strict-mode pass fault (ccmc exit 1)
 	CodeMiscompile   = "miscompile"    // 422: strict-mode oracle divergence (ccmc exit 4)
 	CodeRunFault     = "run-fault"     // 422: execution faulted or hit a resource limit
-	CodeSaturated    = "saturated"     // 429: admission queue full; retry after backoff
+	CodeRateLimited  = "rate-limited"  // 429: this tenant exceeded its rate or queue share
+	CodeSaturated    = "saturated"     // 429: admission queue full service-wide; retry after backoff
 	CodeDraining     = "draining"      // 503: the service is shutting down
 	CodeCanceled     = "canceled"      // 499-ish: the client went away mid-compile
 	CodeInternal     = "internal"      // 500: anything the service cannot attribute
@@ -125,6 +128,9 @@ type CompileResponse struct {
 // RunRequest is the body of POST /run: execute a program on the
 // instrumented abstract machine.
 type RunRequest struct {
+	// Tenant names the requester for per-tenant rate accounting, same
+	// validation as CompileRequest.Tenant ("" = "default").
+	Tenant   string `json:"tenant,omitempty"`
 	Program  string `json:"program"`
 	Entry    string `json:"entry,omitempty"` // default "main"
 	CCMBytes int64  `json:"ccm_bytes,omitempty"`
@@ -183,9 +189,45 @@ type ServiceStats struct {
 	ShedDiff          int64 `json:"shed_diff"`
 	TraceRequests     int64 `json:"trace_requests"`
 	Draining          bool  `json:"draining"`
+
+	// Unauthorized counts requests refused at the HTTP door for a
+	// missing or wrong bearer token.
+	Unauthorized int64 `json:"unauthorized"`
+	// RateLimited counts requests denied by a tenant's token bucket;
+	// FairShareRejected counts requests bounced because one tenant had
+	// already filled its share of the admission queue. Both travel as
+	// 429 rate-limited, distinct from service-wide saturation.
+	RateLimited       int64 `json:"rate_limited"`
+	FairShareRejected int64 `json:"fair_share_rejected"`
+	// Tenants is the per-tenant admission record of every tenant the
+	// (LRU-bounded) limiter currently tracks; nil when rate limiting is
+	// off.
+	Tenants map[string]ratelimit.KeyStats `json:"tenants,omitempty"`
+
+	// Journal is the durable request journal's record; nil when the
+	// service runs without one.
+	Journal *JournalStats `json:"journal,omitempty"`
+
 	// RemoteCircuit is the remote cache tier's breaker state ("closed",
 	// "half-open", "open"; "" when no remote tier is configured). An
 	// open circuit degrades the service — lookups skip the tier — but
 	// never fails readiness.
 	RemoteCircuit string `json:"remote_circuit,omitempty"`
+}
+
+// JournalStats is the request journal's ServiceStats slice: the
+// journal's own counters plus the service's replay record.
+type JournalStats struct {
+	Appends         int64 `json:"appends"`
+	AppendErrors    int64 `json:"append_errors"`
+	Segments        int   `json:"segments"`
+	TornTails       int64 `json:"torn_tails"`
+	Quarantines     int64 `json:"quarantines"`
+	DroppedSegments int64 `json:"dropped_segments"`
+	Degraded        bool  `json:"degraded,omitempty"`
+	// Replayed and ReplayErrors count startup recovery: journal records
+	// recompiled to re-warm the cache, and records that failed to decode
+	// or compile (skipped, never fatal).
+	Replayed     int64 `json:"replayed"`
+	ReplayErrors int64 `json:"replay_errors"`
 }

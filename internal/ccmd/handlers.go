@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ccmem/internal/authtoken"
 	"ccmem/internal/obs"
 )
 
@@ -17,9 +18,28 @@ import (
 // fields are 400s, bodies are size-bounded before they reach the JSON
 // decoder), call the service, encode the typed result. Every error
 // travels as {"error": APIError}; 429 and 503 carry Retry-After.
-func Handler(s *Service, version string) http.Handler {
+//
+// authToken, when non-empty, gates every data endpoint (/compile, /run,
+// /report, /metrics, /trace) behind a bearer token — a request without
+// it is a 401 in the same structured-error shape as every other
+// failure. Health probes (/healthz, /readyz, /version) stay open so
+// load balancers and fleet tooling need no secret.
+func Handler(s *Service, version string, authToken string) http.Handler {
+	authed := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if !authtoken.Authorize(r, authToken) {
+				s.unauthorized.Add(1)
+				s.reg.Counter("ccmd.unauthorized").Inc()
+				w.Header().Set("WWW-Authenticate", `Bearer realm="ccmd"`)
+				writeError(w, &APIError{Status: http.StatusUnauthorized, Code: CodeUnauthorized,
+					Message: "missing or invalid bearer token"})
+				return
+			}
+			h(w, r)
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /compile", authed(func(w http.ResponseWriter, r *http.Request) {
 		var req CompileRequest
 		if apiErr := decodeJSON(w, r, s.cfg.MaxProgramBytes+64*1024, &req); apiErr != nil {
 			writeError(w, apiErr)
@@ -31,8 +51,8 @@ func Handler(s *Service, version string) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /run", authed(func(w http.ResponseWriter, r *http.Request) {
 		var req RunRequest
 		if apiErr := decodeJSON(w, r, s.cfg.MaxProgramBytes+64*1024, &req); apiErr != nil {
 			writeError(w, apiErr)
@@ -44,11 +64,11 @@ func Handler(s *Service, version string) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /report", authed(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Report())
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /metrics", authed(func(w http.ResponseWriter, r *http.Request) {
 		resp := MetricsResponse{Service: s.Stats(), Driver: s.Report()}
 		if snap := s.Metrics(); snap != nil {
 			if raw, err := json.Marshal(snap); err == nil {
@@ -56,12 +76,12 @@ func Handler(s *Service, version string) http.Handler {
 			}
 		}
 		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /trace", authed(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_ = obs.WriteChromeTraceSpans(w, s.TraceSpans())
-	})
+	}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness plus storage health: the daemon serves compiles even
 		// with a broken persistent tier (the driver falls back to the
@@ -88,6 +108,7 @@ func Handler(s *Service, version string) http.Handler {
 			return
 		}
 		if err := s.Driver().DiskCacheErr(); err != nil {
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded",
 				Detail: "disk cache unavailable: " + err.Error()})
 			return

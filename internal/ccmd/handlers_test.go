@@ -22,7 +22,7 @@ import (
 func newTestHTTP(t *testing.T, mut func(*Config)) (*Service, *httptest.Server) {
 	t.Helper()
 	svc := newTestService(t, mut)
-	ts := httptest.NewServer(Handler(svc, "test-version"))
+	ts := httptest.NewServer(Handler(svc, "test-version", ""))
 	t.Cleanup(ts.Close)
 	return svc, ts
 }

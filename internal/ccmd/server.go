@@ -27,6 +27,9 @@ type ServerConfig struct {
 	Addr         string        // listen address, e.g. ":8347" or "127.0.0.1:0"
 	Version      string        // served on GET /version
 	DrainTimeout time.Duration // graceful-shutdown deadline; 0 means 30s
+	// AuthToken, when non-empty, gates the data endpoints behind a
+	// bearer token (see Handler).
+	AuthToken string
 	// Logf receives the server's operational log lines ("listening on
 	// ..." and shutdown progress). Nil discards them.
 	Logf func(format string, args ...any)
@@ -50,7 +53,7 @@ func NewServer(svc *Service, cfg ServerConfig) (*Server, error) {
 	return &Server{
 		svc: svc,
 		http: &http.Server{
-			Handler:           Handler(svc, cfg.Version),
+			Handler:           Handler(svc, cfg.Version, cfg.AuthToken),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 		ln:           ln,

@@ -33,14 +33,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ccmem/internal/ir"
+	"ccmem/internal/journal"
 	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
+	"ccmem/internal/ratelimit"
 	"ccmem/internal/repro"
 	"ccmem/internal/sim"
 )
@@ -97,6 +100,29 @@ type Config struct {
 	// observability — work that cannot change output bytes.
 	ShedVerifyAt float64
 	ShedDiffAt   float64
+
+	// TenantRate and TenantBurst parameterize the per-tenant token
+	// bucket: each tenant accrues TenantRate requests per second up to a
+	// bucket of TenantBurst. Rate <= 0 disables per-tenant limiting
+	// entirely. MaxTenants bounds tracked buckets (LRU; 0 = the
+	// ratelimit package default). RateNow is the limiter's clock, a test
+	// seam; nil means time.Now.
+	TenantRate  float64
+	TenantBurst int
+	MaxTenants  int
+	RateNow     func() time.Time
+
+	// MaxTenantQueue is the fair-share cap: the most queue positions one
+	// tenant may hold at once, so a single hot tenant cannot fill the
+	// bounded queue and starve everyone else. 0 means half of MaxQueue
+	// (minimum 1); < 0 disables the cap.
+	MaxTenantQueue int
+
+	// Journal, when non-nil, is the durable request journal: every
+	// admitted compile request is appended before it runs, and
+	// ReplayJournal recompiles recovered records at startup to re-warm
+	// the cache. The service owns appends; the caller owns Open/Close.
+	Journal *journal.Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +153,12 @@ func (c Config) withDefaults() Config {
 	if c.ShedDiffAt <= 0 {
 		c.ShedDiffAt = DefaultShedDiffAt
 	}
+	if c.MaxTenantQueue == 0 {
+		c.MaxTenantQueue = c.MaxQueue / 2
+		if c.MaxTenantQueue < 1 {
+			c.MaxTenantQueue = 1
+		}
+	}
 	return c
 }
 
@@ -156,6 +188,15 @@ type Service struct {
 
 	slots chan struct{} // admission semaphore, cap MaxInflight
 
+	// limiter is the per-tenant token bucket (nil = limiting off); the
+	// fair-share map counts queue positions each tenant currently holds.
+	limiter      *ratelimit.Limiter
+	tenantMu     sync.Mutex
+	tenantQueued map[string]int
+
+	// jrnl is the durable request journal (nil = journaling off).
+	jrnl *journal.Journal
+
 	requests          atomic.Int64
 	inflight          atomic.Int64
 	queued            atomic.Int64
@@ -164,6 +205,11 @@ type Service struct {
 	shedVerifyN       atomic.Int64
 	shedDiffN         atomic.Int64
 	traceRequests     atomic.Int64
+	unauthorized      atomic.Int64
+	rateLimited       atomic.Int64
+	fairShareRejected atomic.Int64
+	replayed          atomic.Int64
+	replayErrors      atomic.Int64
 
 	// Drain protocol: draining flips under mu, active counts admitted
 	// requests still running, and cond wakes Drain when active reaches
@@ -204,6 +250,14 @@ func NewService(cfg Config) (*Service, error) {
 		drv:   cfg.Driver,
 		reg:   cfg.Driver.Registry(),
 		slots: make(chan struct{}, cfg.MaxInflight),
+		limiter: ratelimit.New(ratelimit.Options{
+			Rate:    cfg.TenantRate,
+			Burst:   cfg.TenantBurst,
+			MaxKeys: cfg.MaxTenants,
+			Now:     cfg.RateNow,
+		}),
+		tenantQueued: make(map[string]int),
+		jrnl:         cfg.Journal,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -276,13 +330,33 @@ func (s *Service) leave() {
 	s.mu.Unlock()
 }
 
+// rateLimit spends one token from tenant's bucket. A denial is the
+// tenant-scoped 429 — distinct from service-wide saturation — carrying
+// the exact accrual time as its Retry-After.
+func (s *Service) rateLimit(tenant string) *APIError {
+	ok, retry := s.limiter.Allow(tenant)
+	if ok {
+		return nil
+	}
+	s.rateLimited.Add(1)
+	s.reg.Counter("ccmd.rate_limited").Inc()
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return &APIError{Status: http.StatusTooManyRequests, Code: CodeRateLimited, Field: "tenant",
+		Message:    fmt.Sprintf("tenant %q is over its request rate; retry in ~%ds", tenant, secs),
+		RetryAfter: secs}
+}
+
 // admit runs the bounded-queue admission: take a slot if one is free,
-// otherwise wait in the queue unless it is already full (saturation) or
-// the caller gives up (ctx). The returned shed level is decided from
-// queue pressure at arrival, so every caller that waited behind a deep
-// queue sheds consistently. release must be called exactly once after
-// the work is done.
-func (s *Service) admit(ctx context.Context) (shed int, release func(), apiErr *APIError) {
+// otherwise wait in the queue unless it is already full (saturation),
+// the tenant already holds its fair share of it, or the caller gives up
+// (ctx). The returned shed level is decided from queue pressure at
+// arrival, so every caller that waited behind a deep queue sheds
+// consistently. release must be called exactly once after the work is
+// done.
+func (s *Service) admit(ctx context.Context, tenant string) (shed int, release func(), apiErr *APIError) {
 	if !s.enter() {
 		s.rejectedDraining.Add(1)
 		s.reg.Counter("ccmd.rejected_draining").Inc()
@@ -304,7 +378,12 @@ func (s *Service) admit(ctx context.Context) (shed int, release func(), apiErr *
 		return shed, release, nil
 	default:
 	}
-	// All slots busy: join the bounded queue or bounce.
+	// All slots busy: the request must queue. A full queue is saturation
+	// for everyone, whoever filled it — so reserve the global position
+	// first, then apply the fair-share cap to the room that remains: one
+	// tenant may hold at most MaxTenantQueue positions, so a hot tenant
+	// exhausts its own share (429 rate-limited) before it can fill the
+	// whole queue and starve everyone else into saturation.
 	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
 		s.leave()
@@ -314,6 +393,30 @@ func (s *Service) admit(ctx context.Context) (shed int, release func(), apiErr *
 			Message: fmt.Sprintf("admission queue full (%d running, %d queued); retry later",
 				s.cfg.MaxInflight, s.cfg.MaxQueue),
 			RetryAfter: int(s.cfg.RetryAfter / time.Second)}
+	}
+	if s.cfg.MaxTenantQueue > 0 {
+		s.tenantMu.Lock()
+		if s.tenantQueued[tenant] >= s.cfg.MaxTenantQueue {
+			s.tenantMu.Unlock()
+			s.queued.Add(-1)
+			s.leave()
+			s.fairShareRejected.Add(1)
+			s.reg.Counter("ccmd.fair_share_rejected").Inc()
+			return 0, nil, &APIError{Status: http.StatusTooManyRequests, Code: CodeRateLimited,
+				Field: "tenant",
+				Message: fmt.Sprintf("tenant %q already holds its share of the admission queue (%d positions); retry later",
+					tenant, s.cfg.MaxTenantQueue),
+				RetryAfter: int(s.cfg.RetryAfter / time.Second)}
+		}
+		s.tenantQueued[tenant]++
+		s.tenantMu.Unlock()
+		defer func() {
+			s.tenantMu.Lock()
+			if s.tenantQueued[tenant]--; s.tenantQueued[tenant] <= 0 {
+				delete(s.tenantQueued, tenant)
+			}
+			s.tenantMu.Unlock()
+		}()
 	}
 	s.reg.Gauge("ccmd.queued").Set(s.queued.Load())
 	defer func() {
@@ -488,11 +591,17 @@ func (s *Service) Compile(ctx context.Context, req *CompileRequest) (*CompileRes
 	if req.Tenant != "" && !repro.ValidTenant(req.Tenant) {
 		return nil, errBadRequest("tenant", "invalid tenant %q (want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric)", req.Tenant)
 	}
+	// Rate limit on the validated tenant before any expensive work: a
+	// throttled tenant must not cost the service a parse.
+	tenant := tenantOrDefault(req.Tenant)
+	if apiErr := s.rateLimit(tenant); apiErr != nil {
+		return nil, apiErr
+	}
 	p, apiErr := s.parseProgram(req.Program)
 	if apiErr != nil {
 		return nil, apiErr
 	}
-	shed, release, apiErr := s.admit(ctx)
+	shed, release, apiErr := s.admit(ctx, tenant)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -504,6 +613,10 @@ func (s *Service) Compile(ctx context.Context, req *CompileRequest) (*CompileRes
 	if apiErr != nil {
 		return nil, apiErr
 	}
+	// The request is admitted and validated: journal it before it runs,
+	// so a crash mid-compile replays it on restart. A journal failure is
+	// counted, never fatal — durability degrades, service does not.
+	s.journalAppend(req)
 	switch shed {
 	case shedVerify:
 		s.shedVerifyN.Add(1)
@@ -597,6 +710,13 @@ func (s *Service) TraceSpans() []obs.Span {
 func (s *Service) Run(ctx context.Context, req *RunRequest) (*RunResponse, *APIError) {
 	s.requests.Add(1)
 	s.reg.Counter("ccmd.requests").Inc()
+	if req.Tenant != "" && !repro.ValidTenant(req.Tenant) {
+		return nil, errBadRequest("tenant", "invalid tenant %q (want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric)", req.Tenant)
+	}
+	tenant := tenantOrDefault(req.Tenant)
+	if apiErr := s.rateLimit(tenant); apiErr != nil {
+		return nil, apiErr
+	}
 	p, apiErr := s.parseProgram(req.Program)
 	if apiErr != nil {
 		return nil, apiErr
@@ -611,7 +731,7 @@ func (s *Service) Run(ctx context.Context, req *RunRequest) (*RunResponse, *APIE
 	if p.Func(entry) == nil {
 		return nil, errBadRequest("entry", "program has no function %q", entry)
 	}
-	_, release, apiErr := s.admit(ctx)
+	_, release, apiErr := s.admit(ctx, tenant)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -649,6 +769,80 @@ func (s *Service) Run(ctx context.Context, req *RunRequest) (*RunResponse, *APIE
 	return resp, nil
 }
 
+// journalRecord is the journal's wire format: the compile request's
+// deterministic slice (tenant, program, config) as versioned JSON.
+// Options are deliberately excluded — tracing and repro capture are
+// observability, not state worth replaying.
+type journalRecord struct {
+	V       int           `json:"v"`
+	Tenant  string        `json:"tenant,omitempty"`
+	Program string        `json:"program"`
+	Config  RequestConfig `json:"config"`
+}
+
+const journalRecordVersion = 1
+
+// journalAppend writes one admitted request to the journal. Failures
+// are counted (the journal degrades itself after a few) — a sick disk
+// costs durability, never a compile.
+func (s *Service) journalAppend(req *CompileRequest) {
+	if s.jrnl == nil {
+		return
+	}
+	rec := journalRecord{V: journalRecordVersion, Tenant: req.Tenant, Program: req.Program, Config: req.Config}
+	data, err := json.Marshal(rec)
+	if err == nil {
+		err = s.jrnl.Append(data)
+	}
+	if err != nil {
+		s.reg.Counter("ccmd.journal.append_errors").Inc()
+		return
+	}
+	s.reg.Counter("ccmd.journal.appends").Inc()
+}
+
+// ReplayJournal recompiles the records recovered from the journal at
+// startup, re-warming the shared cache so a crashed daemon comes back
+// with the artifacts its tenants were using. Records that fail to
+// decode or compile are counted and skipped — recovery is best-effort,
+// never fatal — and replay bypasses admission, rate limiting, and the
+// journal itself (replaying must not re-journal). It returns the number
+// of records replayed and the number skipped.
+func (s *Service) ReplayJournal(ctx context.Context, records [][]byte) (replayed, skipped int) {
+	for _, raw := range records {
+		if ctx.Err() != nil {
+			break
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.V != journalRecordVersion {
+			skipped++
+			s.replayErrors.Add(1)
+			s.reg.Counter("ccmd.journal.replay_errors").Inc()
+			continue
+		}
+		req := &CompileRequest{Tenant: rec.Tenant, Program: rec.Program, Config: rec.Config}
+		p, apiErr := s.parseProgram(req.Program)
+		if apiErr == nil {
+			var cfg pipeline.Config
+			if cfg, apiErr = s.pipelineConfig(req, shedNone); apiErr == nil {
+				if _, err := s.drv.CompileTraced(ctx, p, cfg, nil); err != nil {
+					apiErr = compileAPIError(err)
+				}
+			}
+		}
+		if apiErr != nil {
+			skipped++
+			s.replayErrors.Add(1)
+			s.reg.Counter("ccmd.journal.replay_errors").Inc()
+			continue
+		}
+		replayed++
+		s.replayed.Add(1)
+		s.reg.Counter("ccmd.journal.replayed").Inc()
+	}
+	return replayed, skipped
+}
+
 // Report returns the shared driver's cumulative report (GET /report).
 func (s *Service) Report() *pipeline.Report { return s.drv.Metrics() }
 
@@ -666,7 +860,30 @@ func (s *Service) Stats() ServiceStats {
 		ShedDiff:          s.shedDiffN.Load(),
 		TraceRequests:     s.traceRequests.Load(),
 		Draining:          s.Draining(),
+		Unauthorized:      s.unauthorized.Load(),
+		RateLimited:       s.rateLimited.Load(),
+		FairShareRejected: s.fairShareRejected.Load(),
+		Tenants:           s.limiter.Snapshot(),
+		Journal:           s.journalStats(),
 		RemoteCircuit:     s.drv.RemoteCircuit(),
+	}
+}
+
+func (s *Service) journalStats() *JournalStats {
+	if s.jrnl == nil {
+		return nil
+	}
+	js := s.jrnl.Stats()
+	return &JournalStats{
+		Appends:         js.Appends,
+		AppendErrors:    js.AppendErrors,
+		Segments:        js.Segments,
+		TornTails:       js.TornTails,
+		Quarantines:     js.Quarantines,
+		DroppedSegments: js.DroppedSegments,
+		Degraded:        js.Degraded,
+		Replayed:        s.replayed.Load(),
+		ReplayErrors:    s.replayErrors.Load(),
 	}
 }
 

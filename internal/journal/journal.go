@@ -1,0 +1,441 @@
+// Package journal is a durable, append-only, CRC-framed write-ahead
+// log: the request-durability layer behind ccmd's -journal-dir. The
+// service appends every accepted compile request before compiling it;
+// after a crash, the next start replays the recovered records through
+// the driver to re-warm the artifact cache. Losing journal bytes can
+// cost warmth, never correctness — the same asymmetric contract as the
+// disk and remote cache tiers.
+//
+// On-disk layout: numbered segment files (seg-<n>.wal), each opening
+// with a magic+version header and continuing as a sequence of frames:
+//
+//	offset  size  field
+//	0       4     payload length n (little-endian)
+//	4       4     CRC-32 (IEEE) of the payload
+//	8       n     payload
+//
+// Each Append writes its frame in one Write call and fsyncs before
+// returning, so a record either exists completely or not at all — the
+// "fully committed" line a crash can never blur.
+//
+// Recovery distinguishes the two ways a segment can be damaged:
+//
+//   - A torn tail — the file ends mid-frame, the signature of a crash
+//     during the final append — keeps every complete frame before the
+//     tear. The valid prefix is rewritten with the diskcache discipline
+//     (temp file, fsync, atomic rename) so the torn bytes are gone, not
+//     re-inspected on every future start.
+//   - Anything else — bad magic, unknown version, a CRC mismatch on a
+//     fully-present frame (bit rot, a foreign writer) — quarantines the
+//     whole segment: renamed to *.bad for forensics, none of its
+//     records replayed. A log that lies once is not a log.
+//
+// Capacity is a byte budget: oldest sealed segments are dropped (at
+// Open and at rotation) once the journal exceeds it. Like the disk
+// cache, the write path degrades to a no-op after consecutive append
+// failures — a full disk must not turn every request into an error.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ccmem/internal/diskcache"
+)
+
+const (
+	// DefaultSegmentBytes seals the active segment once it exceeds this.
+	DefaultSegmentBytes = 1 << 20
+	// DefaultMaxBytes bounds the whole journal when Options.MaxBytes is
+	// zero; oldest segments are dropped beyond it.
+	DefaultMaxBytes = 64 << 20
+
+	// writeFailureLimit mirrors diskcache: after this many consecutive
+	// append failures the journal stops writing (degraded), because a
+	// persistently sick disk must cost warmth, not a failing write per
+	// request.
+	writeFailureLimit = 3
+
+	headerSize  = 12 // 8-byte magic + 4-byte version
+	frameHeader = 8  // 4-byte length + 4-byte CRC
+	magic       = "ccmjrnl\x00"
+	version     = 1
+
+	segPrefix        = "seg-"
+	segSuffix        = ".wal"
+	tempSuffix       = ".tmp"
+	quarantineSuffix = ".bad"
+)
+
+// Options configure Open.
+type Options struct {
+	// SegmentBytes is the rotation threshold; <= 0 uses DefaultSegmentBytes.
+	SegmentBytes int64
+	// MaxBytes is the whole-journal byte budget; <= 0 uses DefaultMaxBytes.
+	MaxBytes int64
+	// FS is the filesystem to run on; nil uses the real one. Tests inject
+	// diskcache.FaultFS for the deterministic fault matrix.
+	FS diskcache.FS
+}
+
+// Stats is a snapshot of the journal's counters.
+type Stats struct {
+	// Appends counts records durably committed; AppendErrors counts
+	// appends that failed (and were lost).
+	Appends      int64 `json:"appends"`
+	AppendErrors int64 `json:"append_errors"`
+
+	// Recovered is the number of records Open returned; Segments the
+	// number of live segment files (active included).
+	Recovered int64 `json:"recovered"`
+	Segments  int   `json:"segments"`
+
+	// TornTails counts segments whose final frames were cut by a crash
+	// (valid prefix kept, tail truncated); Quarantines counts segments
+	// withdrawn whole for failing verification; DroppedSegments counts
+	// segments evicted by the byte budget.
+	TornTails       int64 `json:"torn_tails"`
+	Quarantines     int64 `json:"quarantines"`
+	DroppedSegments int64 `json:"dropped_segments"`
+
+	// Degraded is true once the write path has shut off.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// segment is one live on-disk segment file.
+type segment struct {
+	n    uint64
+	size int64
+}
+
+// Journal is one handle on a journal directory. Append is safe for
+// concurrent use.
+type Journal struct {
+	dir string
+	fs  diskcache.FS
+
+	segBytes int64
+	maxBytes int64
+
+	mu     sync.Mutex
+	segs   []segment // sorted ascending by n; last is the active one
+	active diskcache.File
+	seq    int64 // temp-file uniquifier
+	consec int
+	stats  Stats
+}
+
+// Open indexes dir (creating it if needed), recovers every committed
+// record in append order, and returns the journal ready for appends.
+// Torn tails are truncated away, corrupt segments quarantined, and the
+// byte budget enforced before records are returned — so what comes back
+// is exactly what a replay may trust.
+func Open(dir string, opts Options) (*Journal, [][]byte, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = diskcache.OS()
+	}
+	j := &Journal{
+		dir:      dir,
+		fs:       fsys,
+		segBytes: opts.SegmentBytes,
+		maxBytes: opts.MaxBytes,
+	}
+	if j.segBytes <= 0 {
+		j.segBytes = DefaultSegmentBytes
+	}
+	if j.maxBytes <= 0 {
+		j.maxBytes = DefaultMaxBytes
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	var nums []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, tempSuffix) {
+			// A rewrite that died mid-protocol holds nothing trustworthy.
+			j.fs.Remove(j.path(name))
+			continue
+		}
+		if n, ok := parseSegName(name); ok {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(a, b int) bool { return nums[a] < nums[b] })
+
+	var records [][]byte
+	var starts []int // records index where each retained segment begins
+	for _, n := range nums {
+		recs, size, ok := j.recoverSegment(n)
+		if !ok {
+			continue // quarantined; counted inside
+		}
+		starts = append(starts, len(records))
+		j.segs = append(j.segs, segment{n: n, size: size})
+		records = append(records, recs...)
+	}
+	// Budget: drop oldest segments (and their records) while over,
+	// always keeping the newest.
+	drop := 0
+	total := j.totalLocked()
+	for total > j.maxBytes && drop < len(j.segs)-1 {
+		victim := j.segs[drop]
+		j.fs.Remove(j.path(segName(victim.n)))
+		total -= victim.size
+		j.stats.DroppedSegments++
+		drop++
+	}
+	if drop > 0 {
+		j.segs = append([]segment(nil), j.segs[drop:]...)
+		records = records[starts[drop]:]
+	}
+	j.stats.Recovered = int64(len(records))
+	j.stats.Segments = len(j.segs)
+	return j, records, nil
+}
+
+// recoverSegment reads and verifies one segment. It returns the
+// segment's committed records and final size, or ok=false when the
+// whole segment was quarantined.
+func (j *Journal) recoverSegment(n uint64) (records [][]byte, size int64, ok bool) {
+	path := j.path(segName(n))
+	data, err := j.fs.ReadFile(path)
+	if err != nil {
+		// Unreadable is indistinguishable from rotted: withdraw it.
+		j.quarantine(n)
+		return nil, 0, false
+	}
+	if len(data) < headerSize || string(data[:8]) != magic ||
+		binary.LittleEndian.Uint32(data[8:12]) != version {
+		j.quarantine(n)
+		return nil, 0, false
+	}
+	off := headerSize
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < frameHeader {
+			// Mid-frame end of file: the final append was torn.
+			return j.truncateTorn(n, data, off, records)
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if rest < frameHeader+plen {
+			return j.truncateTorn(n, data, off, records)
+		}
+		payload := data[off+frameHeader : off+frameHeader+plen]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			// The frame is fully present and still wrong: that is rot or a
+			// foreign writer, not a crash. Withdraw the whole segment —
+			// nothing in a lying file is worth trusting.
+			j.quarantine(n)
+			return nil, 0, false
+		}
+		records = append(records, payload)
+		off += frameHeader + plen
+	}
+	return records, int64(len(data)), true
+}
+
+// truncateTorn handles a torn tail: keep the valid prefix, rewrite the
+// segment to contain exactly that prefix (temp/fsync/atomic-rename, the
+// diskcache discipline), and count the tear. If the rewrite fails the
+// in-memory records still stand — the torn file will simply be
+// re-truncated on the next start.
+func (j *Journal) truncateTorn(n uint64, data []byte, validEnd int, records [][]byte) ([][]byte, int64, bool) {
+	j.stats.TornTails++
+	path := j.path(segName(n))
+	if validEnd <= headerSize {
+		// Nothing committed in this segment; drop the file entirely.
+		j.fs.Remove(path)
+		return nil, 0, false
+	}
+	j.seq++
+	tmp := path + fmt.Sprintf(".%d%s", j.seq, tempSuffix)
+	if err := j.writeFile(tmp, data[:validEnd]); err == nil {
+		if err := j.fs.Rename(tmp, path); err != nil {
+			j.fs.Remove(tmp)
+		}
+	} else {
+		j.fs.Remove(tmp)
+	}
+	return records, int64(validEnd), true
+}
+
+func (j *Journal) writeFile(path string, data []byte) error {
+	f, err := j.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// quarantine withdraws a segment from every future recovery: renamed to
+// *.bad for forensics, removed outright if even the rename fails.
+func (j *Journal) quarantine(n uint64) {
+	name := segName(n)
+	if err := j.fs.Rename(j.path(name), j.path(name+quarantineSuffix)); err != nil {
+		j.fs.Remove(j.path(name))
+	}
+	j.stats.Quarantines++
+}
+
+// Append durably commits one record: frame written in a single call,
+// fsynced before Append returns. An error means the record is NOT
+// journaled (the caller's request should proceed regardless — the
+// journal trades warmth, never availability). After writeFailureLimit
+// consecutive failures the journal degrades and appends become silent
+// no-op errors without touching the disk.
+func (j *Journal) Append(payload []byte) error {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.stats.Degraded {
+		j.stats.AppendErrors++
+		return fmt.Errorf("journal: write path degraded after %d consecutive failures", writeFailureLimit)
+	}
+	if err := j.ensureActiveLocked(int64(len(frame))); err != nil {
+		return j.appendFailedLocked(err)
+	}
+	if _, err := j.active.Write(frame); err != nil {
+		// The segment now ends in a torn frame; seal it so the next append
+		// starts a clean segment and recovery truncates the tear.
+		j.sealActiveLocked()
+		return j.appendFailedLocked(err)
+	}
+	if err := j.active.Sync(); err != nil {
+		j.sealActiveLocked()
+		return j.appendFailedLocked(err)
+	}
+	j.consec = 0
+	j.stats.Appends++
+	j.segs[len(j.segs)-1].size += int64(len(frame))
+	return nil
+}
+
+// ensureActiveLocked opens the active segment, rotating first when the
+// incoming frame would push it past the segment threshold.
+func (j *Journal) ensureActiveLocked(incoming int64) error {
+	if j.active != nil && j.segs[len(j.segs)-1].size+incoming > j.segBytes {
+		j.sealActiveLocked()
+	}
+	if j.active != nil {
+		return nil
+	}
+	var next uint64
+	if len(j.segs) > 0 {
+		next = j.segs[len(j.segs)-1].n + 1
+	}
+	f, err := j.fs.Create(j.path(segName(next)))
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		j.fs.Remove(j.path(segName(next)))
+		return err
+	}
+	j.active = f
+	j.segs = append(j.segs, segment{n: next, size: headerSize})
+	j.stats.Segments = len(j.segs)
+	// Rotation is when the budget is enforced: drop oldest sealed
+	// segments while the journal is over.
+	for j.totalLocked() > j.maxBytes && len(j.segs) > 1 {
+		victim := j.segs[0]
+		j.fs.Remove(j.path(segName(victim.n)))
+		j.segs = j.segs[1:]
+		j.stats.DroppedSegments++
+		j.stats.Segments = len(j.segs)
+	}
+	return nil
+}
+
+func (j *Journal) sealActiveLocked() {
+	if j.active != nil {
+		j.active.Close()
+		j.active = nil
+	}
+}
+
+func (j *Journal) appendFailedLocked(err error) error {
+	j.stats.AppendErrors++
+	j.consec++
+	if j.consec >= writeFailureLimit {
+		j.stats.Degraded = true
+		j.sealActiveLocked()
+	}
+	return fmt.Errorf("journal: append: %w", err)
+}
+
+// Close seals the active segment. The journal is unusable afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sealActiveLocked()
+	return nil
+}
+
+// Dir returns the directory the journal lives in.
+func (j *Journal) Dir() string { return j.dir }
+
+// Stats returns a counter snapshot.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.Segments = len(j.segs)
+	return st
+}
+
+func (j *Journal) totalLocked() int64 {
+	var t int64
+	for _, s := range j.segs {
+		t += s.size
+	}
+	return t
+}
+
+func (j *Journal) path(name string) string {
+	return j.dir + string(os.PathSeparator) + name
+}
+
+func segName(n uint64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, n, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,329 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccmem/internal/diskcache"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Journal, [][]byte) {
+	t.Helper()
+	j, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, recs
+}
+
+func appendAll(t *testing.T, j *Journal, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := j.Append([]byte(p)); err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+	}
+}
+
+func asStrings(recs [][]byte) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(recs))
+	}
+	appendAll(t, j, "one", "two", "three")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs = mustOpen(t, dir, Options{})
+	want := []string{"one", "two", "three"}
+	if got := asStrings(recs); !equal(got, want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+}
+
+func TestRecoveryAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation per record or two.
+	j, _ := mustOpen(t, dir, Options{SegmentBytes: 48})
+	var want []string
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("record-%d", i)
+		want = append(want, p)
+		appendAll(t, j, p)
+	}
+	st := j.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	j.Close()
+
+	_, recs := mustOpen(t, dir, Options{SegmentBytes: 48})
+	if got := asStrings(recs); !equal(got, want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+}
+
+func TestTornTailTruncatedNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	appendAll(t, j, "committed-a", "committed-b")
+	j.Close()
+
+	// Tear the tail: append half a frame by hand, as a crash mid-append
+	// would leave it.
+	seg := filepath.Join(dir, segName(0))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{99, 0, 0, 0, 1, 2}) // length says 99, frame cut after 6 bytes
+	f.Close()
+
+	j2, recs := mustOpen(t, dir, Options{})
+	if got := asStrings(recs); !equal(got, []string{"committed-a", "committed-b"}) {
+		t.Fatalf("torn-tail recovery = %v, want the two committed records", got)
+	}
+	if st := j2.Stats(); st.TornTails != 1 || st.Quarantines != 0 {
+		t.Fatalf("stats = %+v, want 1 torn tail, 0 quarantines", st)
+	}
+
+	// The rewrite removed the torn bytes: a third recovery is clean.
+	j2.Close()
+	j3, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 2 {
+		t.Fatalf("second recovery found %d records, want 2", len(recs))
+	}
+	if st := j3.Stats(); st.TornTails != 0 {
+		t.Fatalf("truncated tail resurfaced: %+v", st)
+	}
+	j3.Close()
+}
+
+func TestBitFlipQuarantinesSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{SegmentBytes: 64})
+	// a, b, c fill segment 0; d rotates into segment 1.
+	appendAll(t, j, "seg0-a", "seg0-b", "seg0-c", "later-d")
+	j.Close()
+
+	// Flip one payload bit in the first segment.
+	seg := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+frameHeader] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := mustOpen(t, dir, Options{SegmentBytes: 64})
+	for _, r := range recs {
+		if strings.HasPrefix(string(r), "seg0") {
+			t.Fatalf("record %q replayed from a corrupt segment", r)
+		}
+	}
+	// The undamaged later segment still replays.
+	if got := asStrings(recs); !equal(got, []string{"later-d"}) {
+		t.Fatalf("recovered %v, want only the record from the clean segment", got)
+	}
+	if st := j2.Stats(); st.Quarantines != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantine", st)
+	}
+	// The evidence survives as *.bad; the live name is gone.
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Fatalf("corrupt segment still live: %v", err)
+	}
+	if _, err := os.Stat(seg + quarantineSuffix); err != nil {
+		t.Fatalf("quarantined segment not preserved: %v", err)
+	}
+	j2.Close()
+}
+
+func TestBadHeaderQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), []byte("not a journal segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d records from garbage", len(recs))
+	}
+	if st := j.Stats(); st.Quarantines != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantine", st)
+	}
+	j.Close()
+}
+
+func TestByteBudgetDropsOldest(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{SegmentBytes: 64, MaxBytes: 160})
+	var all []string
+	for i := 0; i < 12; i++ {
+		p := fmt.Sprintf("record-%02d", i)
+		all = append(all, p)
+		appendAll(t, j, p)
+	}
+	if st := j.Stats(); st.DroppedSegments == 0 {
+		t.Fatalf("budget never dropped a segment: %+v", st)
+	}
+	j.Close()
+
+	_, recs := mustOpen(t, dir, Options{SegmentBytes: 64, MaxBytes: 160})
+	got := asStrings(recs)
+	if len(got) == 0 || len(got) >= len(all) {
+		t.Fatalf("recovered %d records; budget should keep a strict, nonempty suffix of %d", len(got), len(all))
+	}
+	// Whatever survives must be a contiguous suffix — dropping the middle
+	// would reorder history.
+	if !equal(got, all[len(all)-len(got):]) {
+		t.Fatalf("recovered %v is not a suffix of %v", got, all)
+	}
+}
+
+func TestAppendDegradesAfterConsecutiveFailures(t *testing.T) {
+	dir := t.TempDir()
+	ffs := diskcache.NewFaultFS(nil)
+	j, _ := mustOpen(t, dir, Options{FS: ffs})
+	appendAll(t, j, "before-fault")
+
+	ffs.SetWriteBudget(0) // every write now fails with ENOSPC
+	for i := 0; i < writeFailureLimit; i++ {
+		if err := j.Append([]byte("doomed")); err == nil {
+			t.Fatalf("append %d under ENOSPC succeeded", i)
+		}
+	}
+	st := j.Stats()
+	if !st.Degraded {
+		t.Fatalf("journal not degraded after %d failures: %+v", writeFailureLimit, st)
+	}
+	// Degraded appends fail fast without touching the disk.
+	if err := j.Append([]byte("still-doomed")); err == nil {
+		t.Fatalf("degraded append succeeded")
+	}
+	if got := j.Stats().AppendErrors; got != writeFailureLimit+1 {
+		t.Fatalf("append errors = %d, want %d", got, writeFailureLimit+1)
+	}
+	j.Close()
+
+	// The pre-fault record is still recoverable.
+	ffs.SetWriteBudget(-1)
+	_, recs := mustOpen(t, dir, Options{FS: ffs})
+	if got := asStrings(recs); !equal(got, []string{"before-fault"}) {
+		t.Fatalf("recovered %v, want the pre-fault record", got)
+	}
+}
+
+func TestTornWriteCrashRecoversCommittedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := diskcache.NewFaultFS(nil)
+	j, _ := mustOpen(t, dir, Options{FS: ffs})
+	appendAll(t, j, "alpha", "beta")
+
+	// The next frame dies partway through its write: a torn append.
+	ffs.CrashAfterBytes(5)
+	if err := j.Append([]byte("gamma-never-committed")); err == nil {
+		t.Fatalf("append across the crash point succeeded")
+	}
+	j.Close()
+
+	// Restart on the revived disk: exactly the committed prefix replays.
+	ffs.Revive()
+	j2, recs := mustOpen(t, dir, Options{FS: ffs})
+	if got := asStrings(recs); !equal(got, []string{"alpha", "beta"}) {
+		t.Fatalf("post-crash recovery = %v, want [alpha beta]", got)
+	}
+	if st := j2.Stats(); st.TornTails != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 torn tail", st)
+	}
+	// And the journal is writable again.
+	appendAll(t, j2, "delta")
+	j2.Close()
+	_, recs = mustOpen(t, dir, Options{FS: ffs})
+	if got := asStrings(recs); !equal(got, []string{"alpha", "beta", "delta"}) {
+		t.Fatalf("post-recovery append lost: %v", got)
+	}
+}
+
+func TestEIOOnRecoveryQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	ffs := diskcache.NewFaultFS(nil)
+	j, _ := mustOpen(t, dir, Options{FS: ffs})
+	appendAll(t, j, "unreadable")
+	j.Close()
+
+	ffs.SetReadHook(func(path string, data []byte) ([]byte, error) {
+		if strings.HasSuffix(path, segSuffix) {
+			return nil, diskcache.ErrIO
+		}
+		return data, nil
+	})
+	j2, recs := mustOpen(t, dir, Options{FS: ffs})
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d records through EIO", len(recs))
+	}
+	if st := j2.Stats(); st.Quarantines != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantine", st)
+	}
+	j2.Close()
+}
+
+func TestRecordsSurviveLargePayloads(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	big := bytes.Repeat([]byte("x"), 1<<16)
+	if err := j.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "after-big")
+	j.Close()
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 2 || !bytes.Equal(recs[0], big) || string(recs[1]) != "after-big" {
+		t.Fatalf("large-payload round trip failed: %d records", len(recs))
+	}
+}
+
+func TestTempFilesSweptAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	straggler := filepath.Join(dir, segName(0)+".7"+tempSuffix)
+	if err := os.WriteFile(straggler, []byte("dead rewrite"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := mustOpen(t, dir, Options{})
+	if _, err := os.Stat(straggler); !os.IsNotExist(err) {
+		t.Fatalf("dead temp file survived Open")
+	}
+	j.Close()
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

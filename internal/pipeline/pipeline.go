@@ -251,6 +251,10 @@ type Options struct {
 	// a few failures). Empty disables the tier; a malformed URL is
 	// reported via RemoteCacheErr and the driver runs without the tier.
 	RemoteURL string
+	// RemoteToken is the bearer token sent with every remote-tier
+	// request — required to join a fleet whose ccmcached runs with
+	// -auth-token. Empty sends no Authorization header.
+	RemoteToken string
 	// RemoteFaultRT overrides the remote client's HTTP transport — the
 	// network fault-injection seam (remotecache.FaultRT). nil uses the
 	// real transport.
@@ -344,6 +348,7 @@ func New(opts Options) *Driver {
 			rc, err := remotecache.NewClient(remotecache.Options{
 				BaseURL:      opts.RemoteURL,
 				RoundTripper: opts.RemoteFaultRT,
+				AuthToken:    opts.RemoteToken,
 				Obs:          opts.Metrics,
 				Tuning:       opts.RemoteTuning,
 			})

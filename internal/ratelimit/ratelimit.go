@@ -1,0 +1,214 @@
+// Package ratelimit is a deterministic per-key token-bucket limiter:
+// the admission-fairness primitive behind ccmd's per-tenant rate
+// limits. Design constraints, in the order they mattered:
+//
+//   - Deterministic: refill is a pure function of the injected clock, so
+//     tests drive a fake clock and assert exact admit/deny sequences and
+//     exact Retry-After hints. No background goroutines, no jitter.
+//   - Bounded state: at most MaxKeys buckets are tracked, evicted
+//     least-recently-used — one abusive client minting tenant names
+//     cannot grow the limiter without bound (the same low-footprint
+//     discipline the disk tiers apply to bytes).
+//   - Self-describing denials: a denied Allow returns how long until one
+//     token accrues, which maps directly onto the Retry-After header.
+//
+// A freshly-tracked key starts with a full burst, so the first requests
+// of a well-behaved tenant are never throttled; sustained traffic above
+// Rate drains the bucket and is denied until tokens accrue.
+package ratelimit
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultMaxKeys bounds tracked buckets when Options.MaxKeys is zero.
+const DefaultMaxKeys = 1024
+
+// Options configure New.
+type Options struct {
+	// Rate is the steady-state tokens (requests) per second each key
+	// accrues. It must be > 0; a limiter you don't want is a nil *Limiter,
+	// which allows everything.
+	Rate float64
+	// Burst is the bucket capacity — the number of requests a key may
+	// issue instantaneously from a full bucket. 0 means ceil(Rate), with
+	// a floor of 1.
+	Burst int
+	// MaxKeys bounds the number of tracked buckets (LRU eviction beyond
+	// it); 0 means DefaultMaxKeys.
+	MaxKeys int
+	// Now is the clock; nil means time.Now. Injected by tests.
+	Now func() time.Time
+}
+
+// KeyStats is one key's cumulative admission record.
+type KeyStats struct {
+	Requests int64 `json:"requests"` // Allow calls, admitted or not
+	Limited  int64 `json:"limited"`  // denied Allow calls
+}
+
+// bucket is one key's token bucket plus its LRU linkage and counters.
+type bucket struct {
+	key        string
+	tokens     float64
+	last       time.Time // last refill instant
+	stats      KeyStats
+	prev, next *bucket
+}
+
+// Limiter is a per-key token-bucket rate limiter. All methods are safe
+// for concurrent use. A nil *Limiter admits everything, so callers wire
+// it unconditionally and configuration decides.
+type Limiter struct {
+	rate    float64
+	burst   float64
+	maxKeys int
+	now     func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	head    *bucket // most recently used
+	tail    *bucket // least recently used
+	evicted int64
+}
+
+// New builds a limiter. Rate must be positive.
+func New(opts Options) *Limiter {
+	if opts.Rate <= 0 {
+		return nil
+	}
+	burst := float64(opts.Burst)
+	if opts.Burst <= 0 {
+		burst = math.Ceil(opts.Rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	maxKeys := opts.MaxKeys
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxKeys
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Limiter{
+		rate:    opts.Rate,
+		burst:   burst,
+		maxKeys: maxKeys,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from key's bucket. Admitted requests return
+// (true, 0); denied ones return false and the duration until one full
+// token has accrued — the Retry-After hint.
+func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{key: key, tokens: l.burst, last: now}
+		l.buckets[key] = b
+		l.pushFront(b)
+		if len(l.buckets) > l.maxKeys {
+			victim := l.tail
+			l.unlink(victim)
+			delete(l.buckets, victim.key)
+			l.evicted++
+		}
+	} else {
+		// Refill from the elapsed wall clock, capped at the burst.
+		if dt := now.Sub(b.last); dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt.Seconds()*l.rate)
+		}
+		b.last = now
+		l.moveFront(b)
+	}
+	b.stats.Requests++
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	b.stats.Limited++
+	// Time until the deficit to one whole token refills.
+	need := 1 - b.tokens
+	return false, time.Duration(need / l.rate * float64(time.Second))
+}
+
+// Len reports how many keys are currently tracked.
+func (l *Limiter) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Evicted reports how many buckets the MaxKeys bound has discarded.
+func (l *Limiter) Evicted() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// Snapshot returns each tracked key's cumulative counters. The map is a
+// copy; mutating it does not touch the limiter.
+func (l *Limiter) Snapshot() map[string]KeyStats {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]KeyStats, len(l.buckets))
+	for k, b := range l.buckets {
+		out[k] = b.stats
+	}
+	return out
+}
+
+// ---- LRU list maintenance (l.mu held) ----
+
+func (l *Limiter) pushFront(b *bucket) {
+	b.prev, b.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = b
+	}
+	l.head = b
+	if l.tail == nil {
+		l.tail = b
+	}
+}
+
+func (l *Limiter) unlink(b *bucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (l *Limiter) moveFront(b *bucket) {
+	if l.head == b {
+		return
+	}
+	l.unlink(b)
+	l.pushFront(b)
+}

@@ -1,0 +1,161 @@
+package ratelimit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic manually-advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBurstThenDeny(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Options{Rate: 1, Burst: 3, Now: clk.Now})
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatalf("request beyond burst admitted")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter = %v, want exactly 1s at rate 1 with an empty bucket", retry)
+	}
+}
+
+func TestRefillIsDeterministic(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Options{Rate: 2, Burst: 2, Now: clk.Now})
+	l.Allow("a")
+	l.Allow("a")
+	if ok, retry := l.Allow("a"); ok || retry != 500*time.Millisecond {
+		t.Fatalf("empty bucket at rate 2: ok=%v retry=%v, want denied/500ms", ok, retry)
+	}
+	// 500ms accrues exactly one token.
+	clk.Advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatalf("token accrued after 500ms at rate 2 not granted")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatalf("second token granted without time passing")
+	}
+	// Refill never exceeds the burst.
+	clk.Advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("bucket should be full after an hour")
+		}
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatalf("burst cap not enforced after long idle")
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Options{Rate: 1, Burst: 1, Now: clk.Now})
+	if ok, _ := l.Allow("hot"); !ok {
+		t.Fatalf("first hot request denied")
+	}
+	if ok, _ := l.Allow("hot"); ok {
+		t.Fatalf("hot key not throttled")
+	}
+	// A different key is untouched by the hot key's deficit.
+	if ok, _ := l.Allow("cold"); !ok {
+		t.Fatalf("cold key throttled by hot key's traffic")
+	}
+}
+
+func TestBoundedKeysLRUEviction(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Options{Rate: 1, Burst: 1, MaxKeys: 2, Now: clk.Now})
+	l.Allow("a")
+	l.Allow("b")
+	l.Allow("a") // refresh a: b is now least recently used
+	l.Allow("c") // evicts b
+	if n := l.Len(); n != 2 {
+		t.Fatalf("tracked keys = %d, want 2", n)
+	}
+	if l.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", l.Evicted())
+	}
+	snap := l.Snapshot()
+	if _, ok := snap["b"]; ok {
+		t.Fatalf("LRU victim should have been b: %+v", snap)
+	}
+	// An evicted key returns with a fresh (full) bucket — eviction can
+	// only ever forgive, never over-throttle.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatalf("re-tracked key denied its burst")
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Options{Rate: 1, Burst: 1, Now: clk.Now})
+	l.Allow("a")
+	l.Allow("a")
+	l.Allow("a")
+	snap := l.Snapshot()
+	if s := snap["a"]; s.Requests != 3 || s.Limited != 2 {
+		t.Fatalf("stats = %+v, want 3 requests / 2 limited", s)
+	}
+}
+
+func TestNilLimiterAllowsEverything(t *testing.T) {
+	var l *Limiter
+	if ok, retry := l.Allow("anyone"); !ok || retry != 0 {
+		t.Fatalf("nil limiter must admit everything")
+	}
+	if l.Len() != 0 || l.Evicted() != 0 || l.Snapshot() != nil {
+		t.Fatalf("nil limiter accessors must be zero-valued")
+	}
+	if New(Options{Rate: 0}) != nil {
+		t.Fatalf("non-positive rate must build a nil (disabled) limiter")
+	}
+}
+
+func TestConcurrentAllow(t *testing.T) {
+	l := New(Options{Rate: 1000, Burst: 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Allow(fmt.Sprintf("tenant-%d", g%4))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range l.Snapshot() {
+		total += s.Requests
+	}
+	if total != 1600 {
+		t.Fatalf("requests counted = %d, want 1600", total)
+	}
+}

@@ -44,6 +44,14 @@ type breaker struct {
 	now       func() time.Time
 	gauge     *obs.Gauge // remotecache.circuit_state (nil-safe)
 
+	// Transition counters, so a metrics scrape sees not just where the
+	// circuit is but how it has been moving: remotecache.breaker.trips
+	// (closed/half-open -> open), .half_opens (open -> half-open probe
+	// window), .closes (any state -> closed on a success).
+	cTrips     *obs.Counter
+	cHalfOpens *obs.Counter
+	cCloses    *obs.Counter
+
 	mu       sync.Mutex
 	state    State
 	consec   int       // consecutive failures while closed
@@ -53,9 +61,17 @@ type breaker struct {
 	probes   int64
 }
 
-func newBreaker(tripAfter int, cooldown time.Duration, now func() time.Time, gauge *obs.Gauge) *breaker {
-	b := &breaker{tripAfter: tripAfter, cooldown: cooldown, now: now, gauge: gauge}
-	gauge.Set(int64(StateClosed))
+func newBreaker(tripAfter int, cooldown time.Duration, now func() time.Time, reg *obs.Registry) *breaker {
+	b := &breaker{
+		tripAfter:  tripAfter,
+		cooldown:   cooldown,
+		now:        now,
+		gauge:      reg.Gauge("remotecache.circuit_state"),
+		cTrips:     reg.Counter("remotecache.breaker.trips"),
+		cHalfOpens: reg.Counter("remotecache.breaker.half_opens"),
+		cCloses:    reg.Counter("remotecache.breaker.closes"),
+	}
+	b.gauge.Set(int64(StateClosed))
 	return b
 }
 
@@ -73,6 +89,7 @@ func (b *breaker) allow() bool {
 			return false
 		}
 		b.setLocked(StateHalfOpen)
+		b.cHalfOpens.Add(1)
 		b.probing = true
 		b.probes++
 		return true
@@ -96,6 +113,7 @@ func (b *breaker) success() {
 	b.probing = false
 	if b.state != StateClosed {
 		b.setLocked(StateClosed)
+		b.cCloses.Add(1)
 	}
 }
 
@@ -110,12 +128,14 @@ func (b *breaker) failure() {
 		b.openedAt = b.now()
 		b.trips++
 		b.setLocked(StateOpen)
+		b.cTrips.Add(1)
 	case StateClosed:
 		b.consec++
 		if b.consec >= b.tripAfter {
 			b.openedAt = b.now()
 			b.trips++
 			b.setLocked(StateOpen)
+			b.cTrips.Add(1)
 		}
 	}
 }

@@ -125,6 +125,10 @@ type Options struct {
 	// RoundTripper overrides the HTTP transport — the fault-injection
 	// seam (FaultRT). nil uses http.DefaultTransport.
 	RoundTripper http.RoundTripper
+	// AuthToken, when non-empty, is sent as "Authorization: Bearer
+	// <token>" on every request — required to join a fleet whose cache
+	// daemon runs with -auth-token.
+	AuthToken string
 	// Obs receives the remotecache.circuit_state gauge transitions; the
 	// numeric counters are snapshotted via Stats. nil disables.
 	Obs *obs.Registry
@@ -172,10 +176,11 @@ type putReq struct {
 // Client is one process's handle on a remote cache server. All methods
 // are safe for concurrent use; Get is synchronous, Put is write-behind.
 type Client struct {
-	base string
-	http *http.Client
-	tun  Tuning
-	brk  *breaker
+	base  string
+	token string
+	http  *http.Client
+	tun   Tuning
+	brk   *breaker
 
 	putMu   sync.RWMutex // guards puts-channel send vs Close
 	puts    chan putReq
@@ -183,10 +188,10 @@ type Client struct {
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 
-	gets, hits, misses             atomic.Int64
-	putsN, putDrops, putErrors     atomic.Int64
-	retries, timeouts, netErrors   atomic.Int64
-	httpErrors, corrupt, skippedN  atomic.Int64
+	gets, hits, misses            atomic.Int64
+	putsN, putDrops, putErrors    atomic.Int64
+	retries, timeouts, netErrors  atomic.Int64
+	httpErrors, corrupt, skippedN atomic.Int64
 }
 
 // NewClient validates the base URL and starts the write-behind worker.
@@ -201,11 +206,12 @@ func NewClient(opts Options) (*Client, error) {
 		rt = http.DefaultTransport
 	}
 	c := &Client{
-		base: strings.TrimRight(opts.BaseURL, "/"),
-		http: &http.Client{Transport: rt},
-		tun:  tun,
-		brk:  newBreaker(tun.TripAfter, tun.HalfOpenAfter, tun.Now, opts.Obs.Gauge("remotecache.circuit_state")),
-		puts: make(chan putReq, tun.PutQueue),
+		base:  strings.TrimRight(opts.BaseURL, "/"),
+		token: opts.AuthToken,
+		http:  &http.Client{Transport: rt},
+		tun:   tun,
+		brk:   newBreaker(tun.TripAfter, tun.HalfOpenAfter, tun.Now, opts.Obs),
+		puts:  make(chan putReq, tun.PutQueue),
 	}
 	c.wg.Add(1)
 	go c.putWorker()
@@ -370,6 +376,9 @@ func (c *Client) attempt(method string, key diskcache.Key, kind uint32, body []b
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

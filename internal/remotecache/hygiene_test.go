@@ -1,0 +1,259 @@
+package remotecache
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ccmem/internal/obs"
+)
+
+// TestServerAuthGate pins the bearer-token door: data endpoints answer
+// 401 in the structured-error envelope without the right token, health
+// probes stay open for tokenless load balancers.
+func TestServerAuthGate(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), ServerOptions{AuthToken: "fleet-secret"})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler("test"))
+	t.Cleanup(hs.Close)
+	key := keyOf([]byte("gated"))
+	entryPath := "/entry/" + hex.EncodeToString(key[:]) + "?kind=1"
+
+	get := func(path, token string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, hs.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+
+	for _, path := range []string{entryPath, "/stats"} {
+		for _, token := range []string{"", "wrong"} {
+			resp := get(path, token)
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Fatalf("GET %s token=%q: status %d, want 401", path, token, resp.StatusCode)
+			}
+			if ch := resp.Header.Get("WWW-Authenticate"); !strings.Contains(ch, "Bearer") {
+				t.Fatalf("GET %s: WWW-Authenticate = %q", path, ch)
+			}
+			var env struct {
+				Error *apiError `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("GET %s: decode 401 body: %v", path, err)
+			}
+			resp.Body.Close()
+			if env.Error == nil || env.Error.Code != CodeUnauthorized {
+				t.Fatalf("GET %s: envelope %+v, want code %q", path, env.Error, CodeUnauthorized)
+			}
+		}
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/version"} {
+		resp := get(path, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s without token: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	if n := srv.Stats().Unauthorized; n != 4 {
+		t.Fatalf("Unauthorized = %d, want 4", n)
+	}
+	// The right token opens the door.
+	resp := get("/stats", "fleet-secret")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized GET /stats: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestClientSendsBearerToken: a token-carrying client round-trips
+// against an authenticated server; a tokenless one is refused at the
+// door (a miss, never wrong bytes).
+func TestClientSendsBearerToken(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), ServerOptions{AuthToken: "fleet-secret"})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler("test"))
+	t.Cleanup(hs.Close)
+	payload := []byte("authenticated artifact")
+	key := keyOf(payload)
+
+	writer, err := NewClient(Options{BaseURL: hs.URL, AuthToken: "fleet-secret", Tuning: fastTuning()})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { writer.Close() })
+	writer.Put(key, 3, payload)
+	flush(t, writer)
+	if got, ok := writer.Get(key, 3); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("authenticated round trip failed (ok=%v)", ok)
+	}
+
+	// No token: the server refuses, the client records a miss.
+	stranger, err := NewClient(Options{BaseURL: hs.URL, Tuning: fastTuning()})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { stranger.Close() })
+	if _, ok := stranger.Get(key, 3); ok {
+		t.Fatalf("tokenless client read an authenticated entry")
+	}
+	if st := stranger.Stats(); st.HTTPErrors == 0 {
+		t.Fatalf("401 not classified as an HTTP error: %+v", st)
+	}
+	if n := srv.Stats().Unauthorized; n == 0 {
+		t.Fatalf("server counted no unauthorized requests")
+	}
+}
+
+// TestEntryTTLGCAndReadyz drives TTL expiry against an injected clock:
+// an expired entry reads as a clean miss (never a partial entry), the
+// sweep reclaims what lazy reads don't touch, and /readyz surfaces the
+// GC detail.
+func TestEntryTTLGCAndReadyz(t *testing.T) {
+	now := time.Unix(100_000, 0)
+	srv, err := NewServer(t.TempDir(), ServerOptions{
+		EntryTTL: time.Minute,
+		Now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler("test"))
+	t.Cleanup(hs.Close)
+
+	payloadA, payloadB := []byte("entry A"), []byte("entry B")
+	keyA, keyB := keyOf(payloadA), keyOf(payloadB)
+	srv.Store().Put(keyA, 1, payloadA)
+	srv.Store().Put(keyB, 1, payloadB)
+
+	getEntry := func(key [32]byte) *http.Response {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/entry/" + hex.EncodeToString(key[:]) + "?kind=1")
+		if err != nil {
+			t.Fatalf("GET entry: %v", err)
+		}
+		return resp
+	}
+
+	// Fresh: served whole and verified.
+	resp := getEntry(keyA)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh entry: status %d, want 200", resp.StatusCode)
+	}
+
+	// Past the TTL: a clean structured 404, never a partial read.
+	now = now.Add(2 * time.Minute)
+	resp = getEntry(keyA)
+	var env struct {
+		Error *apiError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("expired entry body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || env.Error == nil || env.Error.Code != CodeNotFound {
+		t.Fatalf("expired entry: status %d envelope %+v, want 404 %q", resp.StatusCode, env.Error, CodeNotFound)
+	}
+
+	// The sweep reclaims entry B, which no read ever touched.
+	if n := srv.GC(); n != 1 {
+		t.Fatalf("GC() = %d, want 1 (entry B)", n)
+	}
+	st := srv.Stats()
+	if st.GC.Sweeps != 1 || st.GC.Expired != 1 || st.GC.TTLSeconds != 60 {
+		t.Fatalf("GC stats: %+v", st.GC)
+	}
+	if st.Store.Expired != 2 || st.Store.Entries != 0 {
+		t.Fatalf("store after expiry: expired=%d entries=%d, want 2 and 0", st.Store.Expired, st.Store.Entries)
+	}
+	// A sweep over an empty store is a counted no-op.
+	if n := srv.GC(); n != 0 {
+		t.Fatalf("second GC() = %d, want 0", n)
+	}
+
+	// /readyz carries the GC detail for fleet operators.
+	rresp, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	var ready readyzResponse
+	if err := json.NewDecoder(rresp.Body).Decode(&ready); err != nil {
+		t.Fatalf("decode /readyz: %v", err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK || ready.Status != "ok" {
+		t.Fatalf("/readyz: status %d body %+v", rresp.StatusCode, ready)
+	}
+	if ready.Entries != 0 || ready.GC.TTLSeconds != 60 || ready.GC.Sweeps != 2 || ready.GC.Expired != 1 {
+		t.Fatalf("/readyz detail: %+v", ready)
+	}
+}
+
+// TestBreakerTransitionCounters: the breaker's movements — trip,
+// half-open probe, close — land as obs counter increments, so a
+// metrics scrape shows when the fleet degraded, not just where the
+// circuit sits now.
+func TestBreakerTransitionCounters(t *testing.T) {
+	_, hs := newTestServer(t)
+	rt := &FaultRT{}
+	rt.Arm(FaultRefused)
+
+	clock := time.Unix(1000, 0)
+	tun := fastTuning()
+	tun.TripAfter = 3
+	tun.HalfOpenAfter = 2 * time.Second
+	tun.Now = func() time.Time { return clock }
+	reg := obs.NewRegistry()
+	c := newTestClient(t, hs.URL, rt, tun, reg)
+	key := keyOf([]byte("transitions"))
+
+	counters := func() (trips, halfOpens, closes int64) {
+		return reg.Counter("remotecache.breaker.trips").Value(),
+			reg.Counter("remotecache.breaker.half_opens").Value(),
+			reg.Counter("remotecache.breaker.closes").Value()
+	}
+
+	// Three consecutive failures: one trip, nothing else.
+	for i := 0; i < 3; i++ {
+		c.Get(key, 1)
+	}
+	if trips, halfOpens, closes := counters(); trips != 1 || halfOpens != 0 || closes != 0 {
+		t.Fatalf("after trip: trips=%d half_opens=%d closes=%d, want 1 0 0", trips, halfOpens, closes)
+	}
+
+	// Cooldown passes; the probe runs and fails: half_opens 1, trips 2.
+	clock = clock.Add(3 * time.Second)
+	c.Get(key, 1)
+	if trips, halfOpens, closes := counters(); trips != 2 || halfOpens != 1 || closes != 0 {
+		t.Fatalf("after failed probe: trips=%d half_opens=%d closes=%d, want 2 1 0", trips, halfOpens, closes)
+	}
+
+	// Server recovers; the next probe succeeds and closes the circuit.
+	rt.Disarm()
+	clock = clock.Add(3 * time.Second)
+	c.Get(key, 1)
+	if trips, halfOpens, closes := counters(); trips != 2 || halfOpens != 2 || closes != 1 {
+		t.Fatalf("after recovery: trips=%d half_opens=%d closes=%d, want 2 2 1", trips, halfOpens, closes)
+	}
+	if c.State() != StateClosed {
+		t.Fatalf("state %v after recovery, want closed", c.State())
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
+	"ccmem/internal/authtoken"
 	"ccmem/internal/diskcache"
 	"ccmem/internal/obs"
 )
@@ -17,6 +19,7 @@ import (
 // code, not the prose.
 const (
 	CodeBadRequest   = "bad-request"   // 400: malformed key, kind, or body framing
+	CodeUnauthorized = "unauthorized"  // 401: missing or wrong bearer token
 	CodeNotFound     = "not-found"     // 404: no verified entry under (key, kind)
 	CodeCorruptEntry = "corrupt-entry" // 422: upload failed verification; nothing was stored
 	CodeTooLarge     = "too-large"     // 413: upload exceeds the entry-size cap
@@ -35,6 +38,19 @@ type ServerOptions struct {
 	MaxBytes int64
 	// MaxEntryBytes caps one uploaded entry (default 64 MiB).
 	MaxEntryBytes int64
+	// AuthToken, when non-empty, gates every data endpoint (/entry/*,
+	// /stats) behind a bearer token; health probes (/healthz, /readyz,
+	// /version) stay open so load balancers need no secret.
+	AuthToken string
+	// EntryTTL is how long a stored entry stays servable; <= 0 means
+	// entries never expire. Expiry is lazy on reads plus GC sweeps.
+	EntryTTL time.Duration
+	// Now is the clock TTL expiry is judged against; nil means time.Now.
+	// Injected by tests.
+	Now func() time.Time
+	// FS is the store's filesystem; nil uses the real one (tests inject
+	// faults).
+	FS diskcache.FS
 	// Obs receives remotecached.* counters. nil disables.
 	Obs *obs.Registry
 }
@@ -48,7 +64,25 @@ type ServerStats struct {
 	Puts     int64 `json:"puts"`
 	Rejected int64 `json:"rejected"` // uploads refused by verification or caps
 
+	// Unauthorized counts requests refused at the door for a missing or
+	// wrong bearer token.
+	Unauthorized int64 `json:"unauthorized"`
+
+	// GC is the TTL reaper's record; zero-valued when no TTL is set.
+	GC GCStats `json:"gc"`
+
 	Store diskcache.Stats `json:"store"`
+}
+
+// GCStats records the TTL sweeper's work.
+type GCStats struct {
+	// TTLSeconds echoes the configured TTL (0 = expiry disabled).
+	TTLSeconds int64 `json:"ttl_seconds"`
+	// Sweeps counts completed GC passes.
+	Sweeps int64 `json:"sweeps"`
+	// Expired counts entries any sweep has deleted. Lazily-expired reads
+	// are counted by the store (Store.Expired covers both).
+	Expired int64 `json:"expired"`
 }
 
 // Server is the cache daemon's core: GET/PUT of self-verifying entries
@@ -60,10 +94,14 @@ type ServerStats struct {
 type Server struct {
 	dc       *diskcache.Cache
 	maxEntry int64
+	token    string
+	ttl      time.Duration
 	reg      *obs.Registry
 
-	gets, hits, misses atomic.Int64
-	puts, rejected     atomic.Int64
+	gets, hits, misses  atomic.Int64
+	puts, rejected      atomic.Int64
+	unauthorized        atomic.Int64
+	gcSweeps, gcExpired atomic.Int64
 }
 
 // NewServer opens (or creates) the entry store under dir.
@@ -71,11 +109,36 @@ func NewServer(dir string, opts ServerOptions) (*Server, error) {
 	if opts.MaxEntryBytes <= 0 {
 		opts.MaxEntryBytes = 64 << 20
 	}
-	dc, err := diskcache.Open(dir, diskcache.Options{MaxBytes: opts.MaxBytes})
+	dc, err := diskcache.Open(dir, diskcache.Options{
+		MaxBytes: opts.MaxBytes,
+		TTL:      opts.EntryTTL,
+		Now:      opts.Now,
+		FS:       opts.FS,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("remotecache: open store: %w", err)
 	}
-	return &Server{dc: dc, maxEntry: opts.MaxEntryBytes, reg: opts.Obs}, nil
+	return &Server{
+		dc:       dc,
+		maxEntry: opts.MaxEntryBytes,
+		token:    opts.AuthToken,
+		ttl:      opts.EntryTTL,
+		reg:      opts.Obs,
+	}, nil
+}
+
+// GC runs one TTL sweep over the store and returns how many entries it
+// deleted. cmd/ccmcached calls this from its -gc-interval ticker; it is
+// also safe to call from tests or ad hoc. Without a TTL it is a no-op.
+func (s *Server) GC() int {
+	n := s.dc.Sweep()
+	s.gcSweeps.Add(1)
+	s.reg.Counter("remotecached.gc.sweeps").Add(1)
+	if n > 0 {
+		s.gcExpired.Add(int64(n))
+		s.reg.Counter("remotecached.gc.expired").Add(int64(n))
+	}
+	return n
 }
 
 // Store exposes the backing cache (tests reach through to seed or
@@ -90,24 +153,84 @@ func (s *Server) Stats() ServerStats {
 		Misses:   s.misses.Load(),
 		Puts:     s.puts.Load(),
 		Rejected: s.rejected.Load(),
-		Store:    s.dc.Stats(),
+
+		Unauthorized: s.unauthorized.Load(),
+		GC: GCStats{
+			TTLSeconds: int64(s.ttl / time.Second),
+			Sweeps:     s.gcSweeps.Load(),
+			Expired:    s.gcExpired.Load(),
+		},
+
+		Store: s.dc.Stats(),
 	}
 }
 
 // Handler builds the daemon's routing table. version is served on
-// GET /version (ccm.Version() in cmd/ccmcached).
+// GET /version (ccm.Version() in cmd/ccmcached). Data endpoints are
+// gated behind the bearer token when one is configured; health probes
+// stay open.
 func (s *Server) Handler(version string) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /entry/{key}", s.handleGet)
-	mux.HandleFunc("PUT /entry/{key}", s.handlePut)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /entry/{key}", s.authed(s.handleGet))
+	mux.HandleFunc("PUT /entry/{key}", s.authed(s.handlePut))
+	mux.HandleFunc("GET /stats", s.authed(s.handleStats))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"version": version})
 	})
 	return mux
+}
+
+// authed wraps a data handler with the bearer-token check. With no token
+// configured it is a passthrough.
+func (s *Server) authed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !authtoken.Authorize(r, s.token) {
+			s.unauthorized.Add(1)
+			s.reg.Counter("remotecached.unauthorized").Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="remotecache"`)
+			writeError(w, &apiError{status: http.StatusUnauthorized, Code: CodeUnauthorized,
+				Message: "missing or invalid bearer token"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// readyzResponse is the /readyz body: overall status plus the detail a
+// fleet operator needs to see at a glance — whether the disk degraded
+// and what the TTL reaper has been doing.
+type readyzResponse struct {
+	Status   string  `json:"status"` // "ok" or "degraded"
+	Degraded bool    `json:"degraded,omitempty"`
+	Entries  int     `json:"entries"`
+	Bytes    int64   `json:"bytes"`
+	GC       GCStats `json:"gc"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.dc.Stats()
+	resp := readyzResponse{
+		Status:  "ok",
+		Entries: st.Entries,
+		Bytes:   st.Bytes,
+		GC: GCStats{
+			TTLSeconds: int64(s.ttl / time.Second),
+			Sweeps:     s.gcSweeps.Load(),
+			Expired:    s.gcExpired.Load(),
+		},
+	}
+	if st.Degraded {
+		resp.Status = "degraded"
+		resp.Degraded = true
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // entryAddr parses the (key, kind) address out of the request.

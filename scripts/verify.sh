@@ -43,9 +43,17 @@ fi
 echo "== race: go test -race $SHORTFLAG ./internal/diskcache/..."
 go test -race $SHORTFLAG ./internal/diskcache/...
 
+# The tenant-protection substrate: the request journal (CRC-framed WAL,
+# torn-tail truncation, quarantine), the per-tenant token bucket, and
+# the bearer-token check are all called from concurrent handlers, so
+# their suites always run under the race detector.
+echo '== race: go test -race ./internal/journal/... ./internal/ratelimit/... ./internal/authtoken/...'
+go test -race ./internal/journal/... ./internal/ratelimit/... ./internal/authtoken/...
+
 # The compile service multiplexes concurrent clients over one shared
-# driver; its suite (admission backpressure, shedding, drain, the
-# N-client byte-identity matrix) always runs under the race detector.
+# driver; its suite (admission backpressure, rate limiting, fair-share,
+# shedding, drain, the N-client byte-identity matrix, the journal fault
+# matrix) always runs under the race detector.
 echo '== race: go test -race ./internal/ccmd/...'
 go test -race ./internal/ccmd/...
 
@@ -54,6 +62,12 @@ go test -race ./internal/ccmd/...
 # /metrics and /version, SIGTERM, and assert a clean drain.
 echo '== e2e: go test -race -run TestDaemonSmoke ./cmd/ccmd/'
 go test -race -run TestDaemonSmoke ./cmd/ccmd/
+
+# Journal crash-recovery smoke: start ccmd with a journal, accept a
+# compile, SIGKILL, restart on the same journal, and assert the replay
+# log line plus a byte-identical re-serve.
+echo '== e2e: go test -race -run TestJournalCrashRecoverySmoke ./cmd/ccmd/'
+go test -race -run TestJournalCrashRecoverySmoke ./cmd/ccmd/
 
 # The remote cache tier (client breaker/retries/verification, server
 # ingest verification, fault-injecting RoundTripper) is concurrent by
@@ -68,9 +82,10 @@ echo '== e2e: go test -race -run TestCacheDaemonSmoke ./cmd/ccmcached/'
 go test -race -run TestCacheDaemonSmoke ./cmd/ccmcached/
 
 # Farm e2e: 4 ccmbench worker processes sharing one ccmcached must
-# reproduce the solo table byte-identically, and a warm second pass must
-# serve every artifact from the remote tier.
-echo '== e2e: go test -run TestFarmMatchesSolo ./cmd/ccmbench/'
-go test -run TestFarmMatchesSolo ./cmd/ccmbench/
+# reproduce the solo table byte-identically, a warm second pass must
+# serve every artifact from the remote tier, and a worker killed
+# mid-run must fail the whole farm loudly instead of a partial table.
+echo '== e2e: go test -run "TestFarmMatchesSolo|TestFarmWorkerFailureFailsLoudly" ./cmd/ccmbench/'
+go test -run 'TestFarmMatchesSolo|TestFarmWorkerFailureFailsLoudly' ./cmd/ccmbench/
 
 echo '== verify.sh: all green'
