@@ -50,6 +50,150 @@ func TestFarmWorkerFailureFailsLoudly(t *testing.T) {
 	}
 }
 
+// startCached launches a ccmcached daemon on an ephemeral port and
+// returns it with its base URL, scraped from the "listening on" line.
+func startCached(t *testing.T, bin, storeDir string) (*exec.Cmd, string) {
+	t.Helper()
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", storeDir)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting ccmcached: %v", err)
+	}
+	t.Cleanup(func() { daemon.Process.Kill() })
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := strings.TrimSpace(line[i+len("listening on "):])
+				if j := strings.Index(rest, " "); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return daemon, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("ccmcached never logged its listen address")
+		return nil, ""
+	}
+}
+
+// TestFarmFleetFailoverTransparent is the fleet's end-to-end resilience
+// check against the real binaries: a 2-node ccmcached fleet, a cold
+// farm pass that seeds both nodes (write-behind replicates each
+// artifact to both), then SIGKILL one node and run a warm farm pass.
+// The warm table must stay byte-identical to a solo run — the
+// survivors absorb the dead node's keys — and the merged farm report
+// must show nonzero failovers, proving the reads actually rode the
+// fleet's failover path rather than recompiling.
+func TestFarmFleetFailoverTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping farm e2e in -short mode")
+	}
+	dir := t.TempDir()
+	benchBin := filepath.Join(dir, "ccmbench")
+	cachedBin := filepath.Join(dir, "ccmcached")
+	for bin, pkg := range map[string]string{benchBin: "./cmd/ccmbench", cachedBin: "./cmd/ccmcached"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	daemonA, urlA := startCached(t, cachedBin, filepath.Join(dir, "store-a"))
+	_, urlB := startCached(t, cachedBin, filepath.Join(dir, "store-b"))
+
+	solo, err := exec.Command(benchBin, "-table", "1").Output()
+	if err != nil {
+		t.Fatalf("solo ccmbench: %v", err)
+	}
+
+	runFarm := func(out string) []byte {
+		t.Helper()
+		cmd := exec.Command(benchBin,
+			"-farm", "2",
+			"-table", "1",
+			"-remote-url", urlA,
+			"-remote-url", urlB,
+			"-farm-out", out)
+		var errBuf bytes.Buffer
+		cmd.Stderr = &errBuf
+		got, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("ccmbench -farm 2: %v\n%s", err, errBuf.String())
+		}
+		return got
+	}
+
+	coldOut := filepath.Join(dir, "BENCH_farm_cold.json")
+	warmOut := filepath.Join(dir, "BENCH_farm_warm.json")
+	cold := runFarm(coldOut)
+
+	// The outage: node A vanishes the abrupt way, mid-fleet, no drain.
+	if err := daemonA.Process.Kill(); err != nil {
+		t.Fatalf("killing node A: %v", err)
+	}
+	daemonA.Wait()
+
+	warm := runFarm(warmOut)
+
+	if !bytes.Equal(solo, cold) {
+		t.Fatalf("cold farm table differs from solo table:\n--- solo ---\n%s\n--- farm ---\n%s", solo, cold)
+	}
+	if !bytes.Equal(solo, warm) {
+		t.Fatalf("farm table changed after losing a fleet node:\n--- solo ---\n%s\n--- farm ---\n%s", solo, warm)
+	}
+
+	var reports [2]struct {
+		RemoteURLs []string `json:"remote_urls"`
+		Merged     struct {
+			RemoteHits      int64 `json:"remote_hits"`
+			RemoteMisses    int64 `json:"remote_misses"`
+			RemoteFailovers int64 `json:"remote_failovers"`
+		} `json:"merged"`
+	}
+	for i, path := range []string{coldOut, warmOut} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("farm report: %v", err)
+		}
+		if err := json.Unmarshal(raw, &reports[i]); err != nil {
+			t.Fatalf("farm report %s: %v", path, err)
+		}
+	}
+	coldRep, warmRep := reports[0], reports[1]
+	if len(coldRep.RemoteURLs) != 2 {
+		t.Fatalf("cold report lists %d remote URLs, want 2", len(coldRep.RemoteURLs))
+	}
+	if coldRep.Merged.RemoteHits != 0 {
+		t.Fatalf("cold farm pass claims %d remote hits against empty servers", coldRep.Merged.RemoteHits)
+	}
+	// Write-behind replicated every cold artifact to both nodes, so the
+	// warm pass resolves every lookup from the survivor: no misses, and
+	// the keys whose preferred node died surface as failovers.
+	if warmRep.Merged.RemoteHits == 0 {
+		t.Fatalf("warm farm pass has no remote hits: %+v", warmRep.Merged)
+	}
+	if warmRep.Merged.RemoteMisses != 0 {
+		t.Fatalf("warm farm pass missed %d lookups on a replicated fleet", warmRep.Merged.RemoteMisses)
+	}
+	if warmRep.Merged.RemoteFailovers == 0 {
+		t.Fatalf("warm farm pass counted no failovers despite a dead node: %+v", warmRep.Merged)
+	}
+}
+
 // TestFarmMatchesSolo is the farm-mode end-to-end check against the
 // real binaries: start a ccmcached, run the table-1 suite solo and as
 // `-farm 4` sharing that server, and require byte-identical tables. A

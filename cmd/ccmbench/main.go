@@ -7,7 +7,8 @@
 //	ccmbench [-table N] [-figure N] [-ablation] [-multiproc] [-markdown]
 //	         [-memcost N] [-workers N] [-json]
 //	         [-verify-passes] [-timeout D] [-repro-dir DIR]
-//	         [-cache-dir DIR] [-cache-bytes N] [-remote-url URL]
+//	         [-cache-dir DIR] [-cache-bytes N] [-remote-url URL ...]
+//	         [-remote-replicas N] [-remote-hedge D]
 //	         [-farm N] [-farm-out BENCH_farm.json]
 //	         [-trace out.json] [-metrics-out BENCH_pipeline.json]
 //
@@ -42,13 +43,21 @@
 //
 // -remote-url adds the remote HTTP cache tier (a ccmcached server) to
 // the driver's read path, so a fleet of ccmbench processes shares
-// compiles; a sick or absent server costs time, never bytes. -farm N
-// runs the table suite as a compile farm: N worker processes (this
-// binary re-executed) partition the routine list, share one ccmcached
-// via -remote-url, and the parent merges their shards into tables that
-// are byte-identical to a solo run. The farm writes BENCH_farm.json
-// (override with -farm-out): per-process and merged throughput plus the
-// remote tier's hit rate — nonzero on a warm second pass.
+// compiles; a sick or absent server costs time, never bytes. Repeat the
+// flag to spread the tier over a replicated fleet: keys place onto
+// nodes by rendezvous hashing, reads fail over along each key's
+// preference order behind per-node circuit breakers, and writes
+// replicate to -remote-replicas healthy nodes (-remote-hedge races a
+// second read against the next node after that delay). -farm N runs
+// the table suite as a compile farm: N worker processes (this binary
+// re-executed) partition the routine list, share the -remote-url cache
+// fleet, and the parent merges their shards into tables that are
+// byte-identical to a solo run — even when a fleet node dies mid-farm,
+// because the survivors absorb its keys. The farm writes
+// BENCH_farm.json (override with -farm-out): per-process and merged
+// throughput, the remote tier's hit rate (nonzero on a warm second
+// pass), and the merged failover count (nonzero after a mid-run node
+// outage).
 //
 // SIGINT/SIGTERM cancels the run cooperatively: in-flight compiles stop
 // at the next pass boundary and ccmbench exits 1 instead of running the
@@ -67,6 +76,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -76,6 +86,12 @@ import (
 	"ccmem/internal/obs"
 	"ccmem/internal/pipeline"
 )
+
+// multiFlag collects a repeatable string flag in order.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	table := flag.Int("table", 0, "print only table N (1-4)")
@@ -91,7 +107,10 @@ func main() {
 	reproDir := flag.String("repro-dir", "", "write crash repro bundles for pass faults to this directory")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
-	remoteURL := flag.String("remote-url", "", "remote cache server base URL (a ccmcached instance; empty = no remote tier)")
+	var remoteURLs multiFlag
+	flag.Var(&remoteURLs, "remote-url", "remote cache server base URL; repeat for a replicated fleet (empty = no remote tier)")
+	remoteReplicas := flag.Int("remote-replicas", 0, "healthy fleet nodes each write-behind put lands on (0 = 2)")
+	remoteHedge := flag.Duration("remote-hedge", 0, "delay before hedging a fleet read to the next node (0 = hedging off)")
 	remoteToken := flag.String("remote-token", "", "bearer token for the remote cache server (empty = none)")
 	farm := flag.Int("farm", 0, "run the table suite as N worker processes sharing the -remote-url cache server")
 	farmOut := flag.String("farm-out", "BENCH_farm.json", "farm-mode report artifact (per-process and merged throughput, remote hit rate)")
@@ -120,7 +139,8 @@ func main() {
 			fatal(fmt.Errorf("-farm serves the table suite only (tables 1-4)"))
 		}
 		if err := runFarm(ctx, *farm, *table, farmFlags{
-			remoteURL: *remoteURL, remoteToken: *remoteToken,
+			remoteURLs: remoteURLs, remoteToken: *remoteToken,
+			remoteReplicas: *remoteReplicas, remoteHedge: *remoteHedge,
 			workers: *workers, memCost: *memCost,
 			verifyPasses: *verifyPasses, timeout: *timeout,
 			cacheDir: *cacheDir, cacheBytes: *cacheBytes, out: *farmOut,
@@ -133,7 +153,11 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Ctx = ctx
 	cfg.MemCost = *memCost
-	popts := pipeline.Options{Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes, RemoteURL: *remoteURL, RemoteToken: *remoteToken}
+	popts := pipeline.Options{
+		Workers: *workers, CacheDir: *cacheDir, CacheBytes: *cacheBytes,
+		RemoteURLs: remoteURLs, RemoteToken: *remoteToken,
+		RemoteReplicas: *remoteReplicas, RemoteHedgeDelay: *remoteHedge,
+	}
 	if *traceOut != "" {
 		popts.Tracer = obs.NewTracer()
 		popts.PprofLabels = true
@@ -301,15 +325,17 @@ func fatal(err error) {
 
 // farmFlags are the settings the farm parent forwards to its workers.
 type farmFlags struct {
-	remoteURL    string
-	remoteToken  string
-	workers      int
-	memCost      int
-	verifyPasses bool
-	timeout      time.Duration
-	cacheDir     string
-	cacheBytes   int64
-	out          string
+	remoteURLs     []string
+	remoteToken    string
+	remoteReplicas int
+	remoteHedge    time.Duration
+	workers        int
+	memCost        int
+	verifyPasses   bool
+	timeout        time.Duration
+	cacheDir       string
+	cacheBytes     int64
+	out            string
 }
 
 // farmShard is the file a farm worker hands back to the parent: its
@@ -335,7 +361,7 @@ type farmWorkerSummary struct {
 // throughput plus the remote tier's aggregate hit rate.
 type farmReport struct {
 	FarmWorkers  int                 `json:"farm_workers"`
-	RemoteURL    string              `json:"remote_url,omitempty"`
+	RemoteURLs   []string            `json:"remote_urls,omitempty"`
 	ElapsedNanos int64               `json:"elapsed_ns"`
 	Workers      []farmWorkerSummary `json:"workers"`
 	Merged       struct {
@@ -345,6 +371,10 @@ type farmReport struct {
 		RemoteHits    int64   `json:"remote_hits"`
 		RemoteMisses  int64   `json:"remote_misses"`
 		RemoteHitRate float64 `json:"remote_hit_rate"`
+		// RemoteFailovers counts fleet reads served by a non-primary node
+		// across all workers — nonzero when a node died mid-farm and the
+		// workers failed over instead of recompiling.
+		RemoteFailovers int64 `json:"remote_failovers"`
 	} `json:"merged"`
 }
 
@@ -385,11 +415,17 @@ func runFarm(ctx context.Context, n, table int, ff farmFlags) error {
 			"-farm-shard-out", outFiles[i],
 			"-memcost", strconv.Itoa(ff.memCost),
 		}
-		if ff.remoteURL != "" {
-			args = append(args, "-remote-url", ff.remoteURL)
+		for _, u := range ff.remoteURLs {
+			args = append(args, "-remote-url", u)
 		}
 		if ff.remoteToken != "" {
 			args = append(args, "-remote-token", ff.remoteToken)
+		}
+		if ff.remoteReplicas != 0 {
+			args = append(args, "-remote-replicas", strconv.Itoa(ff.remoteReplicas))
+		}
+		if ff.remoteHedge != 0 {
+			args = append(args, "-remote-hedge", ff.remoteHedge.String())
 		}
 		if ff.workers != 0 {
 			args = append(args, "-workers", strconv.Itoa(ff.workers))
@@ -453,7 +489,7 @@ func runFarm(ctx context.Context, n, table int, ff farmFlags) error {
 		fmt.Println(merged.FormatTable4())
 	}
 
-	rep := farmReport{FarmWorkers: n, RemoteURL: ff.remoteURL, ElapsedNanos: elapsed.Nanoseconds()}
+	rep := farmReport{FarmWorkers: n, RemoteURLs: ff.remoteURLs, ElapsedNanos: elapsed.Nanoseconds()}
 	for i, sh := range shards {
 		ws := farmWorkerSummary{Index: i, Routines: len(sh.Routines)}
 		if sh.Report != nil {
@@ -469,6 +505,7 @@ func runFarm(ctx context.Context, n, table int, ff farmFlags) error {
 		rep.Merged.Funcs += ws.Funcs
 		rep.Merged.RemoteHits += ws.Remote.Hits
 		rep.Merged.RemoteMisses += ws.Remote.Misses
+		rep.Merged.RemoteFailovers += ws.Remote.Failovers
 	}
 	if elapsed > 0 {
 		rep.Merged.FuncsPerSec = float64(rep.Merged.Funcs) / elapsed.Seconds()

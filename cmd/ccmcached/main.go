@@ -142,6 +142,10 @@ func main() {
 		stop() // a second signal kills the process the default way
 	}
 	logger.Printf("ccmcached: draining (timeout %s)", *drainTimeout)
+	// Refuse new data requests with 503 draining + Retry-After before the
+	// listener starts closing, so fleet clients fail over instead of
+	// eating torn connections.
+	srv.BeginDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	ccmd [-addr HOST:PORT] [-workers N]
-//	     [-cache-dir DIR] [-cache-bytes N] [-remote-url URL] [-repro-dir DIR]
+//	     [-cache-dir DIR] [-cache-bytes N] [-remote-url URL ...] [-repro-dir DIR]
+//	     [-remote-replicas N] [-remote-hedge D]
 //	     [-auth-token TOK | -auth-file PATH]
 //	     [-remote-token TOK | -remote-token-file PATH]
 //	     [-tenant-rate N] [-tenant-burst N]
@@ -15,12 +16,18 @@
 //	     [-drain-timeout D] [-max-program-bytes N] [-version]
 //
 // -remote-url attaches a shared remote cache tier (a ccmcached server)
-// behind the memory and disk tiers. The tier is an accelerator, never a
-// dependency: timeouts, corruption, and outages are absorbed by a
-// circuit breaker, and /readyz keeps answering 200 with status
-// "degraded" while the breaker is open — the daemon compiles locally
+// behind the memory and disk tiers. Repeat the flag to join a
+// replicated fleet: keys place onto nodes by rendezvous hashing, reads
+// fail over along each key's preference order behind per-node circuit
+// breakers, writes replicate to -remote-replicas healthy nodes, and a
+// hit on a secondary repairs the primary in the background.
+// -remote-hedge, when positive, races a second read against the next
+// node after that delay. The tier is an accelerator, never a
+// dependency: timeouts, corruption, and outages are absorbed by the
+// breakers, and /readyz keeps answering 200 with status "degraded"
+// only when every node's breaker is open — the daemon compiles locally
 // either way. -remote-token (or -remote-token-file) is the bearer token
-// for a ccmcached running with -auth-token.
+// for ccmcached servers running with -auth-token.
 //
 // -auth-token/-auth-file gate this daemon's own data endpoints behind a
 // shared-secret bearer token: requests without "Authorization: Bearer
@@ -70,6 +77,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,12 +89,21 @@ import (
 	"ccmem/internal/pipeline"
 )
 
+// multiFlag collects a repeatable string flag in order.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
 	workers := flag.Int("workers", 0, "shared driver worker pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "persistent cache byte budget (0 = default)")
-	remoteURL := flag.String("remote-url", "", "shared remote cache server base URL (empty = no remote tier)")
+	var remoteURLs multiFlag
+	flag.Var(&remoteURLs, "remote-url", "remote cache server base URL; repeat for a replicated fleet (empty = no remote tier)")
+	remoteReplicas := flag.Int("remote-replicas", 0, "healthy fleet nodes each write-behind put lands on (0 = 2)")
+	remoteHedge := flag.Duration("remote-hedge", 0, "delay before hedging a fleet read to the next node (0 = hedging off)")
 	remoteToken := flag.String("remote-token", "", "bearer token for the remote cache server (empty = none)")
 	remoteTokenFile := flag.String("remote-token-file", "", "file holding the remote cache bearer token")
 	authToken := flag.String("auth-token", "", "bearer token required on data endpoints (empty = auth off)")
@@ -125,13 +142,15 @@ func main() {
 	}
 
 	drv := pipeline.New(pipeline.Options{
-		Workers:     *workers,
-		CacheDir:    *cacheDir,
-		CacheBytes:  *cacheBytes,
-		RemoteURL:   *remoteURL,
-		RemoteToken: rtoken,
-		Metrics:     obs.NewRegistry(),
-		PprofLabels: true,
+		Workers:          *workers,
+		CacheDir:         *cacheDir,
+		CacheBytes:       *cacheBytes,
+		RemoteURLs:       remoteURLs,
+		RemoteReplicas:   *remoteReplicas,
+		RemoteHedgeDelay: *remoteHedge,
+		RemoteToken:      rtoken,
+		Metrics:          obs.NewRegistry(),
+		PprofLabels:      true,
 	})
 	if err := drv.DiskCacheErr(); err != nil {
 		// Degraded, not dead: compiles fall back to the memory tier and

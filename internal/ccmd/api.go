@@ -164,6 +164,11 @@ type VersionResponse struct {
 type HealthResponse struct {
 	Status string `json:"status"` // "ok", "draining", or "degraded"
 	Detail string `json:"detail,omitempty"`
+	// RemoteNodes breaks the remote fleet out per node (URL + circuit
+	// position) when the daemon runs against a replicated fleet. The
+	// service is "degraded" on the remote axis only when every node here
+	// is open; a mix of open and closed nodes is business as usual.
+	RemoteNodes []pipeline.RemoteNodeStatus `json:"remote_nodes,omitempty"`
 }
 
 // MetricsResponse is the body of GET /metrics: the service's own
@@ -211,8 +216,12 @@ type ServiceStats struct {
 	// RemoteCircuit is the remote cache tier's breaker state ("closed",
 	// "half-open", "open"; "" when no remote tier is configured). An
 	// open circuit degrades the service — lookups skip the tier — but
-	// never fails readiness.
+	// never fails readiness. For a replicated fleet this is the folded
+	// state: open only when every node's breaker is open.
 	RemoteCircuit string `json:"remote_circuit,omitempty"`
+	// RemoteNodes is the fleet's per-node circuit breakdown; nil for a
+	// single-server tier or no remote at all.
+	RemoteNodes []pipeline.RemoteNodeStatus `json:"remote_nodes,omitempty"`
 }
 
 // JournalStats is the request journal's ServiceStats slice: the

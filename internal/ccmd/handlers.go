@@ -11,6 +11,7 @@ import (
 
 	"ccmem/internal/authtoken"
 	"ccmem/internal/obs"
+	"ccmem/internal/pipeline"
 )
 
 // Handler builds the service's HTTP surface. The handlers are a thin
@@ -93,10 +94,12 @@ func Handler(s *Service, version string, authToken string) http.Handler {
 		}
 		if state := s.Driver().RemoteCircuit(); state == "open" {
 			writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded",
-				Detail: "remote cache circuit open: tier skipped until the breaker recovers"})
+				Detail:      remoteDegradedDetail(s.Driver()),
+				RemoteNodes: s.Driver().RemoteNodes()})
 			return
 		}
-		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok",
+			RemoteNodes: s.Driver().RemoteNodes()})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		// Readiness gates traffic: draining or a broken persistent tier
@@ -117,18 +120,33 @@ func Handler(s *Service, version string, authToken string) http.Handler {
 		// keep flowing (the tier is skipped and every lookup falls through
 		// to a local compile), so readiness stays 200 and the state rides
 		// along for operators. Failing readiness here would take capacity
-		// offline exactly when the fleet's shared cache already is.
+		// offline exactly when the fleet's shared cache already is. For a
+		// replicated fleet the driver folds per-node breakers with
+		// any-node-healthy semantics, so "open" here already means every
+		// node is down; the per-node list rides along either way.
 		if state := s.Driver().RemoteCircuit(); state == "open" {
 			writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded",
-				Detail: "remote cache circuit open: tier skipped until the breaker recovers"})
+				Detail:      remoteDegradedDetail(s.Driver()),
+				RemoteNodes: s.Driver().RemoteNodes()})
 			return
 		}
-		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok",
+			RemoteNodes: s.Driver().RemoteNodes()})
 	})
 	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, VersionResponse{Version: version})
 	})
 	return mux
+}
+
+// remoteDegradedDetail phrases an open remote circuit for the health
+// probes: a fleet that folded to open has every node down, which is
+// worth saying explicitly.
+func remoteDegradedDetail(d *pipeline.Driver) string {
+	if len(d.RemoteNodes()) > 0 {
+		return "remote cache fleet: every node's circuit open; tier skipped until a breaker recovers"
+	}
+	return "remote cache circuit open: tier skipped until the breaker recovers"
 }
 
 // decodeJSON reads one JSON body with a hard size bound and strict

@@ -459,3 +459,134 @@ func TestHTTPRemoteCircuitDegradedNotDead(t *testing.T) {
 		t.Fatalf("driver report does not carry the open circuit")
 	}
 }
+
+// fastFleetTuning is the fleet twin of the tuning used above: one
+// attempt, first failure trips the node's breaker.
+func fastFleetTuning() remotecache.Tuning {
+	return remotecache.Tuning{
+		RequestTimeout: 100 * time.Millisecond,
+		Retries:        -1,
+		TripAfter:      1,
+		HalfOpenAfter:  time.Hour,
+		Sleep:          func(time.Duration) {},
+	}
+}
+
+// TestHTTPFleetDegradedOnlyWhenAllNodesOpen pins the fleet health
+// contract on the daemon's probes: one dead node out of two leaves the
+// service "ok" — the per-node list shows the asymmetry — and only every
+// breaker open reads as "degraded", still with readiness 200.
+func TestHTTPFleetDegradedOnlyWhenAllNodesOpen(t *testing.T) {
+	deadAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := "http://" + ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+
+	rsrv, err := remotecache.NewServer(t.TempDir(), remotecache.ServerOptions{})
+	if err != nil {
+		t.Fatalf("remotecache.NewServer: %v", err)
+	}
+	live := httptest.NewServer(rsrv.Handler("test"))
+	t.Cleanup(live.Close)
+
+	svc, ts := newTestHTTP(t, func(c *Config) {
+		c.Driver = pipeline.New(pipeline.Options{
+			Workers:      2,
+			Metrics:      obs.NewRegistry(),
+			RemoteURLs:   []string{live.URL, deadAddr()},
+			RemoteTuning: fastFleetTuning(),
+		})
+	})
+	if err := svc.Driver().RemoteCacheErr(); err != nil {
+		t.Fatalf("fleet failed to attach: %v", err)
+	}
+
+	// A cold compile walks every node per key: the dead node's breaker
+	// opens, the live one stays closed.
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{Program: testProgram(t, 21)})
+	if resp.StatusCode != 200 {
+		t.Fatalf("compile with half-dead fleet: status %d, want 200", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+		h := decodeBody[HealthResponse](t, resp)
+		if h.Status != "ok" {
+			t.Fatalf("GET %s with one healthy node: status %q, want ok (%+v)", path, h.Status, h)
+		}
+		if len(h.RemoteNodes) != 2 {
+			t.Fatalf("GET %s: %d remote nodes, want 2: %+v", path, len(h.RemoteNodes), h)
+		}
+		circuits := map[string]int{}
+		for _, n := range h.RemoteNodes {
+			circuits[n.Circuit]++
+		}
+		if circuits["closed"] != 1 || circuits["open"] != 1 {
+			t.Fatalf("GET %s: per-node circuits %v, want one closed one open", path, circuits)
+		}
+	}
+
+	// /metrics carries the same per-node breakdown.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	m := decodeBody[MetricsResponse](t, mresp)
+	if m.Service.RemoteCircuit != "closed" {
+		t.Fatalf("service.remote_circuit = %q with one healthy node, want closed", m.Service.RemoteCircuit)
+	}
+	if len(m.Service.RemoteNodes) != 2 {
+		t.Fatalf("service.remote_nodes = %+v, want 2 entries", m.Service.RemoteNodes)
+	}
+
+	// Every node dead: the fleet folds to open and the probes finally
+	// say degraded — but readiness stays 200 (degraded, not dead).
+	svc2, ts2 := newTestHTTP(t, func(c *Config) {
+		c.Driver = pipeline.New(pipeline.Options{
+			Workers:      2,
+			Metrics:      obs.NewRegistry(),
+			RemoteURLs:   []string{deadAddr(), deadAddr()},
+			RemoteTuning: fastFleetTuning(),
+		})
+	})
+	resp2 := postJSON(t, ts2.URL+"/compile", CompileRequest{Program: testProgram(t, 21)})
+	if resp2.StatusCode != 200 {
+		t.Fatalf("compile with all-dead fleet: status %d, want 200", resp2.StatusCode)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if state := svc2.Driver().RemoteCircuit(); state != "open" {
+		t.Fatalf("fleet circuit %q after all-dead compile, want open", state)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts2.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d, want 200 (degraded, not dead)", path, resp.StatusCode)
+		}
+		h := decodeBody[HealthResponse](t, resp)
+		if h.Status != "degraded" || !strings.Contains(h.Detail, "every node") {
+			t.Fatalf("GET %s: %+v, want degraded with every-node detail", path, h)
+		}
+		for _, n := range h.RemoteNodes {
+			if n.Circuit != "open" {
+				t.Fatalf("GET %s: node %s circuit %q in a degraded fleet, want open", path, n.URL, n.Circuit)
+			}
+		}
+	}
+}

@@ -866,6 +866,7 @@ func (s *Service) Stats() ServiceStats {
 		Tenants:           s.limiter.Snapshot(),
 		Journal:           s.journalStats(),
 		RemoteCircuit:     s.drv.RemoteCircuit(),
+		RemoteNodes:       s.drv.RemoteNodes(),
 	}
 }
 

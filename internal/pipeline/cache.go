@@ -41,7 +41,7 @@ type Cache struct {
 	entries map[digest]*list.Element
 	lru     *list.List // front = most recently used
 	disk    *diskcache.Cache
-	remote  *remotecache.Client
+	remote  remotecache.Tier
 
 	hits      int64
 	misses    int64
@@ -91,16 +91,17 @@ func (c *Cache) Disk() *diskcache.Cache {
 	return c.disk
 }
 
-// AttachRemote backs the cache with a remote HTTP tier, consulted after
-// a disk miss. Safe to call on a cache already in use; nil detaches.
-func (c *Cache) AttachRemote(r *remotecache.Client) {
+// AttachRemote backs the cache with a remote HTTP tier — a single
+// remotecache.Client or a replicated Fleet, consulted after a disk
+// miss. Safe to call on a cache already in use; nil detaches.
+func (c *Cache) AttachRemote(r remotecache.Tier) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.remote = r
 }
 
 // Remote returns the attached remote tier (nil when none).
-func (c *Cache) Remote() *remotecache.Client {
+func (c *Cache) Remote() remotecache.Tier {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.remote
@@ -318,29 +319,47 @@ func (c *Cache) Stats() CacheStats {
 		}
 	}
 	if c.remote != nil {
-		rs := c.remote.Stats()
-		st.Remote = RemoteTierStats{
-			Hits:        rs.Hits,
-			Misses:      rs.Misses,
-			Puts:        rs.Puts,
-			PutDrops:    rs.PutDrops,
-			PutErrors:   rs.PutErrors,
-			Retries:     rs.Retries,
-			Timeouts:    rs.Timeouts,
-			NetErrors:   rs.NetErrors,
-			HTTPErrors:  rs.HTTPErrors,
-			Corruptions: rs.Corruptions,
-			Skipped:     rs.Skipped,
-			Trips:       rs.Trips,
-			Probes:      rs.Probes,
-			Circuit:     rs.Circuit,
-		}
-		if lookups := rs.Hits + rs.Misses; lookups > 0 {
-			st.Remote.HitRate = float64(rs.Hits) / float64(lookups)
-		}
+		st.Remote = remoteTierStats(c.remote.Stats())
 	}
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		st.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	return st
+}
+
+// remoteTierStats converts a remotecache snapshot into the report
+// shape, recursing into the per-node blocks a Fleet reports (a single
+// Client has none).
+func remoteTierStats(rs remotecache.Stats) RemoteTierStats {
+	st := RemoteTierStats{
+		Hits:        rs.Hits,
+		Misses:      rs.Misses,
+		Puts:        rs.Puts,
+		PutDrops:    rs.PutDrops,
+		PutErrors:   rs.PutErrors,
+		Retries:     rs.Retries,
+		Timeouts:    rs.Timeouts,
+		NetErrors:   rs.NetErrors,
+		HTTPErrors:  rs.HTTPErrors,
+		Corruptions: rs.Corruptions,
+		Skipped:     rs.Skipped,
+		Trips:       rs.Trips,
+		Probes:      rs.Probes,
+		Circuit:     rs.Circuit,
+
+		Failovers:      rs.Failovers,
+		HedgesLaunched: rs.HedgesLaunched,
+		HedgesWon:      rs.HedgesWon,
+		Repairs:        rs.Repairs,
+	}
+	if lookups := rs.Hits + rs.Misses; lookups > 0 {
+		st.HitRate = float64(rs.Hits) / float64(lookups)
+	}
+	for _, ns := range rs.Nodes {
+		st.Nodes = append(st.Nodes, RemoteNodeStats{
+			URL:             ns.URL,
+			RemoteTierStats: remoteTierStats(ns.Stats),
+		})
 	}
 	return st
 }

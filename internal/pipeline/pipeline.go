@@ -251,6 +251,13 @@ type Options struct {
 	// a few failures). Empty disables the tier; a malformed URL is
 	// reported via RemoteCacheErr and the driver runs without the tier.
 	RemoteURL string
+	// RemoteURLs enables the replicated remote fleet: two or more
+	// ccmcached base URLs behind the same tier contract, with rendezvous
+	// placement, per-node circuit breakers, failover reads, replicated
+	// write-behind puts, and async read-repair (remotecache.Fleet).
+	// A single entry behaves exactly like RemoteURL. When both fields
+	// are set, RemoteURL is treated as one more fleet node.
+	RemoteURLs []string
 	// RemoteToken is the bearer token sent with every remote-tier
 	// request — required to join a fleet whose ccmcached runs with
 	// -auth-token. Empty sends no Authorization header.
@@ -259,6 +266,19 @@ type Options struct {
 	// network fault-injection seam (remotecache.FaultRT). nil uses the
 	// real transport.
 	RemoteFaultRT http.RoundTripper
+	// RemoteFaultRTs overrides transports per fleet node — the per-node
+	// fault-injection seam. When non-nil it must match the resolved node
+	// list exactly; nil entries fall back to RemoteFaultRT.
+	RemoteFaultRTs []http.RoundTripper
+	// RemoteReplicas is how many healthy fleet nodes each write-behind
+	// put lands on; <= 0 uses the fleet default (2, capped at the node
+	// count). Ignored for a single-server tier.
+	RemoteReplicas int
+	// RemoteHedgeDelay, when > 0, arms hedged fleet reads: a lookup that
+	// the preferred node has not answered within the delay is raced
+	// against the next node in the key's preference order. 0 disables
+	// hedging (the deterministic default). Ignored for a single server.
+	RemoteHedgeDelay time.Duration
 	// RemoteTuning adjusts the remote client's hardening knobs (timeouts,
 	// retries, breaker thresholds); zero fields take remotecache defaults.
 	RemoteTuning remotecache.Tuning
@@ -344,10 +364,21 @@ func New(opts Options) *Driver {
 				d.cache.AttachDisk(dc)
 			}
 		}
+		urls := opts.RemoteURLs
 		if opts.RemoteURL != "" {
+			urls = append([]string{opts.RemoteURL}, urls...)
+		}
+		switch {
+		case len(urls) == 1:
+			// Single server: the original client, byte-for-byte the same
+			// behavior the single-URL flag always had.
+			rt := opts.RemoteFaultRT
+			if len(opts.RemoteFaultRTs) == 1 && opts.RemoteFaultRTs[0] != nil {
+				rt = opts.RemoteFaultRTs[0]
+			}
 			rc, err := remotecache.NewClient(remotecache.Options{
-				BaseURL:      opts.RemoteURL,
-				RoundTripper: opts.RemoteFaultRT,
+				BaseURL:      urls[0],
+				RoundTripper: rt,
 				AuthToken:    opts.RemoteToken,
 				Obs:          opts.Metrics,
 				Tuning:       opts.RemoteTuning,
@@ -357,6 +388,22 @@ func New(opts Options) *Driver {
 				d.remoteErr = err
 			} else {
 				d.cache.AttachRemote(rc)
+			}
+		case len(urls) > 1:
+			fl, err := remotecache.NewFleet(remotecache.FleetOptions{
+				BaseURLs:      urls,
+				RoundTripper:  opts.RemoteFaultRT,
+				RoundTrippers: opts.RemoteFaultRTs,
+				AuthToken:     opts.RemoteToken,
+				Obs:           opts.Metrics,
+				Tuning:        opts.RemoteTuning,
+				Replicas:      opts.RemoteReplicas,
+				HedgeDelay:    opts.RemoteHedgeDelay,
+			})
+			if err != nil {
+				d.remoteErr = err
+			} else {
+				d.cache.AttachRemote(fl)
 			}
 		}
 	}
@@ -393,6 +440,38 @@ func (d *Driver) RemoteCircuit() string {
 		return ""
 	}
 	return rc.Stats().Circuit
+}
+
+// RemoteNodeStatus is one fleet node's health line for /readyz: the
+// node URL and its circuit-breaker position.
+type RemoteNodeStatus struct {
+	URL     string `json:"url"`
+	Circuit string `json:"circuit"`
+}
+
+// RemoteNodes reports the per-node circuit state of a replicated remote
+// fleet, in configured node order; nil when no remote tier is attached
+// or the tier is a single server (whose state RemoteCircuit covers).
+// The fleet-level circuit folds these with "any healthy node keeps the
+// tier usable" semantics, so a degraded report means every node here is
+// open.
+func (d *Driver) RemoteNodes() []RemoteNodeStatus {
+	if d.cache == nil {
+		return nil
+	}
+	rc := d.cache.Remote()
+	if rc == nil {
+		return nil
+	}
+	st := rc.Stats()
+	if len(st.Nodes) == 0 {
+		return nil
+	}
+	out := make([]RemoteNodeStatus, len(st.Nodes))
+	for i, ns := range st.Nodes {
+		out[i] = RemoteNodeStatus{URL: ns.URL, Circuit: ns.Stats.Circuit}
+	}
+	return out
 }
 
 // CloseRemote drains the remote tier's write-behind queue (bounded by
@@ -1296,6 +1375,15 @@ func (d *Driver) finish(rep *Report, cs *compileState, do *diffOracle, m *metric
 				d.reg.Gauge("remotecache.skipped").Set(cst.Remote.Skipped)
 				d.reg.Gauge("remotecache.trips").Set(cst.Remote.Trips)
 				d.reg.Gauge("remotecache.probes").Set(cst.Remote.Probes)
+				if len(cst.Remote.Nodes) > 0 {
+					// Fleet-only mirrors; the live remotecache.fleet.*
+					// counters are bumped by the fleet as events happen,
+					// these gauges snapshot the same totals per report.
+					d.reg.Gauge("remotecache.failovers").Set(cst.Remote.Failovers)
+					d.reg.Gauge("remotecache.hedges_launched").Set(cst.Remote.HedgesLaunched)
+					d.reg.Gauge("remotecache.hedges_won").Set(cst.Remote.HedgesWon)
+					d.reg.Gauge("remotecache.repairs").Set(cst.Remote.Repairs)
+				}
 			}
 		}
 	}

@@ -92,6 +92,26 @@ type RemoteTierStats struct {
 	Trips   int64  `json:"trips"`
 	Probes  int64  `json:"probes"`
 	Circuit string `json:"circuit,omitempty"`
+
+	// Fleet counters, populated only when the remote tier is a
+	// replicated fleet: lookups the fleet absorbed a node failure on,
+	// hedged second reads launched and won, and read-repair puts queued
+	// back toward a key's preferred nodes.
+	Failovers      int64 `json:"failovers,omitempty"`
+	HedgesLaunched int64 `json:"hedges_launched,omitempty"`
+	HedgesWon      int64 `json:"hedges_won,omitempty"`
+	Repairs        int64 `json:"repairs,omitempty"`
+
+	// Nodes breaks the fleet out per server, in configured order. Empty
+	// for a single-server tier.
+	Nodes []RemoteNodeStats `json:"nodes,omitempty"`
+}
+
+// RemoteNodeStats is one fleet node's own counter block: the node's URL
+// plus the same per-server stats a single-server tier reports.
+type RemoteNodeStats struct {
+	URL string `json:"url"`
+	RemoteTierStats
 }
 
 // CacheStats is a snapshot of the content-addressed cache's counters

@@ -140,6 +140,11 @@ type Options struct {
 // every lookup resolves to exactly one of the two, with Skipped
 // (circuit-open fast misses) and the failure-classification counters
 // explaining the misses that never touched a healthy server.
+//
+// A Fleet returns the same shape: Gets/Hits/Misses count logical
+// fleet-level lookups (one per Get, however many nodes it walked), the
+// other counters aggregate across nodes, the fleet counters record
+// failovers/hedges/read-repairs, and Nodes breaks every node out.
 type Stats struct {
 	Gets   int64 `json:"gets"`
 	Hits   int64 `json:"hits"`
@@ -159,6 +164,41 @@ type Stats struct {
 	Trips   int64  `json:"trips"`
 	Probes  int64  `json:"probes"`
 	Circuit string `json:"circuit"`
+
+	// Fleet-level counters, set only when the snapshot comes from a
+	// Fleet: lookups the preferred node failed on but another node
+	// answered, hedged second reads launched and won, and read-repair
+	// puts queued back toward the primary.
+	Failovers      int64 `json:"failovers,omitempty"`
+	HedgesLaunched int64 `json:"hedges_launched,omitempty"`
+	HedgesWon      int64 `json:"hedges_won,omitempty"`
+	Repairs        int64 `json:"repairs,omitempty"`
+
+	// Nodes is the per-node breakdown of a Fleet snapshot, in the
+	// fleet's configured node order; empty for a single Client.
+	Nodes []NodeStats `json:"nodes,omitempty"`
+}
+
+// NodeStats is one fleet node's counter block: the node's base URL plus
+// a full per-node Stats (whose fleet fields and Nodes are always zero).
+type NodeStats struct {
+	URL   string `json:"url"`
+	Stats Stats  `json:"stats"`
+}
+
+// Tier is the remote-tier contract the pipeline consumes: one logical
+// remote cache, whether a single server (Client) or a replicated fleet
+// of them (Fleet). Every implementation shares the same degradation
+// contract — a sick tier costs time, never bytes, and never fails a
+// compile.
+type Tier interface {
+	Get(key diskcache.Key, kind uint32) ([]byte, bool)
+	Put(key diskcache.Key, kind uint32, payload []byte)
+	ReportDecodeFailure()
+	Flush(ctx context.Context) error
+	Close() error
+	Stats() Stats
+	State() State
 }
 
 // errCorrupt marks a response that failed re-verification (truncation,
@@ -221,30 +261,56 @@ func NewClient(opts Options) (*Client, error) {
 // State returns the circuit breaker's current position.
 func (c *Client) State() State { return c.brk.current() }
 
+// GetResult classifies one node-level lookup for callers that must
+// distinguish a healthy "not there" from a failure — the Fleet's
+// failover walk advances past failures but knows a clean miss was a
+// real answer. Get collapses it to a bool.
+type GetResult int
+
+const (
+	// GetHit: a verified payload came back.
+	GetHit GetResult = iota
+	// GetMiss: the server answered; the entry is not there.
+	GetMiss
+	// GetFailed: the operation exhausted its retries on network, HTTP,
+	// or verification failures (breaker-counted).
+	GetFailed
+	// GetSkipped: the circuit was open; the wire was never touched.
+	GetSkipped
+)
+
 // Get returns the verified payload stored under (key, kind), or false.
 // Every failure mode — open circuit, timeout, network error, HTTP
 // error, truncated or corrupt response — is a miss, never an error and
 // never a wrong artifact.
 func (c *Client) Get(key diskcache.Key, kind uint32) ([]byte, bool) {
+	payload, res := c.GetClassified(key, kind)
+	return payload, res == GetHit
+}
+
+// GetClassified is Get with the outcome spelled out. The counter
+// contract is identical (every call is one Get resolving to exactly one
+// of Hits or Misses); only the return tells a miss from a failure.
+func (c *Client) GetClassified(key diskcache.Key, kind uint32) ([]byte, GetResult) {
 	c.gets.Add(1)
 	if !c.brk.allow() {
 		c.skippedN.Add(1)
 		c.misses.Add(1)
-		return nil, false
+		return nil, GetSkipped
 	}
 	payload, found, err := c.withRetries(http.MethodGet, key, kind, nil)
 	if err != nil {
 		c.brk.failure()
 		c.misses.Add(1)
-		return nil, false
+		return nil, GetFailed
 	}
 	c.brk.success()
 	if !found {
 		c.misses.Add(1)
-		return nil, false
+		return nil, GetMiss
 	}
 	c.hits.Add(1)
-	return payload, true
+	return payload, GetHit
 }
 
 // Put queues payload for asynchronous storage under (key, kind). It

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -255,5 +256,103 @@ func TestBreakerTransitionCounters(t *testing.T) {
 	}
 	if c.State() != StateClosed {
 		t.Fatalf("state %v after recovery, want closed", c.State())
+	}
+}
+
+// TestServerDrainRetryAfterAudit walks every 503 path on the cache
+// daemon — drained GET, drained PUT, draining /readyz, plus a sanity
+// check that a drained node still answers health probes — and pins the
+// shared backpressure contract: a positive Retry-After header and, on
+// data endpoints, the structured-error envelope with the draining code
+// and the header mirrored into retry_after_seconds.
+func TestServerDrainRetryAfterAudit(t *testing.T) {
+	srv, hs := newTestServer(t)
+
+	// Seed an entry while the daemon is up: draining must refuse even
+	// reads that would have hit.
+	payload := []byte("drained away")
+	key := keyOf(payload)
+	c := newTestClient(t, hs.URL, nil, fastTuning(), nil)
+	c.Put(key, 1, payload)
+	flush(t, c)
+
+	srv.BeginDrain()
+	srv.BeginDrain() // idempotent
+	if !srv.Draining() {
+		t.Fatalf("Draining() = false after BeginDrain")
+	}
+
+	entryPath := "/entry/" + hex.EncodeToString(key[:]) + "?kind=1"
+	do := func(method, path string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, hs.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		return resp
+	}
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     []byte
+		envelope bool // data endpoints carry the structured error
+	}{
+		{"drained-get", http.MethodGet, entryPath, nil, true},
+		{"drained-put", http.MethodPut, entryPath, []byte("x"), true},
+		{"draining-readyz", http.MethodGet, "/readyz", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := do(tc.method, tc.path, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("status %d, want 503", resp.StatusCode)
+			}
+			ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil || ra <= 0 {
+				t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+			}
+			if !tc.envelope {
+				var ready readyzResponse
+				if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+					t.Fatalf("decode readyz: %v", err)
+				}
+				if ready.Status != "draining" {
+					t.Fatalf("readyz status %q, want draining", ready.Status)
+				}
+				return
+			}
+			var env struct {
+				Error *apiError `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("decode envelope: %v", err)
+			}
+			if env.Error == nil || env.Error.Code != CodeDraining {
+				t.Fatalf("envelope %+v, want code %q", env.Error, CodeDraining)
+			}
+			if env.Error.RetryAfter != ra {
+				t.Fatalf("retry_after_seconds=%d disagrees with header %d", env.Error.RetryAfter, ra)
+			}
+		})
+	}
+
+	// Liveness stays up so orchestrators don't hard-kill a draining node.
+	resp := do(http.MethodGet, "/healthz", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz while draining: status %d, want 200", resp.StatusCode)
+	}
+
+	// And the fleet client sees a drained node as a failure to route
+	// around, never as wrong bytes.
+	if _, ok := c.Get(key, 1); ok {
+		t.Fatalf("client read a hit from a draining node")
 	}
 }

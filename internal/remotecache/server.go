@@ -23,12 +23,17 @@ const (
 	CodeNotFound     = "not-found"     // 404: no verified entry under (key, kind)
 	CodeCorruptEntry = "corrupt-entry" // 422: upload failed verification; nothing was stored
 	CodeTooLarge     = "too-large"     // 413: upload exceeds the entry-size cap
+	CodeDraining     = "draining"      // 503: daemon is shutting down; retry another node
 )
 
 type apiError struct {
-	status  int
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	status     int
+	retryAfter int    // seconds; > 0 also sets the Retry-After header
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	// RetryAfter mirrors the Retry-After header into the body so clients
+	// that only parse the envelope still learn the backoff.
+	RetryAfter int `json:"retry_after_seconds,omitempty"`
 }
 
 // ServerOptions configure NewServer.
@@ -101,8 +106,26 @@ type Server struct {
 	gets, hits, misses  atomic.Int64
 	puts, rejected      atomic.Int64
 	unauthorized        atomic.Int64
+	drained             atomic.Int64
 	gcSweeps, gcExpired atomic.Int64
+	draining            atomic.Bool
 }
+
+// BeginDrain flips the daemon into drain mode: every subsequent data
+// request is refused with 503 draining + Retry-After, and /readyz goes
+// unready so load balancers and fleet clients stop sending traffic.
+// cmd/ccmcached calls this on SIGINT/SIGTERM just before the graceful
+// http.Server shutdown, turning "the connection died mid-request" into
+// "the node told me to go elsewhere" — the difference between a fleet
+// failover and a spurious breaker trip.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.reg.Counter("remotecached.drains").Add(1)
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // NewServer opens (or creates) the entry store under dir.
 func NewServer(dir string, opts ServerOptions) (*Server, error) {
@@ -171,8 +194,8 @@ func (s *Server) Stats() ServerStats {
 // stay open.
 func (s *Server) Handler(version string) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /entry/{key}", s.authed(s.handleGet))
-	mux.HandleFunc("PUT /entry/{key}", s.authed(s.handlePut))
+	mux.HandleFunc("GET /entry/{key}", s.authed(s.drainGate(s.handleGet)))
+	mux.HandleFunc("PUT /entry/{key}", s.authed(s.drainGate(s.handlePut)))
 	mux.HandleFunc("GET /stats", s.authed(s.handleStats))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -194,6 +217,22 @@ func (s *Server) authed(h http.HandlerFunc) http.HandlerFunc {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="remotecache"`)
 			writeError(w, &apiError{status: http.StatusUnauthorized, Code: CodeUnauthorized,
 				Message: "missing or invalid bearer token"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// drainGate refuses data requests once BeginDrain has fired: a stable
+// 503 draining envelope plus Retry-After, so clients back off instead
+// of eating a torn connection when the listener closes moments later.
+func (s *Server) drainGate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.drained.Add(1)
+			s.reg.Counter("remotecached.drained_requests").Add(1)
+			writeError(w, &apiError{status: http.StatusServiceUnavailable, retryAfter: 1,
+				Code: CodeDraining, Message: "server is draining for shutdown"})
 			return
 		}
 		h(w, r)
@@ -222,6 +261,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			Sweeps:     s.gcSweeps.Load(),
 			Expired:    s.gcExpired.Load(),
 		},
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
 	}
 	if st.Degraded {
 		resp.Status = "degraded"
@@ -326,5 +371,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		e.RetryAfter = e.retryAfter
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	writeJSON(w, e.status, map[string]*apiError{"error": e})
 }

@@ -15,6 +15,21 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# -short gates the slow soaks (disk-cache fault soak, fleet hedge soak)
+# and the farm e2e; set short=1 to run the fast profile.
+SHORTFLAG=''
+if [ "${short:-0}" = 1 ]; then
+	SHORTFLAG='-short'
+fi
+
+echo '== hygiene: gofmt -l'
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo '== tier-1: go build ./...'
 go build ./...
 
@@ -24,8 +39,8 @@ go vet ./...
 echo '== tier-1: go test ./...'
 go test ./...
 
-echo '== race: go test -race ./internal/pipeline/... ./internal/oracle/...'
-go test -race ./internal/pipeline/... ./internal/oracle/...
+echo "== race: go test -race $SHORTFLAG ./internal/pipeline/... ./internal/oracle/..."
+go test -race $SHORTFLAG ./internal/pipeline/... ./internal/oracle/...
 
 # The observability subsystem's whole point is concurrent-safe counters
 # and per-worker span shards, so its suite always runs under the race
@@ -36,10 +51,6 @@ go test -race ./internal/obs/...
 # The diskcache suite includes the deterministic fault-injection soak
 # (TestFaultSoak), which is skipped under -short; the race run below
 # executes it in full unless short=1.
-SHORTFLAG=''
-if [ "${short:-0}" = 1 ]; then
-	SHORTFLAG='-short'
-fi
 echo "== race: go test -race $SHORTFLAG ./internal/diskcache/..."
 go test -race $SHORTFLAG ./internal/diskcache/...
 
@@ -70,10 +81,13 @@ echo '== e2e: go test -race -run TestJournalCrashRecoverySmoke ./cmd/ccmd/'
 go test -race -run TestJournalCrashRecoverySmoke ./cmd/ccmd/
 
 # The remote cache tier (client breaker/retries/verification, server
-# ingest verification, fault-injecting RoundTripper) is concurrent by
-# construction; its suite always runs under the race detector.
-echo '== race: go test -race ./internal/remotecache/...'
-go test -race ./internal/remotecache/...
+# ingest verification, fault-injecting RoundTripper) and the replicated
+# fleet on top of it (rendezvous placement, failover walk, hedged
+# reads, read-repair) are concurrent by construction; the suite always
+# runs under the race detector. The fleet hedge soak is skipped under
+# -short.
+echo "== race: go test -race $SHORTFLAG ./internal/remotecache/..."
+go test -race $SHORTFLAG ./internal/remotecache/...
 
 # Cache-daemon e2e smoke: build the real ccmcached binary, round-trip an
 # entry byte-identically, reject a corrupt upload at the door, SIGTERM,
@@ -85,7 +99,10 @@ go test -race -run TestCacheDaemonSmoke ./cmd/ccmcached/
 # reproduce the solo table byte-identically, a warm second pass must
 # serve every artifact from the remote tier, and a worker killed
 # mid-run must fail the whole farm loudly instead of a partial table.
-echo '== e2e: go test -run "TestFarmMatchesSolo|TestFarmWorkerFailureFailsLoudly" ./cmd/ccmbench/'
-go test -run 'TestFarmMatchesSolo|TestFarmWorkerFailureFailsLoudly' ./cmd/ccmbench/
+# The fleet variant SIGKILLs one of two cache nodes between passes and
+# requires the same bytes plus nonzero failovers. All three e2e runs
+# are skipped under -short.
+echo "== e2e: go test $SHORTFLAG -run 'TestFarmMatchesSolo|TestFarmWorkerFailureFailsLoudly|TestFarmFleetFailoverTransparent' ./cmd/ccmbench/"
+go test $SHORTFLAG -run 'TestFarmMatchesSolo|TestFarmWorkerFailureFailsLoudly|TestFarmFleetFailoverTransparent' ./cmd/ccmbench/
 
 echo '== verify.sh: all green'
