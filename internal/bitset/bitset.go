@@ -219,6 +219,53 @@ func (s Set) Next(i int) int {
 	return -1
 }
 
+// Arena is a bump allocator for Sets: every New carves words out of one
+// growing backing slice, and Reset recycles the whole region at once.
+// The dataflow passes allocate O(blocks) sets per solve and discard them
+// together, which is exactly the arena lifetime; threading one Arena
+// through a solver turns those transient sets into reused storage
+// (reset-not-realloc). A nil *Arena is valid and falls back to New, so
+// arena-accepting code needs no branching at call sites.
+//
+// Sets carved from an Arena are invalidated by the next Reset; callers
+// must not retain them across it. An Arena is not safe for concurrent
+// use — pool one per worker.
+type Arena struct {
+	buf []uint64
+	off int
+}
+
+// New carves an empty set with capacity n out of the arena (or allocates
+// fresh when a is nil).
+func (a *Arena) New(n int) Set {
+	if a == nil {
+		return New(n)
+	}
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	w := (n + wordBits - 1) / wordBits
+	if a.off+w > len(a.buf) {
+		grown := make([]uint64, max(2*len(a.buf), a.off+w))
+		copy(grown, a.buf[:a.off])
+		a.buf = grown
+	}
+	words := a.buf[a.off : a.off+w : a.off+w]
+	for i := range words {
+		words[i] = 0
+	}
+	a.off += w
+	return Set{words: words, n: n}
+}
+
+// Reset recycles every set carved since the last Reset. The backing
+// storage is kept, so a warmed arena allocates nothing in steady state.
+func (a *Arena) Reset() {
+	if a != nil {
+		a.off = 0
+	}
+}
+
 // String renders the set as "{1, 5, 9}".
 func (s Set) String() string {
 	var b strings.Builder

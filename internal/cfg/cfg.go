@@ -46,13 +46,30 @@ func New(f *ir.Func) (*Graph, error) {
 		if t == nil {
 			return nil, fmt.Errorf("cfg: %s: block %s lacks a terminator", f.Name, b.Name)
 		}
-		for _, label := range t.Targets() {
+		// Switch on the terminator directly rather than going through
+		// Targets(), which materializes a fresh slice per call — this loop
+		// is on the allocator's per-round rebuild path.
+		addEdge := func(label string) error {
 			j, ok := index[label]
 			if !ok {
-				return nil, fmt.Errorf("cfg: %s: block %s branches to unknown label %q", f.Name, b.Name, label)
+				return fmt.Errorf("cfg: %s: block %s branches to unknown label %q", f.Name, b.Name, label)
 			}
 			g.Succs[i] = append(g.Succs[i], j)
 			g.Preds[j] = append(g.Preds[j], i)
+			return nil
+		}
+		switch t.Op {
+		case ir.OpJmp:
+			if err := addEdge(t.Then); err != nil {
+				return nil, err
+			}
+		case ir.OpCBr:
+			if err := addEdge(t.Then); err != nil {
+				return nil, err
+			}
+			if err := addEdge(t.Else); err != nil {
+				return nil, err
+			}
 		}
 	}
 	g.computeRPO()
@@ -88,10 +105,11 @@ func (g *Graph) computeRPO() {
 		g.rpoIndex[i] = -1
 	}
 	visited := make([]bool, n)
-	var po []int
+	po := make([]int, 0, n)
 	// Iterative DFS to avoid deep recursion on generated programs.
 	type frame struct{ b, next int }
-	stack := []frame{{0, 0}}
+	stack := make([]frame, 1, n)
+	stack[0] = frame{0, 0}
 	visited[0] = true
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
@@ -198,7 +216,16 @@ func (g *Graph) DomFrontier(b int) []int { return g.frontier[b] }
 func (g *Graph) computeFrontiers() {
 	n := g.NumBlocks()
 	g.frontier = make([][]int, n)
-	inFrontier := make([]map[int]bool, n)
+	// lastAdded[runner] stamps the most recent join node added to runner's
+	// frontier. The outer loop visits each join node b exactly once, so a
+	// duplicate can only arise from two predecessors of the same b walking
+	// through one runner — a stamp check replaces the per-runner map the
+	// old implementation allocated (a measurable share of cfg.New's cost
+	// on the allocator's rebuild path).
+	lastAdded := make([]int, n)
+	for i := range lastAdded {
+		lastAdded[i] = -1
+	}
 	entry := -1
 	if len(g.rpo) > 0 {
 		entry = g.rpo[0]
@@ -216,13 +243,11 @@ func (g *Graph) computeFrontiers() {
 			}
 			runner := p
 			for runner != g.idom[b] && runner != -1 {
-				if inFrontier[runner] == nil {
-					inFrontier[runner] = map[int]bool{}
+				if lastAdded[runner] == b {
+					break // this runner chain already recorded b (and so did its dominators)
 				}
-				if !inFrontier[runner][b] {
-					inFrontier[runner][b] = true
-					g.frontier[runner] = append(g.frontier[runner], b)
-				}
+				lastAdded[runner] = b
+				g.frontier[runner] = append(g.frontier[runner], b)
 				runner = g.idom[runner]
 			}
 		}
@@ -237,7 +262,15 @@ func (g *Graph) computeLoopDepth() {
 	n := g.NumBlocks()
 	g.depth = make([]int, n)
 	// Back edge t -> h where h dominates t; the natural loop is h plus all
-	// nodes that reach t without passing through h.
+	// nodes that reach t without passing through h. One membership buffer
+	// is shared across back edges, generation-stamped so each edge starts
+	// from an empty set without a per-edge allocation or clear.
+	inLoop := make([]int, n)
+	for i := range inLoop {
+		inLoop[i] = -1
+	}
+	var stack []int
+	gen := 0
 	for t := 0; t < n; t++ {
 		if !g.Reachable(t) {
 			continue
@@ -246,27 +279,27 @@ func (g *Graph) computeLoopDepth() {
 			if !g.Dominates(h, t) {
 				continue
 			}
-			inLoop := make([]bool, n)
-			inLoop[h] = true
-			stack := []int{t}
+			inLoop[h] = gen
+			stack = append(stack[:0], t)
 			for len(stack) > 0 {
 				x := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
-				if inLoop[x] {
+				if inLoop[x] == gen {
 					continue
 				}
-				inLoop[x] = true
+				inLoop[x] = gen
 				for _, p := range g.Preds[x] {
-					if g.Reachable(p) && !inLoop[p] {
+					if g.Reachable(p) && inLoop[p] != gen {
 						stack = append(stack, p)
 					}
 				}
 			}
 			for b := 0; b < n; b++ {
-				if inLoop[b] {
+				if inLoop[b] == gen {
 					g.depth[b]++
 				}
 			}
+			gen++
 		}
 	}
 }

@@ -17,6 +17,24 @@ func NewMatrix(n int) *Matrix {
 	return &Matrix{n: n, bits: make([]uint64, (total+63)/64)}
 }
 
+// Reset reinitializes m as an empty n×n matrix, reusing the backing
+// storage when it is large enough. The allocators rebuild their
+// interference matrices every round; Reset lets a pooled matrix absorb
+// those rebuilds without reallocating.
+func (m *Matrix) Reset(n int) {
+	total := n * (n + 1) / 2
+	words := (total + 63) / 64
+	if cap(m.bits) < words {
+		m.bits = make([]uint64, words)
+	} else {
+		m.bits = m.bits[:words]
+		for i := range m.bits {
+			m.bits[i] = 0
+		}
+	}
+	m.n = n
+}
+
 // Len returns the node count.
 func (m *Matrix) Len() int { return m.n }
 

@@ -104,7 +104,23 @@ type Func struct {
 	NumFloat   int   // physical float registers (when Allocated)
 	FrameBytes int64 // activation-record size for heavyweight spills
 	CCMBytes   int64 // bytes of CCM this function's own code touches
+
+	// frozen marks a function as immutable shared state: the compile
+	// cache freezes bodies on store and hands them out by reference, so
+	// a consumer that wants to mutate must take a Clone first (Clone
+	// always yields a mutable copy). The flag is unexported and so
+	// invisible to encoding/json — frozen-ness is a property of the
+	// in-memory sharing scheme, never of a serialized artifact.
+	frozen bool
 }
+
+// Freeze marks f immutable. There is no Unfreeze: the only way back to a
+// mutable function is Clone.
+func (f *Func) Freeze() { f.frozen = true }
+
+// Frozen reports whether f is shared immutable state that must be cloned
+// before mutation.
+func (f *Func) Frozen() bool { return f.frozen }
 
 // NewReg appends a fresh register of class c and returns its name.
 func (f *Func) NewReg(c Class, name string) Reg {
@@ -231,7 +247,9 @@ func (p *Program) Clone() *Program {
 	return q
 }
 
-// Clone deep-copies the function.
+// Clone deep-copies the function. The copy is always mutable, whatever
+// the receiver's frozen state: Clone is the copy-on-write point of the
+// cache's sharing scheme.
 func (f *Func) Clone() *Func {
 	nf := &Func{
 		Name:       f.Name,
@@ -244,13 +262,28 @@ func (f *Func) Clone() *Func {
 		FrameBytes: f.FrameBytes,
 		CCMBytes:   f.CCMBytes,
 	}
-	for _, b := range f.Blocks {
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for bi, b := range f.Blocks {
 		nb := &Block{Name: b.Name, Index: b.Index, Instrs: make([]Instr, len(b.Instrs))}
+		// All argument slices of a block share one backing array instead
+		// of one tiny allocation per instruction. The three-index
+		// reslices cap each view exactly, so a later append to one
+		// instruction's Args reallocates that slice rather than
+		// clobbering its neighbor's storage.
+		total := 0
+		for i := range b.Instrs {
+			total += len(b.Instrs[i].Args)
+		}
+		args := make([]Reg, 0, total)
 		for i, in := range b.Instrs {
-			in.Args = append([]Reg(nil), in.Args...)
+			if len(in.Args) > 0 {
+				lo := len(args)
+				args = append(args, in.Args...)
+				in.Args = args[lo:len(args):len(args)]
+			}
 			nb.Instrs[i] = in
 		}
-		nf.Blocks = append(nf.Blocks, nb)
+		nf.Blocks[bi] = nb
 	}
 	return nf
 }

@@ -80,7 +80,11 @@ func VerifyFunc(f *Func, prog *Program, opts VerifyOptions) error {
 		labels[b.Name] = b
 	}
 
-	checkReg := func(b *Block, r Reg, want Class, what string) error {
+	// The label describing a checked register ("mul arg 1", "param 0") is
+	// carried as a regLabel value and rendered only when a check fails:
+	// building it eagerly put a fmt.Sprintf on every argument of every
+	// instruction, one of the hottest allocation sites of a cold compile.
+	checkReg := func(b *Block, r Reg, want Class, what regLabel) error {
 		if r == NoReg || int(r) >= len(f.Regs) {
 			return errf("block %s: %s register %d out of range", b.Name, what, r)
 		}
@@ -96,7 +100,7 @@ func VerifyFunc(f *Func, prog *Program, opts VerifyOptions) error {
 	}
 
 	for pi, pr := range f.Params {
-		if err := checkReg(f.Blocks[0], pr, ClassNone, fmt.Sprintf("param %d", pi)); err != nil {
+		if err := checkReg(f.Blocks[0], pr, ClassNone, regLabel{what: "param", idx: pi}); err != nil {
 			return err
 		}
 		for pj := 0; pj < pi; pj++ {
@@ -134,24 +138,63 @@ func VerifyFunc(f *Func, prog *Program, opts VerifyOptions) error {
 				return err
 			}
 		}
-		for _, t := range b.Term().Targets() {
+		term := b.Term()
+		checkTarget := func(t string) error {
 			if labels[t] == nil {
 				return errf("block %s branches to unknown label %q", b.Name, t)
+			}
+			return nil
+		}
+		switch term.Op {
+		case OpJmp:
+			if err := checkTarget(term.Then); err != nil {
+				return err
+			}
+		case OpCBr:
+			if err := checkTarget(term.Then); err != nil {
+				return err
+			}
+			if err := checkTarget(term.Else); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
 }
 
+// regLabel names a checked register position without allocating: the
+// human-readable form ("mul arg 1", "call result") is composed in String,
+// which runs only inside error formatting.
+type regLabel struct {
+	what  string
+	op    Op
+	hasOp bool
+	idx   int // appended when >= 0
+}
+
+// plainLabel builds a label with no op prefix and no index.
+func plainLabel(what string) regLabel { return regLabel{what: what, idx: -1} }
+
+func (l regLabel) String() string {
+	s := l.what
+	if l.hasOp {
+		s = l.op.String() + " " + s
+	}
+	if l.idx >= 0 {
+		s = fmt.Sprintf("%s %d", s, l.idx)
+	}
+	return s
+}
+
 func verifyInstr(f *Func, prog *Program, b *Block, in *Instr,
-	checkReg func(*Block, Reg, Class, string) error,
+	checkReg func(*Block, Reg, Class, regLabel) error,
 	errf func(string, ...any) error) error {
 
 	// Destination.
 	switch in.Op {
 	case OpCall:
 		if in.Dst != NoReg {
-			if err := checkReg(b, in.Dst, ClassNone, "call result"); err != nil {
+			if err := checkReg(b, in.Dst, ClassNone, plainLabel("call result")); err != nil {
 				return err
 			}
 		}
@@ -159,7 +202,7 @@ func verifyInstr(f *Func, prog *Program, b *Block, in *Instr,
 		if in.Dst == NoReg {
 			return errf("block %s: phi without destination", b.Name)
 		}
-		if err := checkReg(b, in.Dst, ClassNone, "phi result"); err != nil {
+		if err := checkReg(b, in.Dst, ClassNone, plainLabel("phi result")); err != nil {
 			return err
 		}
 	default:
@@ -172,7 +215,7 @@ func verifyInstr(f *Func, prog *Program, b *Block, in *Instr,
 			if in.Dst == NoReg {
 				return errf("block %s: %s requires a destination", b.Name, in.Op)
 			}
-			if err := checkReg(b, in.Dst, want, in.Op.String()+" result"); err != nil {
+			if err := checkReg(b, in.Dst, want, regLabel{what: "result", op: in.Op, hasOp: true, idx: -1}); err != nil {
 				return err
 			}
 		}
@@ -192,7 +235,7 @@ func verifyInstr(f *Func, prog *Program, b *Block, in *Instr,
 			}
 			for i, a := range in.Args {
 				want := callee.RegClass(callee.Params[i])
-				if err := checkReg(b, a, want, fmt.Sprintf("call arg %d", i)); err != nil {
+				if err := checkReg(b, a, want, regLabel{what: "call arg", idx: i}); err != nil {
 					return err
 				}
 			}
@@ -200,13 +243,13 @@ func verifyInstr(f *Func, prog *Program, b *Block, in *Instr,
 				if callee.RetClass == ClassNone {
 					return errf("block %s: call %s captures result of void function", b.Name, in.Sym)
 				}
-				if err := checkReg(b, in.Dst, callee.RetClass, "call result"); err != nil {
+				if err := checkReg(b, in.Dst, callee.RetClass, plainLabel("call result")); err != nil {
 					return err
 				}
 			}
 		} else {
 			for i, a := range in.Args {
-				if err := checkReg(b, a, ClassNone, fmt.Sprintf("call arg %d", i)); err != nil {
+				if err := checkReg(b, a, ClassNone, regLabel{what: "call arg", idx: i}); err != nil {
 					return err
 				}
 			}
@@ -221,14 +264,14 @@ func verifyInstr(f *Func, prog *Program, b *Block, in *Instr,
 			if len(in.Args) != 1 {
 				return errf("block %s: ret must return one value", b.Name)
 			}
-			if err := checkReg(b, in.Args[0], f.RetClass, "ret value"); err != nil {
+			if err := checkReg(b, in.Args[0], f.RetClass, plainLabel("ret value")); err != nil {
 				return err
 			}
 		}
 	case OpPhi:
 		want := f.RegClass(in.Dst)
 		for i, a := range in.Args {
-			if err := checkReg(b, a, want, fmt.Sprintf("phi arg %d", i)); err != nil {
+			if err := checkReg(b, a, want, regLabel{what: "phi arg", idx: i}); err != nil {
 				return err
 			}
 		}
@@ -238,7 +281,7 @@ func verifyInstr(f *Func, prog *Program, b *Block, in *Instr,
 			return errf("block %s: %s has %d operands, want %d", b.Name, in.Op, len(in.Args), want)
 		}
 		for i, a := range in.Args {
-			if err := checkReg(b, a, in.Op.ArgClass(i), fmt.Sprintf("%s arg %d", in.Op, i)); err != nil {
+			if err := checkReg(b, a, in.Op.ArgClass(i), regLabel{what: "arg", op: in.Op, hasOp: true, idx: i}); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,84 @@
+package liveness
+
+import (
+	"testing"
+
+	"ccmem/internal/bitset"
+)
+
+// TestAllocGuardArenaReuse pins the reset-not-realloc discipline: once
+// the arena has grown to a solve's working-set size, repeated solves of
+// the same shape allocate only the fixed per-call bookkeeping (Result,
+// slice headers, worklist) — every bitset is carved from recycled arena
+// memory. The ceiling is deliberately a small constant, independent of
+// block and register counts; losing the arena path multiplies it by the
+// number of sets per solve.
+func TestAllocGuardArenaReuse(t *testing.T) {
+	f, g := parse(t, `
+func f() {
+entry:
+	r0 = loadi 0
+	r1 = loadi 64
+	r2 = loadi 1
+	jmp head
+head:
+	r3 = cmplt r0, r1
+	cbr r3, body, exit
+body:
+	r4 = add r0, r2
+	r5 = mul r4, r2
+	r0 = add r5, r2
+	jmp head
+exit:
+	emit r0
+	ret
+}
+`)
+	var ar bitset.Arena
+	RegistersIn(&ar, f, g) // warm: grows the arena once
+	avg := testing.AllocsPerRun(50, func() {
+		ar.Reset()
+		if res := RegistersIn(&ar, f, g); len(res.In) != g.NumBlocks() {
+			t.Fatal("solve shape changed")
+		}
+	})
+	t.Logf("warm RegistersIn: %.1f allocs/op over %d blocks", avg, g.NumBlocks())
+	const ceiling = 24
+	if avg > ceiling {
+		t.Errorf("warm arena solve allocates %.1f/op, over the %d ceiling — arena reuse regressed", avg, ceiling)
+	}
+}
+
+// TestAllocGuardArenaVsFresh is the comparative half of the guard: the
+// warm-arena solve must allocate strictly less than the nil-arena path,
+// which pays one heap allocation per bitset.
+func TestAllocGuardArenaVsFresh(t *testing.T) {
+	f, g := parse(t, `
+func f() {
+entry:
+	r0 = loadi 1
+	r1 = loadi 2
+	jmp mid
+mid:
+	r2 = add r0, r1
+	r3 = cmplt r2, r1
+	cbr r3, mid, exit
+exit:
+	emit r2
+	ret
+}
+`)
+	var ar bitset.Arena
+	RegistersIn(&ar, f, g)
+	warm := testing.AllocsPerRun(50, func() {
+		ar.Reset()
+		RegistersIn(&ar, f, g)
+	})
+	fresh := testing.AllocsPerRun(50, func() {
+		RegistersIn(nil, f, g)
+	})
+	t.Logf("warm arena: %.1f allocs/op, nil arena: %.1f allocs/op", warm, fresh)
+	if warm >= fresh {
+		t.Errorf("warm arena solve (%.1f allocs/op) is not cheaper than the fresh path (%.1f)", warm, fresh)
+	}
+}

@@ -23,6 +23,13 @@ type Result struct {
 // postorder. edgeUse may be nil; when present it supplies facts used on the
 // edge b→s (phi arguments). All sets must share one capacity.
 func Backward(g *cfg.Graph, use, def []bitset.Set, edgeUse func(from, to int) bitset.Set) *Result {
+	return BackwardIn(nil, g, use, def, edgeUse)
+}
+
+// BackwardIn is Backward with every transient set carved from ar
+// (reset-not-realloc; nil behaves like Backward). The returned Result's
+// sets live in the arena and are invalidated by its next Reset.
+func BackwardIn(ar *bitset.Arena, g *cfg.Graph, use, def []bitset.Set, edgeUse func(from, to int) bitset.Set) *Result {
 	n := g.NumBlocks()
 	if n == 0 {
 		return &Result{}
@@ -30,8 +37,8 @@ func Backward(g *cfg.Graph, use, def []bitset.Set, edgeUse func(from, to int) bi
 	capBits := use[0].Len()
 	res := &Result{In: make([]bitset.Set, n), Out: make([]bitset.Set, n)}
 	for i := 0; i < n; i++ {
-		res.In[i] = bitset.New(capBits)
-		res.Out[i] = bitset.New(capBits)
+		res.In[i] = ar.New(capBits)
+		res.Out[i] = ar.New(capBits)
 	}
 	po := g.Postorder()
 	inWorklist := make([]bool, n)
@@ -40,7 +47,7 @@ func Backward(g *cfg.Graph, use, def []bitset.Set, edgeUse func(from, to int) bi
 		worklist = append(worklist, b)
 		inWorklist[b] = true
 	}
-	tmp := bitset.New(capBits)
+	tmp := ar.New(capBits)
 	for len(worklist) > 0 {
 		b := worklist[0]
 		worklist = worklist[1:]
@@ -76,13 +83,19 @@ func Backward(g *cfg.Graph, use, def []bitset.Set, edgeUse func(from, to int) bi
 // handled SSA-style: a phi's arguments are live at the end of the
 // corresponding predecessor, and its result is defined at block entry.
 func Registers(f *ir.Func, g *cfg.Graph) *Result {
+	return RegistersIn(nil, f, g)
+}
+
+// RegistersIn is Registers with all per-solve sets carved from ar (nil
+// behaves like Registers). The Result is invalidated by ar's next Reset.
+func RegistersIn(ar *bitset.Arena, f *ir.Func, g *cfg.Graph) *Result {
 	n := g.NumBlocks()
 	nr := len(f.Regs)
 	use := make([]bitset.Set, n)
 	def := make([]bitset.Set, n)
 	for i := 0; i < n; i++ {
-		use[i] = bitset.New(nr)
-		def[i] = bitset.New(nr)
+		use[i] = ar.New(nr)
+		def[i] = ar.New(nr)
 	}
 	// edgeUses[s] is indexed by the position of the predecessor in
 	// g.Preds[s], matching phi-argument order.
@@ -99,7 +112,7 @@ func Registers(f *ir.Func, g *cfg.Graph) *Result {
 					key := [2]int{p, bi}
 					s, ok := edgeUses[key]
 					if !ok {
-						s = bitset.New(nr)
+						s = ar.New(nr)
 						edgeUses[key] = s
 					}
 					s.Set(int(a))
@@ -121,7 +134,7 @@ func Registers(f *ir.Func, g *cfg.Graph) *Result {
 	}
 	var edge func(from, to int) bitset.Set
 	if len(edgeUses) > 0 {
-		empty := bitset.New(nr)
+		empty := ar.New(nr)
 		edge = func(from, to int) bitset.Set {
 			if s, ok := edgeUses[[2]int{from, to}]; ok {
 				return s
@@ -129,5 +142,5 @@ func Registers(f *ir.Func, g *cfg.Graph) *Result {
 			return empty
 		}
 	}
-	return Backward(g, use, def, edge)
+	return BackwardIn(ar, g, use, def, edge)
 }

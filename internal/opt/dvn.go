@@ -1,12 +1,23 @@
 package opt
 
 import (
-	"fmt"
 	"math"
 
 	"ccmem/internal/ir"
 	"ccmem/internal/ssa"
 )
+
+// vnKey identifies a pure value for dominator-scoped value numbering:
+// the op, its (commutatively normalized) operands, and the immediate or
+// symbol for constant producers. Comparable, so it keys a map without
+// the string formatting the previous implementation paid per
+// instruction.
+type vnKey struct {
+	op     ir.Op
+	a0, a1 ir.Reg
+	imm    int64
+	sym    string
+}
 
 // ValueNumber performs dominator-scoped value numbering over SSA: pure
 // expressions are hashed in a scope that follows the dominator tree, so a
@@ -31,7 +42,7 @@ func ValueNumber(info *ssa.Info, st *Stats) {
 	constI := map[ir.Reg]int64{}
 	constF := map[ir.Reg]float64{}
 
-	table := map[string]ir.Reg{}
+	table := map[vnKey]ir.Reg{}
 	children := make([][]int, g.NumBlocks())
 	for b := 0; b < g.NumBlocks(); b++ {
 		if d := g.Idom(b); d >= 0 {
@@ -39,36 +50,47 @@ func ValueNumber(info *ssa.Info, st *Stats) {
 		}
 	}
 
-	// setConst registers dst as a constant and hashes it so later loadi of
-	// the same value reuses the register.
-	makeKey := func(in *ir.Instr) (string, bool) {
+	// makeKey hashes a pure instruction as a comparable struct (op, two
+	// normalized operands, immediate, symbol) — building the key used to
+	// fmt.Sprintf into a fresh string per instruction, a hot allocation
+	// site on cold compiles. Constants fold the immediate into the key
+	// (the float via its bit pattern, so every NaN payload hashes
+	// distinctly and -0.0 stays distinct from 0.0).
+	makeKey := func(in *ir.Instr) (vnKey, bool) {
 		switch in.Op {
 		case ir.OpLoadI:
-			return fmt.Sprintf("ci:%d", in.Imm), true
+			return vnKey{op: ir.OpLoadI, imm: in.Imm, a0: ir.NoReg, a1: ir.NoReg}, true
 		case ir.OpLoadF:
-			return fmt.Sprintf("cf:%x", math.Float64bits(in.FImm)), true
+			return vnKey{op: ir.OpLoadF, imm: int64(math.Float64bits(in.FImm)), a0: ir.NoReg, a1: ir.NoReg}, true
 		case ir.OpAddr:
-			return fmt.Sprintf("addr:%s:%d", in.Sym, in.Imm), true
+			return vnKey{op: ir.OpAddr, sym: in.Sym, imm: in.Imm, a0: ir.NoReg, a1: ir.NoReg}, true
 		}
 		if in.Op.HasSideEffects() || in.Op.IsMemOp() || in.Op == ir.OpPhi ||
 			in.Op == ir.OpCopy || in.Op == ir.OpFCopy || in.Dst == ir.NoReg {
-			return "", false
+			return vnKey{}, false
 		}
-		a := in.Args
-		if in.Op.IsCommutative() && len(a) == 2 && a[1] < a[0] {
-			a = []ir.Reg{a[1], a[0]}
+		k := vnKey{op: in.Op, a0: ir.NoReg, a1: ir.NoReg}
+		switch len(in.Args) {
+		case 0:
+			// nothing to add: the op alone identifies the value
+		case 1:
+			k.a0 = in.Args[0]
+		case 2:
+			k.a0, k.a1 = in.Args[0], in.Args[1]
+			if in.Op.IsCommutative() && k.a1 < k.a0 {
+				k.a0, k.a1 = k.a1, k.a0
+			}
+		default:
+			// Pure ops are at most binary; anything wider is not hashed.
+			return vnKey{}, false
 		}
-		key := fmt.Sprintf("%d:", in.Op)
-		for _, x := range a {
-			key += fmt.Sprintf("%d,", x)
-		}
-		return key, true
+		return k, true
 	}
 
 	var visit func(b int)
 	visit = func(b int) {
 		blk := f.Blocks[b]
-		var added []string
+		var added []vnKey
 		for ii := range blk.Instrs {
 			in := &blk.Instrs[ii]
 			for ai := range in.Args {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,13 +29,20 @@ type digest [32]byte
 // The read path is memory → disk → remote → miss: a lower-tier hit is
 // decoded, verified, and promoted into every tier above it; a decode
 // failure withdraws the entry (disk quarantine / remote reclassify) and
-// reads as a miss. The write path is write-through to memory and disk
-// and write-behind to the remote tier (asynchronous, bounded, never
-// blocking a compile). A failing disk or a sick remote tier therefore
-// degrades this cache to exactly its upper-tier behavior.
+// reads as a miss. Persistent tiers are probed for the current binary
+// payload kind first and the legacy JSON kind second, so a cache
+// directory (or remote fleet) written by a previous release keeps
+// serving hits. The write path is write-through to memory and disk and
+// write-behind to the remote tier (asynchronous, bounded, never blocking
+// a compile). A failing disk or a sick remote tier therefore degrades
+// this cache to exactly its upper-tier behavior.
 //
-// Artifacts are stored and returned as deep copies by the driver, so
-// cached state is never aliased by a live compilation.
+// Artifacts are immutable shared state: put freezes every ir.Func in the
+// stored artifact (ir.Func.Freeze), and get hands artifacts out by
+// reference — no defensive deep copy on the hit path. A consumer that
+// wants to mutate a cached function must take ir.Func.Clone first; the
+// pipeline does so lazily, at the first pass that actually rewrites the
+// function, so a program-tier hit performs zero deep clones.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
@@ -42,10 +50,25 @@ type Cache struct {
 	lru     *list.List // front = most recently used
 	disk    *diskcache.Cache
 	remote  remotecache.Tier
+	reg     *obs.Registry
+
+	// legacyPut makes put write persistent entries in the legacy JSON
+	// format (kinds 1-3). Test seam only: it is how the tests fabricate a
+	// previous-release cache directory — and JSON's encode failures —
+	// through the real write path.
+	legacyPut bool
 
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// Encode-failure accounting: artifacts that could not be rendered
+	// for the persistent tiers and silently stayed memory-only used to
+	// be invisible; now they are counted and the first failure is kept
+	// as a one-shot warning surfaced through CacheStats.
+	encodeFailures atomic.Int64
+	warnOnce       sync.Once
+	encodeWarning  atomic.Value // string
 
 	// Whole-cache outcome counters, recorded at lookup resolution: a
 	// lookup served from either tier is one wholeHit, a lookup that fell
@@ -107,17 +130,53 @@ func (c *Cache) Remote() remotecache.Tier {
 	return c.remote
 }
 
+// SetMetrics attaches a counter registry; encode failures are reported
+// to it as pipeline.encode_failures. Nil detaches.
+func (c *Cache) SetMetrics(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+}
+
 // kindName labels an artifact kind in spans.
 func kindName(kind uint32) string {
 	switch kind {
 	case diskKindFront:
-		return "front"
+		return "front-v1"
 	case diskKindBack:
-		return "back"
+		return "back-v1"
 	case diskKindProgram:
+		return "program-v1"
+	case diskKindFrontV2:
+		return "front"
+	case diskKindBackV2:
+		return "back"
+	case diskKindProgramV2:
 		return "program"
 	}
 	return "unknown"
+}
+
+// freezeArtifact marks every function in a cached artifact immutable;
+// from then on the artifact may be shared by reference across compiles
+// and workers (see the Cache doc comment).
+func freezeArtifact(v any) {
+	switch a := v.(type) {
+	case *frontArtifact:
+		if a.fn != nil {
+			a.fn.Freeze()
+		}
+	case *backArtifact:
+		if a.fn != nil {
+			a.fn.Freeze()
+		}
+	case *programArtifact:
+		for _, f := range a.funcs {
+			if f != nil {
+				f.Freeze()
+			}
+		}
+	}
 }
 
 // get looks k up memory-first, then disk, then remote. sh, when
@@ -149,6 +208,7 @@ func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
 		sh.Record("cache:mem", "cache", t0, time.Since(t0),
 			obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: "miss"})
 	}
+	legacy := legacyKind(kind)
 	if disk != nil {
 		var t1 time.Time
 		if sh != nil {
@@ -160,9 +220,12 @@ func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
 					obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: result})
 			}
 		}
-		payload, ok := disk.Get(diskcache.Key(k), kind)
+		// One read serves both codec versions: GetAny accepts the binary
+		// kind and the legacy JSON kind without quarantining either, so a
+		// directory written by a previous release keeps serving hits.
+		payload, gotKind, ok := disk.GetAny(diskcache.Key(k), kind, legacy)
 		if ok {
-			v, err := decodeArtifact(kind, payload)
+			v, err := decodeArtifact(gotKind, payload)
 			if err != nil {
 				// The entry's bytes verified but its payload is garbage: a
 				// foreign or buggy writer. Withdraw it and read as a miss
@@ -170,6 +233,7 @@ func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
 				disk.ReportDecodeFailure(diskcache.Key(k))
 				diskSpan("miss")
 			} else {
+				freezeArtifact(v)
 				c.wholeHits.Add(1)
 				diskSpan("hit")
 				// Promote into memory so repeat lookups skip the disk; no
@@ -197,13 +261,25 @@ func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
 				obs.Attr{Key: "kind", Value: kindName(kind)}, obs.Attr{Key: "result", Value: result})
 		}
 	}
+	// The remote protocol addresses entries by (key, kind), so version
+	// fallback is a second lookup: current kind first, legacy JSON kind
+	// only after a miss. An up-to-date server answers the legacy probe
+	// from the same store; a previous-release server quarantines its own
+	// entry on the unknown-kind probe and both probes miss — a clean,
+	// self-healing miss (the recompile re-stores the entry as v2), never
+	// a wrong artifact.
+	gotKind := kind
 	payload, ok := remote.Get(diskcache.Key(k), kind)
+	if !ok && legacy != kind {
+		gotKind = legacy
+		payload, ok = remote.Get(diskcache.Key(k), legacy)
+	}
 	if !ok {
 		c.wholeMisses.Add(1)
 		remoteSpan("miss")
 		return nil, false
 	}
-	v, err := decodeArtifact(kind, payload)
+	v, err := decodeArtifact(gotKind, payload)
 	if err != nil {
 		// Checksum-consistent bytes from a buggy writer: reclassify the
 		// remote hit as a miss and fall through to a real compile.
@@ -212,31 +288,55 @@ func (c *Cache) get(k digest, kind uint32, sh *obs.Shard) (any, bool) {
 		remoteSpan("miss")
 		return nil, false
 	}
+	freezeArtifact(v)
 	c.wholeHits.Add(1)
 	remoteSpan("hit")
 	// Promote into memory and disk so repeat lookups — and future
-	// process restarts — stop paying for the network.
+	// process restarts — stop paying for the network. The payload keeps
+	// the kind it was served under; a legacy entry upgrades to v2 when
+	// it is eventually recompiled or evicted, not here.
 	c.mu.Lock()
 	c.insertLocked(k, v)
 	c.mu.Unlock()
 	if disk != nil {
-		disk.Put(diskcache.Key(k), kind, payload)
+		disk.Put(diskcache.Key(k), gotKind, payload)
 	}
 	return v, true
 }
 
 func (c *Cache) put(k digest, kind uint32, v any) {
+	// Frozen before it is shared: from the moment the artifact enters the
+	// memory tier, concurrent compiles may hold references to it.
+	freezeArtifact(v)
 	c.mu.Lock()
 	c.insertLocked(k, v)
 	disk := c.disk
 	remote := c.remote
+	reg := c.reg
+	if c.legacyPut {
+		kind = legacyKind(kind)
+	}
 	c.mu.Unlock()
 	if disk == nil && remote == nil {
 		return
 	}
 	payload, err := encodeArtifact(kind, v)
 	if err != nil {
-		return // unencodable artifact: memory-only, by design
+		// The artifact stays memory-only — correct, but no longer silent:
+		// a writer that can never persist (as every v1 writer compiling a
+		// NaN immediate was) looks exactly like a healthy one from the
+		// outside, so the failure is counted and the first instance kept
+		// as a one-shot warning in CacheStats.
+		c.encodeFailures.Add(1)
+		c.warnOnce.Do(func() {
+			c.encodeWarning.Store(fmt.Sprintf(
+				"artifact %s could not be encoded for the persistent tiers and stayed memory-only: %v",
+				kindName(kind), err))
+		})
+		if reg != nil {
+			reg.Counter("pipeline.encode_failures").Inc()
+		}
+		return
 	}
 	if disk != nil {
 		disk.Put(diskcache.Key(k), kind, payload)
@@ -287,16 +387,20 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := CacheStats{
-		Hits:      c.wholeHits.Load(),
-		Misses:    c.wholeMisses.Load(),
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
+		Hits:           c.wholeHits.Load(),
+		Misses:         c.wholeMisses.Load(),
+		Evictions:      c.evictions,
+		Entries:        c.lru.Len(),
+		EncodeFailures: c.encodeFailures.Load(),
 		Memory: TierStats{
 			Hits:      c.hits,
 			Misses:    c.misses,
 			Evictions: c.evictions,
 			Entries:   c.lru.Len(),
 		},
+	}
+	if w, ok := c.encodeWarning.Load().(string); ok {
+		st.EncodeWarning = w
 	}
 	if c.disk != nil {
 		ds := c.disk.Stats()

@@ -11,19 +11,46 @@ import (
 // be decoded as another, even if a key collision were engineered, because
 // the kind is stored in the verified entry header and checked on read.
 // The values are part of the on-disk format — append, never renumber.
+//
+// Kinds 1-3 are the original JSON payloads; kinds 4-6 carry the binary
+// codec v2 payloads (codecv2.go). New artifacts are written as v2; the
+// JSON decoders are kept as read-compatibility fallbacks so a cache
+// directory produced by a previous release either decodes correctly or
+// reads as a clean miss — never as a wrong artifact.
 const (
 	diskKindFront   uint32 = 1
 	diskKindBack    uint32 = 2
 	diskKindProgram uint32 = 3
+
+	diskKindFrontV2   uint32 = 4
+	diskKindBackV2    uint32 = 5
+	diskKindProgramV2 uint32 = 6
 )
 
-// The disk payloads are the JSON encodings of these shadow structs. The
-// IR types are plain exported data, so encoding/json round-trips them
+// legacyKind maps a v2 kind to the JSON kind a previous release would
+// have written under the same key (identity for kinds that already are
+// legacy). The read path probes both; the legacy-write test seam uses it
+// to produce previous-release cache directories.
+func legacyKind(kind uint32) uint32 {
+	switch kind {
+	case diskKindFrontV2:
+		return diskKindFront
+	case diskKindBackV2:
+		return diskKindBack
+	case diskKindProgramV2:
+		return diskKindProgram
+	}
+	return kind
+}
+
+// The v1 disk payloads are the JSON encodings of these shadow structs.
+// The IR types are plain exported data, so encoding/json round-trips them
 // exactly — including the post-allocation metadata (Allocated, frame and
 // CCM sizes, physical register counts, diagnostic register names) that
-// the textual ILOC form deliberately omits. JSON rather than ILOC text is
-// therefore not a convenience: a text round trip would silently strip the
-// metadata the cache keys hash over.
+// the textual ILOC form deliberately omits. The v2 binary payloads carry
+// the same field set in the canonical order of hash.go, plus what JSON
+// cannot: NaN float immediates travel as IEEE-754 bit patterns, so v2
+// encoding is total over real artifacts.
 type diskFront struct {
 	Func   *ir.Func   `json:"func"`
 	Report FuncReport `json:"report"`
@@ -40,12 +67,19 @@ type diskProgram struct {
 	PerFunc map[string]FuncReport `json:"per_func"`
 }
 
-// encodeArtifact renders a cache artifact for the disk tier. An encoding
-// failure (e.g. a NaN float immediate, which JSON cannot carry) is not an
-// event worth failing anything over: the caller skips the disk write and
-// the artifact lives in memory only.
+// encodeArtifact renders a cache artifact for the disk tier. For the v2
+// binary kinds encoding is total in practice; a failure (possible only
+// through the legacy JSON kinds, e.g. a NaN float immediate) makes the
+// caller skip the persistent write, count it, and keep the artifact
+// memory-only.
 func encodeArtifact(kind uint32, v any) ([]byte, error) {
 	switch kind {
+	case diskKindFrontV2:
+		return encodeFrontV2(v.(*frontArtifact)), nil
+	case diskKindBackV2:
+		return encodeBackV2(v.(*backArtifact)), nil
+	case diskKindProgramV2:
+		return encodeProgramV2(v.(*programArtifact)), nil
 	case diskKindFront:
 		a := v.(*frontArtifact)
 		return json.Marshal(&diskFront{Func: a.fn, Report: a.fr})
@@ -63,26 +97,37 @@ func encodeArtifact(kind uint32, v any) ([]byte, error) {
 // in-memory artifact form. The checksum guarantees the bytes are what a
 // writer produced, not that the writer was sane, so the decoded shape is
 // still validated: a malformed payload is an error, which the caller
-// turns into (miss, quarantine) — never a wrong artifact.
+// turns into (miss, quarantine) — never a wrong artifact. Validation is
+// all-or-nothing: nothing in the decoded value is mutated (block
+// renumbering) until every function and cross-field invariant has been
+// checked, so an error never leaves a half-canonicalized artifact behind.
 func decodeArtifact(kind uint32, payload []byte) (any, error) {
 	switch kind {
+	case diskKindFrontV2:
+		return decodeFrontV2(payload)
+	case diskKindBackV2:
+		return decodeBackV2(payload)
+	case diskKindProgramV2:
+		return decodeProgramV2(payload)
 	case diskKindFront:
 		var d diskFront
 		if err := json.Unmarshal(payload, &d); err != nil {
 			return nil, err
 		}
-		if err := checkFunc(d.Func); err != nil {
+		if err := validateFunc(d.Func); err != nil {
 			return nil, err
 		}
+		d.Func.Renumber()
 		return &frontArtifact{fn: d.Func, fr: d.Report}, nil
 	case diskKindBack:
 		var d diskBack
 		if err := json.Unmarshal(payload, &d); err != nil {
 			return nil, err
 		}
-		if err := checkFunc(d.Func); err != nil {
+		if err := validateFunc(d.Func); err != nil {
 			return nil, err
 		}
+		d.Func.Renumber()
 		return &backArtifact{fn: d.Func, compactAfter: d.CompactAfter, webs: d.Webs}, nil
 	case diskKindProgram:
 		var d diskProgram
@@ -92,22 +137,31 @@ func decodeArtifact(kind uint32, payload []byte) (any, error) {
 		if len(d.Funcs) == 0 {
 			return nil, fmt.Errorf("pipeline: disk program artifact has no functions")
 		}
+		seen := make(map[string]bool, len(d.Funcs))
 		for _, f := range d.Funcs {
-			if err := checkFunc(f); err != nil {
+			if err := validateFunc(f); err != nil {
 				return nil, err
 			}
+			if seen[f.Name] {
+				return nil, fmt.Errorf("pipeline: disk program artifact repeats function %q", f.Name)
+			}
+			seen[f.Name] = true
 		}
-		if d.PerFunc == nil {
-			d.PerFunc = map[string]FuncReport{}
+		if err := checkPerFunc(d.Funcs, d.PerFunc); err != nil {
+			return nil, err
+		}
+		for _, f := range d.Funcs {
+			f.Renumber()
 		}
 		return &programArtifact{funcs: d.Funcs, perFunc: d.PerFunc}, nil
 	}
 	return nil, fmt.Errorf("pipeline: unknown disk artifact kind %d", kind)
 }
 
-// checkFunc rejects structurally hollow decoded functions and rebuilds
-// the block indices, the one piece of derived state in the IR.
-func checkFunc(f *ir.Func) error {
+// validateFunc rejects structurally hollow decoded functions. It never
+// mutates f: callers renumber blocks (the one piece of derived state in
+// the IR) only after every sibling of the artifact has validated.
+func validateFunc(f *ir.Func) error {
 	if f == nil {
 		return fmt.Errorf("pipeline: disk artifact has a nil function")
 	}
@@ -119,6 +173,24 @@ func checkFunc(f *ir.Func) error {
 			return fmt.Errorf("pipeline: disk artifact function %q has a nil block", f.Name)
 		}
 	}
-	f.Renumber()
+	return nil
+}
+
+// checkPerFunc rejects a program artifact whose report map disagrees with
+// its function list. The writer records exactly one report per function,
+// so any divergence — a missing report, or a report for a function that
+// is not in the artifact — means the payload did not come from a sane
+// writer and must be quarantined like any other malformed entry rather
+// than served with silently wrong per-function accounting.
+func checkPerFunc(funcs []*ir.Func, perFunc map[string]FuncReport) error {
+	if len(perFunc) != len(funcs) {
+		return fmt.Errorf("pipeline: disk program artifact has %d reports for %d functions",
+			len(perFunc), len(funcs))
+	}
+	for _, f := range funcs {
+		if _, ok := perFunc[f.Name]; !ok {
+			return fmt.Errorf("pipeline: disk program artifact is missing the report for %q", f.Name)
+		}
+	}
 	return nil
 }

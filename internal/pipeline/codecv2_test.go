@@ -1,0 +1,308 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"ccmem/internal/ir"
+	"ccmem/internal/obs"
+	"ccmem/internal/workload"
+)
+
+// codecArtifacts compiles a real workload program cold and shapes the
+// results into one artifact of each kind, so codec tests exercise the
+// exact structures the pipeline persists.
+func codecArtifacts(tb testing.TB) (*frontArtifact, *backArtifact, *programArtifact) {
+	tb.Helper()
+	p := workload.RandomProgram(7)
+	d := New(Options{DisableCache: true})
+	rep, err := d.Compile(p, Config{Strategy: PostPassInterproc, CCMBytes: 512})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	front := &frontArtifact{fn: p.Funcs[0], fr: rep.PerFunc[p.Funcs[0].Name]}
+	back := &backArtifact{fn: p.Funcs[len(p.Funcs)-1], compactAfter: 17, webs: 3}
+	prog := &programArtifact{funcs: p.Funcs, perFunc: rep.PerFunc}
+	return front, back, prog
+}
+
+// TestCodecV2RoundTrip: decode∘encode is the identity on real artifacts,
+// observed through re-encoding (byte equality is stronger than any
+// field-by-field comparison, since the encoding is canonical).
+func TestCodecV2RoundTrip(t *testing.T) {
+	front, back, prog := codecArtifacts(t)
+	for _, tc := range []struct {
+		kind uint32
+		v    any
+	}{
+		{diskKindFrontV2, front},
+		{diskKindBackV2, back},
+		{diskKindProgramV2, prog},
+	} {
+		payload, err := encodeArtifact(tc.kind, tc.v)
+		if err != nil {
+			t.Fatalf("kind %d: encode: %v", tc.kind, err)
+		}
+		got, err := decodeArtifact(tc.kind, payload)
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", tc.kind, err)
+		}
+		re, err := encodeArtifact(tc.kind, got)
+		if err != nil {
+			t.Fatalf("kind %d: re-encode: %v", tc.kind, err)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Errorf("kind %d: decode∘encode is not the identity (%d vs %d bytes)", tc.kind, len(re), len(payload))
+		}
+	}
+}
+
+// TestCodecV1StillDecodes pins the read-compatibility fallback: the JSON
+// payloads a previous release wrote still decode into working artifacts.
+func TestCodecV1StillDecodes(t *testing.T) {
+	front, back, prog := codecArtifacts(t)
+	for _, tc := range []struct {
+		kind uint32
+		v    any
+	}{
+		{diskKindFront, front},
+		{diskKindBack, back},
+		{diskKindProgram, prog},
+	} {
+		payload, err := encodeArtifact(tc.kind, tc.v)
+		if err != nil {
+			t.Fatalf("kind %d: encode: %v", tc.kind, err)
+		}
+		if _, err := decodeArtifact(tc.kind, payload); err != nil {
+			t.Errorf("kind %d: legacy JSON payload no longer decodes: %v", tc.kind, err)
+		}
+	}
+}
+
+// FuzzBinaryArtifactDecode is the hostile-input oracle for codec v2: over
+// arbitrary bytes, every decoder must either reject or produce an
+// artifact whose canonical re-encoding reproduces the input exactly.
+// Decoding must never panic and never accept two encodings of one value.
+func FuzzBinaryArtifactDecode(f *testing.F) {
+	front, back, prog := codecArtifacts(f)
+	fe, be, pe := encodeFrontV2(front), encodeBackV2(back), encodeProgramV2(prog)
+	f.Add(fe)
+	f.Add(be)
+	f.Add(pe)
+	f.Add([]byte{})
+	f.Add([]byte{codecV2Version})
+	f.Add(fe[:len(fe)/2])
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	flipped := bytes.Clone(pe)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if a, err := decodeFrontV2(data); err == nil {
+			if !bytes.Equal(encodeFrontV2(a), data) {
+				t.Fatalf("front decode accepted a non-canonical encoding (%d bytes)", len(data))
+			}
+		}
+		if a, err := decodeBackV2(data); err == nil {
+			if !bytes.Equal(encodeBackV2(a), data) {
+				t.Fatalf("back decode accepted a non-canonical encoding (%d bytes)", len(data))
+			}
+		}
+		if a, err := decodeProgramV2(data); err == nil {
+			if !bytes.Equal(encodeProgramV2(a), data) {
+				t.Fatalf("program decode accepted a non-canonical encoding (%d bytes)", len(data))
+			}
+		}
+	})
+}
+
+// TestProgramDecodeRejectsPerFuncMismatch: a program artifact whose
+// report map disagrees with its function list is malformed in both
+// formats — served per-function accounting must never be silently wrong.
+func TestProgramDecodeRejectsPerFuncMismatch(t *testing.T) {
+	_, _, prog := codecArtifacts(t)
+
+	// v2: drop one report, then point one at a function that isn't there.
+	missing := &programArtifact{funcs: prog.funcs, perFunc: map[string]FuncReport{}}
+	if _, err := decodeProgramV2(encodeProgramV2(missing)); err == nil {
+		t.Error("v2: program with no reports decoded")
+	}
+	wrong := map[string]FuncReport{}
+	for name, fr := range prog.perFunc {
+		wrong["not-"+name] = fr
+	}
+	if _, err := decodeProgramV2(encodeProgramV2(&programArtifact{funcs: prog.funcs, perFunc: wrong})); err == nil {
+		t.Error("v2: program with reports for absent functions decoded")
+	}
+
+	// v1 JSON: same two corruptions through the legacy decoder.
+	pay, err := json.Marshal(&diskProgram{Funcs: prog.funcs, PerFunc: map[string]FuncReport{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeArtifact(diskKindProgram, pay); err == nil {
+		t.Error("v1: program with no reports decoded")
+	}
+	pay, err = json.Marshal(&diskProgram{Funcs: prog.funcs, PerFunc: wrong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeArtifact(diskKindProgram, pay); err == nil {
+		t.Error("v1: program with reports for absent functions decoded")
+	}
+}
+
+// TestProgramDecodeAllOrNothing: one bad function poisons the whole
+// artifact — a payload whose first function is healthy but whose last is
+// hollow must be rejected outright, in both formats, not partially
+// served or partially canonicalized.
+func TestProgramDecodeAllOrNothing(t *testing.T) {
+	_, _, prog := codecArtifacts(t)
+	bad := append(append([]*ir.Func{}, prog.funcs...), &ir.Func{Name: "hollow"})
+	perFunc := map[string]FuncReport{"hollow": {}}
+	for name, fr := range prog.perFunc {
+		perFunc[name] = fr
+	}
+
+	if _, err := decodeProgramV2(encodeProgramV2(&programArtifact{funcs: bad, perFunc: perFunc})); err == nil {
+		t.Error("v2: program with a hollow trailing function decoded")
+	}
+	pay, err := json.Marshal(&diskProgram{Funcs: bad, PerFunc: perFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeArtifact(diskKindProgram, pay); err == nil {
+		t.Error("v1: program with a hollow trailing function decoded")
+	}
+
+	// Duplicate function names are equally unservable.
+	dup := append(append([]*ir.Func{}, prog.funcs...), prog.funcs[0])
+	if _, err := decodeProgramV2(encodeProgramV2(&programArtifact{funcs: dup, perFunc: prog.perFunc})); err == nil {
+		t.Error("v2: program with a duplicated function decoded")
+	}
+}
+
+// TestMixedVersionCacheDir: one cache directory holding entries from a
+// previous release (JSON v1, fabricated through the legacyPut seam) and
+// from this one (binary v2) serves both, byte-identical to cold compiles,
+// across driver restarts.
+func TestMixedVersionCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := detConfig(Integrated)
+	wantA := coldILOC(t, 21, cfg)
+	wantB := coldILOC(t, 22, cfg)
+
+	old := New(Options{CacheDir: dir})
+	if err := old.DiskCacheErr(); err != nil {
+		t.Fatal(err)
+	}
+	old.Cache().legacyPut = true
+	mustCompile(t, old, workload.RandomProgram(21), cfg)
+
+	// A new driver reads the v1 entries as hits and writes B as v2.
+	mid := New(Options{CacheDir: dir})
+	pa := workload.RandomProgram(21)
+	rep := mustCompile(t, mid, pa, cfg)
+	if !rep.ProgramCacheHit {
+		t.Error("v1 program entry did not hit under the upgraded driver")
+	}
+	if pa.String() != wantA {
+		t.Error("v1-served compile differs from cold compile")
+	}
+	mustCompile(t, mid, workload.RandomProgram(22), cfg)
+
+	// A third driver serves both generations from the one directory.
+	fresh := New(Options{CacheDir: dir})
+	for _, tc := range []struct {
+		seed int64
+		want string
+	}{{21, wantA}, {22, wantB}} {
+		p := workload.RandomProgram(tc.seed)
+		rep := mustCompile(t, fresh, p, cfg)
+		if !rep.ProgramCacheHit {
+			t.Errorf("seed %d: no program hit from mixed directory", tc.seed)
+		}
+		if p.String() != tc.want {
+			t.Errorf("seed %d: mixed-directory compile differs from cold compile", tc.seed)
+		}
+	}
+}
+
+// nanProgram builds a program whose float constant is NaN — the value
+// encoding/json cannot carry, which made v1 writers fail the persistent
+// put.
+func nanProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("main", ir.ClassFloat)
+	b.Label("entry")
+	x := b.ConstF(math.NaN())
+	y := b.ConstF(1.5)
+	b.RetVal(b.FAdd(x, y))
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return &ir.Program{Funcs: []*ir.Func{b.Func()}}
+}
+
+// TestLegacyEncodeFailureSurfaced is the silent-failure regression test:
+// under the v1 JSON writers a NaN immediate made every persistent put
+// fail without a trace. The failure must now be counted, exported
+// through CacheStats and the metrics registry, and carried as a one-shot
+// warning — while the compile itself still succeeds memory-only.
+func TestLegacyEncodeFailureSurfaced(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := New(Options{CacheDir: t.TempDir(), Metrics: reg})
+	if err := d.DiskCacheErr(); err != nil {
+		t.Fatal(err)
+	}
+	d.Cache().legacyPut = true
+
+	rep := mustCompile(t, d, nanProgram(t), detConfig(Integrated))
+	st := d.Cache().Stats()
+	if st.EncodeFailures == 0 {
+		t.Fatal("NaN artifact produced no encode-failure count")
+	}
+	if st.EncodeWarning == "" || !strings.Contains(st.EncodeWarning, "encode") {
+		t.Errorf("encode warning missing or unhelpful: %q", st.EncodeWarning)
+	}
+	if rep.Cache.EncodeFailures == 0 {
+		t.Error("encode failures absent from the compile report")
+	}
+	if n := reg.Counter("pipeline.encode_failures").Value(); n == 0 {
+		t.Error("pipeline.encode_failures counter not bumped")
+	}
+	if st.Disk.Writes != 0 {
+		t.Errorf("unencodable artifact still wrote %d disk entries", st.Disk.Writes)
+	}
+}
+
+// TestCodecV2CarriesNaN: the binary codec is total over floats — the
+// same NaN program persists, survives a restart, and hits byte-identical.
+func TestCodecV2CarriesNaN(t *testing.T) {
+	dir := t.TempDir()
+	cfg := detConfig(Integrated)
+
+	a := New(Options{CacheDir: dir})
+	if err := a.DiskCacheErr(); err != nil {
+		t.Fatal(err)
+	}
+	pa := nanProgram(t)
+	mustCompile(t, a, pa, cfg)
+	if st := a.Cache().Stats(); st.EncodeFailures != 0 {
+		t.Fatalf("v2 encode failed on NaN: %q", st.EncodeWarning)
+	}
+	want := pa.String()
+
+	b := New(Options{CacheDir: dir})
+	pb := nanProgram(t)
+	rep := mustCompile(t, b, pb, cfg)
+	if !rep.ProgramCacheHit {
+		t.Error("NaN program did not hit the persistent tier")
+	}
+	if pb.String() != want {
+		t.Error("NaN program round-tripped differently through the v2 codec")
+	}
+}

@@ -351,6 +351,9 @@ func New(opts Options) *Driver {
 		if d.cache == nil {
 			d.cache = NewCache(DefaultCacheEntries)
 		}
+		if opts.Metrics != nil {
+			d.cache.SetMetrics(opts.Metrics)
+		}
 		if opts.CacheDir != "" {
 			dc, err := diskcache.Open(opts.CacheDir, diskcache.Options{
 				MaxBytes: opts.CacheBytes,
@@ -669,10 +672,15 @@ func (d *Driver) compile(ctx context.Context, p *ir.Program, cfg Config, tracer 
 	var progKey digest
 	if cache != nil {
 		progKey = programKey(p, cfg)
-		if v, ok := cache.get(progKey, diskKindProgram, mainSh); ok {
+		if v, ok := cache.get(progKey, diskKindProgramV2, mainSh); ok {
 			art := v.(*programArtifact)
+			// The cached functions are frozen: handing them out by
+			// reference is safe (anything that later wants to mutate one
+			// — including a re-compile of this very program object —
+			// clones at its own mutation point), and it makes the hit
+			// path free of deep copies.
 			for i := range p.Funcs {
-				p.Funcs[i] = art.funcs[i].Clone()
+				p.Funcs[i] = art.funcs[i]
 			}
 			for name, fr := range art.perFunc {
 				fr.FrontCacheHit = true
@@ -849,7 +857,7 @@ func (d *Driver) compile(ctx context.Context, p *ir.Program, cfg Config, tracer 
 			fr.BackCacheHit = false
 			art.perFunc[name] = fr
 		}
-		cache.put(progKey, diskKindProgram, art)
+		cache.put(progKey, diskKindProgramV2, art)
 	}
 
 	d.finish(rep, cs, do, m, start, false, mainSh, tracer)
@@ -885,13 +893,27 @@ func (d *Driver) postPassBarrier(ctx context.Context, p *ir.Program, cfg Config,
 			}
 		}
 	}
+	// Copy-on-write point: the walk rewrites every non-skipped function,
+	// so frozen ones (front-stage cache hits shared by reference) are
+	// cloned now. Skipped functions are never touched and may stay frozen.
+	for i, f := range p.Funcs {
+		if f.Frozen() && !skip[f.Name] {
+			p.Funcs[i] = f.Clone()
+		}
+	}
 	// The allocator rewrites functions as it walks; recovery from a
-	// mid-walk fault needs the pre-barrier state back.
+	// mid-walk fault needs the pre-barrier state back. A function that is
+	// frozen here is one the walk will not touch, so the reference itself
+	// is a valid snapshot.
 	var snapshot []*ir.Func
 	if !cfg.Strict {
 		snapshot = make([]*ir.Func, len(p.Funcs))
 		for i, f := range p.Funcs {
-			snapshot[i] = f.Clone()
+			if f.Frozen() {
+				snapshot[i] = f
+			} else {
+				snapshot[i] = f.Clone()
+			}
 		}
 	}
 	quarantine := func(name, errText string) {
@@ -1059,13 +1081,22 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 	var key digest
 	if cache != nil {
 		key = frontKey(f, cfg)
-		if v, ok := cache.get(key, diskKindFront, sh); ok {
+		if v, ok := cache.get(key, diskKindFrontV2, sh); ok {
+			// Frozen artifact, shared by reference; the stages that rewrite
+			// it (barrier, back stage) clone at their own mutation points.
 			art := v.(*frontArtifact)
-			p.Funcs[i] = art.fn.Clone()
+			p.Funcs[i] = art.fn
 			st.fr = art.fr
 			st.frontHit = true
 			return nil
 		}
+	}
+
+	// Copy-on-write point: a frozen input (a cached artifact compiled
+	// again) must not be rewritten in place.
+	if f.Frozen() {
+		f = f.Clone()
+		p.Funcs[i] = f
 	}
 
 	// The ladder re-runs the stage from pristine input, so failed
@@ -1111,7 +1142,9 @@ func (d *Driver) compileFront(ctx context.Context, p *ir.Program, i int, cfg Con
 		st.fr.Degraded = level.String()
 		cs.degraded.Add(1)
 	} else if cache != nil && st.fr.Attempts == 1 {
-		cache.put(key, diskKindFront, &frontArtifact{fn: p.Funcs[i].Clone(), fr: st.fr})
+		// The clone isolates the artifact from the stages still to run on
+		// p.Funcs[i]; put freezes it before sharing.
+		cache.put(key, diskKindFrontV2, &frontArtifact{fn: p.Funcs[i].Clone(), fr: st.fr})
 	}
 	return nil
 }
@@ -1189,9 +1222,12 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 	var key digest
 	if cache != nil {
 		key = backKey(f, cfg)
-		if v, ok := cache.get(key, diskKindBack, sh); ok {
+		if v, ok := cache.get(key, diskKindBackV2, sh); ok {
+			// Frozen artifact, shared by reference: the back stage is the
+			// last rewrite, so nothing downstream mutates it (the program
+			// artifact put clones for itself).
 			art := v.(*backArtifact)
-			p.Funcs[i] = art.fn.Clone()
+			p.Funcs[i] = art.fn
 			st.fr.SpillBytesCompacted = art.compactAfter
 			st.fr.SpillWebs = art.webs
 			st.backHit = true
@@ -1206,7 +1242,15 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 		defer cancel()
 	}
 	var pristine *ir.Func
-	if !cfg.Strict {
+	if f.Frozen() {
+		// Copy-on-write point: the cleanup/compaction passes rewrite the
+		// function, so a frozen one (a front-stage cache hit that skipped
+		// the barrier) is cloned here — and the frozen original doubles
+		// as the pristine snapshot for free.
+		pristine = f
+		f = f.Clone()
+		p.Funcs[i] = f
+	} else if !cfg.Strict {
 		pristine = f.Clone()
 	}
 	attempt := func() *CompileError {
@@ -1306,7 +1350,7 @@ func (d *Driver) compileBack(ctx context.Context, p *ir.Program, i int, cfg Conf
 		return nil
 	}
 	if cache != nil && st.fr.Degraded == "" && st.fr.Attempts <= 1 {
-		cache.put(key, diskKindBack, &backArtifact{
+		cache.put(key, diskKindBackV2, &backArtifact{
 			fn:           p.Funcs[i].Clone(),
 			compactAfter: st.fr.SpillBytesCompacted,
 			webs:         st.fr.SpillWebs,

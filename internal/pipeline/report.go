@@ -130,6 +130,13 @@ type CacheStats struct {
 	Memory    TierStats       `json:"memory"`
 	Disk      DiskTierStats   `json:"disk"`
 	Remote    RemoteTierStats `json:"remote"`
+
+	// EncodeFailures counts artifacts that could not be encoded for the
+	// persistent tiers and therefore stayed memory-only; EncodeWarning
+	// carries the first such failure verbatim (one-shot — later failures
+	// only bump the counter). Both are zero on a healthy cache.
+	EncodeFailures int64  `json:"encode_failures,omitempty"`
+	EncodeWarning  string `json:"encode_warning,omitempty"`
 }
 
 // FuncReport is the per-function compilation summary.

@@ -14,14 +14,14 @@ import (
 // already involved in a merge is skipped (the graph no longer reflects it).
 func (a *allocation) coalesce() int {
 	merged := 0
-	touched := make(map[int]bool)
+	touched, tgen := a.sc.freshMark(a.n)
 	for _, cs := range a.copies {
 		in := &a.f.Blocks[cs.block].Instrs[cs.index]
 		if in.Op != ir.OpCopy && in.Op != ir.OpFCopy {
 			continue
 		}
 		d, s := int(in.Dst), int(in.Args[0])
-		if d == s || touched[d] || touched[s] {
+		if d == s || touched[d] == tgen || touched[s] == tgen {
 			continue
 		}
 		if a.matrix.Has(d, s) {
@@ -31,7 +31,7 @@ func (a *allocation) coalesce() int {
 			continue
 		}
 		a.alias.Union(d, s)
-		touched[d], touched[s] = true, true
+		touched[d], touched[s] = tgen, tgen
 		merged++
 	}
 	return merged
@@ -40,14 +40,16 @@ func (a *allocation) coalesce() int {
 // briggsSafe applies the Briggs conservative test: the combined node has
 // fewer than k neighbors of significant degree.
 func (a *allocation) briggsSafe(d, s int) bool {
+	sc := a.sc
 	k := a.kFor(d)
-	seen := make(map[int32]bool, len(a.adj[d])+len(a.adj[s]))
+	sc.seenMark = stamped(sc.seenMark, a.nodes, &sc.seenGen)
+	seen, sgen := sc.seenMark, sc.seenGen
 	significant := 0
 	consider := func(w int32) {
-		if seen[w] || !a.isRange(int(w)) {
+		if seen[w] == sgen || !a.isRange(int(w)) {
 			return
 		}
-		seen[w] = true
+		seen[w] = sgen
 		deg := a.degree[w]
 		// A neighbor adjacent to both d and s loses one edge in the merge.
 		if a.matrix.Has(int(w), d) && a.matrix.Has(int(w), s) {
@@ -57,11 +59,11 @@ func (a *allocation) briggsSafe(d, s int) bool {
 			significant++
 		}
 	}
-	for _, w := range a.adj[d] {
-		consider(w)
+	for e := sc.adjHead[d]; e >= 0; e = sc.adjNext[e] {
+		consider(sc.adjTo[e])
 	}
-	for _, w := range a.adj[s] {
-		consider(w)
+	for e := sc.adjHead[s]; e >= 0; e = sc.adjNext[e] {
+		consider(sc.adjTo[e])
 	}
 	return significant < k
 }
@@ -113,15 +115,21 @@ func (a *allocation) applyCoalesce() {
 // Chaitin-Briggs guarantee of termination.
 func (a *allocation) computeSpillCosts() {
 	f := a.f
-	a.cost = make([]float64, a.n)
-	a.noSpill = make([]bool, a.n)
-	a.remat = make([]*ir.Instr, a.n)
+	sc := a.sc
+	sc.cost = sized(sc.cost, a.n)
+	a.cost = sc.cost
+	sc.noSpill = sized(sc.noSpill, a.n)
+	a.noSpill = sc.noSpill
+	sc.remat = sized(sc.remat, a.n)
+	a.remat = sc.remat
 
 	// Rematerialization candidates: every def of the range is the same
 	// constant-producing instruction. Parameters (no defs) never qualify.
 	if a.opts.Rematerialize {
-		sameDef := make([]*ir.Instr, a.n)
-		bad := make([]bool, a.n)
+		sameDef := sized(sc.sameDef, a.n)
+		sc.sameDef = sameDef
+		bad := sized(sc.bad, a.n)
+		sc.bad = bad
 		for _, b := range f.Blocks {
 			for ii := range b.Instrs {
 				in := &b.Instrs[ii]
@@ -150,14 +158,44 @@ func (a *allocation) computeSpillCosts() {
 		}
 	}
 
-	type occ struct {
-		block, index int
-		isDef        bool
+	// Occurrence records, flattened into one shared buffer: pass one
+	// counts per-range occurrences, a prefix sum carves each range's
+	// region, pass two fills the regions in the same program order the
+	// old per-range append slices saw. occCnt doubles as the fill cursor.
+	occCnt := sized(sc.occCnt, a.n)
+	sc.occCnt = occCnt
+	forEachOcc := func(visit func(r ir.Reg, bi, ii int, def bool)) {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				for _, u := range in.Args {
+					visit(u, bi, ii, false)
+				}
+				if in.Dst != ir.NoReg {
+					visit(in.Dst, bi, ii, true)
+				}
+			}
+		}
 	}
-	occs := make([][]occ, a.n)
-	record := func(r ir.Reg, bi, ii int, def bool) {
-		occs[r] = append(occs[r], occ{bi, ii, def})
+	forEachOcc(func(r ir.Reg, bi, ii int, def bool) { occCnt[r]++ })
+	if cap(sc.occOff) < a.n+1 {
+		sc.occOff = make([]int32, a.n+1)
 	}
+	occOff := sc.occOff[:a.n+1]
+	occOff[0] = 0
+	for r := 0; r < a.n; r++ {
+		occOff[r+1] = occOff[r] + occCnt[r]
+		occCnt[r] = 0
+	}
+	total := int(occOff[a.n])
+	if cap(sc.occs) < total {
+		sc.occs = make([]occ, total)
+	}
+	occs := sc.occs[:total]
+	forEachOcc(func(r ir.Reg, bi, ii int, def bool) {
+		occs[occOff[r]+occCnt[r]] = occ{block: bi, index: ii, isDef: def}
+		occCnt[r]++
+	})
 	for bi, b := range f.Blocks {
 		depth := a.g.LoopDepth(bi)
 		if depth > 9 {
@@ -168,11 +206,9 @@ func (a *allocation) computeSpillCosts() {
 			in := &b.Instrs[ii]
 			for _, u := range in.Args {
 				a.cost[u] += w
-				record(u, bi, ii, false)
 			}
 			if in.Dst != ir.NoReg {
 				a.cost[in.Dst] += w
-				record(in.Dst, bi, ii, true)
 			}
 		}
 	}
@@ -188,7 +224,7 @@ func (a *allocation) computeSpillCosts() {
 			op == ir.OpLoadI || op == ir.OpLoadF || op == ir.OpAddr
 	}
 	for r := 0; r < a.n; r++ {
-		o := occs[r]
+		o := occs[occOff[r]:occOff[r+1]]
 		if len(o) == 0 || len(o)%2 != 0 {
 			continue
 		}
@@ -216,10 +252,13 @@ func (a *allocation) computeSpillCosts() {
 // cheapest spill candidate optimistically when every remaining node has
 // significant degree (Briggs optimistic coloring).
 func (a *allocation) simplify() {
-	a.stack = a.stack[:0]
-	deg := make([]int, a.n)
+	sc := a.sc
+	a.stack = sc.stack[:0]
+	deg := sized(sc.deg, a.n)
+	sc.deg = deg
 	copy(deg, a.degree)
-	removed := make([]bool, a.n)
+	removed := sized(sc.removed, a.n)
+	sc.removed = removed
 	remaining := a.n
 
 	// Deterministic iteration: ascending node id.
@@ -227,7 +266,8 @@ func (a *allocation) simplify() {
 		removed[v] = true
 		remaining--
 		a.stack = append(a.stack, int32(v))
-		for _, w := range a.adj[v] {
+		for e := sc.adjHead[v]; e >= 0; e = sc.adjNext[e] {
+			w := sc.adjTo[e]
 			if a.isRange(int(w)) && !removed[w] {
 				deg[w]--
 			}
@@ -281,24 +321,29 @@ func (a *allocation) simplify() {
 		}
 		removeNode(best)
 	}
+	sc.stack = a.stack
 }
 
 // sel pops the simplify stack assigning colors; it returns the live
 // ranges that failed to receive one and must be spilled.
 func (a *allocation) sel() []int {
-	a.color = make([]int32, a.n)
+	sc := a.sc
+	sc.color = sized(sc.color, a.n)
+	a.color = sc.color
 	for i := range a.color {
 		a.color[i] = -1
 	}
-	var spilled []int
-	used := make([]bool, maxInt(a.opts.IntRegs, a.opts.FloatRegs))
+	spilled := sc.spilled[:0]
+	used := sized(sc.used, maxInt(a.opts.IntRegs, a.opts.FloatRegs))
+	sc.used = used
 	for i := len(a.stack) - 1; i >= 0; i-- {
 		v := int(a.stack[i])
 		k := a.kFor(v)
 		for c := 0; c < k; c++ {
 			used[c] = false
 		}
-		for _, w := range a.adj[v] {
+		for e := sc.adjHead[v]; e >= 0; e = sc.adjNext[e] {
+			w := sc.adjTo[e]
 			if a.isRange(int(w)) && a.color[w] >= 0 {
 				if int(a.color[w]) < k {
 					used[a.color[w]] = true
@@ -319,6 +364,7 @@ func (a *allocation) sel() []int {
 		a.color[v] = chosen
 	}
 	sort.Ints(spilled)
+	sc.spilled = spilled
 	return spilled
 }
 

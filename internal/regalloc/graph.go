@@ -16,9 +16,13 @@ import (
 // (present only in integrated mode). CCM nodes join the graph but are
 // never simplified or colored: their edges are "ignored during allocation
 // and used during spill code insertion" (paper §3.2).
+//
+// All working storage lives in sc and is recycled across rounds and
+// across Allocate calls (see scratch); the fields here are views into it.
 type allocation struct {
 	f    *ir.Func
 	opts Options
+	sc   *scratch
 
 	g    *cfg.Graph
 	live *liveness.Result
@@ -27,7 +31,11 @@ type allocation struct {
 	ccmSlots int
 	nodes    int // n + ccmSlots
 
-	adj            [][]int32
+	// Adjacency as an edge store shared through sc: adjHead[u] is the
+	// first edge of u, adjNext/adjTo the links. Neighbor iteration order
+	// is most-recent-first; no consumer is order-sensitive (they count,
+	// mark, or decrement), so the representation change cannot perturb
+	// coloring decisions.
 	matrix         *intgraph.Matrix
 	degree         []int // same-class live-range neighbors only
 	liveAcrossCall []bool
@@ -62,10 +70,11 @@ type copySiteRef struct {
 	index int
 }
 
-func newAllocation(f *ir.Func, opts Options) (*allocation, error) {
+func newAllocation(f *ir.Func, opts Options, sc *scratch) (*allocation, error) {
 	a := &allocation{
 		f:        f,
 		opts:     opts,
+		sc:       sc,
 		n:        len(f.Regs),
 		ccmSlots: int(opts.CCMBytes / ir.WordBytes),
 	}
@@ -92,6 +101,15 @@ func (a *allocation) kFor(node int) int {
 	return a.opts.IntRegs
 }
 
+// pushAdj links v into u's adjacency chain.
+func (a *allocation) pushAdj(u, v int) {
+	sc := a.sc
+	e := int32(len(sc.adjTo))
+	sc.adjTo = append(sc.adjTo, int32(v))
+	sc.adjNext = append(sc.adjNext, sc.adjHead[u])
+	sc.adjHead[u] = e
+}
+
 func (a *allocation) addEdge(u, v int) {
 	if u == v {
 		return
@@ -112,8 +130,8 @@ func (a *allocation) addEdge(u, v int) {
 		return // slot-slot edges carry no information
 	}
 	a.matrix.Set(u, v)
-	a.adj[u] = append(a.adj[u], int32(v))
-	a.adj[v] = append(a.adj[v], int32(u))
+	a.pushAdj(u, v)
+	a.pushAdj(v, u)
 	if ur && vr {
 		a.degree[u]++
 		a.degree[v]++
@@ -124,6 +142,7 @@ func (a *allocation) addEdge(u, v int) {
 // current code, including CCM location nodes when integrated mode is on.
 func (a *allocation) buildGraph() error {
 	f := a.f
+	sc := a.sc
 	a.n = len(f.Regs)
 	a.nodes = a.n + a.ccmSlots
 
@@ -133,32 +152,54 @@ func (a *allocation) buildGraph() error {
 	}
 	a.g = g
 
-	// Liveness over live ranges; CCM slots are tracked manually below.
-	a.live = liveness.Registers(f, g)
+	// The arena backs every liveness set of this round; resetting it here
+	// retires the previous round's sets (nothing reads them after the
+	// round's graph is rebuilt).
+	sc.arena.Reset()
 
-	a.adj = make([][]int32, a.nodes)
-	a.matrix = intgraph.NewMatrix(a.nodes)
-	a.anyMatrix = intgraph.NewMatrix(a.n)
-	a.degree = make([]int, a.n)
-	a.liveAcrossCall = make([]bool, a.n)
-	a.copies = a.copies[:0]
-	a.alias = uf.New(a.n)
+	// Liveness over live ranges; CCM slots are tracked manually below.
+	a.live = liveness.RegistersIn(&sc.arena, f, g)
+
+	sc.adjHead = sized(sc.adjHead, a.nodes)
+	for i := range sc.adjHead {
+		sc.adjHead[i] = -1
+	}
+	sc.adjNext = sc.adjNext[:0]
+	sc.adjTo = sc.adjTo[:0]
+	sc.matrix.Reset(a.nodes)
+	sc.anyMatrix.Reset(a.n)
+	a.matrix = &sc.matrix
+	a.anyMatrix = &sc.anyMatrix
+	sc.degree = sized(sc.degree, a.n)
+	a.degree = sc.degree
+	sc.liveAcrossCall = sized(sc.liveAcrossCall, a.n)
+	a.liveAcrossCall = sc.liveAcrossCall
+	a.copies = sc.copies[:0]
+	sc.alias.Reset(a.n)
+	a.alias = &sc.alias
 
 	// Values carried into the function (parameters, and any
 	// read-before-write ranges) are all written by the caller at entry, so
-	// they must occupy distinct registers: add pairwise edges.
-	entryLive := a.live.In[0].Members()
-	entrySet := map[int]bool{}
-	for _, r := range entryLive {
-		entrySet[r] = true
-	}
+	// they must occupy distinct registers: add pairwise edges. The stamp
+	// array dedups without a per-round map; the node list is built in
+	// ascending register order (entry liveness first, in set order, then
+	// any parameters not already seen), matching the old map-keyed
+	// iteration's edge set exactly — addEdge is order-insensitive.
+	sc.entryMark = stamped(sc.entryMark, a.n, &sc.entryGen)
+	entryNodes := sc.entryNodes[:0]
+	a.live.In[0].ForEach(func(r int) {
+		if sc.entryMark[r] != sc.entryGen {
+			sc.entryMark[r] = sc.entryGen
+			entryNodes = append(entryNodes, r)
+		}
+	})
 	for _, p := range f.Params {
-		entrySet[int(p)] = true
+		if sc.entryMark[p] != sc.entryGen {
+			sc.entryMark[p] = sc.entryGen
+			entryNodes = append(entryNodes, int(p))
+		}
 	}
-	entryNodes := make([]int, 0, len(entrySet))
-	for r := range entrySet {
-		entryNodes = append(entryNodes, r)
-	}
+	sc.entryNodes = entryNodes
 	for i := 0; i < len(entryNodes); i++ {
 		for j := i + 1; j < len(entryNodes); j++ {
 			a.addEdge(entryNodes[i], entryNodes[j])
@@ -173,8 +214,8 @@ func (a *allocation) buildGraph() error {
 		use := make([]bitset.Set, g.NumBlocks())
 		def := make([]bitset.Set, g.NumBlocks())
 		for i := 0; i < g.NumBlocks(); i++ {
-			use[i] = bitset.New(a.ccmSlots)
-			def[i] = bitset.New(a.ccmSlots)
+			use[i] = sc.arena.New(a.ccmSlots)
+			def[i] = sc.arena.New(a.ccmSlots)
 		}
 		for bi, b := range f.Blocks {
 			for ii := range b.Instrs {
@@ -189,7 +230,7 @@ func (a *allocation) buildGraph() error {
 				}
 			}
 		}
-		slotLive = liveness.Backward(g, use, def, nil)
+		slotLive = liveness.BackwardIn(&sc.arena, g, use, def, nil)
 	}
 
 	// Backward scan per block building edges.
@@ -210,10 +251,10 @@ func (a *allocation) buildGraph() error {
 			a.maxLiveFloat = nf
 		}
 	}
-	liveNow := bitset.New(a.n)
+	liveNow := sc.arena.New(a.n)
 	var slotNow bitset.Set
 	if a.ccmSlots > 0 {
-		slotNow = bitset.New(a.ccmSlots)
+		slotNow = sc.arena.New(a.ccmSlots)
 	}
 	for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
 		b := f.Blocks[bi]
@@ -277,5 +318,6 @@ func (a *allocation) buildGraph() error {
 			}
 		}
 	}
+	sc.copies = a.copies // keep any regrown backing array for the next round
 	return nil
 }

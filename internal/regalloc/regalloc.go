@@ -120,6 +120,11 @@ func Allocate(f *ir.Func, opts Options) (*Result, error) {
 	}
 	res := &Result{}
 
+	// One scratch per concurrent Allocate: every round's graph, side
+	// arrays and liveness sets are carved from it and recycled.
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
 	for round := 0; ; round++ {
 		if round >= opts.MaxRounds {
 			return nil, fmt.Errorf("regalloc: %s did not converge after %d rounds", f.Name, opts.MaxRounds)
@@ -133,7 +138,7 @@ func Allocate(f *ir.Func, opts Options) (*Result, error) {
 		}
 		info.CollapseToLiveRanges()
 
-		a, err := newAllocation(f, opts)
+		a, err := newAllocation(f, opts, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -303,7 +303,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	payload, ok := s.dc.Get(key, kind) // verifies; quarantines corruption
+	// GetAny rather than Get: a verified entry stored under a different
+	// kind (a client running another codec version probing the same key)
+	// must read as a miss without being quarantined, or a mixed-version
+	// fleet would destroy each other's entries. Integrity failures still
+	// quarantine inside GetAny.
+	payload, _, ok := s.dc.GetAny(key, kind)
 	if !ok {
 		s.misses.Add(1)
 		s.reg.Counter("remotecached.misses").Add(1)

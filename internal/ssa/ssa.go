@@ -9,12 +9,20 @@ package ssa
 
 import (
 	"fmt"
+	"sync"
 
+	"ccmem/internal/bitset"
 	"ccmem/internal/cfg"
 	"ccmem/internal/ir"
 	"ccmem/internal/liveness"
 	"ccmem/internal/uf"
 )
+
+// liveArenas pools the bitset arenas backing Build's liveness solve. The
+// sets live only until insertPhis returns, so the arena is recycled
+// per Build — the classic reset-not-realloc discipline, pooled per
+// worker by sync.Pool.
+var liveArenas = sync.Pool{New: func() any { return new(bitset.Arena) }}
 
 // Info is a function in SSA form.
 type Info struct {
@@ -41,16 +49,22 @@ func Build(f *ir.Func) (*Info, error) {
 	if err != nil {
 		return nil, err
 	}
-	live := liveness.Registers(f, g)
+	ar := liveArenas.Get().(*bitset.Arena)
+	ar.Reset()
+	live := liveness.RegistersIn(ar, f, g)
 
 	s := &Info{F: f, G: g}
-	s.Orig = make([]ir.Reg, len(f.Regs))
+	// Renaming roughly doubles the register table (one fresh version per
+	// definition); reserve for it up front so the growth appends in
+	// rename don't re-copy the tables repeatedly.
+	s.Orig = make([]ir.Reg, len(f.Regs), 2*len(f.Regs)+8)
 	for i := range s.Orig {
 		s.Orig[i] = ir.Reg(i)
 	}
 	s.children = domChildren(g)
 
 	s.insertPhis(live)
+	liveArenas.Put(ar) // the liveness sets are dead once phis are placed
 	s.rename()
 	return s, nil
 }
@@ -83,40 +97,64 @@ func (s *Info) insertPhis(live *liveness.Result) {
 		}
 	}
 
-	hasPhi := make(map[[2]int]bool) // (block, reg)
+	// hasPhi and onWork are generation-stamped by register: each register's
+	// pass sees empty state without per-register map allocations, and the
+	// worklist buffer is reused across registers. Discovered phis are
+	// accumulated per block and prepended in one batch afterwards — the
+	// old per-phi prepend re-copied the whole block each time. The final
+	// instruction order is identical: a chronological prepend sequence
+	// equals the reversed accumulation order.
+	nb := len(f.Blocks)
+	hasPhi := make([]int32, nb)
+	onWork := make([]int32, nb)
+	for i := 0; i < nb; i++ {
+		hasPhi[i], onWork[i] = -1, -1
+	}
+	work := make([]int, 0, nb)
+	phiAcc := make([][]ir.Instr, nb)
 	for r := 0; r < nr; r++ {
 		if len(defBlocks[r]) == 0 {
 			continue
 		}
-		work := append([]int{0}, defBlocks[r]...)
-		onWork := make(map[int]bool, len(work))
+		work = append(work[:0], 0)
+		work = append(work, defBlocks[r]...)
 		for _, b := range work {
-			onWork[b] = true
+			onWork[b] = int32(r)
 		}
 		for len(work) > 0 {
 			b := work[len(work)-1]
 			work = work[:len(work)-1]
 			for _, y := range g.DomFrontier(b) {
-				if hasPhi[[2]int{y, r}] {
+				if hasPhi[y] == int32(r) {
 					continue
 				}
 				if !live.In[y].Has(r) {
 					continue // pruned SSA
 				}
-				hasPhi[[2]int{y, r}] = true
+				hasPhi[y] = int32(r)
 				args := make([]ir.Reg, len(g.Preds[y]))
 				for i := range args {
 					args[i] = ir.Reg(r)
 				}
-				blk := f.Blocks[y]
-				phi := ir.Instr{Op: ir.OpPhi, Dst: ir.Reg(r), Args: args, Imm: int64(r)}
-				blk.Instrs = append([]ir.Instr{phi}, blk.Instrs...)
-				if !onWork[y] {
-					onWork[y] = true
+				phiAcc[y] = append(phiAcc[y], ir.Instr{Op: ir.OpPhi, Dst: ir.Reg(r), Args: args, Imm: int64(r)})
+				if onWork[y] != int32(r) {
+					onWork[y] = int32(r)
 					work = append(work, y)
 				}
 			}
 		}
+	}
+	for y, phis := range phiAcc {
+		if len(phis) == 0 {
+			continue
+		}
+		blk := f.Blocks[y]
+		merged := make([]ir.Instr, 0, len(phis)+len(blk.Instrs))
+		for i := len(phis) - 1; i >= 0; i-- {
+			merged = append(merged, phis[i])
+		}
+		merged = append(merged, blk.Instrs...)
+		blk.Instrs = merged
 	}
 }
 
@@ -127,9 +165,15 @@ func (s *Info) insertPhis(live *liveness.Result) {
 func (s *Info) rename() {
 	f, g := s.F, s.G
 	numOrig := len(s.Orig)
+	// All version stacks start as single-element slices; carving them out
+	// of one backing array replaces numOrig tiny allocations with one. A
+	// stack that grows past its one-slot capacity reallocates just itself
+	// (the three-index slice expressions keep neighbors from aliasing).
+	stackInit := make([]ir.Reg, numOrig)
 	stacks := make([][]ir.Reg, numOrig)
 	for r := 0; r < numOrig; r++ {
-		stacks[r] = []ir.Reg{ir.Reg(r)}
+		stackInit[r] = ir.Reg(r)
+		stacks[r] = stackInit[r : r+1 : r+1]
 	}
 	origOf := func(r ir.Reg) ir.Reg {
 		if int(r) < numOrig {

@@ -11,11 +11,26 @@ type Set struct {
 
 // New returns a union-find with n singleton sets.
 func New(n int) *Set {
-	s := &Set{parent: make([]int, n), rank: make([]int, n)}
+	s := &Set{}
+	s.Reset(n)
+	return s
+}
+
+// Reset reinitializes s to n singleton sets, reusing its storage when
+// large enough (the register allocator rebuilds its alias structure
+// every round).
+func (s *Set) Reset(n int) {
+	if cap(s.parent) < n {
+		s.parent = make([]int, n)
+		s.rank = make([]int, n)
+	} else {
+		s.parent = s.parent[:n]
+		s.rank = s.rank[:n]
+	}
 	for i := range s.parent {
 		s.parent[i] = i
+		s.rank[i] = 0
 	}
-	return s
 }
 
 // Len returns the element count.
